@@ -1,0 +1,842 @@
+//! The ROBDD manager: node store, hash-consing and the core operations.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::node::{Bdd, Node, Var, TERMINAL_VAR};
+
+/// Summary statistics of a [`BddManager`], useful for reproducing the
+/// "limited by the computational power of BDDs" observations of Chapter 6.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BddStats {
+    /// Number of live (hash-consed) nodes, including the two terminals.
+    pub nodes: usize,
+    /// Number of allocated variables.
+    pub vars: usize,
+    /// Number of entries in the if-then-else memo table.
+    pub ite_cache_entries: usize,
+}
+
+/// Owner of all ROBDD nodes.
+///
+/// All operations that may create nodes take `&mut self`; handles ([`Bdd`])
+/// are small copyable indices into the manager. The manager never frees nodes
+/// (no garbage collection) — the workloads of the thesis are bounded and the
+/// experiments report peak node counts instead.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Bdd>,
+    ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
+    num_vars: u32,
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// Creates an empty manager containing only the two terminal nodes.
+    pub fn new() -> Self {
+        let terminal_false = Node { var: TERMINAL_VAR, lo: Bdd::FALSE, hi: Bdd::FALSE };
+        let terminal_true = Node { var: TERMINAL_VAR, lo: Bdd::TRUE, hi: Bdd::TRUE };
+        BddManager {
+            nodes: vec![terminal_false, terminal_true],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            num_vars: 0,
+        }
+    }
+
+    /// Allocates a fresh variable at the bottom of the current order.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Allocates `n` fresh variables.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Number of variables allocated so far.
+    pub fn var_count(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// Returns the constant function for `value`.
+    pub fn constant(&self, value: bool) -> Bdd {
+        if value {
+            Bdd::TRUE
+        } else {
+            Bdd::FALSE
+        }
+    }
+
+    /// The projection function of `v` (the BDD that is true iff `v` is true).
+    ///
+    /// # Panics
+    /// Panics if `v` was not allocated by this manager.
+    pub fn var(&mut self, v: Var) -> Bdd {
+        assert!(v.0 < self.num_vars, "variable {v} not allocated in this manager");
+        self.mk(v.0, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// The negated projection function of `v`.
+    pub fn nvar(&mut self, v: Var) -> Bdd {
+        assert!(v.0 < self.num_vars, "variable {v} not allocated in this manager");
+        self.mk(v.0, Bdd::TRUE, Bdd::FALSE)
+    }
+
+    /// `v` if `value` is true, `¬v` otherwise.
+    pub fn literal(&mut self, v: Var, value: bool) -> Bdd {
+        if value {
+            self.var(v)
+        } else {
+            self.nvar(v)
+        }
+    }
+
+    fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&b) = self.unique.get(&node) {
+            return b;
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(node);
+        let handle = Bdd(idx);
+        self.unique.insert(node, handle);
+        handle
+    }
+
+    #[inline]
+    fn node(&self, b: Bdd) -> Node {
+        self.nodes[b.0 as usize]
+    }
+
+    /// Variable decided at the root of `f`, or `None` for a constant.
+    pub fn top_var(&self, f: Bdd) -> Option<Var> {
+        if f.is_const() {
+            None
+        } else {
+            Some(Var(self.node(f).var))
+        }
+    }
+
+    /// Low (else) child of a non-constant node.
+    ///
+    /// # Panics
+    /// Panics if `f` is a constant.
+    pub fn low(&self, f: Bdd) -> Bdd {
+        assert!(!f.is_const(), "constants have no children");
+        self.node(f).lo
+    }
+
+    /// High (then) child of a non-constant node.
+    ///
+    /// # Panics
+    /// Panics if `f` is a constant.
+    pub fn high(&self, f: Bdd) -> Bdd {
+        assert!(!f.is_const(), "constants have no children");
+        self.node(f).hi
+    }
+
+    // ----------------------------------------------------------------- ITE --
+
+    /// If-then-else: `f·g + ¬f·h`, the core memoized operation.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        // Terminal cases.
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+        let key = (f, g, h);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            return r;
+        }
+        let vf = self.node(f).var;
+        let vg = if g.is_const() { TERMINAL_VAR } else { self.node(g).var };
+        let vh = if h.is_const() { TERMINAL_VAR } else { self.node(h).var };
+        let top = vf.min(vg).min(vh);
+        let (f0, f1) = self.split(f, top);
+        let (g0, g1) = self.split(g, top);
+        let (h0, h1) = self.split(h, top);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let result = self.mk(top, lo, hi);
+        self.ite_cache.insert(key, result);
+        result
+    }
+
+    #[inline]
+    fn split(&self, f: Bdd, var: u32) -> (Bdd, Bdd) {
+        if f.is_const() {
+            return (f, f);
+        }
+        let n = self.node(f);
+        if n.var == var {
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    // -------------------------------------------------------- connectives --
+
+    /// Logical negation.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        self.ite(f, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// Logical conjunction.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd::FALSE)
+    }
+
+    /// Logical disjunction.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, Bdd::TRUE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Exclusive nor (equivalence); used by the product-machine construction
+    /// of Section 3.4.
+    pub fn xnor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd::TRUE)
+    }
+
+    /// Conjunction of a slice of functions (true for the empty slice).
+    pub fn and_many(&mut self, fs: &[Bdd]) -> Bdd {
+        let mut acc = Bdd::TRUE;
+        for &f in fs {
+            acc = self.and(acc, f);
+            if acc.is_false() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of a slice of functions (false for the empty slice).
+    pub fn or_many(&mut self, fs: &[Bdd]) -> Bdd {
+        let mut acc = Bdd::FALSE;
+        for &f in fs {
+            acc = self.or(acc, f);
+            if acc.is_true() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// The minterm (conjunction of literals) for `assignment`.
+    pub fn cube(&mut self, assignment: &[(Var, bool)]) -> Bdd {
+        let mut acc = Bdd::TRUE;
+        for &(v, val) in assignment {
+            let lit = self.literal(v, val);
+            acc = self.and(acc, lit);
+        }
+        acc
+    }
+
+    // ------------------------------------------------ restriction & quant --
+
+    /// Restriction (cofactor): `f` with `var` fixed to `value`.
+    ///
+    /// This is the cofactoring operation used to constrain the transition
+    /// relation to a particular instruction class (Section 5.2).
+    pub fn restrict(&mut self, f: Bdd, var: Var, value: bool) -> Bdd {
+        let mut memo = HashMap::new();
+        self.restrict_rec(f, var.0, value, &mut memo)
+    }
+
+    fn restrict_rec(&mut self, f: Bdd, var: u32, value: bool, memo: &mut HashMap<Bdd, Bdd>) -> Bdd {
+        if f.is_const() {
+            return f;
+        }
+        let n = self.node(f);
+        if n.var > var {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let result = if n.var == var {
+            if value {
+                n.hi
+            } else {
+                n.lo
+            }
+        } else {
+            let lo = self.restrict_rec(n.lo, var, value, memo);
+            let hi = self.restrict_rec(n.hi, var, value, memo);
+            self.mk(n.var, lo, hi)
+        };
+        memo.insert(f, result);
+        result
+    }
+
+    /// Restriction by a whole cube of literals.
+    pub fn restrict_cube(&mut self, f: Bdd, assignment: &[(Var, bool)]) -> Bdd {
+        let mut acc = f;
+        for &(v, val) in assignment {
+            acc = self.restrict(acc, v, val);
+        }
+        acc
+    }
+
+    /// Generalized cofactor (the *constrain* operator of Coudert, Berthet and
+    /// Madre): a function that agrees with `f` everywhere `care` is true and
+    /// is chosen to have a small BDD elsewhere.
+    ///
+    /// This is the general form of Section 5.2's "cofactor the transition
+    /// relation outputs with respect to the inputs" step: the verifier applies
+    /// it with the instruction-class constraint as the care set, which removes
+    /// the instruction behaviours outside the class from the simulated state
+    /// functions while preserving every value that can still be observed under
+    /// the class assumption.
+    ///
+    /// # Panics
+    /// Panics if `care` is the constant false function (an empty care set has
+    /// no generalized cofactor).
+    pub fn constrain(&mut self, f: Bdd, care: Bdd) -> Bdd {
+        assert!(!care.is_false(), "generalized cofactor with an empty care set");
+        let mut memo = HashMap::new();
+        self.constrain_rec(f, care, &mut memo)
+    }
+
+    fn constrain_rec(&mut self, f: Bdd, care: Bdd, memo: &mut HashMap<(Bdd, Bdd), Bdd>) -> Bdd {
+        if care.is_true() || f.is_const() {
+            return f;
+        }
+        if f == care {
+            return Bdd::TRUE;
+        }
+        if let Some(&r) = memo.get(&(f, care)) {
+            return r;
+        }
+        let vf = self.node(f).var;
+        let vc = self.node(care).var;
+        let top = vf.min(vc);
+        let (f0, f1) = self.split(f, top);
+        let (c0, c1) = self.split(care, top);
+        let result = if c0.is_false() {
+            self.constrain_rec(f1, c1, memo)
+        } else if c1.is_false() {
+            self.constrain_rec(f0, c0, memo)
+        } else {
+            let lo = self.constrain_rec(f0, c0, memo);
+            let hi = self.constrain_rec(f1, c1, memo);
+            self.mk(top, lo, hi)
+        };
+        memo.insert((f, care), result);
+        result
+    }
+
+    /// Existential quantification (the *smoothing* operator `S_x f` of
+    /// Definition 3.3.1): `∃ vars . f`.
+    pub fn exists(&mut self, f: Bdd, vars: &[Var]) -> Bdd {
+        let mut sorted: Vec<u32> = vars.iter().map(|v| v.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut memo = HashMap::new();
+        self.exists_rec(f, &sorted, &mut memo)
+    }
+
+    fn exists_rec(&mut self, f: Bdd, vars: &[u32], memo: &mut HashMap<Bdd, Bdd>) -> Bdd {
+        if f.is_const() || vars.is_empty() {
+            return f;
+        }
+        let n = self.node(f);
+        // Skip quantified variables that are above the root of f.
+        let pos = vars.partition_point(|&v| v < n.var);
+        let vars = &vars[pos..];
+        if vars.is_empty() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let result = if n.var == vars[0] {
+            let lo = self.exists_rec(n.lo, &vars[1..], memo);
+            let hi = self.exists_rec(n.hi, &vars[1..], memo);
+            self.or(lo, hi)
+        } else {
+            let lo = self.exists_rec(n.lo, vars, memo);
+            let hi = self.exists_rec(n.hi, vars, memo);
+            self.mk(n.var, lo, hi)
+        };
+        memo.insert(f, result);
+        result
+    }
+
+    /// Universal quantification: `∀ vars . f`.
+    pub fn forall(&mut self, f: Bdd, vars: &[Var]) -> Bdd {
+        let nf = self.not(f);
+        let e = self.exists(nf, vars);
+        self.not(e)
+    }
+
+    /// Simultaneous conjunction and existential quantification,
+    /// `∃ vars . (f ∧ g)`, computed in one recursive pass as described for the
+    /// image computation of Section 3.3 (Burch et al. 1990).
+    pub fn and_exists(&mut self, f: Bdd, g: Bdd, vars: &[Var]) -> Bdd {
+        let mut sorted: Vec<u32> = vars.iter().map(|v| v.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut memo = HashMap::new();
+        self.and_exists_rec(f, g, &sorted, &mut memo)
+    }
+
+    fn and_exists_rec(
+        &mut self,
+        f: Bdd,
+        g: Bdd,
+        vars: &[u32],
+        memo: &mut HashMap<(Bdd, Bdd), Bdd>,
+    ) -> Bdd {
+        if f.is_false() || g.is_false() {
+            return Bdd::FALSE;
+        }
+        if f.is_true() && g.is_true() {
+            return Bdd::TRUE;
+        }
+        if vars.is_empty() {
+            return self.and(f, g);
+        }
+        let key = if f <= g { (f, g) } else { (g, f) };
+        if let Some(&r) = memo.get(&key) {
+            return r;
+        }
+        let vf = if f.is_const() { TERMINAL_VAR } else { self.node(f).var };
+        let vg = if g.is_const() { TERMINAL_VAR } else { self.node(g).var };
+        let top = vf.min(vg);
+        let pos = vars.partition_point(|&v| v < top);
+        let vars_below = &vars[pos..];
+        let (f0, f1) = self.split(f, top);
+        let (g0, g1) = self.split(g, top);
+        let result = if !vars_below.is_empty() && vars_below[0] == top {
+            let lo = self.and_exists_rec(f0, g0, &vars_below[1..], memo);
+            if lo.is_true() {
+                Bdd::TRUE
+            } else {
+                let hi = self.and_exists_rec(f1, g1, &vars_below[1..], memo);
+                self.or(lo, hi)
+            }
+        } else {
+            let lo = self.and_exists_rec(f0, g0, vars_below, memo);
+            let hi = self.and_exists_rec(f1, g1, vars_below, memo);
+            self.mk(top, lo, hi)
+        };
+        memo.insert(key, result);
+        result
+    }
+
+    /// Functional composition: `f` with `var` replaced by the function `g`.
+    pub fn compose(&mut self, f: Bdd, var: Var, g: Bdd) -> Bdd {
+        let f1 = self.restrict(f, var, true);
+        let f0 = self.restrict(f, var, false);
+        self.ite(g, f1, f0)
+    }
+
+    /// Replaces each variable of `f` that appears as a key of `map` with the
+    /// corresponding value.
+    ///
+    /// The replacement must be *order-preserving*: whenever `a < b` in the
+    /// variable order and both are replaced, `map[a] < map[b]`, and no
+    /// replacement may move a variable across an unreplaced variable in `f`'s
+    /// support. This is the case for the interleaved present/next state
+    /// variable layout used by [`crate::TransitionSystem`].
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the mapping is detected to be non-monotone
+    /// at a node.
+    pub fn replace(&mut self, f: Bdd, map: &HashMap<Var, Var>) -> Bdd {
+        let raw: HashMap<u32, u32> = map.iter().map(|(k, v)| (k.0, v.0)).collect();
+        let mut memo = HashMap::new();
+        self.replace_rec(f, &raw, &mut memo)
+    }
+
+    fn replace_rec(&mut self, f: Bdd, map: &HashMap<u32, u32>, memo: &mut HashMap<Bdd, Bdd>) -> Bdd {
+        if f.is_const() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let n = self.node(f);
+        let lo = self.replace_rec(n.lo, map, memo);
+        let hi = self.replace_rec(n.hi, map, memo);
+        let new_var = *map.get(&n.var).unwrap_or(&n.var);
+        debug_assert!(
+            self.top_var(lo).map_or(true, |v| v.0 > new_var)
+                && self.top_var(hi).map_or(true, |v| v.0 > new_var),
+            "non-monotone variable replacement"
+        );
+        let result = self.mk(new_var, lo, hi);
+        memo.insert(f, result);
+        result
+    }
+
+    // ---------------------------------------------------------- analyses --
+
+    /// Evaluates `f` under a total assignment given as a predicate on
+    /// variables.
+    pub fn eval<A: Fn(Var) -> bool>(&self, f: Bdd, assignment: A) -> bool {
+        let mut cur = f;
+        loop {
+            match cur {
+                Bdd::FALSE => return false,
+                Bdd::TRUE => return true,
+                _ => {
+                    let n = self.node(cur);
+                    cur = if assignment(Var(n.var)) { n.hi } else { n.lo };
+                }
+            }
+        }
+    }
+
+    /// `true` iff `f` is satisfiable (constant-time for ROBDDs).
+    pub fn is_satisfiable(&self, f: Bdd) -> bool {
+        !f.is_false()
+    }
+
+    /// `true` iff `f` is a tautology.
+    pub fn is_tautology(&self, f: Bdd) -> bool {
+        f.is_true()
+    }
+
+    /// One satisfying partial assignment of `f`, or `None` if unsatisfiable.
+    /// Variables not mentioned may take either value.
+    pub fn sat_one(&self, f: Bdd) -> Option<Vec<(Var, bool)>> {
+        if f.is_false() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = f;
+        while !cur.is_const() {
+            let n = self.node(cur);
+            if n.hi.is_false() {
+                path.push((Var(n.var), false));
+                cur = n.lo;
+            } else {
+                path.push((Var(n.var), true));
+                cur = n.hi;
+            }
+        }
+        Some(path)
+    }
+
+    /// Number of satisfying assignments of `f` over all allocated variables.
+    pub fn sat_count(&self, f: Bdd) -> f64 {
+        let nvars = self.num_vars;
+        let mut memo: HashMap<Bdd, f64> = HashMap::new();
+        let fraction = self.sat_fraction(f, &mut memo);
+        fraction * 2f64.powi(nvars as i32)
+    }
+
+    /// Fraction of the full assignment space that satisfies `f`.
+    fn sat_fraction(&self, f: Bdd, memo: &mut HashMap<Bdd, f64>) -> f64 {
+        match f {
+            Bdd::FALSE => 0.0,
+            Bdd::TRUE => 1.0,
+            _ => {
+                if let Some(&r) = memo.get(&f) {
+                    return r;
+                }
+                let n = self.node(f);
+                let lo = self.sat_fraction(n.lo, memo);
+                let hi = self.sat_fraction(n.hi, memo);
+                let r = 0.5 * lo + 0.5 * hi;
+                memo.insert(f, r);
+                r
+            }
+        }
+    }
+
+    /// The set of variables that `f` actually depends on.
+    pub fn support(&self, f: Bdd) -> BTreeSet<Var> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(b) = stack.pop() {
+            if b.is_const() || !seen.insert(b) {
+                continue;
+            }
+            let n = self.node(b);
+            vars.insert(Var(n.var));
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars
+    }
+
+    /// Number of distinct nodes reachable from `f` (including terminals).
+    pub fn node_count(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut count = 0usize;
+        while let Some(b) = stack.pop() {
+            if !seen.insert(b) {
+                continue;
+            }
+            count += 1;
+            if !b.is_const() {
+                let n = self.node(b);
+                stack.push(n.lo);
+                stack.push(n.hi);
+            }
+        }
+        count
+    }
+
+    /// Enumerates every satisfying total assignment of `f` over `vars`,
+    /// calling `visit` with each. Intended for small variable sets (tests and
+    /// counterexample expansion); the number of calls is exponential in
+    /// `vars.len()`.
+    pub fn for_each_model<F: FnMut(&[(Var, bool)])>(&self, f: Bdd, vars: &[Var], mut visit: F) {
+        let mut assignment: Vec<(Var, bool)> = Vec::with_capacity(vars.len());
+        self.for_each_model_rec(f, vars, &mut assignment, &mut visit);
+    }
+
+    fn for_each_model_rec<F: FnMut(&[(Var, bool)])>(
+        &self,
+        f: Bdd,
+        vars: &[Var],
+        assignment: &mut Vec<(Var, bool)>,
+        visit: &mut F,
+    ) {
+        if f.is_false() {
+            return;
+        }
+        if vars.is_empty() {
+            if f.is_true() {
+                visit(assignment);
+            }
+            return;
+        }
+        let v = vars[0];
+        for value in [false, true] {
+            let restricted = self.restrict_const(f, v, value);
+            assignment.push((v, value));
+            self.for_each_model_rec(restricted, &vars[1..], assignment, visit);
+            assignment.pop();
+        }
+    }
+
+    /// Non-mutating restriction used by model enumeration: only valid when the
+    /// restricted variable is at or above the root, which holds because
+    /// enumeration proceeds top-down in variable order and therefore never
+    /// needs to create nodes.
+    fn restrict_const(&self, f: Bdd, var: Var, value: bool) -> Bdd {
+        if f.is_const() {
+            return f;
+        }
+        let n = self.node(f);
+        if n.var == var.0 {
+            if value {
+                n.hi
+            } else {
+                n.lo
+            }
+        } else {
+            f
+        }
+    }
+
+    /// Current statistics of the manager.
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            nodes: self.nodes.len(),
+            vars: self.num_vars as usize,
+            ite_cache_entries: self.ite_cache.len(),
+        }
+    }
+
+    /// Total number of nodes ever created (the peak-size figure reported in
+    /// the experiments).
+    pub fn total_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize) -> (BddManager, Vec<Var>) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(n);
+        (m, vars)
+    }
+
+    #[test]
+    fn constants_and_vars() {
+        let (mut m, v) = setup(2);
+        assert!(m.constant(true).is_true());
+        assert!(m.constant(false).is_false());
+        let a = m.var(v[0]);
+        let na = m.nvar(v[0]);
+        let n2 = m.not(a);
+        assert_eq!(na, n2);
+        assert_ne!(a, na);
+    }
+
+    #[test]
+    fn figure3_example_is_reduced() {
+        // f = x1·x3 + x1·x2·x3 reduces to x1·x3 (Figure 3 of the thesis shows
+        // the reduced, ordered diagram).
+        let (mut m, v) = setup(3);
+        let (x1, x2, x3) = (m.var(v[0]), m.var(v[1]), m.var(v[2]));
+        let t1 = m.and(x1, x3);
+        let t2 = m.and_many(&[x1, x2, x3]);
+        let f = m.or(t1, t2);
+        assert_eq!(f, t1);
+        assert_eq!(m.node_count(f), 4); // two decision nodes + two terminals
+        assert_eq!(m.support(f).len(), 2);
+    }
+
+    #[test]
+    fn boolean_algebra_laws() {
+        let (mut m, v) = setup(3);
+        let (a, b, c) = (m.var(v[0]), m.var(v[1]), m.var(v[2]));
+        // distributivity
+        let bc = m.or(b, c);
+        let left = m.and(a, bc);
+        let ab = m.and(a, b);
+        let ac = m.and(a, c);
+        let right = m.or(ab, ac);
+        assert_eq!(left, right);
+        // double negation
+        let na = m.not(a);
+        let nna = m.not(na);
+        assert_eq!(nna, a);
+        // xor/xnor complement
+        let x = m.xor(a, b);
+        let xn = m.xnor(a, b);
+        let nx = m.not(x);
+        assert_eq!(xn, nx);
+        // excluded middle
+        let taut = m.or(a, na);
+        assert!(m.is_tautology(taut));
+    }
+
+    #[test]
+    fn restrict_and_compose() {
+        let (mut m, v) = setup(3);
+        let (a, b, c) = (m.var(v[0]), m.var(v[1]), m.var(v[2]));
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        let f_a1 = m.restrict(f, v[0], true);
+        let expected = m.or(b, c);
+        assert_eq!(f_a1, expected);
+        let f_a0 = m.restrict(f, v[0], false);
+        assert_eq!(f_a0, c);
+        // compose a := b&c
+        let bc = m.and(b, c);
+        let composed = m.compose(f, v[0], bc);
+        let expect2 = {
+            let t = m.and(bc, b);
+            m.or(t, c)
+        };
+        assert_eq!(composed, expect2);
+    }
+
+    #[test]
+    fn quantification() {
+        let (mut m, v) = setup(3);
+        let (a, b, c) = (m.var(v[0]), m.var(v[1]), m.var(v[2]));
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        let ex_a = m.exists(f, &[v[0]]);
+        let expect = m.or(b, c);
+        assert_eq!(ex_a, expect);
+        let all_a = m.forall(f, &[v[0]]);
+        assert_eq!(all_a, c);
+        // exists over everything is satisfiability
+        let ex_all = m.exists(f, &v);
+        assert!(ex_all.is_true());
+        // and_exists equals and-then-exists
+        let g = m.xor(a, c);
+        let direct = m.and_exists(f, g, &[v[0], v[2]]);
+        let anded = m.and(f, g);
+        let indirect = m.exists(anded, &[v[0], v[2]]);
+        assert_eq!(direct, indirect);
+    }
+
+    #[test]
+    fn replace_renames_monotonically() {
+        let (mut m, v) = setup(4);
+        let (a, b) = (m.var(v[0]), m.var(v[1]));
+        let f = m.and(a, b);
+        let mut map = HashMap::new();
+        map.insert(v[0], v[2]);
+        map.insert(v[1], v[3]);
+        let g = m.replace(f, &map);
+        let c = m.var(v[2]);
+        let d = m.var(v[3]);
+        let expect = m.and(c, d);
+        assert_eq!(g, expect);
+    }
+
+    #[test]
+    fn sat_queries() {
+        let (mut m, v) = setup(4);
+        let lits: Vec<Bdd> = v.iter().map(|&x| m.var(x)).collect();
+        let f = m.and_many(&lits);
+        assert!(m.is_satisfiable(f));
+        assert_eq!(m.sat_count(f), 1.0);
+        let model = m.sat_one(f).expect("satisfiable");
+        assert!(model.iter().all(|&(_, val)| val));
+        let nf = m.not(f);
+        assert_eq!(m.sat_count(nf), 15.0);
+        let mut count = 0;
+        m.for_each_model(f, &v, |_| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn cube_builds_minterm() {
+        let (mut m, v) = setup(3);
+        let cube = m.cube(&[(v[0], true), (v[1], false), (v[2], true)]);
+        assert!(m.eval(cube, |x| x == v[0] || x == v[2]));
+        assert!(!m.eval(cube, |x| x == v[0] || x == v[1]));
+        assert_eq!(m.sat_count(cube), 1.0);
+    }
+
+    #[test]
+    fn stats_report_growth() {
+        let (mut m, v) = setup(8);
+        let before = m.stats().nodes;
+        let lits: Vec<Bdd> = v.iter().map(|&x| m.var(x)).collect();
+        let _ = m.and_many(&lits);
+        assert!(m.stats().nodes > before);
+        assert_eq!(m.stats().vars, 8);
+    }
+}

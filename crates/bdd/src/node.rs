@@ -1,0 +1,116 @@
+//! Node-level types for the ROBDD store.
+
+use std::fmt;
+
+/// A Boolean variable managed by a [`crate::BddManager`].
+///
+/// Variables are totally ordered by their index; the index order *is* the
+/// ROBDD variable order (index 0 is the topmost variable).
+///
+/// ```
+/// use pv_bdd::BddManager;
+/// let mut m = BddManager::new();
+/// let a = m.new_var();
+/// let b = m.new_var();
+/// assert!(a.index() < b.index());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Position of the variable in the global order (0 = topmost).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a variable from a raw order index.
+    ///
+    /// The variable must already have been allocated in the manager it will be
+    /// used with (see [`crate::BddManager::new_var`]); otherwise operations
+    /// that consult the variable count (such as model counting) will panic.
+    pub fn from_index(index: usize) -> Self {
+        Var(index as u32)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A handle to an ROBDD node.
+///
+/// Handles are only meaningful together with the [`crate::BddManager`] that
+/// created them. Because the manager hash-conses nodes, two handles are equal
+/// **iff** they denote the same Boolean function — equivalence checking is a
+/// pointer comparison (the canonicity property of Bryant 1986 the thesis
+/// relies on in Section 5.4).
+///
+/// ```
+/// use pv_bdd::BddManager;
+/// let mut m = BddManager::new();
+/// let a = m.new_var();
+/// let b = m.new_var();
+/// let (va, vb) = (m.var(a), m.var(b));
+/// let left = m.and(va, vb);
+/// let right = {
+///     let na = m.not(va);
+///     let nb = m.not(vb);
+///     let o = m.or(na, nb);
+///     m.not(o)
+/// };
+/// assert_eq!(left, right); // De Morgan, decided by handle equality
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Bdd(pub(crate) u32);
+
+impl Bdd {
+    /// The constant-false function.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant-true function.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Returns `true` if this handle is the constant-true function.
+    pub fn is_true(self) -> bool {
+        self == Bdd::TRUE
+    }
+
+    /// Returns `true` if this handle is the constant-false function.
+    pub fn is_false(self) -> bool {
+        self == Bdd::FALSE
+    }
+
+    /// Returns `true` if this handle is one of the two constants.
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// Raw index into the manager's node table (stable for the life of the
+    /// manager; exposed for diagnostics and deterministic hashing).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Bdd::FALSE => write!(f, "⊥"),
+            Bdd::TRUE => write!(f, "⊤"),
+            Bdd(i) => write!(f, "node#{i}"),
+        }
+    }
+}
+
+/// Internal node: a decision on `var` with else-child `lo` and then-child `hi`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct Node {
+    pub(crate) var: u32,
+    pub(crate) lo: Bdd,
+    pub(crate) hi: Bdd,
+}
+
+/// Variable index used by the two terminal pseudo-nodes; orders after every
+/// real variable so that terminal tests fall out of the ordering comparisons.
+pub(crate) const TERMINAL_VAR: u32 = u32::MAX;

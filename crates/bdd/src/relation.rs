@@ -1,0 +1,199 @@
+//! Transition relations, image computation and breadth-first reachability.
+//!
+//! This module implements the machinery of Section 3.3/3.4 of the thesis: a
+//! synchronous machine is represented by its transition relation
+//! `A(pi, ps, ns)` over primary-input, present-state and next-state variables;
+//! the image of a set of states is computed by simultaneous conjunction and
+//! smoothing; and the set of reachable states is the breadth-first fixpoint
+//! `C_{i+1} = C_i ∪ f(C_i × I)`.
+
+use std::collections::HashMap;
+
+use crate::{Bdd, BddManager, Var};
+
+/// A synchronous machine as a transition relation plus an initial-state set.
+///
+/// The three variable families must be disjoint. For the renaming step of the
+/// image computation to be valid, the `present` and `next` variables should be
+/// allocated interleaved (each `next[i]` immediately after `present[i]`), as
+/// produced by the netlist symbolic simulator.
+#[derive(Clone, Debug)]
+pub struct TransitionSystem {
+    /// Primary-input variables `pi`.
+    pub inputs: Vec<Var>,
+    /// Present-state variables `ps`.
+    pub present: Vec<Var>,
+    /// Next-state variables `ns`.
+    pub next: Vec<Var>,
+    /// The relation `A(pi, ps, ns)`, true iff applying `pi` in `ps` reaches `ns`.
+    pub relation: Bdd,
+    /// Characteristic function of the initial state set, over `present`.
+    pub init: Bdd,
+}
+
+/// Result of a reachability fixpoint computation.
+#[derive(Clone, Debug)]
+pub struct ReachableSet {
+    /// Characteristic function of every reachable state, over the present-state
+    /// variables.
+    pub states: Bdd,
+    /// Number of breadth-first iterations until the fixpoint (`C_{n+1} = C_n`).
+    pub iterations: usize,
+}
+
+impl TransitionSystem {
+    /// Builds a transition system, checking the basic well-formedness
+    /// conditions.
+    ///
+    /// # Panics
+    /// Panics if `present` and `next` have different lengths.
+    pub fn new(
+        inputs: Vec<Var>,
+        present: Vec<Var>,
+        next: Vec<Var>,
+        relation: Bdd,
+        init: Bdd,
+    ) -> Self {
+        assert_eq!(present.len(), next.len(), "present/next variable count mismatch");
+        TransitionSystem { inputs, present, next, relation, init }
+    }
+
+    /// Computes the image of `states` (a characteristic function over the
+    /// present-state variables): the set of states reachable in exactly one
+    /// step under *some* input, expressed again over the present-state
+    /// variables.
+    pub fn image(&self, m: &mut BddManager, states: Bdd) -> Bdd {
+        // E_i(ps, ns) = C_i(ps) ∧ A(pi, ps, ns);  C'_{i+1}(ns) = S_{pi,ps} E_i
+        let mut quantified: Vec<Var> = Vec::with_capacity(self.inputs.len() + self.present.len());
+        quantified.extend_from_slice(&self.inputs);
+        quantified.extend_from_slice(&self.present);
+        let next_states = m.and_exists(states, self.relation, &quantified);
+        // Rename ns -> ps.
+        let map: HashMap<Var, Var> = self.next.iter().copied().zip(self.present.iter().copied()).collect();
+        m.replace(next_states, &map)
+    }
+
+    /// Computes the image of `states` under inputs restricted to the
+    /// characteristic function `input_constraint` (over the input variables).
+    /// This is the cofactoring step used in Section 5.2 to simulate only a
+    /// selected instruction class in a given cycle.
+    pub fn image_under(&self, m: &mut BddManager, states: Bdd, input_constraint: Bdd) -> Bdd {
+        let constrained = m.and(self.relation, input_constraint);
+        let mut quantified: Vec<Var> = Vec::with_capacity(self.inputs.len() + self.present.len());
+        quantified.extend_from_slice(&self.inputs);
+        quantified.extend_from_slice(&self.present);
+        let next_states = m.and_exists(states, constrained, &quantified);
+        let map: HashMap<Var, Var> = self.next.iter().copied().zip(self.present.iter().copied()).collect();
+        m.replace(next_states, &map)
+    }
+
+    /// Breadth-first reachability from the initial states:
+    /// `C_0 = init`, `C_{i+1} = C_i ∪ image(C_i)`, until a fixpoint.
+    pub fn reachable(&self, m: &mut BddManager) -> ReachableSet {
+        let mut current = self.init;
+        let mut iterations = 0usize;
+        loop {
+            let img = self.image(m, current);
+            let next = m.or(current, img);
+            iterations += 1;
+            if next == current {
+                return ReachableSet { states: current, iterations };
+            }
+            current = next;
+        }
+    }
+
+    /// Checks that `property` (over present-state and input variables) holds on
+    /// every reachable state under every input: the FSM-equivalence check of
+    /// Section 3.4 instantiates `property` with "the product machine outputs 1".
+    ///
+    /// Returns `Ok(reachable)` if the property holds, or `Err((reachable,
+    /// witness))` with one violating assignment otherwise.
+    #[allow(clippy::type_complexity)]
+    pub fn check_invariant(
+        &self,
+        m: &mut BddManager,
+        property: Bdd,
+    ) -> Result<ReachableSet, (ReachableSet, Vec<(Var, bool)>)> {
+        let reach = self.reachable(m);
+        let not_prop = m.not(property);
+        let violation = m.and(reach.states, not_prop);
+        if violation.is_false() {
+            Ok(reach)
+        } else {
+            let witness = m.sat_one(violation).unwrap_or_default();
+            Err((reach, witness))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2-bit counter that increments whenever the single input is high.
+    fn counter(m: &mut BddManager) -> TransitionSystem {
+        let input = m.new_var();
+        let p0 = m.new_var();
+        let n0 = m.new_var();
+        let p1 = m.new_var();
+        let n1 = m.new_var();
+        let (i, vp0, vn0, vp1, vn1) = (m.var(input), m.var(p0), m.var(n0), m.var(p1), m.var(n1));
+        // next0 = p0 xor i ; next1 = p1 xor (p0 & i)
+        let f0 = m.xor(vp0, i);
+        let carry = m.and(vp0, i);
+        let f1 = m.xor(vp1, carry);
+        let r0 = m.xnor(vn0, f0);
+        let r1 = m.xnor(vn1, f1);
+        let relation = m.and(r0, r1);
+        let init = m.cube(&[(p0, false), (p1, false)]);
+        TransitionSystem::new(vec![input], vec![p0, p1], vec![n0, n1], relation, init)
+    }
+
+    #[test]
+    fn image_of_zero_is_zero_or_one() {
+        let mut m = BddManager::new();
+        let ts = counter(&mut m);
+        let img = ts.image(&mut m, ts.init);
+        // From state 00 we can reach 00 (input 0) or 01 (input 1).
+        let s00 = m.cube(&[(ts.present[0], false), (ts.present[1], false)]);
+        let s01 = m.cube(&[(ts.present[0], true), (ts.present[1], false)]);
+        let expect = m.or(s00, s01);
+        assert_eq!(img, expect);
+    }
+
+    #[test]
+    fn all_states_reachable() {
+        let mut m = BddManager::new();
+        let ts = counter(&mut m);
+        let reach = ts.reachable(&mut m);
+        assert!(reach.states.is_true() || m.sat_count(reach.states) >= 4.0);
+        assert!(reach.iterations >= 4);
+    }
+
+    #[test]
+    fn invariant_check_finds_violation() {
+        let mut m = BddManager::new();
+        let ts = counter(&mut m);
+        // Property "counter never reaches 11" is violated.
+        let p0 = m.var(ts.present[0]);
+        let p1 = m.var(ts.present[1]);
+        let both = m.and(p0, p1);
+        let property = m.not(both);
+        let result = ts.check_invariant(&mut m, property);
+        assert!(result.is_err());
+        // Property "true" trivially holds.
+        let ok = ts.check_invariant(&mut m, Bdd::TRUE);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn image_under_constraint_restricts_inputs() {
+        let mut m = BddManager::new();
+        let ts = counter(&mut m);
+        // Only allow input = 0: the counter must stay at 00.
+        let constraint = m.nvar(ts.inputs[0]);
+        let img = ts.image_under(&mut m, ts.init, constraint);
+        assert_eq!(img, ts.init);
+    }
+}

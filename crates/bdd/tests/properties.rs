@@ -1,0 +1,168 @@
+//! Property-based tests of the ROBDD manager: Boolean-algebra laws, agreement
+//! with truth-table semantics, quantifier laws, and bit-vector arithmetic
+//! against native `u64` arithmetic.
+
+use proptest::prelude::*;
+use pv_bdd::{Bdd, BddManager, BddVec, Var};
+
+/// A small random Boolean expression over `n` variables.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr(nvars: usize, depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = (0..nvars).prop_map(Expr::Var);
+    leaf.prop_recursive(depth, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(m: &mut BddManager, vars: &[Var], e: &Expr) -> Bdd {
+    match e {
+        Expr::Var(i) => m.var(vars[*i]),
+        Expr::Not(a) => {
+            let x = build(m, vars, a);
+            m.not(x)
+        }
+        Expr::And(a, b) => {
+            let (x, y) = (build(m, vars, a), build(m, vars, b));
+            m.and(x, y)
+        }
+        Expr::Or(a, b) => {
+            let (x, y) = (build(m, vars, a), build(m, vars, b));
+            m.or(x, y)
+        }
+        Expr::Xor(a, b) => {
+            let (x, y) = (build(m, vars, a), build(m, vars, b));
+            m.xor(x, y)
+        }
+    }
+}
+
+fn eval_expr(e: &Expr, assignment: u32) -> bool {
+    match e {
+        Expr::Var(i) => assignment >> i & 1 == 1,
+        Expr::Not(a) => !eval_expr(a, assignment),
+        Expr::And(a, b) => eval_expr(a, assignment) && eval_expr(b, assignment),
+        Expr::Or(a, b) => eval_expr(a, assignment) || eval_expr(b, assignment),
+        Expr::Xor(a, b) => eval_expr(a, assignment) ^ eval_expr(b, assignment),
+    }
+}
+
+const NVARS: usize = 5;
+
+proptest! {
+    /// The BDD of an expression agrees with its truth table on every
+    /// assignment, and two syntactically different but equivalent expressions
+    /// hash-cons to the same node (canonicity).
+    #[test]
+    fn bdd_matches_truth_table(e in arb_expr(NVARS, 4)) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(NVARS);
+        let f = build(&mut m, &vars, &e);
+        for assignment in 0u32..1 << NVARS {
+            let expected = eval_expr(&e, assignment);
+            let got = m.eval(f, |v| assignment >> v.index() & 1 == 1);
+            prop_assert_eq!(expected, got);
+        }
+        // Canonicity: rebuilding the same function yields the same handle.
+        let again = build(&mut m, &vars, &e);
+        prop_assert_eq!(f, again);
+    }
+
+    /// Restriction and the Shannon expansion are consistent, and existential
+    /// quantification equals the disjunction of the two cofactors.
+    #[test]
+    fn quantifier_laws(e in arb_expr(NVARS, 4), idx in 0..NVARS) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(NVARS);
+        let f = build(&mut m, &vars, &e);
+        let v = vars[idx];
+        let f1 = m.restrict(f, v, true);
+        let f0 = m.restrict(f, v, false);
+        let lit = m.var(v);
+        let shannon = m.ite(lit, f1, f0);
+        prop_assert_eq!(shannon, f);
+        let ex = m.exists(f, &[v]);
+        let or = m.or(f0, f1);
+        prop_assert_eq!(ex, or);
+        let fa = m.forall(f, &[v]);
+        let and = m.and(f0, f1);
+        prop_assert_eq!(fa, and);
+        // and_exists agrees with and-then-exists against a second formula.
+        let g = m.xor(lit, f);
+        let direct = m.and_exists(f, g, &[v]);
+        let composed = { let t = m.and(f, g); m.exists(t, &[v]) };
+        prop_assert_eq!(direct, composed);
+    }
+
+    /// Model counting matches brute-force enumeration.
+    #[test]
+    fn sat_count_matches_enumeration(e in arb_expr(NVARS, 4)) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(NVARS);
+        let f = build(&mut m, &vars, &e);
+        let brute = (0u32..1 << NVARS)
+            .filter(|&a| m.eval(f, |v| a >> v.index() & 1 == 1))
+            .count();
+        prop_assert_eq!(m.sat_count(f), brute as f64);
+        prop_assert_eq!(m.is_satisfiable(f), brute > 0);
+        if let Some(model) = m.sat_one(f) {
+            let value = m.eval(f, |v| model.iter().find(|&&(w, _)| w == v).map(|&(_, b)| b).unwrap_or(false));
+            prop_assert!(value);
+        }
+    }
+
+    /// Bit-vector arithmetic agrees with `u64` arithmetic modulo 2^width.
+    #[test]
+    fn bitvector_arithmetic(a in 0u64..256, b in 0u64..256, width in 1usize..9) {
+        let mask = (1u64 << width) - 1;
+        let (a, b) = (a & mask, b & mask);
+        let mut m = BddManager::new();
+        let va = BddVec::constant(&m, a, width);
+        let vb = BddVec::constant(&m, b, width);
+        prop_assert_eq!(va.add(&mut m, &vb).as_const(&m), Some((a + b) & mask));
+        prop_assert_eq!(va.sub(&mut m, &vb).as_const(&m), Some(a.wrapping_sub(b) & mask));
+        prop_assert_eq!(va.xor(&mut m, &vb).as_const(&m), Some(a ^ b));
+        prop_assert_eq!(va.eq(&mut m, &vb).is_true(), a == b);
+        prop_assert_eq!(va.ult(&mut m, &vb).is_true(), a < b);
+        let signed = |x: u64| if x >> (width - 1) & 1 == 1 { x as i64 - (1 << width) } else { x as i64 };
+        prop_assert_eq!(va.slt(&mut m, &vb).is_true(), signed(a) < signed(b));
+        prop_assert_eq!(va.sle(&mut m, &vb).is_true(), signed(a) <= signed(b));
+        let amt = BddVec::constant(&m, b % width as u64, width);
+        let expected_shl = (a << (b % width as u64)) & mask;
+        prop_assert_eq!(va.shl(&mut m, &amt).as_const(&m), Some(expected_shl));
+    }
+
+    /// The generalized cofactor (constrain) agrees with the original function
+    /// on the care set: `constrain(f, c) ∧ c  ==  f ∧ c`, and constraining by
+    /// the function itself yields a tautology on the care set.
+    #[test]
+    fn generalized_cofactor_agrees_on_the_care_set(
+        (fe, ce) in (arb_expr(5, 4), arb_expr(5, 4)),
+    ) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(5);
+        let f = build(&mut m, &vars, &fe);
+        let c = build(&mut m, &vars, &ce);
+        prop_assume!(!c.is_false());
+        let g = m.constrain(f, c);
+        let left = m.and(g, c);
+        let right = m.and(f, c);
+        prop_assert_eq!(left, right);
+        if !f.is_false() {
+            let self_constrained = m.constrain(f, f);
+            prop_assert!(self_constrained.is_true());
+        }
+    }
+}

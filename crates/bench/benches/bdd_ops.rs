@@ -1,0 +1,91 @@
+//! The BDD substrate of Chapter 3 (supports Figure 3 and the image
+//! computation of Section 3.3): cost of the apply operation, quantification
+//! (smoothing), simultaneous AND-smooth, and image computation as the machine
+//! grows. The thesis observes that "the primary computation cost in these
+//! methods is BDD manipulation".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pv_bdd::{BddManager, BddVec, TransitionSystem};
+
+/// An n-bit counter with an enable input, as a transition system.
+fn counter(m: &mut BddManager, n: usize) -> TransitionSystem {
+    let enable = m.new_var();
+    let mut present = Vec::new();
+    let mut next = Vec::new();
+    for _ in 0..n {
+        present.push(m.new_var());
+        next.push(m.new_var());
+    }
+    let state = BddVec::from_vars(m, &present);
+    let en = m.var(enable);
+    let inc = state.inc(m);
+    let next_val = BddVec::mux(m, en, &inc, &state);
+    let mut relation = m.constant(true);
+    for (i, &nv) in next.iter().enumerate() {
+        let v = m.var(nv);
+        let bit = m.xnor(v, next_val.bit(i));
+        relation = m.and(relation, bit);
+    }
+    let init_cube: Vec<_> = present.iter().map(|&v| (v, false)).collect();
+    let init = m.cube(&init_cube);
+    TransitionSystem::new(vec![enable], present, next, relation, init)
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_apply_adder");
+    for bits in [8usize, 16, 24] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter(|| {
+                let mut m = BddManager::new();
+                let av = m.new_vars(bits);
+                let bv = m.new_vars(bits);
+                let a = BddVec::from_vars(&mut m, &av);
+                let b2 = BddVec::from_vars(&mut m, &bv);
+                let sum = a.add(&mut m, &b2);
+                assert_eq!(sum.width(), bits);
+                m.total_nodes()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_smoothing");
+    for bits in [8usize, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter(|| {
+                let mut m = BddManager::new();
+                let av = m.new_vars(bits);
+                let bv = m.new_vars(bits);
+                let a = BddVec::from_vars(&mut m, &av);
+                let b2 = BddVec::from_vars(&mut m, &bv);
+                let lt = a.ult(&mut m, &b2);
+                // Smooth away one operand: ∃a. a < b  ⇔  b ≠ 0.
+                let exists = m.exists(lt, &av);
+                let nz = b2.nonzero(&mut m);
+                assert_eq!(exists, nz);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_image_computation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_reachability_counter");
+    group.sample_size(10);
+    for bits in [8usize, 10, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter(|| {
+                let mut m = BddManager::new();
+                let ts = counter(&mut m, bits);
+                let reach = ts.reachable(&mut m);
+                assert!(reach.iterations >= 1 << bits);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apply, bench_quantification, bench_image_computation);
+criterion_main!(benches);

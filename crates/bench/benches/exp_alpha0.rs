@@ -1,0 +1,74 @@
+//! Experiment of Section 6.3: verification of the Alpha0 design pair.
+//!
+//! The thesis reports 23 min of symbolic simulation for the unpipelined
+//! Alpha0 and 43 min for the pipelined Alpha0 (ratio ≈ 1.9), roughly an order
+//! of magnitude more than the VSM, on a condensed datapath (4-bit ALU reduced
+//! to and/or/cmpeq, the single-register-file-model optimisation). The shapes
+//! to reproduce: pipelined > unpipelined, and Alpha0 ≫ VSM.
+//!
+//! Because one Alpha0 verification takes tens of seconds, this experiment is
+//! reported as one-shot timed runs (printed below) rather than as a sampled
+//! Criterion distribution; the sampled distributions for the cheaper VSM runs
+//! are in `exp_vsm`.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipeverify_core::{MachineSpec, SimulationPlan, Verifier};
+use pv_bench::{symbolic_simulation_cost, Side};
+use pv_isa::alpha0::Alpha0Config;
+use pv_proc::alpha0::{self, PipelineConfig};
+
+fn bench_alpha0(c: &mut Criterion) {
+    // Condensed datapath and condensed ALU, as in the thesis (EXPERIMENTS.md).
+    let isa = Alpha0Config::condensed();
+    let spec = MachineSpec::alpha0_condensed(isa);
+    let plan = SimulationPlan::paper_alpha0();
+    let pipelined = alpha0::pipelined(PipelineConfig::condensed(isa)).expect("build");
+    let unpipelined = alpha0::unpipelined(PipelineConfig::condensed(isa)).expect("build");
+
+    println!("=== Section 6.3: Alpha0 (k = 5, d = 1, condensed datapath + ALU) ===");
+    println!("paper: unpipelined 23 min, pipelined 43 min (SPARCstation 10), ratio ≈ 1.9");
+
+    let t0 = Instant::now();
+    let unpipelined_nodes = symbolic_simulation_cost(&spec, &unpipelined, Side::Unpipelined, &plan);
+    let unpipelined_time = t0.elapsed();
+    let t1 = Instant::now();
+    let pipelined_nodes = symbolic_simulation_cost(&spec, &pipelined, Side::Pipelined, &plan);
+    let pipelined_time = t1.elapsed();
+    println!(
+        "measured symbolic simulation: unpipelined {:.2?} ({unpipelined_nodes} BDD nodes), \
+         pipelined {:.2?} ({pipelined_nodes} BDD nodes), ratio {:.2}",
+        unpipelined_time,
+        pipelined_time,
+        pipelined_time.as_secs_f64() / unpipelined_time.as_secs_f64().max(1e-9),
+    );
+
+    let verifier = Verifier::new(MachineSpec::alpha0_condensed(isa));
+    let t2 = Instant::now();
+    let report = verifier.verify_plan(&pipelined, &unpipelined, &plan).expect("verify");
+    println!("full verification of the paper plan: {:.2?}", t2.elapsed());
+    println!("PIPELINED filter  : {}", report.filters.0);
+    println!("UNPIPELINED filter: {}", report.filters.1);
+    assert!(report.equivalent());
+
+    // A sampled Criterion entry for the cheapest meaningful Alpha0 run: the
+    // symbolic simulation of a two-instruction plan. It keeps the harness
+    // honest about run-to-run variance without multiplying the minutes-long
+    // runs above.
+    let short = SimulationPlan::all_normal(2);
+    let mut group = c.benchmark_group("section6.3_alpha0");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("unpipelined_symbolic_simulation_2_slots", |b| {
+        b.iter(|| symbolic_simulation_cost(&spec, &unpipelined, Side::Unpipelined, &short))
+    });
+    group.bench_function("pipelined_symbolic_simulation_2_slots", |b| {
+        b.iter(|| symbolic_simulation_cost(&spec, &pipelined, Side::Pipelined, &short))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_alpha0);
+criterion_main!(benches);

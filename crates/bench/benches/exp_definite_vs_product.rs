@@ -1,0 +1,88 @@
+//! The central claim of Chapter 4: because microprocessors can be treated as
+//! k-definite machines, only a small, bounded number of symbolic-simulation
+//! cycles is needed — instead of the exhaustive state-transition-graph
+//! traversal of the classical product-machine procedure (Section 3.4).
+//!
+//! Measured here:
+//! * β-relation verification of the VSM pair (bounded, the methodology), vs.
+//! * product-machine reachability on the unpipelined VSM against a copy of
+//!   itself (the exhaustive baseline, on the *smaller* of the two machines),
+//!   and
+//! * the exhaustive Theorem 4.3.1.1 check on small explicit definite
+//!   machines, whose cost grows as πᵏ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipeverify_core::{product_equivalence, MachineSpec, SimulationPlan, Verifier};
+use pv_netlist::{Netlist, NetlistBuilder};
+use pv_proc::vsm::{self, VsmConfig};
+use pv_strfn::definite::verify_definite_equivalence;
+use pv_strfn::DefiniteMachine;
+
+/// An n-bit accumulator used as the exhaustive-traversal baseline workload
+/// (the processor product machines exhaust BDD capacity, which is the point
+/// the definite-machine argument makes).
+fn accumulator(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("acc");
+    let input = b.input("in", width);
+    let acc = b.register("acc", width, 0);
+    let sum = b.wadd(&acc.value(), &input);
+    b.set_next(&acc, &sum);
+    b.expose("value", &acc.value());
+    b.finish().expect("valid netlist")
+}
+
+fn bench_methodology_vs_product(c: &mut Criterion) {
+    let pipelined = vsm::pipelined(VsmConfig::reduced(2)).expect("build");
+    let unpipelined = vsm::unpipelined(VsmConfig::reduced(2)).expect("build");
+    let left = accumulator(8);
+    let right = accumulator(8);
+    let verifier = Verifier::new(MachineSpec::vsm_reduced(2));
+    let plan = SimulationPlan::paper_vsm();
+
+    println!("=== definite-machine methodology vs exhaustive traversal ===");
+    let product = product_equivalence(&left, &right).expect("product");
+    println!(
+        "product machine (8-bit accumulator vs itself): {} state bits, {} BFS iterations, {:.0} reachable states",
+        product.state_bits, product.iterations, product.reachable_states
+    );
+    let beta = verifier.verify_plan(&pipelined, &unpipelined, &plan).expect("verify");
+    println!(
+        "β-relation verification (pipelined vs unpipelined): {} + {} simulation cycles, {} BDD nodes",
+        beta.pipelined_cycles, beta.unpipelined_cycles, beta.bdd_nodes
+    );
+
+    let mut group = c.benchmark_group("definite_vs_product");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("beta_relation_vsm_pair", |b| {
+        b.iter(|| {
+            let r = verifier.verify_plan(&pipelined, &unpipelined, &plan).expect("verify");
+            assert!(r.equivalent());
+        })
+    });
+    group.bench_function("product_reachability_8bit_accumulator", |b| {
+        b.iter(|| {
+            let r = product_equivalence(&left, &right).expect("product");
+            assert!(r.equivalent);
+        })
+    });
+    group.finish();
+}
+
+fn bench_theorem_4311_scaling(c: &mut Criterion) {
+    println!("=== Theorem 4.3.1.1: π^k sequences of length k ===");
+    let mut group = c.benchmark_group("theorem_4_3_1_1");
+    group.sample_size(10);
+    for k in [4usize, 8, 12] {
+        let left = DefiniteMachine::new(k, 0, |w| w.iter().fold(0, |a, &b| a ^ b));
+        let right = DefiniteMachine::new(k, 0, |w| w.iter().fold(0, |a, &b| a ^ b));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| assert!(verify_definite_equivalence(&left, &right, k, 2).is_none()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methodology_vs_product, bench_theorem_4311_scaling);
+criterion_main!(benches);

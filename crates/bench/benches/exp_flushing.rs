@@ -1,0 +1,69 @@
+//! Extension experiment: the Burch–Dill flushing method (pv-flush) next to
+//! the β-relation flow.
+//!
+//! The thesis verifies bit-level netlists by BDD-based symbolic simulation;
+//! the flushing method keeps the datapath uninterpreted and decides a single
+//! EUF verification condition. This bench measures (a) the cost of checking
+//! the commuting diagram for the correct term-level pipeline and for each
+//! injected control bug, and (b) the cost of the VSM β-relation run for
+//! scale, so the report shows the characteristic shape: the uninterpreted
+//! flushing check is orders of magnitude cheaper than bit-level symbolic
+//! simulation, at the price of only verifying control (not the ALU bits).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipeverify_core::{MachineSpec, SimulationPlan, Verifier};
+use pv_flush::{FlushVerifier, PipelineBug, PipelineModel};
+use pv_proc::vsm::{self, VsmConfig};
+
+fn bench_flushing(c: &mut Criterion) {
+    println!("=== extension: Burch–Dill flushing vs. β-relation symbolic simulation ===");
+    let correct = FlushVerifier::new(PipelineModel::correct()).verify();
+    println!(
+        "correct pipeline: {} terms, {} case splits, {} closure checks, valid = {}",
+        correct.terms,
+        correct.splits,
+        correct.closure_checks,
+        correct.valid()
+    );
+    assert!(correct.valid());
+
+    let mut group = c.benchmark_group("flushing_euf");
+    group.bench_function("correct_pipeline", |b| {
+        b.iter(|| {
+            let r = FlushVerifier::new(PipelineModel::correct()).verify();
+            assert!(r.valid());
+        })
+    });
+    for bug in [
+        PipelineBug::NoForwarding,
+        PipelineBug::ForwardAlways,
+        PipelineBug::WriteBackBubbles,
+        PipelineBug::StuckPc,
+    ] {
+        group.bench_with_input(BenchmarkId::new("bug", format!("{bug:?}")), &bug, |b, &bug| {
+            b.iter(|| {
+                let r = FlushVerifier::new(PipelineModel::with_bug(bug)).verify();
+                assert!(!r.valid());
+            })
+        });
+    }
+    group.finish();
+
+    // Scale reference: one β-relation verification of the reduced VSM pair.
+    let pipelined = vsm::pipelined(VsmConfig::reduced(2)).expect("build");
+    let unpipelined = vsm::unpipelined(VsmConfig::reduced(2)).expect("build");
+    let verifier = Verifier::new(MachineSpec::vsm_reduced(2));
+    let plan = SimulationPlan::paper_vsm();
+    let mut group = c.benchmark_group("flushing_vs_beta_scale");
+    group.sample_size(10);
+    group.bench_function("beta_relation_vsm_paper_plan", |b| {
+        b.iter(|| {
+            let r = verifier.verify_plan(&pipelined, &unpipelined, &plan).expect("verify");
+            assert!(r.equivalent());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flushing);
+criterion_main!(benches);

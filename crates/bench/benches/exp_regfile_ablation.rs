@@ -1,0 +1,74 @@
+//! Ablation of the observation-model optimisation of Sections 6.2/6.3.
+//!
+//! "To reduce the number of latches, and thus speed up the symbolic
+//! simulation, we experimented with having only one general purpose register
+//! in the machine, and observed the read/write addresses to the register file
+//! to emulate the effect of having all eight registers."
+//!
+//! Two axes are measured here:
+//! * observing the write-back port instead of the whole register file
+//!   (fewer, smaller formulae to compare), and
+//! * shrinking the register file of the Alpha0 datapath (fewer state bits);
+//!   the Alpha0 runs are one-shot timed measurements because each takes tens
+//!   of seconds.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipeverify_core::{MachineSpec, SimulationPlan, Verifier};
+use pv_isa::alpha0::Alpha0Config;
+use pv_proc::alpha0::{self, PipelineConfig};
+use pv_proc::vsm::{self, VsmConfig};
+
+fn bench_observation_model(c: &mut Criterion) {
+    let pipelined = vsm::pipelined(VsmConfig::reduced(2)).expect("build");
+    let unpipelined = vsm::unpipelined(VsmConfig::reduced(2)).expect("build");
+    let plan = SimulationPlan::paper_vsm();
+    println!("=== observation-model ablation (VSM) ===");
+    println!("paper: observing write ports instead of the full register file improved efficiency");
+
+    let mut group = c.benchmark_group("observation_model_vsm");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let writeback_spec = MachineSpec {
+        sample_offset: -1,
+        ..MachineSpec::vsm_reduced(2).with_observed(["wb_en", "wb_addr", "wb_data", "pc"])
+    };
+    for (label, spec) in [
+        ("full_register_file", MachineSpec::vsm_reduced(2)),
+        ("writeback_port_only", writeback_spec),
+    ] {
+        let verifier = Verifier::new(spec);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let r = verifier.verify_plan(&pipelined, &unpipelined, &plan).expect("verify");
+                assert!(r.equivalent());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_register_file_size(_c: &mut Criterion) {
+    println!("=== register-file-size ablation (Alpha0, condensed ALU, one-shot) ===");
+    let plan = SimulationPlan::paper_alpha0();
+    for num_regs in [2usize, 4] {
+        let isa = Alpha0Config { data_width: 4, num_regs, mem_words: 2 };
+        let pipelined = alpha0::pipelined(PipelineConfig::condensed(isa)).expect("build");
+        let unpipelined = alpha0::unpipelined(PipelineConfig::condensed(isa)).expect("build");
+        let verifier = Verifier::new(MachineSpec::alpha0_condensed(isa));
+        let start = Instant::now();
+        let r = verifier.verify_plan(&pipelined, &unpipelined, &plan).expect("verify");
+        assert!(r.equivalent());
+        println!(
+            "  {num_regs} registers: {:.2?} ({} BDD nodes, {} formulae compared)",
+            start.elapsed(),
+            r.bdd_nodes,
+            r.samples_compared
+        );
+    }
+}
+
+criterion_group!(benches, bench_observation_model, bench_register_file_size);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Table 1: the VSM instruction set. The bench regenerates the table (opcode
+//! encodings and operations) and measures the reference interpreter and the
+//! encode/decode round-trip, which every other experiment builds on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pv_isa::vsm::{VsmInstr, VsmOp, VsmState};
+
+fn print_table1() {
+    println!("=== Table 1: VSM instruction set ===");
+    println!("{:<6} {:<8} operation", "instr", "opcode");
+    for op in VsmOp::all() {
+        let (name, operation) = match op {
+            VsmOp::Add => ("add", "Rc <- Ra + (Rb | Lit)"),
+            VsmOp::Xor => ("xor", "Rc <- Ra XOR (Rb | Lit)"),
+            VsmOp::And => ("and", "Rc <- Ra AND (Rb | Lit)"),
+            VsmOp::Or => ("or", "Rc <- Ra OR (Rb | Lit)"),
+            VsmOp::Br => ("br", "Rc <- PC, PC <- PC + Disp"),
+        };
+        println!("{name:<6} {:03b}      {operation}", op.encoding());
+    }
+}
+
+fn bench_vsm_isa(c: &mut Criterion) {
+    print_table1();
+    let program: Vec<VsmInstr> = (0..64)
+        .map(|i| {
+            let op = VsmOp::all()[i % 5];
+            if op == VsmOp::Br {
+                VsmInstr::br((i % 8) as u8, ((i / 2) % 8) as u8)
+            } else {
+                VsmInstr::alu_reg(op, (i % 8) as u8, ((i + 1) % 8) as u8, ((i + 3) % 8) as u8)
+            }
+        })
+        .collect();
+    let mut group = c.benchmark_group("table1_vsm_isa");
+    group.bench_function("encode_decode_round_trip", |b| {
+        b.iter(|| {
+            for i in &program {
+                assert_eq!(VsmInstr::decode(i.encode()), Ok(*i));
+            }
+        })
+    });
+    group.bench_function("reference_interpreter_64_instructions", |b| {
+        b.iter(|| {
+            let end = VsmState::reset().run(&program);
+            assert!(end.pc < 32);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vsm_isa);
+criterion_main!(benches);

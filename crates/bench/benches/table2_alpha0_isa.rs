@@ -1,0 +1,58 @@
+//! Table 2: the Alpha0 instruction set. The bench regenerates the table
+//! (opcode/function encodings) and measures the reference interpreter and the
+//! encode/decode round-trip on the condensed datapath.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pv_isa::alpha0::{Alpha0Config, Alpha0Instr, Alpha0Op, Alpha0State};
+
+fn print_table2() {
+    println!("=== Table 2: Alpha0 instruction set ===");
+    println!("{:<7} {:<8} {:<10}", "instr", "opcode", "function");
+    for op in Alpha0Op::all() {
+        let (opcode, function) = op.encoding();
+        let func = function.map_or("-".to_owned(), |f| format!("{f:#04x}"));
+        println!("{:<7} {opcode:#04x}    {func:<10}", format!("{op:?}").to_lowercase());
+    }
+}
+
+fn bench_alpha0_isa(c: &mut Criterion) {
+    print_table2();
+    let cfg = Alpha0Config::default();
+    let program: Vec<Alpha0Instr> = (0..64u8)
+        .map(|i| {
+            let ops = Alpha0Op::all();
+            let op = ops[(i as usize) % ops.len()];
+            if op.is_operate() {
+                Alpha0Instr::operate(op, i % 8, (i + 1) % 8, (i + 2) % 8)
+            } else if op.is_memory() {
+                if op == Alpha0Op::Ld {
+                    Alpha0Instr::ld(i % 8, (i + 1) % 8, i as i32 % 4)
+                } else {
+                    Alpha0Instr::st(i % 8, (i + 1) % 8, i as i32 % 4)
+                }
+            } else if op == Alpha0Op::Jmp {
+                Alpha0Instr::jmp(i % 8, (i + 1) % 8)
+            } else {
+                Alpha0Instr::br(i % 8, i as i32 % 6 - 3)
+            }
+        })
+        .collect();
+    let mut group = c.benchmark_group("table2_alpha0_isa");
+    group.bench_function("encode_decode_round_trip", |b| {
+        b.iter(|| {
+            for i in &program {
+                assert_eq!(Alpha0Instr::decode(i.encode()), Ok(*i));
+            }
+        })
+    });
+    group.bench_function("reference_interpreter_64_instructions", |b| {
+        b.iter(|| {
+            let end = Alpha0State::reset(cfg).run(&program);
+            assert!(end.pc < 32);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_alpha0_isa);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Diagnostic probe: per-cycle ROBDD growth of the symbolic simulation of the
+//! VSM design pair under the paper's simulation plan. Useful when tuning the
+//! variable order or the netlists; not part of the evaluation itself.
+
+use std::collections::BTreeMap;
+
+use pipeverify_core::{CycleInput, MachineSpec, SimulationPlan, SimulationSchedule};
+use pv_bdd::{BddManager, BddVec, Var};
+use pv_netlist::SymbolicSim;
+use pv_proc::vsm::{self, VsmConfig};
+
+fn main() {
+    let num_regs: usize = std::env::var("PROBE_REGS").ok().and_then(|v| v.parse().ok()).unwrap_or(2);
+    let spec = MachineSpec::vsm_reduced(num_regs);
+    let plan = SimulationPlan::all_normal(4);
+    let schedule = SimulationSchedule::expand(&spec, &plan);
+    let pipelined = vsm::pipelined(VsmConfig::reduced(num_regs)).expect("build");
+    let sym = SymbolicSim::new(&pipelined);
+    let mut manager = BddManager::new();
+    let slot_vars: Vec<Vec<Var>> = schedule
+        .slot_classes
+        .iter()
+        .map(|_| manager.new_vars(spec.instr_width))
+        .collect();
+    let mut state = sym.initial_state(&manager);
+    for (cycle, input) in schedule.pipelined_inputs.iter().enumerate() {
+        let instr = match input {
+            CycleInput::Reset => BddVec::constant(&manager, 0, spec.instr_width),
+            CycleInput::Slot(j) => BddVec::from_vars(&mut manager, &slot_vars[*j]),
+            CycleInput::DontCare => {
+                let vars = manager.new_vars(spec.instr_width);
+                BddVec::from_vars(&mut manager, &vars)
+            }
+        };
+        let reset = BddVec::constant(&manager, u64::from(matches!(input, CycleInput::Reset)), 1);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("instr".to_owned(), instr);
+        inputs.insert("reset".to_owned(), reset);
+        let (next, _outputs) = sym.step(&mut manager, &state, &inputs);
+        state = next;
+        let state_nodes: usize = state.regs.iter().map(|&b| manager.node_count(b)).sum();
+        println!(
+            "cycle {cycle:2} ({input:?}): manager nodes = {:8}, state nodes = {state_nodes:8}",
+            manager.total_nodes()
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Diagnostic probe: per-cycle ROBDD growth of the symbolic simulation of the
+//! Alpha0 design pair under the paper's simulation plan (Section 6.3).
+//!
+//! Environment variables: `PROBE_SIDE` (`pipelined` | `unpipelined`, default
+//! `pipelined`), `PROBE_ALU` (`full` | `condensed`, default `condensed`),
+//! `PROBE_SLOTS` (number of ordinary slots when no control transfer is used).
+
+use std::collections::BTreeMap;
+
+use pipeverify_core::{CycleInput, MachineSpec, SimulationPlan, SimulationSchedule};
+use pv_bdd::{BddManager, BddVec, Var};
+use pv_isa::alpha0::Alpha0Config;
+use pv_netlist::SymbolicSim;
+use pv_proc::alpha0::{self, AluModel, PipelineConfig};
+
+fn main() {
+    let side = std::env::var("PROBE_SIDE").unwrap_or_else(|_| "pipelined".to_owned());
+    let alu = match std::env::var("PROBE_ALU").as_deref() {
+        Ok("full") => AluModel::Full,
+        _ => AluModel::Condensed,
+    };
+    let isa = Alpha0Config::condensed();
+    let spec = match alu {
+        AluModel::Full => MachineSpec::alpha0(isa),
+        AluModel::Condensed => MachineSpec::alpha0_condensed(isa),
+    };
+    let plan = match std::env::var("PROBE_SLOTS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) => SimulationPlan::all_normal(n),
+        None => SimulationPlan::paper_alpha0(),
+    };
+    let schedule = SimulationSchedule::expand(&spec, &plan);
+    let mut config = PipelineConfig::with_isa(isa);
+    config.alu = alu;
+    let (netlist, inputs) = if side == "unpipelined" {
+        (alpha0::unpipelined(config).expect("build"), &schedule.unpipelined_inputs)
+    } else {
+        (alpha0::pipelined(config).expect("build"), &schedule.pipelined_inputs)
+    };
+    println!("side = {side}, alu = {alu:?}, cycles = {}", inputs.len());
+
+    let sym = SymbolicSim::new(&netlist);
+    let mut manager = BddManager::new();
+    let slot_vars: Vec<Vec<Var>> = schedule
+        .slot_classes
+        .iter()
+        .map(|_| manager.new_vars(spec.instr_width))
+        .collect();
+    let mut state = sym.initial_state(&manager);
+    for (cycle, input) in inputs.iter().enumerate() {
+        let (instr, reset) = match input {
+            CycleInput::Reset => (BddVec::constant(&manager, 0, spec.instr_width), 1u64),
+            CycleInput::Slot(j) => (BddVec::from_vars(&mut manager, &slot_vars[*j]), 0),
+            CycleInput::DontCare => {
+                let vars = manager.new_vars(spec.instr_width);
+                (BddVec::from_vars(&mut manager, &vars), 0)
+            }
+        };
+        let mut io = BTreeMap::new();
+        io.insert("instr".to_owned(), instr);
+        io.insert("reset".to_owned(), BddVec::constant(&manager, reset, 1));
+        let (next, _outputs) = sym.step(&mut manager, &state, &io);
+        state = next;
+        let state_nodes: usize = state.regs.iter().map(|&b| manager.node_count(b)).sum();
+        println!(
+            "cycle {cycle:2} ({input:?}): manager nodes = {:9}, state nodes = {state_nodes:8}, vars = {}",
+            manager.total_nodes(),
+            manager.var_count(),
+        );
+    }
+}

@@ -1,0 +1,281 @@
+//! Baseline verification procedures the methodology is compared against.
+//!
+//! * [`product_equivalence`] — the classical FSM equivalence check of
+//!   Section 3.4: build the product machine of two netlists with identical
+//!   interfaces, traverse its reachable state space breadth-first with the
+//!   transition-relation image computation, and check that the corresponding
+//!   outputs agree in every reachable state under every input. This is the
+//!   "exhaustive traversal" the definite-machine argument of Chapter 4 makes
+//!   unnecessary for pipelined-vs-unpipelined verification.
+//! * [`random_simulation`] — conventional simulation: run both machines on
+//!   concrete random instruction sequences (scheduled exactly as the symbolic
+//!   verifier schedules them) and compare the observed variables at the
+//!   β-relation sampling points. Coverage grows only linearly with simulation
+//!   effort, which is the motivation for formal verification in Chapter 1.
+
+use std::collections::{BTreeMap, HashMap};
+
+use pv_bdd::{Bdd, BddManager, BddVec, TransitionSystem, Var};
+use pv_netlist::{ConcreteSim, Netlist, SymState, SymbolicSim};
+
+use crate::plan::{CycleInput, SimulationPlan, SimulationSchedule, Slot};
+use crate::spec::MachineSpec;
+use crate::verify::VerifyError;
+
+/// Result of a product-machine equivalence check.
+#[derive(Clone, Debug)]
+pub struct ProductReport {
+    /// `true` iff the two machines produce identical outputs in every
+    /// reachable product state under every input.
+    pub equivalent: bool,
+    /// Breadth-first iterations to the reachability fixpoint.
+    pub iterations: usize,
+    /// Number of reachable product states (counted over the state variables).
+    pub reachable_states: f64,
+    /// Total ROBDD nodes created.
+    pub bdd_nodes: usize,
+    /// State bits of the product machine.
+    pub state_bits: usize,
+}
+
+/// Strict input/output equivalence of two netlists with identical input and
+/// output interfaces, by reachability analysis of their product machine
+/// (Section 3.4).
+///
+/// # Errors
+/// Returns [`VerifyError::MissingPort`] if the interfaces differ.
+pub fn product_equivalence(left: &Netlist, right: &Netlist) -> Result<ProductReport, VerifyError> {
+    for port in left.inputs() {
+        if right.input_width(&port.name) != Some(port.width) {
+            return Err(VerifyError::MissingPort {
+                netlist: right.name().to_owned(),
+                port: port.name.clone(),
+            });
+        }
+    }
+    let shared_outputs: Vec<String> = left
+        .outputs()
+        .iter()
+        .filter(|p| right.output_width(&p.name) == Some(p.width))
+        .map(|p| p.name.clone())
+        .collect();
+    if shared_outputs.is_empty() {
+        return Err(VerifyError::MissingPort {
+            netlist: right.name().to_owned(),
+            port: "<any shared output>".to_owned(),
+        });
+    }
+
+    let mut m = BddManager::new();
+    // Shared primary-input variables.
+    let mut inputs: BTreeMap<String, BddVec> = BTreeMap::new();
+    let mut input_vars: Vec<Var> = Vec::new();
+    for port in left.inputs() {
+        let vars = m.new_vars(port.width);
+        input_vars.extend_from_slice(&vars);
+        inputs.insert(port.name.clone(), BddVec::from_vars(&mut m, &vars));
+    }
+
+    // Present/next state variables. Each register bit's present and next
+    // variables are adjacent (required by the image computation's renaming),
+    // and the two machines' registers are interleaved with each other so that
+    // the "corresponding registers hold equal values" correlations that arise
+    // during reachability stay small as ROBDDs.
+    let bits_l = left.register_bits();
+    let bits_r = right.register_bits();
+    let mut pres_l = Vec::with_capacity(bits_l);
+    let mut next_l = Vec::with_capacity(bits_l);
+    let mut pres_r = Vec::with_capacity(bits_r);
+    let mut next_r = Vec::with_capacity(bits_r);
+    for i in 0..bits_l.max(bits_r) {
+        if i < bits_l {
+            pres_l.push(m.new_var());
+            next_l.push(m.new_var());
+        }
+        if i < bits_r {
+            pres_r.push(m.new_var());
+            next_r.push(m.new_var());
+        }
+    }
+
+    let eval_half = |m: &mut BddManager,
+                     netlist: &Netlist,
+                     present: &[Var],
+                     next: &[Var],
+                     inputs: &BTreeMap<String, BddVec>| {
+        let sym = SymbolicSim::new(netlist);
+        let state = SymState { regs: present.iter().map(|&v| m.var(v)).collect() };
+        let (next_state, outputs) = sym.step(m, &state, inputs);
+        let mut relation = Bdd::TRUE;
+        for (i, f) in next_state.regs.iter().enumerate() {
+            let nv = m.var(next[i]);
+            let bit = m.xnor(nv, *f);
+            relation = m.and(relation, bit);
+        }
+        (relation, outputs, sym.initial_state(m))
+    };
+    let (rel_l, out_l, init_l) = eval_half(&mut m, left, &pres_l, &next_l, &inputs);
+    let (rel_r, out_r, init_r) = eval_half(&mut m, right, &pres_r, &next_r, &inputs);
+
+    let relation = m.and(rel_l, rel_r);
+    let init_cube: Vec<(Var, bool)> = pres_l
+        .iter()
+        .copied()
+        .zip(init_l.regs.iter().map(|b| b.is_true()))
+        .chain(pres_r.iter().copied().zip(init_r.regs.iter().map(|b| b.is_true())))
+        .collect();
+    let init = m.cube(&init_cube);
+
+    // Property: every shared output agrees (the XNOR/AND product-machine
+    // output of Section 3.4).
+    let mut property = Bdd::TRUE;
+    for name in &shared_outputs {
+        let agree = out_l[name].eq(&mut m, &out_r[name]);
+        property = m.and(property, agree);
+    }
+
+    let present: Vec<Var> = pres_l.iter().chain(&pres_r).copied().collect();
+    let next: Vec<Var> = next_l.iter().chain(&next_r).copied().collect();
+    let state_bits = present.len();
+    let system = TransitionSystem::new(input_vars, present, next, relation, init);
+
+    // Breadth-first traversal with the property checked after every image
+    // step (the procedure of Section 3.4 stops as soon as a reachable state
+    // disagrees; a fixpoint is only needed for equivalent machines).
+    let not_property = m.not(property);
+    let mut current = system.init;
+    let mut iterations = 0usize;
+    let equivalent = loop {
+        let violation = m.and(current, not_property);
+        if !violation.is_false() {
+            break false;
+        }
+        let image = system.image(&mut m, current);
+        let next_set = m.or(current, image);
+        iterations += 1;
+        if next_set == current {
+            break true;
+        }
+        current = next_set;
+    };
+    let free_vars = m.var_count() - state_bits;
+    let reachable_states = m.sat_count(current) / 2f64.powi(free_vars as i32);
+    Ok(ProductReport {
+        equivalent,
+        iterations,
+        reachable_states,
+        bdd_nodes: m.stats().nodes,
+        state_bits,
+    })
+}
+
+/// Result of a random-simulation (conventional simulation) baseline run.
+#[derive(Clone, Debug)]
+pub struct RandomSimReport {
+    /// Number of random instruction sequences simulated.
+    pub programs: usize,
+    /// Total concrete simulation cycles across both machines.
+    pub cycles: usize,
+    /// Number of observed-variable samples compared.
+    pub samples_compared: usize,
+    /// The first mismatch found, as
+    /// `(program index, slot, variable, implementation value, specification value)`.
+    pub mismatch: Option<(usize, usize, String, u64, u64)>,
+}
+
+impl RandomSimReport {
+    /// `true` iff no mismatch was found.
+    pub fn agreed(&self) -> bool {
+        self.mismatch.is_none()
+    }
+}
+
+/// Conventional-simulation baseline: runs `programs` random instruction
+/// sequences (produced by `generate`, which receives the program index, the
+/// slot index and the slot class and must return an encoded instruction word
+/// of the class) through both machines, using the same cycle schedule as the
+/// symbolic verifier, and compares the observed variables at every sampling
+/// point.
+///
+/// # Errors
+/// Returns [`VerifyError`] if the netlists lack the ports named in `spec`.
+pub fn random_simulation<F>(
+    spec: &MachineSpec,
+    pipelined: &Netlist,
+    unpipelined: &Netlist,
+    plan: &SimulationPlan,
+    programs: usize,
+    mut generate: F,
+) -> Result<RandomSimReport, VerifyError>
+where
+    F: FnMut(usize, usize, Slot) -> u64,
+{
+    for netlist in [pipelined, unpipelined] {
+        for port in [&spec.instr_port, &spec.reset_port] {
+            if netlist.input_width(port).is_none() {
+                return Err(VerifyError::MissingPort {
+                    netlist: netlist.name().to_owned(),
+                    port: port.clone(),
+                });
+            }
+        }
+        for observed in &spec.observed {
+            if netlist.output_width(observed).is_none() {
+                return Err(VerifyError::MissingPort {
+                    netlist: netlist.name().to_owned(),
+                    port: observed.clone(),
+                });
+            }
+        }
+    }
+    let schedule = SimulationSchedule::expand(spec, plan);
+    let mut report = RandomSimReport { programs, cycles: 0, samples_compared: 0, mismatch: None };
+    'programs: for p in 0..programs {
+        let words: Vec<u64> = schedule
+            .slot_classes
+            .iter()
+            .enumerate()
+            .map(|(j, class)| generate(p, j, *class))
+            .collect();
+        let run = |inputs: &[CycleInput], irq_cycles: &[usize], netlist: &Netlist| {
+            let mut sim = ConcreteSim::new(netlist);
+            let has_irq = spec
+                .irq_port
+                .as_ref()
+                .is_some_and(|p| netlist.input_width(p).is_some());
+            let mut per_cycle: Vec<HashMap<String, u64>> = Vec::with_capacity(inputs.len());
+            for (cycle, input) in inputs.iter().enumerate() {
+                let (instr, reset) = match input {
+                    CycleInput::Reset => (0, 1),
+                    CycleInput::Slot(j) => (words[*j], 0),
+                    CycleInput::DontCare => (0, 0),
+                };
+                let mut drive: Vec<(&str, u64)> = vec![
+                    (spec.instr_port.as_str(), instr),
+                    (spec.reset_port.as_str(), reset),
+                ];
+                if has_irq {
+                    let irq = u64::from(irq_cycles.contains(&cycle));
+                    drive.push((spec.irq_port.as_deref().expect("checked"), irq));
+                }
+                per_cycle.push(sim.step(&drive));
+            }
+            per_cycle
+        };
+        let p_trace = run(&schedule.pipelined_inputs, &schedule.pipelined_irq_cycles, pipelined);
+        let u_trace = run(&schedule.unpipelined_inputs, &schedule.unpipelined_irq_cycles, unpipelined);
+        report.cycles += p_trace.len() + u_trace.len();
+        for &(slot, pc, uc) in &schedule.samples {
+            for name in &spec.observed {
+                report.samples_compared += 1;
+                let pv = p_trace[pc][name];
+                let uv = u_trace[uc][name];
+                if pv != uv {
+                    report.mismatch = Some((p, slot, name.clone(), pv, uv));
+                    break 'programs;
+                }
+            }
+        }
+    }
+    Ok(report)
+}

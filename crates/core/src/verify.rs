@@ -1,0 +1,497 @@
+//! The verification algorithm of Figure 8: symbolic simulation of both
+//! machines, output filtering, and ROBDD comparison of the sampled
+//! observed-variable formulae.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use pv_bdd::{Bdd, BddManager, BddVec, Var};
+use pv_netlist::{Netlist, SymbolicSim};
+
+use crate::plan::{CycleInput, SimulationPlan, SimulationSchedule, Slot};
+use crate::spec::MachineSpec;
+
+/// Errors detected before or during verification.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VerifyError {
+    /// A netlist is missing a port the specification requires.
+    MissingPort {
+        /// Name of the offending netlist.
+        netlist: String,
+        /// The missing port name.
+        port: String,
+    },
+    /// A netlist has an input port the verifier does not know how to drive.
+    UnexpectedInput {
+        /// Name of the offending netlist.
+        netlist: String,
+        /// The unexpected input port.
+        port: String,
+    },
+    /// An observed variable has different widths in the two machines.
+    WidthMismatch {
+        /// The observed variable.
+        name: String,
+        /// Width in the pipelined implementation.
+        pipelined: usize,
+        /// Width in the unpipelined specification.
+        unpipelined: usize,
+    },
+    /// The simulation plan contains no instruction slots.
+    EmptyPlan,
+    /// The plan contains an interrupt slot but the specification names no
+    /// interrupt port.
+    InterruptWithoutIrqPort,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::MissingPort { netlist, port } => {
+                write!(f, "netlist `{netlist}` has no port `{port}`")
+            }
+            VerifyError::UnexpectedInput { netlist, port } => {
+                write!(f, "netlist `{netlist}` has an input `{port}` the verifier cannot drive")
+            }
+            VerifyError::WidthMismatch { name, pipelined, unpipelined } => write!(
+                f,
+                "observed variable `{name}` is {pipelined} bits in the implementation but {unpipelined} bits in the specification"
+            ),
+            VerifyError::EmptyPlan => write!(f, "the simulation plan contains no instruction slots"),
+            VerifyError::InterruptWithoutIrqPort => {
+                write!(f, "the plan contains an interrupt slot but the specification has no irq port")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// A concrete instruction sequence on which the implementation and the
+/// specification disagree.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Counterexample {
+    /// The plan whose slots are instantiated by this counterexample.
+    pub plan: SimulationPlan,
+    /// One concrete instruction word per instruction slot.
+    pub slot_instructions: Vec<u64>,
+    /// 0-based instruction slot after which the mismatch is observed.
+    pub slot: usize,
+    /// The observed variable that differs.
+    pub variable: String,
+    /// Its value in the pipelined implementation.
+    pub pipelined_value: u64,
+    /// Its value in the unpipelined specification.
+    pub unpipelined_value: u64,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "after instruction slot {} of {:x?}, `{}` = {:#x} in the implementation but {:#x} in the specification",
+            self.slot, self.slot_instructions, self.variable, self.pipelined_value, self.unpipelined_value
+        )
+    }
+}
+
+/// Outcome and cost statistics of a verification run.
+#[derive(Clone, Debug)]
+pub struct VerificationReport {
+    /// Name of the design pair.
+    pub machine: String,
+    /// Number of simulation plans checked.
+    pub plans_checked: usize,
+    /// Number of (slot, observed-variable) formula pairs compared.
+    pub samples_compared: usize,
+    /// Total symbolic-simulation cycles of the pipelined implementation.
+    pub pipelined_cycles: usize,
+    /// Total symbolic-simulation cycles of the unpipelined specification.
+    pub unpipelined_cycles: usize,
+    /// Total ROBDD nodes created across all plans.
+    pub bdd_nodes: usize,
+    /// Total BDD variables allocated across all plans.
+    pub bdd_vars: usize,
+    /// The output filtering functions of the last plan checked
+    /// (pipelined, unpipelined) — the `1 0 0 0 1 …` strings of Section 6.2.
+    pub filters: (String, String),
+    /// The first counterexample found, if any.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl VerificationReport {
+    /// `true` iff no counterexample was found: the β-relation holds on every
+    /// checked plan.
+    pub fn equivalent(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+impl fmt::Display for VerificationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "design pair       : {}", self.machine)?;
+        writeln!(f, "plans checked     : {}", self.plans_checked)?;
+        writeln!(f, "formulae compared : {}", self.samples_compared)?;
+        writeln!(
+            f,
+            "simulation cycles : {} (pipelined) / {} (unpipelined)",
+            self.pipelined_cycles, self.unpipelined_cycles
+        )?;
+        writeln!(f, "BDD nodes / vars  : {} / {}", self.bdd_nodes, self.bdd_vars)?;
+        writeln!(f, "PIPELINED filter  : {}", self.filters.0)?;
+        writeln!(f, "UNPIPELINED filter: {}", self.filters.1)?;
+        match &self.counterexample {
+            None => writeln!(f, "result            : EQUIVALENT (β-relation holds)"),
+            Some(cex) => writeln!(f, "result            : NOT EQUIVALENT — {cex}"),
+        }
+    }
+}
+
+/// The verification engine: symbolic simulation of the implementation and the
+/// specification, β-relation filtering and ROBDD comparison (Figure 8).
+#[derive(Clone, Debug)]
+pub struct Verifier {
+    spec: MachineSpec,
+}
+
+impl Verifier {
+    /// Creates a verifier for a design pair with the given properties.
+    pub fn new(spec: MachineSpec) -> Self {
+        Verifier { spec }
+    }
+
+    /// The machine specification this verifier uses.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// The default plan sweep of Section 5.3: one all-ordinary-instruction
+    /// plan plus, for each of the `k` slots, a plan with the control-transfer
+    /// class in that slot (so every control-transfer position is exercised
+    /// without simulating all combinations).
+    pub fn default_plans(&self) -> Vec<SimulationPlan> {
+        let k = self.spec.k;
+        let mut plans = vec![SimulationPlan::all_normal(k)];
+        plans.extend((0..k).map(|x| SimulationPlan::with_control_at(k, x)));
+        plans
+    }
+
+    /// Verifies the implementation against the specification over the default
+    /// plan sweep.
+    ///
+    /// # Errors
+    /// Returns [`VerifyError`] if the netlists do not expose the ports and
+    /// observed variables named in the [`MachineSpec`].
+    pub fn verify(
+        &self,
+        pipelined: &Netlist,
+        unpipelined: &Netlist,
+    ) -> Result<VerificationReport, VerifyError> {
+        self.verify_plans(pipelined, unpipelined, &self.default_plans())
+    }
+
+    /// Verifies a single simulation plan.
+    ///
+    /// # Errors
+    /// See [`Verifier::verify`].
+    pub fn verify_plan(
+        &self,
+        pipelined: &Netlist,
+        unpipelined: &Netlist,
+        plan: &SimulationPlan,
+    ) -> Result<VerificationReport, VerifyError> {
+        self.verify_plans(pipelined, unpipelined, std::slice::from_ref(plan))
+    }
+
+    /// Verifies a sequence of plans, stopping at the first counterexample.
+    ///
+    /// # Errors
+    /// See [`Verifier::verify`].
+    pub fn verify_plans(
+        &self,
+        pipelined: &Netlist,
+        unpipelined: &Netlist,
+        plans: &[SimulationPlan],
+    ) -> Result<VerificationReport, VerifyError> {
+        self.validate(pipelined)?;
+        self.validate(unpipelined)?;
+        let mut report = VerificationReport {
+            machine: self.spec.name.clone(),
+            plans_checked: 0,
+            samples_compared: 0,
+            pipelined_cycles: 0,
+            unpipelined_cycles: 0,
+            bdd_nodes: 0,
+            bdd_vars: 0,
+            filters: (String::new(), String::new()),
+            counterexample: None,
+        };
+        for plan in plans {
+            let outcome = self.check_plan(pipelined, unpipelined, plan, &mut report)?;
+            report.plans_checked += 1;
+            if outcome.is_some() {
+                report.counterexample = outcome;
+                break;
+            }
+        }
+        Ok(report)
+    }
+
+    fn validate(&self, netlist: &Netlist) -> Result<(), VerifyError> {
+        let spec = &self.spec;
+        let known: Vec<&str> = [Some(spec.instr_port.as_str()), Some(spec.reset_port.as_str()), spec.irq_port.as_deref()]
+            .into_iter()
+            .flatten()
+            .collect();
+        for required in [&spec.instr_port, &spec.reset_port] {
+            if netlist.input_width(required).is_none() {
+                return Err(VerifyError::MissingPort {
+                    netlist: netlist.name().to_owned(),
+                    port: required.clone(),
+                });
+            }
+        }
+        for port in netlist.inputs() {
+            if !known.contains(&port.name.as_str()) {
+                return Err(VerifyError::UnexpectedInput {
+                    netlist: netlist.name().to_owned(),
+                    port: port.name.clone(),
+                });
+            }
+        }
+        for observed in &spec.observed {
+            if netlist.output_width(observed).is_none() {
+                return Err(VerifyError::MissingPort {
+                    netlist: netlist.name().to_owned(),
+                    port: observed.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_plan(
+        &self,
+        pipelined: &Netlist,
+        unpipelined: &Netlist,
+        plan: &SimulationPlan,
+        report: &mut VerificationReport,
+    ) -> Result<Option<Counterexample>, VerifyError> {
+        let spec = &self.spec;
+        if plan.instruction_count() == 0 {
+            return Err(VerifyError::EmptyPlan);
+        }
+        if plan.slots().contains(&Slot::Interrupt) && spec.irq_port.is_none() {
+            return Err(VerifyError::InterruptWithoutIrqPort);
+        }
+        let schedule = SimulationSchedule::expand(spec, plan);
+        let mut manager = BddManager::new();
+
+        // One vector of instruction variables per slot, shared by both
+        // machines, restricted to the slot's instruction class. Bits that the
+        // class forces to a fixed value (for instance the opcode field of a
+        // control-transfer slot) are substituted by constants before the
+        // simulation — this is the "cofactor the transition relation with the
+        // instruction class" step of Section 5.2, and it keeps the BDDs much
+        // smaller; the residual (non-cube) part of the constraint is carried
+        // as an assumption and applied when the sampled formulae are compared.
+        let slot_vars: Vec<Vec<Var>> = schedule
+            .slot_classes
+            .iter()
+            .map(|_| manager.new_vars(spec.instr_width))
+            .collect();
+        let mut assumption = Bdd::TRUE;
+        let mut slot_words: Vec<BddVec> = Vec::with_capacity(slot_vars.len());
+        for (vars, class) in slot_vars.iter().zip(&schedule.slot_classes) {
+            let constraint = match class {
+                Slot::Normal => (spec.normal_class)(&mut manager, vars),
+                Slot::ControlTransfer => (spec.control_class)(&mut manager, vars),
+                // The fetched word of an interrupted slot is discarded by the
+                // trap, so it is left unconstrained.
+                Slot::Interrupt => Bdd::TRUE,
+                Slot::Reset => Bdd::TRUE,
+            };
+            assumption = manager.and(assumption, constraint);
+            let bits = vars
+                .iter()
+                .map(|&v| {
+                    let forced_true = manager.restrict(constraint, v, false).is_false();
+                    let forced_false = manager.restrict(constraint, v, true).is_false();
+                    if forced_true {
+                        manager.constant(true)
+                    } else if forced_false {
+                        manager.constant(false)
+                    } else {
+                        manager.var(v)
+                    }
+                })
+                .collect();
+            slot_words.push(BddVec::from_bits(bits));
+        }
+
+        let pipelined_samples = self.simulate(
+            &mut manager,
+            pipelined,
+            &schedule.pipelined_inputs,
+            &schedule.pipelined_irq_cycles,
+            &slot_words,
+            &schedule.samples.iter().map(|&(j, pc, _)| (j, pc)).collect::<Vec<_>>(),
+            true,
+            assumption,
+        );
+        let unpipelined_samples = self.simulate(
+            &mut manager,
+            unpipelined,
+            &schedule.unpipelined_inputs,
+            &schedule.unpipelined_irq_cycles,
+            &slot_words,
+            &schedule.samples.iter().map(|&(j, _, uc)| (j, uc)).collect::<Vec<_>>(),
+            false,
+            assumption,
+        );
+
+        report.pipelined_cycles += schedule.pipelined_cycles();
+        report.unpipelined_cycles += schedule.unpipelined_cycles();
+        report.filters = (
+            schedule.pipelined_filter.to_string(),
+            schedule.unpipelined_filter.to_string(),
+        );
+
+        let mut result = None;
+        'outer: for (slot, _, _) in &schedule.samples {
+            for name in &spec.observed {
+                let p = &pipelined_samples[slot][name];
+                let u = &unpipelined_samples[slot][name];
+                if p.width() != u.width() {
+                    return Err(VerifyError::WidthMismatch {
+                        name: name.clone(),
+                        pipelined: p.width(),
+                        unpipelined: u.width(),
+                    });
+                }
+                report.samples_compared += 1;
+                let equal = p.eq(&mut manager, u);
+                let differs = manager.not(equal);
+                let violation = manager.and(assumption, differs);
+                if !violation.is_false() {
+                    let witness = manager.sat_one(violation).unwrap_or_default();
+                    let assignment = |v: Var| {
+                        witness.iter().find(|&&(w, _)| w == v).map(|&(_, val)| val).unwrap_or(false)
+                    };
+                    let slot_instructions = slot_vars
+                        .iter()
+                        .map(|vars| {
+                            vars.iter()
+                                .enumerate()
+                                .fold(0u64, |acc, (i, &v)| acc | (u64::from(assignment(v)) << i))
+                        })
+                        .collect();
+                    result = Some(Counterexample {
+                        plan: plan.clone(),
+                        slot_instructions,
+                        slot: *slot,
+                        variable: name.clone(),
+                        pipelined_value: p.eval(&manager, assignment),
+                        unpipelined_value: u.eval(&manager, assignment),
+                    });
+                    break 'outer;
+                }
+            }
+        }
+
+        let stats = manager.stats();
+        report.bdd_nodes += stats.nodes;
+        report.bdd_vars += stats.vars;
+        Ok(result)
+    }
+
+    /// Symbolically simulates one machine over the expanded cycle plan and
+    /// samples the observed variables at the requested cycles.
+    #[allow(clippy::too_many_arguments)]
+    fn simulate(
+        &self,
+        manager: &mut BddManager,
+        netlist: &Netlist,
+        cycle_inputs: &[CycleInput],
+        irq_cycles: &[usize],
+        slot_words: &[BddVec],
+        sample_cycles: &[(usize, usize)],
+        is_implementation: bool,
+        assumption: Bdd,
+    ) -> BTreeMap<usize, BTreeMap<String, BddVec>> {
+        let spec = &self.spec;
+        let sym = SymbolicSim::new(netlist);
+        let mut state = sym.initial_state(manager);
+        let mut samples: BTreeMap<usize, BTreeMap<String, BddVec>> = BTreeMap::new();
+        let has_irq = spec
+            .irq_port
+            .as_ref()
+            .is_some_and(|p| netlist.input_width(p).is_some());
+        // Don't-care cycles of the *implementation* that lie before the last
+        // instruction slot are annulled delay slots: they receive fresh
+        // symbolic variables so annulment is checked for every possible
+        // content. All other don't-care cycles — the serial specification's
+        // idle phases and the trailing drain cycles of the pipeline — carry
+        // inputs the β-relation marks irrelevant (the thesis smooths them
+        // away), so they are driven with a constant word to keep the BDDs
+        // small.
+        let last_slot_cycle = cycle_inputs
+            .iter()
+            .rposition(|i| matches!(i, CycleInput::Slot(_)))
+            .unwrap_or(0);
+        for (cycle, input) in cycle_inputs.iter().enumerate() {
+            let (instr, reset) = match input {
+                CycleInput::Reset => (BddVec::constant(manager, 0, spec.instr_width), true),
+                CycleInput::Slot(j) => (slot_words[*j].clone(), false),
+                CycleInput::DontCare if is_implementation && cycle <= last_slot_cycle => {
+                    let vars = manager.new_vars(spec.instr_width);
+                    (BddVec::from_vars(manager, &vars), false)
+                }
+                CycleInput::DontCare => {
+                    (BddVec::constant(manager, 0, spec.instr_width), false)
+                }
+            };
+            let mut inputs = BTreeMap::new();
+            inputs.insert(spec.instr_port.clone(), instr);
+            inputs.insert(spec.reset_port.clone(), BddVec::constant(manager, u64::from(reset), 1));
+            if has_irq {
+                let irq = irq_cycles.contains(&cycle);
+                inputs.insert(
+                    spec.irq_port.clone().expect("checked above"),
+                    BddVec::constant(manager, u64::from(irq), 1),
+                );
+            }
+            let (mut next_state, outputs) = sym.step(manager, &state, &inputs);
+            // Generalized cofactoring of the state by the instruction-class
+            // constraint — the "cofactor the transition relation outputs with
+            // respect to the inputs" step of Section 5.2. Values reachable
+            // under the class assumption are preserved; behaviours of
+            // instructions outside the class (which the comparison is
+            // conditioned on anyway) are dropped, which keeps the state BDDs
+            // within capacity.
+            if !assumption.is_true() {
+                for bit in &mut next_state.regs {
+                    *bit = manager.constrain(*bit, assumption);
+                }
+            }
+            for &(slot, sample_cycle) in sample_cycles {
+                if sample_cycle == cycle {
+                    let observed = spec
+                        .observed
+                        .iter()
+                        .map(|name| {
+                            let word = &outputs[name];
+                            let bits = (0..word.width())
+                                .map(|i| manager.constrain(word.bit(i), assumption))
+                                .collect();
+                            (name.clone(), BddVec::from_bits(bits))
+                        })
+                        .collect();
+                    samples.insert(slot, observed);
+                }
+            }
+            state = next_state;
+        }
+        samples
+    }
+}

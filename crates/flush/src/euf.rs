@@ -1,0 +1,472 @@
+//! A validity checker for quantifier-free formulas over the logic of equality
+//! with uninterpreted functions (EUF).
+//!
+//! The checker is the decision procedure the Burch–Dill flushing method needs:
+//! the correctness condition produced by [`crate::flushing`] is a ground
+//! formula whose only interpreted symbols are the Boolean connectives, `=` and
+//! `ite` (array reads and writes have already been rewritten away by
+//! [`crate::TermManager::select`]). Validity is decided by the classic lazy
+//! combination:
+//!
+//! 1. enumerate assignments to the Boolean *atoms* (equalities and Boolean
+//!    variables) by case splitting, simplifying the formula after every
+//!    decision, and
+//! 2. at every propositionally satisfying leaf, check the conjunction of
+//!    decided equality literals for consistency with **congruence closure**
+//!    (Nelson–Oppen style union-find with congruence propagation).
+//!
+//! A satisfying, EUF-consistent assignment of the *negation* of the formula is
+//! a counterexample; if none exists the formula is valid.
+
+use std::collections::HashMap;
+
+use crate::term::{Term, TermManager, TermNode};
+
+/// One decided atom in a counterexample.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AtomAssignment {
+    /// Rendering of the atom (an equality or a Boolean variable).
+    pub atom: String,
+    /// The truth value assigned to it.
+    pub value: bool,
+}
+
+/// A counterexample to validity: an EUF-consistent assignment of the atoms
+/// under which the formula evaluates to `false`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct EufCounterexample {
+    /// The decided atoms, in decision order.
+    pub assignments: Vec<AtomAssignment>,
+}
+
+impl std::fmt::Display for EufCounterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.assignments.is_empty() {
+            return write!(f, "(unconditionally false)");
+        }
+        for (i, a) in self.assignments.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} := {}", a.atom, a.value)?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a validity check, with the statistics the benchmarks report.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EufReport {
+    /// `None` if the formula is valid, otherwise a counterexample.
+    pub counterexample: Option<EufCounterexample>,
+    /// Number of case splits explored.
+    pub splits: usize,
+    /// Number of congruence-closure consistency checks performed.
+    pub closure_checks: usize,
+}
+
+impl EufReport {
+    /// `true` iff the checked formula is valid.
+    pub fn valid(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+/// Decides validity of the Boolean term `formula`.
+///
+/// # Example
+///
+/// ```
+/// use pv_flush::{check_valid, Sort, TermManager};
+///
+/// let mut t = TermManager::new();
+/// let a = t.var("a", Sort::Data);
+/// let b = t.var("b", Sort::Data);
+/// let fa = t.app("f", &[a]);
+/// let fb = t.app("f", &[b]);
+/// let premise = t.eq(a, b);
+/// let conclusion = t.eq(fa, fb);
+/// let congruence = t.implies(premise, conclusion);
+/// assert!(check_valid(&mut t, congruence).valid());
+/// let backwards = t.implies(conclusion, premise);
+/// assert!(!check_valid(&mut t, backwards).valid());
+/// ```
+pub fn check_valid(terms: &mut TermManager, formula: Term) -> EufReport {
+    let negated = terms.not(formula);
+    let mut search = Search { terms, splits: 0, closure_checks: 0 };
+    let counterexample = search.find_model(negated, &mut Vec::new());
+    EufReport { counterexample, splits: search.splits, closure_checks: search.closure_checks }
+}
+
+/// Decides satisfiability of the Boolean term `formula` (used by tests and by
+/// the benchmarks to size the search space). Returns a model if one exists.
+pub fn check_sat(terms: &mut TermManager, formula: Term) -> Option<EufCounterexample> {
+    let mut search = Search { terms, splits: 0, closure_checks: 0 };
+    search.find_model(formula, &mut Vec::new())
+}
+
+struct Search<'a> {
+    terms: &'a mut TermManager,
+    splits: usize,
+    closure_checks: usize,
+}
+
+impl Search<'_> {
+    /// Depth-first search for an EUF-consistent model of `formula` under the
+    /// literals already decided in `trail`.
+    fn find_model(
+        &mut self,
+        formula: Term,
+        trail: &mut Vec<(Term, bool)>,
+    ) -> Option<EufCounterexample> {
+        if self.terms.is_false(formula) {
+            return None;
+        }
+        let atoms = self.terms.atoms(formula);
+        // Split on an *innermost* atom — one that contains no other atom of the
+        // formula as a subterm. Deciding innermost atoms first guarantees that
+        // by the time an equality literal is pushed on the trail, every
+        // if-then-else inside it has a constant condition and has therefore
+        // been simplified away, so the congruence-closure leaf check only ever
+        // sees pure EUF literals.
+        let chosen = atoms
+            .iter()
+            .copied()
+            .find(|&a| atoms.iter().all(|&b| b == a || !self.terms.contains(a, b)))
+            .or_else(|| atoms.first().copied());
+        match chosen {
+            None => {
+                // No atoms left: the formula is a Boolean constant.
+                if self.terms.is_true(formula) && self.consistent(trail) {
+                    Some(self.counterexample(trail))
+                } else {
+                    None
+                }
+            }
+            Some(atom) => {
+                for value in [true, false] {
+                    self.splits += 1;
+                    let simplified = self.terms.assign(formula, atom, value);
+                    trail.push((atom, value));
+                    // Prune decisions that are already EUF-inconsistent; this
+                    // keeps the search from exploring both polarities of
+                    // equalities that congruence has determined.
+                    if self.consistent(trail) {
+                        if let Some(cex) = self.find_model(simplified, trail) {
+                            trail.pop();
+                            return Some(cex);
+                        }
+                    }
+                    trail.pop();
+                }
+                None
+            }
+        }
+    }
+
+    fn counterexample(&self, trail: &[(Term, bool)]) -> EufCounterexample {
+        EufCounterexample {
+            assignments: trail
+                .iter()
+                .map(|&(atom, value)| AtomAssignment { atom: self.terms.to_string(atom), value })
+                .collect(),
+        }
+    }
+
+    /// Congruence-closure consistency of the decided equality literals.
+    fn consistent(&mut self, trail: &[(Term, bool)]) -> bool {
+        self.closure_checks += 1;
+        let mut cc = CongruenceClosure::new(self.terms);
+        for &(atom, value) in trail {
+            if let TermNode::Eq(a, b) = *self.terms.node(atom) {
+                if value {
+                    cc.merge(a, b);
+                } else {
+                    cc.disequal.push((a, b));
+                }
+            }
+            // Boolean variables are free: any polarity is consistent.
+        }
+        cc.propagate();
+        cc.check()
+    }
+}
+
+/// Union-find with congruence propagation over the sub-DAG reachable from the
+/// asserted literals.
+struct CongruenceClosure<'a> {
+    terms: &'a TermManager,
+    parent: HashMap<Term, Term>,
+    /// All application-like nodes (uninterpreted applications, selects and
+    /// stores) that participate, for congruence propagation.
+    apps: Vec<Term>,
+    disequal: Vec<(Term, Term)>,
+}
+
+impl<'a> CongruenceClosure<'a> {
+    fn new(terms: &'a TermManager) -> Self {
+        CongruenceClosure { terms, parent: HashMap::new(), apps: Vec::new(), disequal: Vec::new() }
+    }
+
+    fn register(&mut self, t: Term) {
+        if self.parent.contains_key(&t) {
+            return;
+        }
+        self.parent.insert(t, t);
+        match self.terms.node(t).clone() {
+            TermNode::App(_, args) => {
+                self.apps.push(t);
+                for a in args {
+                    self.register(a);
+                }
+            }
+            TermNode::Select(a, i) => {
+                self.apps.push(t);
+                self.register(a);
+                self.register(i);
+            }
+            TermNode::Store(a, i, v) => {
+                self.apps.push(t);
+                self.register(a);
+                self.register(i);
+                self.register(v);
+            }
+            TermNode::Ite(c, a, b) => {
+                // Data-level ite whose condition was not (or not yet) decided:
+                // treat it as an opaque application of "ite".
+                self.apps.push(t);
+                self.register(c);
+                self.register(a);
+                self.register(b);
+            }
+            TermNode::Eq(a, b) => {
+                self.apps.push(t);
+                self.register(a);
+                self.register(b);
+            }
+            _ => {}
+        }
+    }
+
+    fn find(&mut self, t: Term) -> Term {
+        let p = self.parent[&t];
+        if p == t {
+            return t;
+        }
+        let root = self.find(p);
+        self.parent.insert(t, root);
+        root
+    }
+
+    fn merge(&mut self, a: Term, b: Term) {
+        self.register(a);
+        self.register(b);
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+
+    /// Signature of an application node under the current partition.
+    fn signature(&mut self, t: Term) -> (String, Vec<Term>) {
+        match self.terms.node(t).clone() {
+            TermNode::App(name, args) => {
+                (name, args.into_iter().map(|a| self.find(a)).collect())
+            }
+            TermNode::Select(a, i) => ("select".to_owned(), vec![self.find(a), self.find(i)]),
+            TermNode::Store(a, i, v) => {
+                ("store".to_owned(), vec![self.find(a), self.find(i), self.find(v)])
+            }
+            TermNode::Ite(c, a, b) => {
+                ("ite".to_owned(), vec![self.find(c), self.find(a), self.find(b)])
+            }
+            TermNode::Eq(a, b) => ("=".to_owned(), vec![self.find(a), self.find(b)]),
+            _ => unreachable!("only application-like nodes are registered in `apps`"),
+        }
+    }
+
+    /// Congruence propagation to a fixed point: applications of the same
+    /// symbol to congruent arguments are merged.
+    fn propagate(&mut self) {
+        for (a, b) in self.disequal.clone() {
+            self.register(a);
+            self.register(b);
+        }
+        loop {
+            let mut merged = false;
+            let mut table: HashMap<(String, Vec<Term>), Term> = HashMap::new();
+            for t in self.apps.clone() {
+                let sig = self.signature(t);
+                if let Some(&other) = table.get(&sig) {
+                    let ra = self.find(t);
+                    let rb = self.find(other);
+                    if ra != rb {
+                        self.parent.insert(ra, rb);
+                        merged = true;
+                    }
+                } else {
+                    table.insert(sig, t);
+                }
+            }
+            if !merged {
+                return;
+            }
+        }
+    }
+
+    /// `true` if no asserted disequality has both sides in the same class.
+    fn check(&mut self) -> bool {
+        for (a, b) in self.disequal.clone() {
+            if self.find(a) == self.find(b) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sort;
+
+    fn manager() -> TermManager {
+        TermManager::new()
+    }
+
+    #[test]
+    fn reflexivity_symmetry_transitivity_are_valid() {
+        let mut t = manager();
+        let a = t.var("a", Sort::Data);
+        let b = t.var("b", Sort::Data);
+        let c = t.var("c", Sort::Data);
+        let refl = t.eq(a, a);
+        assert!(check_valid(&mut t, refl).valid());
+        let ab = t.eq(a, b);
+        let ba = t.eq(b, a);
+        let sym = t.implies(ab, ba);
+        assert!(check_valid(&mut t, sym).valid());
+        let bc = t.eq(b, c);
+        let ac = t.eq(a, c);
+        let pre = t.and(ab, bc);
+        let trans = t.implies(pre, ac);
+        assert!(check_valid(&mut t, trans).valid());
+    }
+
+    #[test]
+    fn congruence_is_valid_and_its_converse_is_not() {
+        let mut t = manager();
+        let a = t.var("a", Sort::Data);
+        let b = t.var("b", Sort::Data);
+        let fa = t.app("f", &[a]);
+        let fb = t.app("f", &[b]);
+        let ab = t.eq(a, b);
+        let fafb = t.eq(fa, fb);
+        let cong = t.implies(ab, fafb);
+        assert!(check_valid(&mut t, cong).valid());
+        let converse = t.implies(fafb, ab);
+        let report = check_valid(&mut t, converse);
+        assert!(!report.valid());
+        let cex = report.counterexample.expect("counterexample");
+        assert!(cex.assignments.iter().any(|a| !a.value), "{cex}");
+    }
+
+    #[test]
+    fn two_step_congruence_chains() {
+        let mut t = manager();
+        let a = t.var("a", Sort::Data);
+        let b = t.var("b", Sort::Data);
+        let fa = t.app("f", &[a]);
+        let fb = t.app("f", &[b]);
+        let ffa = t.app("f", &[fa]);
+        let ffb = t.app("f", &[fb]);
+        let ab = t.eq(a, b);
+        let goal = t.eq(ffa, ffb);
+        let vc = t.implies(ab, goal);
+        assert!(check_valid(&mut t, vc).valid());
+    }
+
+    #[test]
+    fn ite_conditions_are_case_split() {
+        let mut t = manager();
+        let c = t.var("c", Sort::Bool);
+        let a = t.var("a", Sort::Data);
+        let b = t.var("b", Sort::Data);
+        let picked = t.ite(c, a, b);
+        let ea = t.eq(picked, a);
+        let eb = t.eq(picked, b);
+        let either = t.or(ea, eb);
+        assert!(check_valid(&mut t, either).valid());
+        // But the ite is not always equal to `a`.
+        assert!(!check_valid(&mut t, ea).valid());
+    }
+
+    #[test]
+    fn array_axioms_via_rewriting() {
+        let mut t = manager();
+        let rf = t.var("rf", Sort::Array);
+        let i = t.var("i", Sort::Data);
+        let j = t.var("j", Sort::Data);
+        let v = t.var("v", Sort::Data);
+        let stored = t.store(rf, i, v);
+        // select(store(rf,i,v), i) = v is valid.
+        let ri = t.select(stored, i);
+        let hit = t.eq(ri, v);
+        assert!(check_valid(&mut t, hit).valid());
+        // i ≠ j ⇒ select(store(rf,i,v), j) = select(rf, j).
+        let rj = t.select(stored, j);
+        let plain = t.select(rf, j);
+        let ij = t.eq(i, j);
+        let nij = t.not(ij);
+        let same = t.eq(rj, plain);
+        let frame = t.implies(nij, same);
+        assert!(check_valid(&mut t, frame).valid());
+        // Without the disequality premise the frame property is not valid.
+        assert!(!check_valid(&mut t, same).valid());
+    }
+
+    #[test]
+    fn propositional_structure_is_respected() {
+        let mut t = manager();
+        let p = t.var("p", Sort::Bool);
+        let q = t.var("q", Sort::Bool);
+        let pq = t.and(p, q);
+        let qp = t.and(q, p);
+        let commut = t.iff(pq, qp);
+        assert!(check_valid(&mut t, commut).valid());
+        let bad = t.implies(p, q);
+        assert!(!check_valid(&mut t, bad).valid());
+        // Statistics are populated.
+        let r = check_valid(&mut t, commut);
+        assert!(r.splits > 0 && r.closure_checks > 0);
+    }
+
+    #[test]
+    fn satisfiability_entry_point() {
+        let mut t = manager();
+        let a = t.var("a", Sort::Data);
+        let b = t.var("b", Sort::Data);
+        let ab = t.eq(a, b);
+        let nab = t.not(ab);
+        assert!(check_sat(&mut t, ab).is_some());
+        assert!(check_sat(&mut t, nab).is_some());
+        let contradiction = t.and(ab, nab);
+        assert!(check_sat(&mut t, contradiction).is_none());
+    }
+
+    #[test]
+    fn congruence_with_disequalities_detects_conflicts() {
+        let mut t = manager();
+        let a = t.var("a", Sort::Data);
+        let b = t.var("b", Sort::Data);
+        let c = t.var("c", Sort::Data);
+        let ab = t.eq(a, b);
+        let bc = t.eq(b, c);
+        let ac = t.eq(a, c);
+        let nac = t.not(ac);
+        let both = t.and(ab, bc);
+        let conflict = t.and(both, nac);
+        assert!(check_sat(&mut t, conflict).is_none());
+    }
+}

@@ -1,0 +1,58 @@
+//! Burch–Dill-style *flushing* verification of pipelined processor control.
+//!
+//! This crate is the companion/extension method to the β-relation flow of
+//! `pipeverify-core` (see `DESIGN.md` for how the two relate): where the
+//! β-relation methodology of Bhagwati (1994) compares the *bit-level* netlists
+//! by BDD-based symbolic simulation, the flushing method of Burch and Dill
+//! ("Automatic Verification of Pipelined Microprocessor Control", 1994) keeps
+//! the datapath *uninterpreted* and verifies only the pipeline control: the
+//! ALU is an uninterpreted function, the register file is a read/write array,
+//! and the correctness condition is a commuting diagram —
+//!
+//! ```text
+//!          impl_step
+//!     s ───────────────▶ s′
+//!     │                   │
+//!     │ flush             │ flush
+//!     ▼                   ▼
+//!   arch ──────────────▶ arch′
+//!          spec_step
+//! ```
+//!
+//! — whose validity is decided in the logic of equality with uninterpreted
+//! functions (EUF).
+//!
+//! * [`term`] — hash-consed terms: uninterpreted functions, `ite`, equality,
+//!   Boolean structure and read/write arrays;
+//! * [`euf`] — the validity checker (atom case-splitting + congruence
+//!   closure), returning counterexample assignments;
+//! * [`pipeline`] — a term-level three-stage pipeline with forwarding and its
+//!   ISA-level specification, plus injectable control bugs;
+//! * [`flushing`] — the flushing abstraction function and the commuting
+//!   diagram verification condition.
+//!
+//! # Example
+//!
+//! ```
+//! use pv_flush::{FlushVerifier, PipelineBug, PipelineModel};
+//!
+//! // The correct three-stage pipeline satisfies the commuting diagram …
+//! let report = FlushVerifier::new(PipelineModel::correct()).verify();
+//! assert!(report.valid());
+//! // … and dropping the forwarding path is caught with a counterexample.
+//! let buggy = FlushVerifier::new(PipelineModel::with_bug(PipelineBug::NoForwarding)).verify();
+//! assert!(!buggy.valid());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod euf;
+pub mod flushing;
+pub mod pipeline;
+pub mod term;
+
+pub use euf::{check_sat, check_valid, AtomAssignment, EufCounterexample, EufReport};
+pub use flushing::{FlushReport, FlushVerifier};
+pub use pipeline::{ArchState, PipelineBug, PipelineModel, PipelineState};
+pub use term::{Sort, Term, TermManager, TermNode};

@@ -1,0 +1,629 @@
+//! The Alpha0 instruction set (Table 2 of the thesis), a condensed subset of
+//! the DEC Alpha.
+//!
+//! Alpha0 is a load/store RISC with 32-bit fixed-format instructions in four
+//! formats:
+//!
+//! ```text
+//! Operate:          <31:26> op  <25:21> Ra  <20:16> Rb  <15:13> 000  <12> 0  <11:5> func  <4:0> Rc
+//! Op with literal:  <31:26> op  <25:21> Ra  <20:13> lit             <12> 1  <11:5> func  <4:0> Rc
+//! Memory:           <31:26> op  <25:21> Ra  <20:16> Rb  <15:0> disp.m
+//! Branch:           <31:26> op  <25:21> Ra  <20:0>  disp.b
+//! ```
+//!
+//! As in the thesis (Section 6.3), the datapath is *condensed* to stay within
+//! BDD capacity: the data width, register count and memory size are
+//! parameters of [`Alpha0Config`] (defaults: 4-bit data, 8 registers, 8
+//! memory words, 5-bit word-addressed PC). Instruction semantics are those of
+//! Table 2 with word addressing (`PC ← PC + 1 + SEXT(disp)` instead of
+//! `PC + 4·SEXT(disp)`).
+
+/// Width of an encoded Alpha0 instruction (bits).
+pub const INSTR_WIDTH: usize = 32;
+/// Width of the instruction-address register (bits).
+pub const PC_WIDTH: usize = 5;
+/// Pipeline depth / order of definiteness of the Alpha0 designs.
+pub const PIPELINE_DEPTH: usize = 5;
+/// Number of delay slots after a control-transfer instruction.
+pub const DELAY_SLOTS: usize = 1;
+
+/// Datapath condensation parameters (Section 6.3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Alpha0Config {
+    /// Width of the general-purpose registers and the ALU, in bits (≤ 16).
+    pub data_width: usize,
+    /// Number of general-purpose registers (a power of two ≤ 32).
+    pub num_regs: usize,
+    /// Number of data-memory words (a power of two).
+    pub mem_words: usize,
+}
+
+impl Default for Alpha0Config {
+    fn default() -> Self {
+        Alpha0Config { data_width: 4, num_regs: 8, mem_words: 8 }
+    }
+}
+
+impl Alpha0Config {
+    /// The configuration closest to the thesis experiment: 4-bit datapath,
+    /// thirty-two 4-bit registers.
+    pub fn paper() -> Self {
+        Alpha0Config { data_width: 4, num_regs: 32, mem_words: 8 }
+    }
+
+    /// A deliberately tiny configuration for fast exhaustive tests.
+    pub fn tiny() -> Self {
+        Alpha0Config { data_width: 2, num_regs: 4, mem_words: 4 }
+    }
+
+    /// The condensation used for the *symbolic* experiments, mirroring the
+    /// thesis's single-register-model reduction of Section 6.3: a 4-bit
+    /// datapath with two registers and two memory words. The concrete test
+    /// suite exercises the larger configurations.
+    pub fn condensed() -> Self {
+        Alpha0Config { data_width: 4, num_regs: 2, mem_words: 2 }
+    }
+
+    /// Bit mask for data values.
+    pub fn data_mask(&self) -> u64 {
+        (1u64 << self.data_width) - 1
+    }
+
+    /// Bit mask for PC values.
+    pub fn pc_mask(&self) -> u64 {
+        (1u64 << PC_WIDTH) - 1
+    }
+
+    /// Number of address bits of the register file.
+    pub fn reg_addr_width(&self) -> usize {
+        self.num_regs.trailing_zeros() as usize
+    }
+
+    /// Number of address bits of the data memory.
+    pub fn mem_addr_width(&self) -> usize {
+        self.mem_words.trailing_zeros() as usize
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics if a field is zero, not a power of two where required, or too
+    /// wide for the fixed instruction encoding.
+    pub fn validate(&self) {
+        assert!(self.data_width > 0 && self.data_width <= 16, "data width out of range");
+        assert!(self.num_regs.is_power_of_two() && self.num_regs <= 32, "register count must be a power of two ≤ 32");
+        assert!(self.mem_words.is_power_of_two() && self.mem_words >= 2, "memory size must be a power of two ≥ 2");
+    }
+}
+
+/// The Alpha0 operations of Table 2.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Alpha0Op {
+    /// `Rc ← Ra + (Rb|Lit)`
+    Add,
+    /// `Rc ← Ra − (Rb|Lit)`
+    Sub,
+    /// `Rc ← Ra AND (Rb|Lit)`
+    And,
+    /// `Rc ← Ra OR (Rb|Lit)`
+    Or,
+    /// `Rc ← Ra XOR (Rb|Lit)`
+    Xor,
+    /// `Rc ← Ra SLL (Rb|Lit)`
+    Sll,
+    /// `Rc ← Ra SRL (Rb|Lit)`
+    Srl,
+    /// `Rc ← (Ra = Rb|Lit) ? 1 : 0`
+    Cmpeq,
+    /// `Rc ← (Ra < Rb|Lit, signed) ? 1 : 0`
+    Cmplt,
+    /// `Rc ← (Ra ≤ Rb|Lit, signed) ? 1 : 0`
+    Cmple,
+    /// `Ra ← PC+1, PC ← PC+1+SEXT(disp.b)`
+    Br,
+    /// `if Ra = 0 then PC ← PC+1+SEXT(disp.b)`
+    Bf,
+    /// `if Ra ≠ 0 then PC ← PC+1+SEXT(disp.b)`
+    Bt,
+    /// `Ra ← PC+1, PC ← Rb`
+    Jmp,
+    /// `Ra ← Mem[Rb + SEXT(disp.m)]`
+    Ld,
+    /// `Mem[Rb + SEXT(disp.m)] ← Ra`
+    St,
+}
+
+impl Alpha0Op {
+    /// `(opcode, function)` encoding of Table 2; the function field is `None`
+    /// for memory- and branch-format instructions.
+    pub fn encoding(self) -> (u32, Option<u32>) {
+        match self {
+            Alpha0Op::Add => (0x10, Some(0x20)),
+            Alpha0Op::Sub => (0x10, Some(0x29)),
+            Alpha0Op::Cmpeq => (0x10, Some(0x2D)),
+            Alpha0Op::Cmplt => (0x10, Some(0x4D)),
+            Alpha0Op::Cmple => (0x10, Some(0x6D)),
+            Alpha0Op::And => (0x11, Some(0x00)),
+            Alpha0Op::Or => (0x11, Some(0x20)),
+            Alpha0Op::Xor => (0x11, Some(0x40)),
+            Alpha0Op::Srl => (0x12, Some(0x34)),
+            Alpha0Op::Sll => (0x12, Some(0x39)),
+            Alpha0Op::Br => (0x30, None),
+            Alpha0Op::Bf => (0x39, None),
+            Alpha0Op::Bt => (0x3D, None),
+            Alpha0Op::Jmp => (0x36, None),
+            Alpha0Op::Ld => (0x29, None),
+            Alpha0Op::St => (0x2D, None),
+        }
+    }
+
+    /// `true` for operate-format (ALU/compare/shift) instructions.
+    pub fn is_operate(self) -> bool {
+        matches!(
+            self,
+            Alpha0Op::Add
+                | Alpha0Op::Sub
+                | Alpha0Op::And
+                | Alpha0Op::Or
+                | Alpha0Op::Xor
+                | Alpha0Op::Sll
+                | Alpha0Op::Srl
+                | Alpha0Op::Cmpeq
+                | Alpha0Op::Cmplt
+                | Alpha0Op::Cmple
+        )
+    }
+
+    /// `true` for control-transfer instructions (`br`, `bf`, `bt`, `jmp`).
+    pub fn is_control_transfer(self) -> bool {
+        matches!(self, Alpha0Op::Br | Alpha0Op::Bf | Alpha0Op::Bt | Alpha0Op::Jmp)
+    }
+
+    /// `true` for memory-access instructions.
+    pub fn is_memory(self) -> bool {
+        matches!(self, Alpha0Op::Ld | Alpha0Op::St)
+    }
+
+    /// All operations, for exhaustive enumeration.
+    pub fn all() -> [Alpha0Op; 16] {
+        [
+            Alpha0Op::Add,
+            Alpha0Op::Sub,
+            Alpha0Op::And,
+            Alpha0Op::Or,
+            Alpha0Op::Xor,
+            Alpha0Op::Sll,
+            Alpha0Op::Srl,
+            Alpha0Op::Cmpeq,
+            Alpha0Op::Cmplt,
+            Alpha0Op::Cmple,
+            Alpha0Op::Br,
+            Alpha0Op::Bf,
+            Alpha0Op::Bt,
+            Alpha0Op::Jmp,
+            Alpha0Op::Ld,
+            Alpha0Op::St,
+        ]
+    }
+}
+
+/// Errors arising when decoding a 32-bit instruction word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// Unassigned opcode.
+    UnknownOpcode(u32),
+    /// Operate-format opcode with an unassigned function field.
+    UnknownFunction {
+        /// The opcode group.
+        opcode: u32,
+        /// The unassigned function value.
+        function: u32,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::UnknownFunction { opcode, function } => {
+                write!(f, "unknown function {function:#04x} for opcode {opcode:#04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// One decoded Alpha0 instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Alpha0Instr {
+    /// Operation.
+    pub op: Alpha0Op,
+    /// `Ra` field (source for operate/store/branch, destination for load and
+    /// the link register of `br`/`jmp`).
+    pub ra: u8,
+    /// `Rb` field (second source / base register).
+    pub rb: u8,
+    /// `Rc` field (destination of operate instructions).
+    pub rc: u8,
+    /// Literal operand for operate-with-literal format.
+    pub literal: Option<u8>,
+    /// Sign-extended displacement (`disp.m` for memory, `disp.b` for branch).
+    pub disp: i32,
+}
+
+impl Alpha0Instr {
+    /// Register-register operate instruction.
+    pub fn operate(op: Alpha0Op, rc: u8, ra: u8, rb: u8) -> Self {
+        assert!(op.is_operate(), "{op:?} is not an operate instruction");
+        Alpha0Instr { op, ra: ra & 31, rb: rb & 31, rc: rc & 31, literal: None, disp: 0 }
+    }
+
+    /// Operate-with-literal instruction.
+    pub fn operate_lit(op: Alpha0Op, rc: u8, ra: u8, lit: u8) -> Self {
+        assert!(op.is_operate(), "{op:?} is not an operate instruction");
+        Alpha0Instr { op, ra: ra & 31, rb: 0, rc: rc & 31, literal: Some(lit), disp: 0 }
+    }
+
+    /// Unconditional branch-and-link.
+    pub fn br(ra: u8, disp: i32) -> Self {
+        Alpha0Instr { op: Alpha0Op::Br, ra: ra & 31, rb: 0, rc: 0, literal: None, disp }
+    }
+
+    /// Conditional branch (`bf` if `taken_on_zero`, `bt` otherwise).
+    pub fn cond_branch(taken_on_zero: bool, ra: u8, disp: i32) -> Self {
+        let op = if taken_on_zero { Alpha0Op::Bf } else { Alpha0Op::Bt };
+        Alpha0Instr { op, ra: ra & 31, rb: 0, rc: 0, literal: None, disp }
+    }
+
+    /// Jump through a register, linking to `ra`.
+    pub fn jmp(ra: u8, rb: u8) -> Self {
+        Alpha0Instr { op: Alpha0Op::Jmp, ra: ra & 31, rb: rb & 31, rc: 0, literal: None, disp: 0 }
+    }
+
+    /// Load `ra ← Mem[rb + disp]`.
+    pub fn ld(ra: u8, rb: u8, disp: i32) -> Self {
+        Alpha0Instr { op: Alpha0Op::Ld, ra: ra & 31, rb: rb & 31, rc: 0, literal: None, disp }
+    }
+
+    /// Store `Mem[rb + disp] ← ra`.
+    pub fn st(ra: u8, rb: u8, disp: i32) -> Self {
+        Alpha0Instr { op: Alpha0Op::St, ra: ra & 31, rb: rb & 31, rc: 0, literal: None, disp }
+    }
+
+    /// `true` if this instruction transfers control.
+    pub fn is_control_transfer(&self) -> bool {
+        self.op.is_control_transfer()
+    }
+
+    /// Encodes into the 32-bit format of Table 2.
+    pub fn encode(&self) -> u32 {
+        let (opcode, function) = self.op.encoding();
+        let base = opcode << 26 | u32::from(self.ra & 31) << 21;
+        match self.op {
+            op if op.is_operate() => {
+                let func = function.expect("operate instructions have a function code") << 5;
+                match self.literal {
+                    Some(lit) => base | u32::from(lit) << 13 | 1 << 12 | func | u32::from(self.rc & 31),
+                    None => base | u32::from(self.rb & 31) << 16 | func | u32::from(self.rc & 31),
+                }
+            }
+            Alpha0Op::Br | Alpha0Op::Bf | Alpha0Op::Bt => {
+                base | (self.disp as u32 & 0x1F_FFFF)
+            }
+            // Memory format (ld/st/jmp).
+            _ => base | u32::from(self.rb & 31) << 16 | (self.disp as u32 & 0xFFFF),
+        }
+    }
+
+    /// Decodes a 32-bit instruction word.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError`] for unassigned opcodes or function codes.
+    pub fn decode(word: u32) -> Result<Self, DecodeError> {
+        let opcode = word >> 26;
+        let ra = (word >> 21 & 31) as u8;
+        let rb = (word >> 16 & 31) as u8;
+        let rc = (word & 31) as u8;
+        let function = word >> 5 & 0x7F;
+        let lit_flag = word >> 12 & 1 == 1;
+        let literal = ((word >> 13) & 0xFF) as u8;
+        let disp_m = sign_extend(word & 0xFFFF, 16);
+        let disp_b = sign_extend(word & 0x1F_FFFF, 21);
+        let op = match opcode {
+            0x10 => match function {
+                0x20 => Alpha0Op::Add,
+                0x29 => Alpha0Op::Sub,
+                0x2D => Alpha0Op::Cmpeq,
+                0x4D => Alpha0Op::Cmplt,
+                0x6D => Alpha0Op::Cmple,
+                f => return Err(DecodeError::UnknownFunction { opcode, function: f }),
+            },
+            0x11 => match function {
+                0x00 => Alpha0Op::And,
+                0x20 => Alpha0Op::Or,
+                0x40 => Alpha0Op::Xor,
+                f => return Err(DecodeError::UnknownFunction { opcode, function: f }),
+            },
+            0x12 => match function {
+                0x34 => Alpha0Op::Srl,
+                0x39 => Alpha0Op::Sll,
+                f => return Err(DecodeError::UnknownFunction { opcode, function: f }),
+            },
+            0x30 => Alpha0Op::Br,
+            0x39 => Alpha0Op::Bf,
+            0x3D => Alpha0Op::Bt,
+            0x36 => Alpha0Op::Jmp,
+            0x29 => Alpha0Op::Ld,
+            0x2D => Alpha0Op::St,
+            other => return Err(DecodeError::UnknownOpcode(other)),
+        };
+        Ok(match op {
+            op if op.is_operate() => Alpha0Instr {
+                op,
+                ra,
+                rb: if lit_flag { 0 } else { rb },
+                rc,
+                literal: lit_flag.then_some(literal),
+                disp: 0,
+            },
+            Alpha0Op::Br | Alpha0Op::Bf | Alpha0Op::Bt => {
+                Alpha0Instr { op, ra, rb: 0, rc: 0, literal: None, disp: disp_b }
+            }
+            _ => Alpha0Instr { op, ra, rb, rc: 0, literal: None, disp: disp_m },
+        })
+    }
+
+    /// Executes the instruction on `state` (the ISA-level specification
+    /// semantics).
+    pub fn step(&self, state: &Alpha0State) -> Alpha0State {
+        let cfg = state.config;
+        let dm = cfg.data_mask();
+        let mut next = state.clone();
+        let pc_plus_1 = (state.pc + 1) & cfg.pc_mask();
+        next.pc = pc_plus_1;
+        let reg = |i: u8| state.regs[i as usize % cfg.num_regs];
+        match self.op {
+            op if op.is_operate() => {
+                let a = reg(self.ra);
+                let b = match self.literal {
+                    Some(l) => u64::from(l) & dm,
+                    None => reg(self.rb),
+                };
+                let value = match op {
+                    Alpha0Op::Add => (a + b) & dm,
+                    Alpha0Op::Sub => a.wrapping_sub(b) & dm,
+                    Alpha0Op::And => a & b,
+                    Alpha0Op::Or => a | b,
+                    Alpha0Op::Xor => a ^ b,
+                    Alpha0Op::Sll => if b as usize >= cfg.data_width { 0 } else { (a << b) & dm },
+                    Alpha0Op::Srl => if b as usize >= cfg.data_width { 0 } else { a >> b },
+                    Alpha0Op::Cmpeq => u64::from(a == b),
+                    Alpha0Op::Cmplt => u64::from(signed(a, cfg) < signed(b, cfg)),
+                    Alpha0Op::Cmple => u64::from(signed(a, cfg) <= signed(b, cfg)),
+                    _ => unreachable!(),
+                };
+                next.regs[self.rc as usize % cfg.num_regs] = value & dm;
+            }
+            Alpha0Op::Br => {
+                next.regs[self.ra as usize % cfg.num_regs] = pc_plus_1 & dm;
+                next.pc = pc_plus_1.wrapping_add_signed(self.disp as i64) & cfg.pc_mask();
+            }
+            Alpha0Op::Bf | Alpha0Op::Bt => {
+                let a = reg(self.ra);
+                let taken = if self.op == Alpha0Op::Bf { a == 0 } else { a != 0 };
+                if taken {
+                    next.pc = pc_plus_1.wrapping_add_signed(self.disp as i64) & cfg.pc_mask();
+                }
+            }
+            Alpha0Op::Jmp => {
+                next.regs[self.ra as usize % cfg.num_regs] = pc_plus_1 & dm;
+                next.pc = reg(self.rb) & cfg.pc_mask();
+            }
+            Alpha0Op::Ld => {
+                let addr = effective_address(reg(self.rb), self.disp, cfg);
+                next.regs[self.ra as usize % cfg.num_regs] = state.mem[addr];
+            }
+            Alpha0Op::St => {
+                let addr = effective_address(reg(self.rb), self.disp, cfg);
+                next.mem[addr] = reg(self.ra);
+            }
+            op => unreachable!("operate instruction {op:?} is handled by the guard above"),
+        }
+        next
+    }
+}
+
+fn signed(value: u64, cfg: Alpha0Config) -> i64 {
+    let w = cfg.data_width;
+    let sign_bit = 1u64 << (w - 1);
+    if value & sign_bit != 0 {
+        value as i64 - (1i64 << w)
+    } else {
+        value as i64
+    }
+}
+
+fn effective_address(base: u64, disp: i32, cfg: Alpha0Config) -> usize {
+    (base.wrapping_add_signed(disp as i64) % cfg.mem_words as u64) as usize
+}
+
+/// Sign-extends the low `bits` bits of `value` to an `i32`.
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+/// The architectural state of Alpha0: register file, PC and data memory.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Alpha0State {
+    /// Datapath configuration.
+    pub config: Alpha0Config,
+    /// General-purpose registers (values masked to the data width).
+    pub regs: Vec<u64>,
+    /// Instruction-address register.
+    pub pc: u64,
+    /// Data memory.
+    pub mem: Vec<u64>,
+}
+
+impl Alpha0State {
+    /// The reset state (all registers, memory words and the PC are zero).
+    pub fn reset(config: Alpha0Config) -> Self {
+        config.validate();
+        Alpha0State {
+            config,
+            regs: vec![0; config.num_regs],
+            pc: 0,
+            mem: vec![0; config.mem_words],
+        }
+    }
+
+    /// Runs a program executed in order (instructions fed as inputs).
+    pub fn run(&self, program: &[Alpha0Instr]) -> Alpha0State {
+        program.iter().fold(self.clone(), |s, i| i.step(&s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> Alpha0State {
+        Alpha0State::reset(Alpha0Config::default())
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let cases = vec![
+            Alpha0Instr::operate(Alpha0Op::Add, 3, 1, 2),
+            Alpha0Instr::operate_lit(Alpha0Op::Sub, 4, 1, 9),
+            Alpha0Instr::operate(Alpha0Op::Cmple, 5, 6, 7),
+            Alpha0Instr::operate_lit(Alpha0Op::Sll, 2, 2, 1),
+            Alpha0Instr::br(7, -3),
+            Alpha0Instr::cond_branch(true, 1, 5),
+            Alpha0Instr::cond_branch(false, 1, -1),
+            Alpha0Instr::jmp(6, 5),
+            Alpha0Instr::ld(2, 3, 4),
+            Alpha0Instr::st(2, 3, -2),
+        ];
+        for i in cases {
+            assert_eq!(Alpha0Instr::decode(i.encode()), Ok(i), "{i:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_encodings() {
+        assert!(matches!(Alpha0Instr::decode(0x3F << 26), Err(DecodeError::UnknownOpcode(_))));
+        assert!(matches!(
+            Alpha0Instr::decode(0x10 << 26 | 0x7F << 5),
+            Err(DecodeError::UnknownFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn alu_and_compare_semantics() {
+        let mut s = state();
+        s.regs[1] = 0xE; // -2 signed in 4 bits
+        s.regs[2] = 0x3;
+        let add = Alpha0Instr::operate(Alpha0Op::Add, 3, 1, 2).step(&s);
+        assert_eq!(add.regs[3], (0xE + 0x3) & 0xF);
+        let sub = Alpha0Instr::operate(Alpha0Op::Sub, 3, 2, 1).step(&s);
+        assert_eq!(sub.regs[3], 0x3u64.wrapping_sub(0xE) & 0xF);
+        let lt = Alpha0Instr::operate(Alpha0Op::Cmplt, 3, 1, 2).step(&s);
+        assert_eq!(lt.regs[3], 1, "-2 < 3 signed");
+        let le = Alpha0Instr::operate(Alpha0Op::Cmple, 3, 2, 2).step(&s);
+        assert_eq!(le.regs[3], 1);
+        let eq = Alpha0Instr::operate(Alpha0Op::Cmpeq, 3, 1, 2).step(&s);
+        assert_eq!(eq.regs[3], 0);
+        let andl = Alpha0Instr::operate_lit(Alpha0Op::And, 3, 1, 0x6).step(&s);
+        assert_eq!(andl.regs[3], 0xE & 0x6);
+        let sll = Alpha0Instr::operate_lit(Alpha0Op::Sll, 3, 2, 2).step(&s);
+        assert_eq!(sll.regs[3], (0x3 << 2) & 0xF);
+        let srl = Alpha0Instr::operate_lit(Alpha0Op::Srl, 3, 1, 1).step(&s);
+        assert_eq!(srl.regs[3], 0xE >> 1);
+        let srl_big = Alpha0Instr::operate_lit(Alpha0Op::Srl, 3, 1, 9).step(&s);
+        assert_eq!(srl_big.regs[3], 0);
+        assert_eq!(add.pc, 1);
+    }
+
+    #[test]
+    fn branch_and_jump_semantics() {
+        let mut s = state();
+        s.pc = 6;
+        s.regs[2] = 0;
+        s.regs[3] = 5;
+        let br = Alpha0Instr::br(1, 4).step(&s);
+        assert_eq!(br.regs[1], 7 & 0xF);
+        assert_eq!(br.pc, 11);
+        let bf_taken = Alpha0Instr::cond_branch(true, 2, 3).step(&s);
+        assert_eq!(bf_taken.pc, 10);
+        let bf_not = Alpha0Instr::cond_branch(true, 3, 3).step(&s);
+        assert_eq!(bf_not.pc, 7);
+        let bt_taken = Alpha0Instr::cond_branch(false, 3, -2).step(&s);
+        assert_eq!(bt_taken.pc, 5);
+        let jmp = Alpha0Instr::jmp(4, 3).step(&s);
+        assert_eq!(jmp.pc, 5);
+        assert_eq!(jmp.regs[4], 7);
+        // PC wraps at 5 bits.
+        s.pc = 31;
+        let wrap = Alpha0Instr::br(0, 1).step(&s);
+        assert_eq!(wrap.pc, 1);
+    }
+
+    #[test]
+    fn memory_semantics() {
+        let mut s = state();
+        s.regs[1] = 0x9;
+        s.regs[2] = 0x3;
+        let st = Alpha0Instr::st(1, 2, 2).step(&s); // Mem[(3+2)%8] = 9
+        assert_eq!(st.mem[5], 0x9);
+        let ld = Alpha0Instr::ld(4, 2, 2).step(&st);
+        assert_eq!(ld.regs[4], 0x9);
+        // Negative displacement wraps around the memory size.
+        let st2 = Alpha0Instr::st(1, 2, -5).step(&s); // (3-5) mod 8 = 6
+        assert_eq!(st2.mem[6], 0x9);
+    }
+
+    #[test]
+    fn run_program() {
+        let s = state();
+        let prog = [
+            Alpha0Instr::operate_lit(Alpha0Op::Add, 1, 0, 5), // r1 = 5
+            Alpha0Instr::operate_lit(Alpha0Op::Add, 2, 0, 3), // r2 = 3
+            Alpha0Instr::operate(Alpha0Op::Sub, 3, 1, 2),     // r3 = 2
+            Alpha0Instr::st(3, 0, 1),                          // mem[1] = 2
+            Alpha0Instr::ld(4, 0, 1),                          // r4 = 2
+        ];
+        let out = s.run(&prog);
+        assert_eq!(out.regs[3], 2);
+        assert_eq!(out.regs[4], 2);
+        assert_eq!(out.mem[1], 2);
+        assert_eq!(out.pc, 5);
+    }
+
+    #[test]
+    fn config_validation() {
+        Alpha0Config::default().validate();
+        Alpha0Config::paper().validate();
+        Alpha0Config::tiny().validate();
+        assert_eq!(Alpha0Config::default().reg_addr_width(), 3);
+        assert_eq!(Alpha0Config::paper().reg_addr_width(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_config_rejected() {
+        Alpha0Config { data_width: 4, num_regs: 3, mem_words: 8 }.validate();
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Alpha0Op::Br.is_control_transfer());
+        assert!(Alpha0Op::Jmp.is_control_transfer());
+        assert!(!Alpha0Op::Add.is_control_transfer());
+        assert!(Alpha0Op::Ld.is_memory());
+        assert!(Alpha0Op::Cmple.is_operate());
+        assert_eq!(Alpha0Op::all().len(), 16);
+    }
+}

@@ -1,0 +1,39 @@
+//! Instruction-set specifications and reference interpreters for the two
+//! case-study processors of Chapter 6:
+//!
+//! * [`vsm`] — the VSM, a 13-bit experimental RISC (Table 1): five
+//!   instructions (`add`, `and`, `or`, `xor`, `br`), eight 3-bit registers, a
+//!   5-bit instruction-address register;
+//! * [`alpha0`] — Alpha0, a condensed subset of the DEC Alpha (Table 2):
+//!   load/store architecture, 32-bit fixed-format instructions, operate /
+//!   operate-with-literal / memory / branch formats, conditional branches,
+//!   jumps and a small data memory. As in the thesis, the datapath is
+//!   condensed (parameterisable data width, register count and memory size)
+//!   to stay within BDD capacity; instruction semantics are unchanged.
+//!
+//! Each module defines the instruction encoding, an assembler-style
+//! constructor API, and a pure *reference interpreter* that serves as the
+//! ISA-level specification in tests and as the golden model the unpipelined
+//! netlist is checked against.
+//!
+//! # Example
+//!
+//! ```
+//! use pv_isa::vsm::{VsmInstr, VsmState};
+//!
+//! let mut s = VsmState::reset();
+//! s.regs[1] = 3;
+//! s.regs[2] = 5;
+//! let add = VsmInstr::add_reg(3, 1, 2);
+//! let s2 = add.step(&s);
+//! assert_eq!(s2.regs[3], (3 + 5) & 0x7);
+//! assert_eq!(s2.pc, 1);
+//! // Encoding round-trips through the 13-bit format of Table 1.
+//! assert_eq!(VsmInstr::decode(add.encode()), Ok(add));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alpha0;
+pub mod vsm;

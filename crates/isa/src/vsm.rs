@@ -1,0 +1,327 @@
+//! The VSM instruction set (Table 1 of the thesis).
+//!
+//! VSM is a 13-bit, single-format RISC with eight 3-bit general-purpose
+//! registers and a 5-bit instruction-address register (PC). The instruction
+//! format is
+//!
+//! ```text
+//!  bits:   <12:10>  <9>  <8:6>     <5:3>    <2:0>
+//!  field:  Opcode    L   Ra/Disp   Rb/Lit   Rc
+//! ```
+//!
+//! with opcodes `add = 000`, `xor = 001`, `and = 010`, `or = 011`,
+//! `br = 100`. When `L = 1` the `Rb/Lit` field is used as a 3-bit literal
+//! operand instead of a register index.
+//!
+//! Sequencing conventions (fixed here and used identically by the reference
+//! interpreter and by both netlist implementations in `pv-proc`): every
+//! instruction advances the PC by one; `br` writes the *updated* PC (the
+//! address of the following instruction) to `Rc` and then adds the
+//! sign-extended 3-bit displacement to it. The pipelined implementation has
+//! one annulled delay slot after `br`.
+
+/// Data width of the general-purpose registers (bits).
+pub const DATA_WIDTH: usize = 3;
+/// Number of general-purpose registers.
+pub const NUM_REGS: usize = 8;
+/// Width of the instruction-address register (bits).
+pub const PC_WIDTH: usize = 5;
+/// Width of an encoded instruction (bits).
+pub const INSTR_WIDTH: usize = 13;
+/// Pipeline depth / order of definiteness of the VSM designs.
+pub const PIPELINE_DEPTH: usize = 4;
+/// Number of delay slots after a control-transfer instruction.
+pub const DELAY_SLOTS: usize = 1;
+
+const DATA_MASK: u8 = (1 << DATA_WIDTH) - 1;
+const PC_MASK: u8 = (1 << PC_WIDTH) - 1;
+
+/// The five VSM opcodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum VsmOp {
+    /// `Rc ← Ra + (Rb | Lit)`
+    Add,
+    /// `Rc ← Ra XOR (Rb | Lit)`
+    Xor,
+    /// `Rc ← Ra AND (Rb | Lit)`
+    And,
+    /// `Rc ← Ra OR (Rb | Lit)`
+    Or,
+    /// `Rc ← PC+1, PC ← PC+1+sext(Disp)`
+    Br,
+}
+
+impl VsmOp {
+    /// The 3-bit opcode encoding of Table 1.
+    pub fn encoding(self) -> u16 {
+        match self {
+            VsmOp::Add => 0b000,
+            VsmOp::Xor => 0b001,
+            VsmOp::And => 0b010,
+            VsmOp::Or => 0b011,
+            VsmOp::Br => 0b100,
+        }
+    }
+
+    /// Decodes a 3-bit opcode field.
+    pub fn from_encoding(bits: u16) -> Result<Self, DecodeError> {
+        match bits & 0b111 {
+            0b000 => Ok(VsmOp::Add),
+            0b001 => Ok(VsmOp::Xor),
+            0b010 => Ok(VsmOp::And),
+            0b011 => Ok(VsmOp::Or),
+            0b100 => Ok(VsmOp::Br),
+            other => Err(DecodeError::UnknownOpcode(other as u32)),
+        }
+    }
+
+    /// `true` for control-transfer instructions (only `br` in the VSM).
+    pub fn is_control_transfer(self) -> bool {
+        matches!(self, VsmOp::Br)
+    }
+
+    /// All opcodes, for exhaustive enumeration in tests and workloads.
+    pub fn all() -> [VsmOp; 5] {
+        [VsmOp::Add, VsmOp::Xor, VsmOp::And, VsmOp::Or, VsmOp::Br]
+    }
+}
+
+/// Errors arising when decoding a 13-bit instruction word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// The opcode field holds an unassigned encoding.
+    UnknownOpcode(u32),
+    /// The instruction word has bits set above bit 12.
+    OutOfRange(u32),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#05b}"),
+            DecodeError::OutOfRange(w) => write!(f, "instruction word {w:#x} exceeds 13 bits"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// One decoded VSM instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct VsmInstr {
+    /// Operation.
+    pub op: VsmOp,
+    /// Literal flag (`L`): when set, `rb` is a 3-bit literal operand.
+    pub literal: bool,
+    /// `Ra` register index, or the branch displacement for `br`.
+    pub ra: u8,
+    /// `Rb` register index or 3-bit literal.
+    pub rb: u8,
+    /// Destination register index.
+    pub rc: u8,
+}
+
+impl VsmInstr {
+    /// Register-register ALU instruction.
+    pub fn alu_reg(op: VsmOp, rc: u8, ra: u8, rb: u8) -> Self {
+        VsmInstr { op, literal: false, ra: ra & 7, rb: rb & 7, rc: rc & 7 }
+    }
+
+    /// Register-literal ALU instruction.
+    pub fn alu_lit(op: VsmOp, rc: u8, ra: u8, lit: u8) -> Self {
+        VsmInstr { op, literal: true, ra: ra & 7, rb: lit & 7, rc: rc & 7 }
+    }
+
+    /// `add rc, ra, rb`.
+    pub fn add_reg(rc: u8, ra: u8, rb: u8) -> Self {
+        Self::alu_reg(VsmOp::Add, rc, ra, rb)
+    }
+
+    /// `add rc, ra, #lit`.
+    pub fn add_lit(rc: u8, ra: u8, lit: u8) -> Self {
+        Self::alu_lit(VsmOp::Add, rc, ra, lit)
+    }
+
+    /// `br rc, disp` — link to `rc`, branch by the sign-extended displacement.
+    pub fn br(rc: u8, disp: u8) -> Self {
+        VsmInstr { op: VsmOp::Br, literal: false, ra: disp & 7, rb: 0, rc: rc & 7 }
+    }
+
+    /// Encodes into the 13-bit format of Table 1.
+    pub fn encode(&self) -> u16 {
+        (self.op.encoding() << 10)
+            | (u16::from(self.literal) << 9)
+            | (u16::from(self.ra & 7) << 6)
+            | (u16::from(self.rb & 7) << 3)
+            | u16::from(self.rc & 7)
+    }
+
+    /// Decodes a 13-bit instruction word.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError`] for unknown opcodes or out-of-range words.
+    pub fn decode(word: u16) -> Result<Self, DecodeError> {
+        if word >> INSTR_WIDTH != 0 {
+            return Err(DecodeError::OutOfRange(word as u32));
+        }
+        let op = VsmOp::from_encoding(word >> 10)?;
+        Ok(VsmInstr {
+            op,
+            literal: word >> 9 & 1 == 1,
+            ra: (word >> 6 & 7) as u8,
+            rb: (word >> 3 & 7) as u8,
+            rc: (word & 7) as u8,
+        })
+    }
+
+    /// `true` if this instruction transfers control.
+    pub fn is_control_transfer(&self) -> bool {
+        self.op.is_control_transfer()
+    }
+
+    /// Executes the instruction on `state`, returning the successor
+    /// architectural state (the ISA-level specification semantics).
+    pub fn step(&self, state: &VsmState) -> VsmState {
+        let mut next = *state;
+        let pc_plus_1 = (state.pc + 1) & PC_MASK;
+        match self.op {
+            VsmOp::Br => {
+                next.regs[self.rc as usize] = pc_plus_1 & DATA_MASK;
+                let disp = sext3_to_pc(self.ra);
+                next.pc = pc_plus_1.wrapping_add(disp) & PC_MASK;
+            }
+            alu => {
+                let a = state.regs[self.ra as usize];
+                let b = if self.literal { self.rb } else { state.regs[self.rb as usize] };
+                let value = match alu {
+                    VsmOp::Add => a.wrapping_add(b),
+                    VsmOp::Xor => a ^ b,
+                    VsmOp::And => a & b,
+                    VsmOp::Or => a | b,
+                    VsmOp::Br => unreachable!(),
+                } & DATA_MASK;
+                next.regs[self.rc as usize] = value;
+                next.pc = pc_plus_1;
+            }
+        }
+        next
+    }
+}
+
+/// Sign-extends a 3-bit field to the 5-bit PC width.
+fn sext3_to_pc(field: u8) -> u8 {
+    let f = field & 7;
+    if f & 0b100 != 0 {
+        (f | !7u8) & PC_MASK
+    } else {
+        f
+    }
+}
+
+/// The architectural state of the VSM: eight 3-bit registers and the 5-bit
+/// instruction-address register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct VsmState {
+    /// General-purpose registers (values masked to 3 bits).
+    pub regs: [u8; NUM_REGS],
+    /// Instruction-address register (masked to 5 bits).
+    pub pc: u8,
+}
+
+impl VsmState {
+    /// The reset state: all registers and the PC are zero.
+    pub fn reset() -> Self {
+        VsmState::default()
+    }
+
+    /// Runs a program (a sequence of instructions executed in order,
+    /// independent of the PC — instructions are fed as inputs, as in the
+    /// verification methodology) and returns the final state.
+    pub fn run(&self, program: &[VsmInstr]) -> VsmState {
+        program.iter().fold(*self, |s, i| i.step(&s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip_all_instructions() {
+        for op in VsmOp::all() {
+            for literal in [false, true] {
+                for ra in 0..8u8 {
+                    let i = VsmInstr { op, literal, ra, rb: (ra + 3) & 7, rc: (ra + 5) & 7 };
+                    assert_eq!(VsmInstr::decode(i.encode()), Ok(i));
+                    assert!(u32::from(i.encode()) < 1 << INSTR_WIDTH);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_words() {
+        assert!(matches!(VsmInstr::decode(1 << 13), Err(DecodeError::OutOfRange(_))));
+        // Opcodes 101, 110, 111 are unassigned.
+        assert!(matches!(
+            VsmInstr::decode(0b101_0_000_000_000),
+            Err(DecodeError::UnknownOpcode(_))
+        ));
+    }
+
+    #[test]
+    fn alu_semantics() {
+        let mut s = VsmState::reset();
+        s.regs[1] = 6;
+        s.regs[2] = 3;
+        let and = VsmInstr::alu_reg(VsmOp::And, 4, 1, 2).step(&s);
+        assert_eq!(and.regs[4], 6 & 3);
+        let or = VsmInstr::alu_reg(VsmOp::Or, 4, 1, 2).step(&s);
+        assert_eq!(or.regs[4], 6 | 3);
+        let xor = VsmInstr::alu_reg(VsmOp::Xor, 4, 1, 2).step(&s);
+        assert_eq!(xor.regs[4], 6 ^ 3);
+        let add = VsmInstr::add_reg(4, 1, 2).step(&s);
+        assert_eq!(add.regs[4], (6 + 3) & 7);
+        let addl = VsmInstr::add_lit(4, 1, 7).step(&s);
+        assert_eq!(addl.regs[4], (6 + 7) & 7);
+        assert_eq!(add.pc, 1);
+    }
+
+    #[test]
+    fn branch_links_and_redirects() {
+        let mut s = VsmState::reset();
+        s.pc = 10;
+        // Forward branch by +2.
+        let b = VsmInstr::br(5, 2).step(&s);
+        assert_eq!(b.regs[5], 11 & 7);
+        assert_eq!(b.pc, 13);
+        // Backward branch by -1 (disp = 0b111).
+        let back = VsmInstr::br(5, 0b111).step(&s);
+        assert_eq!(back.pc, 10);
+        // PC wraps at 5 bits.
+        s.pc = 31;
+        let w = VsmInstr::br(0, 1).step(&s);
+        assert_eq!(w.pc, 1);
+    }
+
+    #[test]
+    fn run_executes_in_order() {
+        let s = VsmState::reset();
+        let prog = [
+            VsmInstr::add_lit(1, 0, 3), // r1 = 3
+            VsmInstr::add_lit(2, 1, 2), // r2 = 5
+            VsmInstr::alu_reg(VsmOp::Xor, 3, 1, 2),
+        ];
+        let out = s.run(&prog);
+        assert_eq!(out.regs[1], 3);
+        assert_eq!(out.regs[2], 5);
+        assert_eq!(out.regs[3], 3 ^ 5);
+        assert_eq!(out.pc, 3);
+    }
+
+    #[test]
+    fn control_transfer_classification() {
+        assert!(VsmInstr::br(0, 1).is_control_transfer());
+        assert!(!VsmInstr::add_reg(0, 0, 0).is_control_transfer());
+    }
+}

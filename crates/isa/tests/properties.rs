@@ -1,0 +1,109 @@
+//! Property-based tests of the instruction-set layer: encode/decode
+//! round-trips, masking invariants of the reference interpreters, and
+//! determinism.
+
+use proptest::prelude::*;
+use pv_isa::alpha0::{Alpha0Config, Alpha0Instr, Alpha0Op, Alpha0State};
+use pv_isa::vsm::{VsmInstr, VsmOp, VsmState};
+
+fn arb_vsm_instr() -> impl Strategy<Value = VsmInstr> {
+    (0usize..5, any::<bool>(), 0u8..8, 0u8..8, 0u8..8).prop_map(|(op, lit, ra, rb, rc)| {
+        let op = VsmOp::all()[op];
+        match op {
+            VsmOp::Br => VsmInstr::br(rc, ra),
+            o if lit => VsmInstr::alu_lit(o, rc, ra, rb),
+            o => VsmInstr::alu_reg(o, rc, ra, rb),
+        }
+    })
+}
+
+fn arb_alpha0_instr(cfg: Alpha0Config) -> impl Strategy<Value = Alpha0Instr> {
+    let regs = cfg.num_regs as u8;
+    (0usize..16, 0u8..regs, 0u8..regs, 0u8..regs, -8i32..8, 0u8..16, any::<bool>()).prop_map(
+        move |(op, ra, rb, rc, disp, lit, use_lit)| {
+            let op = Alpha0Op::all()[op];
+            match op {
+                o if o.is_operate() && use_lit => Alpha0Instr::operate_lit(o, rc, ra, lit),
+                o if o.is_operate() => Alpha0Instr::operate(o, rc, ra, rb),
+                Alpha0Op::Br => Alpha0Instr::br(ra, disp),
+                Alpha0Op::Bf => Alpha0Instr::cond_branch(true, ra, disp),
+                Alpha0Op::Bt => Alpha0Instr::cond_branch(false, ra, disp),
+                Alpha0Op::Jmp => Alpha0Instr::jmp(ra, rb),
+                Alpha0Op::Ld => Alpha0Instr::ld(ra, rb, disp),
+                _ => Alpha0Instr::st(ra, rb, disp),
+            }
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn vsm_encode_decode_round_trip(i in arb_vsm_instr()) {
+        let word = i.encode();
+        prop_assert!(u32::from(word) < 1 << 13);
+        prop_assert_eq!(VsmInstr::decode(word), Ok(i));
+    }
+
+    /// The VSM interpreter keeps every architectural value inside its width,
+    /// never touches more than one destination register, and is deterministic.
+    #[test]
+    fn vsm_step_invariants(i in arb_vsm_instr(), regs in proptest::array::uniform8(0u8..8), pc in 0u8..32) {
+        let state = VsmState { regs, pc };
+        let next = i.step(&state);
+        prop_assert_eq!(next, i.step(&state));
+        prop_assert!(next.pc < 32);
+        for r in next.regs {
+            prop_assert!(r < 8);
+        }
+        let changed: Vec<usize> = (0..8).filter(|&j| next.regs[j] != state.regs[j]).collect();
+        prop_assert!(changed.len() <= 1, "at most the destination register changes");
+        if !i.is_control_transfer() {
+            prop_assert_eq!(next.pc, (state.pc + 1) & 31);
+        }
+    }
+
+    #[test]
+    fn alpha0_encode_decode_round_trip(i in arb_alpha0_instr(Alpha0Config::default())) {
+        prop_assert_eq!(Alpha0Instr::decode(i.encode()), Ok(i));
+    }
+
+    /// The Alpha0 interpreter keeps register, memory and PC values in range
+    /// and only stores touch memory.
+    #[test]
+    fn alpha0_step_invariants(
+        i in arb_alpha0_instr(Alpha0Config::default()),
+        seed in proptest::collection::vec(0u64..16, 16),
+        pc in 0u64..32,
+    ) {
+        let cfg = Alpha0Config::default();
+        let mut state = Alpha0State::reset(cfg);
+        state.pc = pc;
+        for (j, r) in state.regs.iter_mut().enumerate() {
+            *r = seed[j] & cfg.data_mask();
+        }
+        for (j, m) in state.mem.iter_mut().enumerate() {
+            *m = seed[8 + j] & cfg.data_mask();
+        }
+        let next = i.step(&state);
+        prop_assert!(next.pc <= cfg.pc_mask());
+        for &r in &next.regs {
+            prop_assert!(r <= cfg.data_mask());
+        }
+        for &m in &next.mem {
+            prop_assert!(m <= cfg.data_mask());
+        }
+        if i.op != Alpha0Op::St {
+            prop_assert_eq!(&next.mem, &state.mem, "only stores modify memory");
+        }
+        if !i.is_control_transfer() {
+            prop_assert_eq!(next.pc, (state.pc + 1) & cfg.pc_mask());
+        }
+    }
+
+    /// Running a program is the left fold of single steps.
+    #[test]
+    fn run_is_fold_of_steps(prog in proptest::collection::vec(arb_vsm_instr(), 0..12)) {
+        let folded = prog.iter().fold(VsmState::reset(), |s, i| i.step(&s));
+        prop_assert_eq!(VsmState::reset().run(&prog), folded);
+    }
+}

@@ -1,0 +1,709 @@
+//! The word-level netlist builder (the BDS/BDSYN substitute).
+
+use std::collections::HashMap;
+
+use crate::net::{BuildError, NetId, NetNode, Netlist, PortInfo, RegInfo};
+
+/// A little-endian vector of nets forming a multi-bit signal.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Word {
+    bits: Vec<NetId>,
+}
+
+impl Word {
+    /// Builds a word from explicit bits (LSB first).
+    pub fn from_bits(bits: Vec<NetId>) -> Self {
+        Word { bits }
+    }
+
+    /// Builds a one-bit word from a single net.
+    pub fn from_bit(bit: NetId) -> Self {
+        Word { bits: vec![bit] }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Bit `i` (LSB = 0).
+    ///
+    /// # Panics
+    /// Panics if `i >= self.width()`.
+    pub fn bit(&self, i: usize) -> NetId {
+        self.bits[i]
+    }
+
+    /// Borrow the underlying bits.
+    pub fn bits(&self) -> &[NetId] {
+        &self.bits
+    }
+
+    /// The sub-word `[lo, lo+len)`.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, lo: usize, len: usize) -> Word {
+        assert!(lo + len <= self.width(), "slice out of range");
+        Word { bits: self.bits[lo..lo + len].to_vec() }
+    }
+
+    /// Concatenates `self` (low part) with `high`.
+    pub fn concat(&self, high: &Word) -> Word {
+        let mut bits = self.bits.clone();
+        bits.extend_from_slice(&high.bits);
+        Word { bits }
+    }
+}
+
+/// Handle to a word-level register: the current-value word plus the identity
+/// needed to assign its next state.
+#[derive(Clone, Debug)]
+pub struct RegWord {
+    pub(crate) name: String,
+    pub(crate) reg_indices: Vec<u32>,
+    pub(crate) value: Word,
+}
+
+impl RegWord {
+    /// The register's current-value word (its outputs).
+    pub fn value(&self) -> Word {
+        self.value.clone()
+    }
+
+    /// The register's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.value.width()
+    }
+}
+
+/// An addressable array of word-level registers (a register file or a small
+/// memory).
+#[derive(Clone, Debug)]
+pub struct RegArray {
+    pub(crate) name: String,
+    pub(crate) words: Vec<RegWord>,
+}
+
+impl RegArray {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` if the array has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The current-value word of entry `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn entry(&self, i: usize) -> Word {
+        self.words[i].value()
+    }
+
+    /// Width of each entry in bits.
+    pub fn width(&self) -> usize {
+        self.words.first().map_or(0, RegWord::width)
+    }
+
+    /// The array's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Mutable builder of a [`Netlist`].
+///
+/// The builder offers both single-bit gate constructors and word-level
+/// operators; gate nodes are structurally hashed and constant-folded so that
+/// equivalent sub-circuits are shared. See the [crate-level
+/// documentation](crate) for a complete example.
+#[derive(Clone, Debug)]
+pub struct NetlistBuilder {
+    name: String,
+    nodes: Vec<NetNode>,
+    node_cache: HashMap<NetNode, NetId>,
+    regs: Vec<RegInfo>,
+    inputs: Vec<PortInfo>,
+    outputs: Vec<(String, Vec<NetId>)>,
+    assigned: Vec<bool>,
+}
+
+impl NetlistBuilder {
+    /// Starts a new design with the given name.
+    pub fn new(name: &str) -> Self {
+        let mut b = NetlistBuilder {
+            name: name.to_owned(),
+            nodes: Vec::new(),
+            node_cache: HashMap::new(),
+            regs: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            assigned: Vec::new(),
+        };
+        // Nets 0 and 1 are the constants.
+        b.push(NetNode::Const(false));
+        b.push(NetNode::Const(true));
+        b
+    }
+
+    fn push(&mut self, node: NetNode) -> NetId {
+        if let Some(&id) = self.node_cache.get(&node) {
+            return id;
+        }
+        let id = NetId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.node_cache.insert(node, id);
+        id
+    }
+
+    fn const_of(&self, id: NetId) -> Option<bool> {
+        match self.nodes[id.0 as usize] {
+            NetNode::Const(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    // ----------------------------------------------------------- bit level --
+
+    /// The constant net for `value`.
+    pub fn lit(&mut self, value: bool) -> NetId {
+        if value {
+            NetId(1)
+        } else {
+            NetId(0)
+        }
+    }
+
+    /// Inverter.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        if let Some(v) = self.const_of(a) {
+            return self.lit(!v);
+        }
+        if let NetNode::Not(inner) = self.nodes[a.0 as usize] {
+            return inner;
+        }
+        self.push(NetNode::Not(a))
+    }
+
+    /// 2-input AND.
+    pub fn and(&mut self, a: NetId, b: NetId) -> NetId {
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(false), _) | (_, Some(false)) => return self.lit(false),
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.push(NetNode::And(a, b))
+    }
+
+    /// 2-input OR.
+    pub fn or(&mut self, a: NetId, b: NetId) -> NetId {
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(true), _) | (_, Some(true)) => return self.lit(true),
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.push(NetNode::Or(a, b))
+    }
+
+    /// 2-input XOR.
+    pub fn xor(&mut self, a: NetId, b: NetId) -> NetId {
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            (Some(true), _) => return self.not(b),
+            (_, Some(true)) => return self.not(a),
+            _ => {}
+        }
+        if a == b {
+            return self.lit(false);
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.push(NetNode::Xor(a, b))
+    }
+
+    /// 2-input XNOR (equivalence).
+    pub fn xnor(&mut self, a: NetId, b: NetId) -> NetId {
+        let x = self.xor(a, b);
+        self.not(x)
+    }
+
+    /// 2-input NAND.
+    pub fn nand(&mut self, a: NetId, b: NetId) -> NetId {
+        let x = self.and(a, b);
+        self.not(x)
+    }
+
+    /// 2-input NOR.
+    pub fn nor(&mut self, a: NetId, b: NetId) -> NetId {
+        let x = self.or(a, b);
+        self.not(x)
+    }
+
+    /// Bit multiplexer: `sel ? t : e`.
+    pub fn mux(&mut self, sel: NetId, t: NetId, e: NetId) -> NetId {
+        if let Some(v) = self.const_of(sel) {
+            return if v { t } else { e };
+        }
+        if t == e {
+            return t;
+        }
+        let st = self.and(sel, t);
+        let ns = self.not(sel);
+        let se = self.and(ns, e);
+        self.or(st, se)
+    }
+
+    /// Conjunction of many bits (true for an empty slice).
+    pub fn and_many(&mut self, bits: &[NetId]) -> NetId {
+        let mut acc = self.lit(true);
+        for &b in bits {
+            acc = self.and(acc, b);
+        }
+        acc
+    }
+
+    /// Disjunction of many bits (false for an empty slice).
+    pub fn or_many(&mut self, bits: &[NetId]) -> NetId {
+        let mut acc = self.lit(false);
+        for &b in bits {
+            acc = self.or(acc, b);
+        }
+        acc
+    }
+
+    // --------------------------------------------------------------- ports --
+
+    /// Declares a primary input port of the given width.
+    pub fn input(&mut self, name: &str, width: usize) -> Word {
+        let port = self.inputs.len() as u32;
+        self.inputs.push(PortInfo { name: name.to_owned(), width });
+        let bits = (0..width)
+            .map(|bit| self.push(NetNode::Input { port, bit: bit as u32 }))
+            .collect();
+        Word { bits }
+    }
+
+    /// Exposes a word as a named observable output (an "observed variable" in
+    /// the sense of Section 5.4).
+    pub fn expose(&mut self, name: &str, word: &Word) {
+        self.outputs.push((name.to_owned(), word.bits.clone()));
+    }
+
+    /// Exposes a single bit as a named observable output.
+    pub fn expose_bit(&mut self, name: &str, bit: NetId) {
+        self.outputs.push((name.to_owned(), vec![bit]));
+    }
+
+    // ----------------------------------------------------------- registers --
+
+    /// Declares a word-level register with the given reset value.
+    pub fn register(&mut self, name: &str, width: usize, init: u64) -> RegWord {
+        let mut reg_indices = Vec::with_capacity(width);
+        let mut bits = Vec::with_capacity(width);
+        for bit in 0..width {
+            let idx = self.regs.len() as u32;
+            self.regs.push(RegInfo {
+                name: name.to_owned(),
+                bit,
+                init: init >> bit & 1 == 1,
+                next: None,
+            });
+            self.assigned.push(false);
+            reg_indices.push(idx);
+            bits.push(self.push(NetNode::Reg(idx)));
+        }
+        RegWord { name: name.to_owned(), reg_indices, value: Word { bits } }
+    }
+
+    /// Assigns the next-state word of a register.
+    ///
+    /// # Panics
+    /// Panics if the widths differ.
+    pub fn set_next(&mut self, reg: &RegWord, next: &Word) {
+        assert_eq!(reg.width(), next.width(), "register `{}` width mismatch", reg.name);
+        for (i, &idx) in reg.reg_indices.iter().enumerate() {
+            if self.assigned[idx as usize] {
+                // Defer the error to `finish` so that it is reported through
+                // the Result channel rather than a panic.
+                self.regs[idx as usize].next = None;
+                continue;
+            }
+            self.assigned[idx as usize] = true;
+            self.regs[idx as usize].next = Some(next.bit(i));
+        }
+    }
+
+    /// Convenience: a register whose next state is `enable ? data : hold`.
+    pub fn register_en(&mut self, name: &str, width: usize, init: u64, enable: NetId, data: &Word) -> RegWord {
+        let reg = self.register(name, width, init);
+        let next = self.wmux(enable, data, &reg.value());
+        self.set_next(&reg, &next);
+        reg
+    }
+
+    /// Declares an addressable array of `count` registers of `width` bits,
+    /// each reset to `init`.
+    pub fn reg_array(&mut self, name: &str, count: usize, width: usize, init: u64) -> RegArray {
+        let words = (0..count)
+            .map(|i| self.register(&format!("{name}[{i}]"), width, init))
+            .collect();
+        RegArray { name: name.to_owned(), words }
+    }
+
+    /// Combinationally reads `array[addr]` through a multiplexer tree.
+    /// Addresses beyond the array length read entry `len-1`.
+    pub fn reg_array_read(&mut self, array: &RegArray, addr: &Word) -> Word {
+        assert!(!array.is_empty(), "cannot read an empty register array");
+        let mut result = array.words[array.len() - 1].value();
+        for i in (0..array.len().saturating_sub(1)).rev() {
+            let here = self.addr_is(addr, i as u64);
+            result = self.wmux(here, &array.words[i].value(), &result);
+        }
+        result
+    }
+
+    /// Assigns the next state of every entry of `array` according to a
+    /// priority list of write ports `(write_enable, address, data)`; earlier
+    /// ports win. Entries not written hold their value.
+    ///
+    /// This must be called exactly once per array (it performs the single
+    /// next-state assignment of every underlying register).
+    pub fn reg_array_write(&mut self, array: &RegArray, ports: &[(NetId, Word, Word)]) {
+        for (i, entry) in array.words.clone().iter().enumerate() {
+            let mut next = entry.value();
+            // Apply in reverse so that the first port has the highest priority.
+            for (we, addr, data) in ports.iter().rev() {
+                let here = self.addr_is(addr, i as u64);
+                let write_here = self.and(*we, here);
+                next = self.wmux(write_here, data, &next);
+            }
+            self.set_next(entry, &next);
+        }
+    }
+
+    fn addr_is(&mut self, addr: &Word, value: u64) -> NetId {
+        let w = self.wconst(value, addr.width());
+        self.weq(addr, &w)
+    }
+
+    // ----------------------------------------------------------- word ops --
+
+    /// The constant word `value` of the given width.
+    pub fn wconst(&mut self, value: u64, width: usize) -> Word {
+        let bits = (0..width).map(|i| self.lit(value >> i & 1 == 1)).collect();
+        Word { bits }
+    }
+
+    /// Bitwise NOT.
+    pub fn wnot(&mut self, a: &Word) -> Word {
+        Word { bits: a.bits.iter().map(|&b| self.not(b)).collect() }
+    }
+
+    fn wzip(&mut self, a: &Word, b: &Word, op: fn(&mut Self, NetId, NetId) -> NetId) -> Word {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        Word {
+            bits: a.bits.iter().zip(&b.bits).map(|(&x, &y)| op(self, x, y)).collect(),
+        }
+    }
+
+    /// Bitwise AND.
+    pub fn wand(&mut self, a: &Word, b: &Word) -> Word {
+        self.wzip(a, b, Self::and)
+    }
+
+    /// Bitwise OR.
+    pub fn wor(&mut self, a: &Word, b: &Word) -> Word {
+        self.wzip(a, b, Self::or)
+    }
+
+    /// Bitwise XOR.
+    pub fn wxor(&mut self, a: &Word, b: &Word) -> Word {
+        self.wzip(a, b, Self::xor)
+    }
+
+    /// Ripple-carry addition truncated to the common width.
+    pub fn wadd(&mut self, a: &Word, b: &Word) -> Word {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        let mut carry = self.lit(false);
+        let mut bits = Vec::with_capacity(a.width());
+        for (&x, &y) in a.bits.iter().zip(&b.bits) {
+            let xy = self.xor(x, y);
+            let sum = self.xor(xy, carry);
+            let c1 = self.and(x, y);
+            let c2 = self.and(xy, carry);
+            carry = self.or(c1, c2);
+            bits.push(sum);
+        }
+        Word { bits }
+    }
+
+    /// Two's-complement subtraction truncated to the common width.
+    pub fn wsub(&mut self, a: &Word, b: &Word) -> Word {
+        let nb = self.wnot(b);
+        let one = self.wconst(1, a.width());
+        let t = self.wadd(a, &nb);
+        self.wadd(&t, &one)
+    }
+
+    /// Increment by one.
+    pub fn winc(&mut self, a: &Word) -> Word {
+        let one = self.wconst(1, a.width());
+        self.wadd(a, &one)
+    }
+
+    /// Word equality as a single bit.
+    pub fn weq(&mut self, a: &Word, b: &Word) -> NetId {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        let eqs: Vec<NetId> = a
+            .bits
+            .iter()
+            .zip(&b.bits)
+            .map(|(&x, &y)| self.xnor(x, y))
+            .collect();
+        self.and_many(&eqs)
+    }
+
+    /// Word disequality as a single bit.
+    pub fn wne(&mut self, a: &Word, b: &Word) -> NetId {
+        let e = self.weq(a, b);
+        self.not(e)
+    }
+
+    /// Unsigned less-than as a single bit.
+    pub fn wult(&mut self, a: &Word, b: &Word) -> NetId {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        let mut lt = self.lit(false);
+        for (&x, &y) in a.bits.iter().zip(&b.bits) {
+            let nx = self.not(x);
+            let xlty = self.and(nx, y);
+            let eq = self.xnor(x, y);
+            let keep = self.and(eq, lt);
+            lt = self.or(xlty, keep);
+        }
+        lt
+    }
+
+    /// Unsigned less-or-equal as a single bit.
+    pub fn wule(&mut self, a: &Word, b: &Word) -> NetId {
+        let gt = self.wult(b, a);
+        self.not(gt)
+    }
+
+    /// Signed (two's-complement) less-than as a single bit.
+    pub fn wslt(&mut self, a: &Word, b: &Word) -> NetId {
+        assert!(a.width() > 0, "signed comparison of zero-width word");
+        let sa = a.bit(a.width() - 1);
+        let sb = b.bit(b.width() - 1);
+        let ult = self.wult(a, b);
+        let diff = self.xor(sa, sb);
+        self.mux(diff, sa, ult)
+    }
+
+    /// Signed less-or-equal as a single bit.
+    pub fn wsle(&mut self, a: &Word, b: &Word) -> NetId {
+        let gt = self.wslt(b, a);
+        self.not(gt)
+    }
+
+    /// `true` bit iff the word is all zeros.
+    pub fn wis_zero(&mut self, a: &Word) -> NetId {
+        let nz = self.or_many(a.bits());
+        self.not(nz)
+    }
+
+    /// `true` bit iff the word is non-zero.
+    pub fn wnonzero(&mut self, a: &Word) -> NetId {
+        self.or_many(a.bits())
+    }
+
+    /// Word multiplexer: `sel ? t : e`.
+    pub fn wmux(&mut self, sel: NetId, t: &Word, e: &Word) -> Word {
+        assert_eq!(t.width(), e.width(), "word width mismatch");
+        Word {
+            bits: t.bits.iter().zip(&e.bits).map(|(&a, &b)| self.mux(sel, a, b)).collect(),
+        }
+    }
+
+    /// Logical left shift by a constant.
+    pub fn wshl_const(&mut self, a: &Word, amount: usize) -> Word {
+        let zero = self.lit(false);
+        let bits = (0..a.width())
+            .map(|i| if i >= amount { a.bit(i - amount) } else { zero })
+            .collect();
+        Word { bits }
+    }
+
+    /// Logical right shift by a constant.
+    pub fn wshr_const(&mut self, a: &Word, amount: usize) -> Word {
+        let zero = self.lit(false);
+        let bits = (0..a.width())
+            .map(|i| if i + amount < a.width() { a.bit(i + amount) } else { zero })
+            .collect();
+        Word { bits }
+    }
+
+    /// Logical left shift by a symbolic amount (barrel shifter).
+    pub fn wshl(&mut self, a: &Word, amount: &Word) -> Word {
+        let mut acc = a.clone();
+        for (stage, &abit) in amount.bits.iter().enumerate() {
+            let shifted = self.wshl_const(&acc, 1 << stage);
+            acc = self.wmux(abit, &shifted, &acc);
+        }
+        acc
+    }
+
+    /// Logical right shift by a symbolic amount (barrel shifter).
+    pub fn wshr(&mut self, a: &Word, amount: &Word) -> Word {
+        let mut acc = a.clone();
+        for (stage, &abit) in amount.bits.iter().enumerate() {
+            let shifted = self.wshr_const(&acc, 1 << stage);
+            acc = self.wmux(abit, &shifted, &acc);
+        }
+        acc
+    }
+
+    /// Zero-extends (or truncates) to `width` bits.
+    pub fn wzext(&mut self, a: &Word, width: usize) -> Word {
+        let zero = self.lit(false);
+        let mut bits = a.bits.clone();
+        bits.truncate(width);
+        while bits.len() < width {
+            bits.push(zero);
+        }
+        Word { bits }
+    }
+
+    /// Sign-extends (or truncates) to `width` bits.
+    ///
+    /// # Panics
+    /// Panics if the source word is empty.
+    pub fn wsext(&mut self, a: &Word, width: usize) -> Word {
+        assert!(a.width() > 0, "cannot sign-extend an empty word");
+        let sign = a.bit(a.width() - 1);
+        let mut bits = a.bits.clone();
+        bits.truncate(width);
+        while bits.len() < width {
+            bits.push(sign);
+        }
+        Word { bits }
+    }
+
+    // -------------------------------------------------------------- finish --
+
+    /// Validates the design and produces the immutable [`Netlist`].
+    ///
+    /// # Errors
+    /// Returns [`BuildError`] if a register has no (or more than one)
+    /// next-state assignment or if port names collide.
+    pub fn finish(self) -> Result<Netlist, BuildError> {
+        let mut seen = std::collections::HashSet::new();
+        for p in &self.inputs {
+            if !seen.insert(p.name.clone()) {
+                return Err(BuildError::DuplicatePort { name: p.name.clone() });
+            }
+        }
+        let mut seen_out = std::collections::HashSet::new();
+        for (name, _) in &self.outputs {
+            if !seen_out.insert(name.clone()) {
+                return Err(BuildError::DuplicatePort { name: name.clone() });
+            }
+        }
+        for (i, r) in self.regs.iter().enumerate() {
+            if r.next.is_none() {
+                if self.assigned[i] {
+                    return Err(BuildError::DoubleAssignedRegister { name: r.name.clone() });
+                }
+                return Err(BuildError::UnassignedRegister { name: r.name.clone() });
+            }
+        }
+        Ok(Netlist {
+            name: self.name,
+            nodes: self.nodes,
+            regs: self.regs,
+            inputs: self.inputs,
+            outputs: self.outputs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding_and_sharing() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input("x", 1).bit(0);
+        let t = b.lit(true);
+        let f = b.lit(false);
+        assert_eq!(b.and(x, t), x);
+        assert_eq!(b.and(x, f), f);
+        assert_eq!(b.or(x, f), x);
+        assert_eq!(b.xor(x, f), x);
+        let n1 = b.not(x);
+        let n2 = b.not(x);
+        assert_eq!(n1, n2);
+        assert_eq!(b.not(n1), x);
+        let a1 = b.and(x, n1);
+        let a2 = b.and(n1, x);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn unassigned_register_is_an_error() {
+        let mut b = NetlistBuilder::new("t");
+        let _r = b.register("r", 2, 0);
+        let err = b.finish().unwrap_err();
+        assert!(matches!(err, BuildError::UnassignedRegister { .. }));
+    }
+
+    #[test]
+    fn duplicate_ports_are_errors() {
+        let mut b = NetlistBuilder::new("t");
+        let _a = b.input("a", 1);
+        let _b = b.input("a", 2);
+        let r = b.register("r", 1, 0);
+        let v = r.value();
+        b.set_next(&r, &v);
+        assert!(matches!(b.finish(), Err(BuildError::DuplicatePort { .. })));
+    }
+
+    #[test]
+    fn double_assignment_is_an_error() {
+        let mut b = NetlistBuilder::new("t");
+        let r = b.register("r", 1, 0);
+        let v = r.value();
+        b.set_next(&r, &v);
+        b.set_next(&r, &v);
+        assert!(matches!(b.finish(), Err(BuildError::DoubleAssignedRegister { .. })));
+    }
+
+    #[test]
+    fn word_slice_concat() {
+        let mut b = NetlistBuilder::new("t");
+        let w = b.input("w", 8);
+        let lo = w.slice(0, 4);
+        let hi = w.slice(4, 4);
+        let back = lo.concat(&hi);
+        assert_eq!(back, w);
+    }
+}

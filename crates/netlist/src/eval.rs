@@ -1,0 +1,215 @@
+//! Cycle-accurate concrete evaluation of a netlist.
+
+use std::collections::HashMap;
+
+use crate::net::{NetId, NetNode, Netlist};
+
+/// A concrete (two-valued) simulator for a [`Netlist`].
+///
+/// Register state starts at the declared reset values; each [`step`] applies
+/// one clock cycle: the combinational logic is evaluated with the given input
+/// values and the current register state, outputs are sampled, and then every
+/// register latches its next-state value.
+///
+/// [`step`]: ConcreteSim::step
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Clone, Debug)]
+pub struct ConcreteSim<'a> {
+    netlist: &'a Netlist,
+    state: Vec<bool>,
+}
+
+impl<'a> ConcreteSim<'a> {
+    /// Creates a simulator positioned at the reset state.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let state = netlist.regs.iter().map(|r| r.init).collect();
+        ConcreteSim { netlist, state }
+    }
+
+    /// Resets the register state to the declared reset values.
+    pub fn reset(&mut self) {
+        for (s, r) in self.state.iter_mut().zip(&self.netlist.regs) {
+            *s = r.init;
+        }
+    }
+
+    /// Current value of the word-level register `name` (little-endian packing
+    /// of its bits), or `None` if no register with that name exists.
+    pub fn register(&self, name: &str) -> Option<u64> {
+        let mut value = 0u64;
+        let mut found = false;
+        for (i, r) in self.netlist.regs.iter().enumerate() {
+            if r.name == name {
+                found = true;
+                if self.state[i] {
+                    value |= 1 << r.bit;
+                }
+            }
+        }
+        found.then_some(value)
+    }
+
+    fn eval_nets(&self, inputs: &HashMap<usize, u64>) -> Vec<bool> {
+        let nodes = &self.netlist.nodes;
+        let mut values = vec![false; nodes.len()];
+        // Nodes are created in topological order by the builder (every gate's
+        // operands exist before the gate), so a single forward pass suffices.
+        for (i, node) in nodes.iter().enumerate() {
+            values[i] = match *node {
+                NetNode::Const(b) => b,
+                NetNode::Input { port, bit } => {
+                    let word = inputs.get(&(port as usize)).copied().unwrap_or(0);
+                    word >> bit & 1 == 1
+                }
+                NetNode::Reg(r) => self.state[r as usize],
+                NetNode::Not(a) => !values[a.0 as usize],
+                NetNode::And(a, b) => values[a.0 as usize] && values[b.0 as usize],
+                NetNode::Or(a, b) => values[a.0 as usize] || values[b.0 as usize],
+                NetNode::Xor(a, b) => values[a.0 as usize] ^ values[b.0 as usize],
+            };
+        }
+        values
+    }
+
+    fn pack(values: &[bool], nets: &[NetId]) -> u64 {
+        let mut out = 0u64;
+        for (i, n) in nets.iter().enumerate() {
+            if values[n.0 as usize] {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+
+    fn input_map(&self, inputs: &[(&str, u64)]) -> HashMap<usize, u64> {
+        let mut map = HashMap::new();
+        for (name, value) in inputs {
+            let idx = self
+                .netlist
+                .input_port_index(name)
+                .unwrap_or_else(|| panic!("netlist `{}` has no input `{name}`", self.netlist.name));
+            map.insert(idx, *value);
+        }
+        map
+    }
+
+    /// Evaluates the outputs for the given inputs in the *current* state,
+    /// without advancing the clock.
+    ///
+    /// # Panics
+    /// Panics if an input name does not exist. Missing inputs default to 0.
+    pub fn outputs(&self, inputs: &[(&str, u64)]) -> HashMap<String, u64> {
+        let values = self.eval_nets(&self.input_map(inputs));
+        self.netlist
+            .outputs
+            .iter()
+            .map(|(name, nets)| (name.clone(), Self::pack(&values, nets)))
+            .collect()
+    }
+
+    /// Applies one clock cycle: samples the outputs for the given inputs and
+    /// then latches every register's next state.
+    ///
+    /// # Panics
+    /// Panics if an input name does not exist. Missing inputs default to 0.
+    pub fn step(&mut self, inputs: &[(&str, u64)]) -> HashMap<String, u64> {
+        let values = self.eval_nets(&self.input_map(inputs));
+        let outputs = self
+            .netlist
+            .outputs
+            .iter()
+            .map(|(name, nets)| (name.clone(), Self::pack(&values, nets)))
+            .collect();
+        let mut next = Vec::with_capacity(self.state.len());
+        for r in &self.netlist.regs {
+            let n = r.next.expect("finished netlists have all next-state nets assigned");
+            next.push(values[n.0 as usize]);
+        }
+        self.state = next;
+        outputs
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn adder_machine() -> Netlist {
+        // acc <= acc + in  every cycle; exposes acc and the comb sum.
+        let mut b = NetlistBuilder::new("acc");
+        let input = b.input("in", 4);
+        let acc = b.register("acc", 4, 0);
+        let sum = b.wadd(&acc.value(), &input);
+        b.set_next(&acc, &sum);
+        b.expose("acc", &acc.value());
+        b.expose("sum", &sum);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn accumulator_counts() {
+        let n = adder_machine();
+        let mut sim = ConcreteSim::new(&n);
+        let o = sim.step(&[("in", 3)]);
+        assert_eq!(o["acc"], 0);
+        assert_eq!(o["sum"], 3);
+        let o = sim.step(&[("in", 5)]);
+        assert_eq!(o["acc"], 3);
+        assert_eq!(o["sum"], 8);
+        let o = sim.step(&[("in", 15)]);
+        assert_eq!(o["acc"], 8);
+        assert_eq!(o["sum"], (8 + 15) & 0xF);
+        assert_eq!(sim.register("acc"), Some(7));
+        sim.reset();
+        assert_eq!(sim.register("acc"), Some(0));
+    }
+
+    #[test]
+    fn outputs_do_not_advance_state() {
+        let n = adder_machine();
+        let sim = ConcreteSim::new(&n);
+        let o = sim.outputs(&[("in", 9)]);
+        assert_eq!(o["sum"], 9);
+        assert_eq!(sim.register("acc"), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "has no input")]
+    fn unknown_input_panics() {
+        let n = adder_machine();
+        let mut sim = ConcreteSim::new(&n);
+        sim.step(&[("bogus", 1)]);
+    }
+
+    #[test]
+    fn register_file_read_write() {
+        let mut b = NetlistBuilder::new("rf");
+        let waddr = b.input("waddr", 2);
+        let wdata = b.input("wdata", 4);
+        let wen = b.input("wen", 1);
+        let raddr = b.input("raddr", 2);
+        let rf = b.reg_array("rf", 4, 4, 0);
+        let rd = b.reg_array_read(&rf, &raddr);
+        b.reg_array_write(&rf, &[(wen.bit(0), waddr.clone(), wdata.clone())]);
+        b.expose("rdata", &rd);
+        let n = b.finish().expect("valid");
+        let mut sim = ConcreteSim::new(&n);
+        // write 9 to entry 2
+        sim.step(&[("waddr", 2), ("wdata", 9), ("wen", 1), ("raddr", 2)]);
+        let o = sim.outputs(&[("raddr", 2)]);
+        assert_eq!(o["rdata"], 9);
+        let o = sim.outputs(&[("raddr", 1)]);
+        assert_eq!(o["rdata"], 0);
+        // disabled write leaves contents alone
+        sim.step(&[("waddr", 2), ("wdata", 5), ("wen", 0), ("raddr", 0)]);
+        let o = sim.outputs(&[("raddr", 2)]);
+        assert_eq!(o["rdata"], 9);
+    }
+}

@@ -1,0 +1,163 @@
+//! Core netlist data structures.
+
+use std::fmt;
+
+/// Handle to a single-bit net (the output of a gate, a constant, a primary
+/// input bit or a register output) inside one [`Netlist`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Raw index of the net inside its netlist (for diagnostics only).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// A single gate or source in the netlist DAG.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) enum NetNode {
+    /// Constant 0 or 1.
+    Const(bool),
+    /// Bit `bit` of primary input port `port`.
+    Input { port: u32, bit: u32 },
+    /// Output of register `reg`.
+    Reg(u32),
+    /// Inverter.
+    Not(NetId),
+    /// 2-input AND.
+    And(NetId, NetId),
+    /// 2-input OR.
+    Or(NetId, NetId),
+    /// 2-input XOR.
+    Xor(NetId, NetId),
+}
+
+/// One edge-triggered register bit.
+#[derive(Clone, Debug)]
+pub(crate) struct RegInfo {
+    /// Name of the word-level register this bit belongs to.
+    pub(crate) name: String,
+    /// Bit index inside the word-level register.
+    pub(crate) bit: usize,
+    /// Reset value.
+    pub(crate) init: bool,
+    /// Net driving the next-state value (must be set before `finish`).
+    pub(crate) next: Option<NetId>,
+}
+
+/// Name and width of a primary input or observed output port.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PortInfo {
+    /// Port name.
+    pub name: String,
+    /// Width in bits.
+    pub width: usize,
+}
+
+/// Errors produced when finalising a [`crate::NetlistBuilder`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BuildError {
+    /// A register's next-state net was never assigned with
+    /// [`crate::NetlistBuilder::set_next`].
+    UnassignedRegister {
+        /// Name of the offending word-level register.
+        name: String,
+    },
+    /// Two ports (inputs or outputs) share a name.
+    DuplicatePort {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A register next-state was assigned more than once.
+    DoubleAssignedRegister {
+        /// Name of the offending word-level register.
+        name: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnassignedRegister { name } => {
+                write!(f, "register `{name}` has no next-state assignment")
+            }
+            BuildError::DuplicatePort { name } => write!(f, "duplicate port name `{name}`"),
+            BuildError::DoubleAssignedRegister { name } => {
+                write!(f, "register `{name}` was assigned a next state twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A finished, immutable synchronous netlist.
+///
+/// Produced by [`crate::NetlistBuilder::finish`]; consumed by
+/// [`crate::ConcreteSim`] and [`crate::SymbolicSim`]. See the
+/// [crate-level documentation](crate) for an example.
+#[derive(Clone, Debug)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<NetNode>,
+    pub(crate) regs: Vec<RegInfo>,
+    pub(crate) inputs: Vec<PortInfo>,
+    pub(crate) outputs: Vec<(String, Vec<NetId>)>,
+}
+
+impl Netlist {
+    /// Human-readable design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The primary input ports in declaration order.
+    pub fn inputs(&self) -> &[PortInfo] {
+        &self.inputs
+    }
+
+    /// Observed (exposed) output ports in declaration order.
+    pub fn outputs(&self) -> Vec<PortInfo> {
+        self.outputs
+            .iter()
+            .map(|(name, nets)| PortInfo { name: name.clone(), width: nets.len() })
+            .collect()
+    }
+
+    /// Width of the named input port, if it exists.
+    pub fn input_width(&self, name: &str) -> Option<usize> {
+        self.inputs.iter().find(|p| p.name == name).map(|p| p.width)
+    }
+
+    /// Width of the named output port, if it exists.
+    pub fn output_width(&self, name: &str) -> Option<usize> {
+        self.outputs.iter().find(|(n, _)| n == name).map(|(_, nets)| nets.len())
+    }
+
+    /// Number of register bits (the state-variable count that drives BDD cost).
+    pub fn register_bits(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Number of gate/source nodes in the netlist DAG.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Names of the word-level registers, in declaration order, without
+    /// duplicates.
+    pub fn register_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        for r in &self.regs {
+            if names.last().map(String::as_str) != Some(r.name.as_str()) {
+                names.push(r.name.clone());
+            }
+        }
+        names
+    }
+
+    pub(crate) fn input_port_index(&self, name: &str) -> Option<usize> {
+        self.inputs.iter().position(|p| p.name == name)
+    }
+}

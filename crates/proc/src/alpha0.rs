@@ -1,0 +1,781 @@
+//! Netlist implementations of Alpha0 (Figures 14 and 15 of the thesis).
+//!
+//! Two machines are provided:
+//!
+//! * [`pipelined`] — a 5-stage static pipeline (IF → RD → EX → MEM → WB) with
+//!   full operand bypassing and one annulled delay slot after every
+//!   control-transfer instruction (`k = 5`, `d = 1`);
+//! * [`unpipelined`] — the serial specification machine that spends `k = 5`
+//!   cycles per instruction.
+//!
+//! The data memory is accessed in the EX stage (effective addresses are
+//! computed in RD, where the base register is read with bypassing), which
+//! makes load results available to the standard RD-stage bypass network and
+//! keeps the pipeline free of stalls; the MEM stage then simply carries the
+//! result forward. This preserves the 5-stage depth and the architectural
+//! behaviour of Table 2 while avoiding the load-use stall logic the thesis
+//! does not model either (its pipelines are static and stall-free).
+//!
+//! Observed variables: registers `r0…`, memory words `m0…`, the retired
+//! program counter `pc` and the write-back port.
+
+use pv_isa::alpha0::{Alpha0Config, INSTR_WIDTH, PC_WIDTH};
+use pv_netlist::{BuildError, NetId, Netlist, NetlistBuilder, RegArray, Word};
+
+/// Deliberate design errors that can be injected into the pipelined Alpha0.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Alpha0Bug {
+    /// Remove the operand bypass network.
+    NoBypass,
+    /// Do not annul the delay slot after control transfers.
+    NoAnnul,
+    /// Use unsigned comparisons for `cmplt`/`cmple`.
+    UnsignedCompare,
+    /// Forget to redirect the fetch PC on taken branches (the link register is
+    /// still written, but execution falls through).
+    NoRedirect,
+}
+
+/// Which ALU the datapath instantiates.
+///
+/// Section 6.3: "In order to reduce the complexity of the machine, we
+/// simplified the ALU to have only the and, or, and cmpeq operations, and
+/// further have 4-bit operations." [`AluModel::Condensed`] reproduces that
+/// reduction: the adder, subtractor, shifter and signed comparators are left
+/// out of the netlists, which keeps the symbolic simulation within BDD
+/// capacity; the corresponding instruction class (see
+/// `pipeverify-core::MachineSpec::alpha0_condensed`) restricts verification
+/// to the operations that remain. [`AluModel::Full`] builds the complete
+/// Table 2 ALU and is used by the concrete (non-symbolic) test suite.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum AluModel {
+    /// Every operate instruction of Table 2.
+    #[default]
+    Full,
+    /// Only `and`, `or` and `cmpeq` (the thesis's Section 6.3 reduction).
+    Condensed,
+}
+
+/// Configuration of the Alpha0 netlist generators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PipelineConfig {
+    /// Datapath condensation parameters.
+    pub isa: Alpha0Config,
+    /// Which ALU the datapath instantiates.
+    pub alu: AluModel,
+    /// Bug injected into the pipelined implementation (`None` = correct).
+    pub bug: Option<Alpha0Bug>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { isa: Alpha0Config::default(), alu: AluModel::Full, bug: None }
+    }
+}
+
+impl PipelineConfig {
+    /// The correct design with the default condensed datapath.
+    pub fn correct() -> Self {
+        PipelineConfig::default()
+    }
+
+    /// The correct design with a specific datapath configuration.
+    pub fn with_isa(isa: Alpha0Config) -> Self {
+        PipelineConfig { isa, alu: AluModel::Full, bug: None }
+    }
+
+    /// The correct design with a specific datapath configuration and the
+    /// condensed (and/or/cmpeq) ALU used for the symbolic experiments.
+    pub fn condensed(isa: Alpha0Config) -> Self {
+        PipelineConfig { isa, alu: AluModel::Condensed, bug: None }
+    }
+
+    /// A configuration with the given bug injected.
+    pub fn with_bug(bug: Alpha0Bug) -> Self {
+        PipelineConfig { isa: Alpha0Config::default(), alu: AluModel::Full, bug: Some(bug) }
+    }
+
+    /// Replaces the injected bug (builder style).
+    pub fn bug(mut self, bug: Alpha0Bug) -> Self {
+        self.bug = Some(bug);
+        self
+    }
+}
+
+/// Decoded fields and one-hot operation selects of a 32-bit Alpha0 word.
+struct Decode {
+    ra_addr: Word,
+    rb_addr: Word,
+    rc_addr: Word,
+    lit_flag: NetId,
+    literal: Word,
+    disp_b5: Word,
+    disp_mem: Word,
+    is_operate: NetId,
+    is_br: NetId,
+    is_bf: NetId,
+    is_bt: NetId,
+    is_jmp: NetId,
+    is_ld: NetId,
+    is_st: NetId,
+    is_ct: NetId,
+    // one-hot ALU selects
+    is_add: NetId,
+    is_sub: NetId,
+    is_and: NetId,
+    is_or: NetId,
+    is_xor: NetId,
+    is_sll: NetId,
+    is_srl: NetId,
+    is_cmpeq: NetId,
+    is_cmplt: NetId,
+    is_cmple: NetId,
+}
+
+fn opcode_is(b: &mut NetlistBuilder, opcode: &Word, value: u64) -> NetId {
+    let c = b.wconst(value, opcode.width());
+    b.weq(opcode, &c)
+}
+
+fn decode(b: &mut NetlistBuilder, ir: &Word, cfg: Alpha0Config) -> Decode {
+    let w = cfg.data_width;
+    let opcode = ir.slice(26, 6);
+    let func = ir.slice(5, 7);
+    let grp10 = opcode_is(b, &opcode, 0x10);
+    let grp11 = opcode_is(b, &opcode, 0x11);
+    let grp12 = opcode_is(b, &opcode, 0x12);
+    let f = |b: &mut NetlistBuilder, grp: NetId, code: u64| {
+        let c = b.wconst(code, 7);
+        let eq = b.weq(&func, &c);
+        b.and(grp, eq)
+    };
+    let is_add = f(b, grp10, 0x20);
+    let is_sub = f(b, grp10, 0x29);
+    let is_cmpeq = f(b, grp10, 0x2D);
+    let is_cmplt = f(b, grp10, 0x4D);
+    let is_cmple = f(b, grp10, 0x6D);
+    let is_and = f(b, grp11, 0x00);
+    let is_or = f(b, grp11, 0x20);
+    let is_xor = f(b, grp11, 0x40);
+    let is_srl = f(b, grp12, 0x34);
+    let is_sll = f(b, grp12, 0x39);
+    let is_operate = b.or_many(&[grp10, grp11, grp12]);
+    let is_br = opcode_is(b, &opcode, 0x30);
+    let is_bf = opcode_is(b, &opcode, 0x39);
+    let is_bt = opcode_is(b, &opcode, 0x3D);
+    let is_jmp = opcode_is(b, &opcode, 0x36);
+    let is_ld = opcode_is(b, &opcode, 0x29);
+    let is_st = opcode_is(b, &opcode, 0x2D);
+    let is_ct = b.or_many(&[is_br, is_bf, is_bt, is_jmp]);
+    let lit_src = ir.slice(13, 8);
+    let literal = b.wzext(&lit_src, w);
+    Decode {
+        ra_addr: ir.slice(21, cfg.reg_addr_width()),
+        rb_addr: ir.slice(16, cfg.reg_addr_width()),
+        rc_addr: ir.slice(0, cfg.reg_addr_width()),
+        lit_flag: ir.bit(12),
+        literal,
+        disp_b5: ir.slice(0, PC_WIDTH),
+        disp_mem: ir.slice(0, cfg.mem_addr_width()),
+        is_operate,
+        is_br,
+        is_bf,
+        is_bt,
+        is_jmp,
+        is_ld,
+        is_st,
+        is_ct,
+        is_add,
+        is_sub,
+        is_and,
+        is_or,
+        is_xor,
+        is_sll,
+        is_srl,
+        is_cmpeq,
+        is_cmplt,
+        is_cmple,
+    }
+}
+
+/// The Alpha0 ALU: the result of the operate-format instruction selected by
+/// the decoded one-hot controls.
+///
+/// With [`AluModel::Condensed`] only the `and`, `or` and `cmpeq` arms are
+/// built (Section 6.3's reduction); the other operate instructions fall
+/// through to the `and` result, which is harmless because the condensed
+/// instruction class never applies them, and both machines of a design pair
+/// share this function so they agree on the fall-through behaviour anyway.
+fn alu(
+    b: &mut NetlistBuilder,
+    d: &Decode,
+    a: &Word,
+    bv: &Word,
+    model: AluModel,
+    unsigned_compare: bool,
+) -> Word {
+    let w = a.width();
+    let and = b.wand(a, bv);
+    let or = b.wor(a, bv);
+    let eq_bit = b.weq(a, bv);
+    let eq = b.wzext(&Word::from_bit(eq_bit), w);
+    let (mut result, arms) = match model {
+        AluModel::Full => {
+            let _ = d.is_add; // add is the default arm of the selection chain below
+            let add = b.wadd(a, bv);
+            let sub = b.wsub(a, bv);
+            let xor = b.wxor(a, bv);
+            let sll = b.wshl(a, bv);
+            let srl = b.wshr(a, bv);
+            let lt_bit = if unsigned_compare { b.wult(a, bv) } else { b.wslt(a, bv) };
+            let le_bit = if unsigned_compare { b.wule(a, bv) } else { b.wsle(a, bv) };
+            let lt = b.wzext(&Word::from_bit(lt_bit), w);
+            let le = b.wzext(&Word::from_bit(le_bit), w);
+            (
+                add,
+                vec![
+                    (d.is_sub, sub),
+                    (d.is_and, and),
+                    (d.is_or, or),
+                    (d.is_xor, xor),
+                    (d.is_sll, sll),
+                    (d.is_srl, srl),
+                    (d.is_cmpeq, eq),
+                    (d.is_cmplt, lt),
+                    (d.is_cmple, le),
+                ],
+            )
+        }
+        AluModel::Condensed => (and.clone(), vec![(d.is_or, or), (d.is_cmpeq, eq)]),
+    };
+    for (sel, value) in arms {
+        result = b.wmux(sel, &value, &result);
+    }
+    result
+}
+
+/// Reads a register with bypassing from younger in-flight writers.
+fn bypassed_read(
+    b: &mut NetlistBuilder,
+    regs: &RegArray,
+    addr: &Word,
+    sources: &[(NetId, Word, Word)],
+) -> Word {
+    let mut value = b.reg_array_read(regs, addr);
+    for (enable, dest, data) in sources.iter().rev() {
+        let same = b.weq(addr, dest);
+        let hit = b.and(*enable, same);
+        value = b.wmux(hit, data, &value);
+    }
+    value
+}
+
+/// Per-instruction derived values shared by both machines: everything the
+/// write-back of one instruction needs, computed from the instruction word,
+/// the (bypassed) operand values and the instruction's architectural PC.
+struct Executed {
+    result: Word,
+    dest: Word,
+    wen: NetId,
+    is_ld: NetId,
+    is_st: NetId,
+    ea: Word,
+    st_data: Word,
+    next_pc: Word,
+}
+
+fn execute(
+    b: &mut NetlistBuilder,
+    d: &Decode,
+    ra_val: &Word,
+    rb_val: &Word,
+    pc_of_instr: &Word,
+    cfg: Alpha0Config,
+    model: AluModel,
+    bug: Option<Alpha0Bug>,
+) -> Executed {
+    let w = cfg.data_width;
+    let unsigned_compare = bug == Some(Alpha0Bug::UnsignedCompare);
+    let use_lit = b.and(d.lit_flag, d.is_operate);
+    let operand_b = b.wmux(use_lit, &d.literal, rb_val);
+    let alu_out = alu(b, d, ra_val, &operand_b, model, unsigned_compare);
+    let pc_plus_1 = b.winc(pc_of_instr);
+    let link = b.wzext(&pc_plus_1, w);
+    let is_link = b.or(d.is_br, d.is_jmp);
+    let result = b.wmux(is_link, &link, &alu_out);
+    // Effective address (modulo the memory size).
+    let base = b.wzext(rb_val, cfg.mem_addr_width());
+    let ea = b.wadd(&base, &d.disp_mem);
+    // Next architectural PC.
+    let ra_zero = b.wis_zero(ra_val);
+    let ra_nonzero = b.not(ra_zero);
+    let bf_taken = b.and(d.is_bf, ra_zero);
+    let bt_taken = b.and(d.is_bt, ra_nonzero);
+    let taken = b.or_many(&[d.is_br, d.is_jmp, bf_taken, bt_taken]);
+    let rel_target = b.wadd(&pc_plus_1, &d.disp_b5);
+    let jmp_target = b.wzext(rb_val, PC_WIDTH);
+    let target = b.wmux(d.is_jmp, &jmp_target, &rel_target);
+    let next_pc = if bug == Some(Alpha0Bug::NoRedirect) {
+        pc_plus_1.clone()
+    } else {
+        b.wmux(taken, &target, &pc_plus_1)
+    };
+    // Destination register and write enable.
+    let writes_ra = b.or_many(&[d.is_ld, d.is_br, d.is_jmp]);
+    let dest = b.wmux(d.is_operate, &d.rc_addr, &d.ra_addr);
+    let wen = b.or(d.is_operate, writes_ra);
+    Executed {
+        result,
+        dest,
+        wen,
+        is_ld: d.is_ld,
+        is_st: d.is_st,
+        ea,
+        st_data: ra_val.clone(),
+        next_pc,
+    }
+}
+
+fn expose_architectural_state(
+    b: &mut NetlistBuilder,
+    cfg: Alpha0Config,
+    regs: &RegArray,
+    mem: &RegArray,
+    pc: &Word,
+    wb_en: NetId,
+    wb_addr: &Word,
+    wb_data: &Word,
+) {
+    for i in 0..cfg.num_regs {
+        b.expose(&format!("r{i}"), &regs.entry(i));
+    }
+    for i in 0..cfg.mem_words {
+        b.expose(&format!("m{i}"), &mem.entry(i));
+    }
+    b.expose("pc", pc);
+    b.expose_bit("wb_en", wb_en);
+    b.expose("wb_addr", wb_addr);
+    b.expose("wb_data", wb_data);
+}
+
+/// Builds the pipelined Alpha0 (Figure 14).
+///
+/// # Errors
+/// Returns [`BuildError`] only if the internal construction is inconsistent.
+pub fn pipelined(config: PipelineConfig) -> Result<Netlist, BuildError> {
+    config.isa.validate();
+    let cfg = config.isa;
+    let bug = config.bug;
+    let w = cfg.data_width;
+    let reg_w = cfg.reg_addr_width();
+    let mem_w = cfg.mem_addr_width();
+
+    let mut b = NetlistBuilder::new("alpha0-pipelined");
+    let instr = b.input("instr", INSTR_WIDTH);
+    let reset = b.input("reset", 1).bit(0);
+    let not_reset = b.not(reset);
+
+    let regs = b.reg_array("r", cfg.num_regs, w, 0);
+    let mem = b.reg_array("m", cfg.mem_words, w, 0);
+    let pc = b.register("pc", PC_WIDTH, 0);
+    let fetch_pc = b.register("fetch_pc", PC_WIDTH, 0);
+    // IF/RD boundary.
+    let ir1 = b.register("ir1", INSTR_WIDTH, 0);
+    let v1 = b.register("v1", 1, 0);
+    let pc1 = b.register("pc1", PC_WIDTH, 0);
+    // RD/EX boundary.
+    let v2 = b.register("v2", 1, 0);
+    let wen2 = b.register("wen2", 1, 0);
+    let dest2 = b.register("dest2", reg_w, 0);
+    let res2 = b.register("res2", w, 0);
+    let is_ld2 = b.register("is_ld2", 1, 0);
+    let is_st2 = b.register("is_st2", 1, 0);
+    let ea2 = b.register("ea2", mem_w, 0);
+    let st_data2 = b.register("st_data2", w, 0);
+    let next_pc2 = b.register("next_pc2", PC_WIDTH, 0);
+    // EX/MEM boundary.
+    let v3 = b.register("v3", 1, 0);
+    let wen3 = b.register("wen3", 1, 0);
+    let dest3 = b.register("dest3", reg_w, 0);
+    let result3 = b.register("result3", w, 0);
+    let next_pc3 = b.register("next_pc3", PC_WIDTH, 0);
+    // MEM/WB boundary.
+    let v4 = b.register("v4", 1, 0);
+    let wen4 = b.register("wen4", 1, 0);
+    let dest4 = b.register("dest4", reg_w, 0);
+    let result4 = b.register("result4", w, 0);
+    let next_pc4 = b.register("next_pc4", PC_WIDTH, 0);
+
+    // Store pipeline: the store itself is committed in WB (same cycle as the
+    // register write-back and the PC retirement), so every architectural state
+    // change of one instruction becomes visible at the same sampling point.
+    // Loads executing in EX therefore forward from not-yet-committed stores in
+    // the MEM and WB stages.
+    let is_st3 = b.register("is_st3", 1, 0);
+    let ea3 = b.register("ea3", mem_w, 0);
+    let st_data3 = b.register("st_data3", w, 0);
+    let is_st4 = b.register("is_st4", 1, 0);
+    let ea4 = b.register("ea4", mem_w, 0);
+    let st_data4 = b.register("st_data4", w, 0);
+
+    // ----------------------------------------------------- MEM / WB stages --
+    let mem_valid = v3.value().bit(0);
+    let mem_forwards = b.and(mem_valid, wen3.value().bit(0));
+    let wb_valid = v4.value().bit(0);
+    let wb_forwards = b.and(wb_valid, wen4.value().bit(0));
+    let wb_en = b.and(wb_forwards, not_reset);
+
+    // ------------------------------------------------------------ EX stage --
+    // Memory access happens here: loads read (with store-to-load forwarding
+    // from the older, not-yet-committed stores in MEM and WB); stores are
+    // carried down the pipeline and committed in WB.
+    let st_in_mem = {
+        let v = b.and(mem_valid, is_st3.value().bit(0));
+        b.and(v, not_reset)
+    };
+    let st_in_wb = {
+        let v = b.and(wb_valid, is_st4.value().bit(0));
+        b.and(v, not_reset)
+    };
+    let mem_rdata = bypassed_read(
+        &mut b,
+        &mem,
+        &ea2.value(),
+        &[
+            (st_in_mem, ea3.value(), st_data3.value()),
+            (st_in_wb, ea4.value(), st_data4.value()),
+        ],
+    );
+    let ex_result = b.wmux(is_ld2.value().bit(0), &mem_rdata, &res2.value());
+    let ex_valid = v2.value().bit(0);
+    let ex_forwards = b.and(ex_valid, wen2.value().bit(0));
+    b.reg_array_write(&mem, &[(st_in_wb, ea4.value(), st_data4.value())]);
+
+    // ------------------------------------------------------------ RD stage --
+    let dec = decode(&mut b, &ir1.value(), cfg);
+    let rd_valid = v1.value().bit(0);
+    let bypass_sources = if bug == Some(Alpha0Bug::NoBypass) {
+        Vec::new()
+    } else {
+        vec![
+            (ex_forwards, dest2.value(), ex_result.clone()),
+            (mem_forwards, dest3.value(), result3.value()),
+            (wb_forwards, dest4.value(), result4.value()),
+        ]
+    };
+    let ra_val = bypassed_read(&mut b, &regs, &dec.ra_addr, &bypass_sources);
+    let rb_val = bypassed_read(&mut b, &regs, &dec.rb_addr, &bypass_sources);
+    let pc1w = pc1.value();
+    let exec = execute(&mut b, &dec, &ra_val, &rb_val, &pc1w, cfg, config.alu, bug);
+
+    // ------------------------------------------------------------ IF stage --
+    let ct_in_rd = b.and(rd_valid, dec.is_ct);
+    let annul = if bug == Some(Alpha0Bug::NoAnnul) { b.lit(false) } else { ct_in_rd };
+    let not_annul = b.not(annul);
+    let v1_next = b.and(not_reset, not_annul);
+    let fetch_plus_1 = b.winc(&fetch_pc.value());
+    let redirected = b.wmux(ct_in_rd, &exec.next_pc, &fetch_plus_1);
+    let zero_pc = b.wconst(0, PC_WIDTH);
+    let fetch_next = b.wmux(reset, &zero_pc, &redirected);
+
+    // ---------------------------------------------------- state assignments --
+    let zero_instr = b.wconst(0, INSTR_WIDTH);
+    let ir1_next = b.wmux(reset, &zero_instr, &instr);
+    b.set_next(&ir1, &ir1_next);
+    b.set_next(&pc1, &fetch_pc.value());
+    b.set_next(&v1, &Word::from_bit(v1_next));
+    b.set_next(&fetch_pc, &fetch_next);
+
+    let v2_next = b.and(rd_valid, not_reset);
+    b.set_next(&v2, &Word::from_bit(v2_next));
+    b.set_next(&wen2, &Word::from_bit(exec.wen));
+    b.set_next(&dest2, &exec.dest);
+    b.set_next(&res2, &exec.result);
+    b.set_next(&is_ld2, &Word::from_bit(exec.is_ld));
+    b.set_next(&is_st2, &Word::from_bit(exec.is_st));
+    b.set_next(&ea2, &exec.ea);
+    b.set_next(&st_data2, &exec.st_data);
+    b.set_next(&next_pc2, &exec.next_pc);
+
+    let v3_next = b.and(ex_valid, not_reset);
+    b.set_next(&v3, &Word::from_bit(v3_next));
+    b.set_next(&wen3, &wen2.value());
+    b.set_next(&dest3, &dest2.value());
+    b.set_next(&result3, &ex_result);
+    b.set_next(&next_pc3, &next_pc2.value());
+    b.set_next(&is_st3, &is_st2.value());
+    b.set_next(&ea3, &ea2.value());
+    b.set_next(&st_data3, &st_data2.value());
+
+    let v4_next = b.and(mem_valid, not_reset);
+    b.set_next(&v4, &Word::from_bit(v4_next));
+    b.set_next(&wen4, &wen3.value());
+    b.set_next(&dest4, &dest3.value());
+    b.set_next(&result4, &result3.value());
+    b.set_next(&next_pc4, &next_pc3.value());
+    b.set_next(&is_st4, &is_st3.value());
+    b.set_next(&ea4, &ea3.value());
+    b.set_next(&st_data4, &st_data3.value());
+
+    // Write-back.
+    b.reg_array_write(&regs, &[(wb_en, dest4.value(), result4.value())]);
+    let pc_hold = pc.value();
+    let pc_retire_gate = b.and(wb_valid, not_reset);
+    let pc_retire = b.wmux(pc_retire_gate, &next_pc4.value(), &pc_hold);
+    let pc_next = b.wmux(reset, &zero_pc, &pc_retire);
+    b.set_next(&pc, &pc_next);
+
+    let pcw = pc.value();
+    expose_architectural_state(&mut b, cfg, &regs, &mem, &pcw, wb_en, &dest4.value(), &result4.value());
+    b.expose("fetch_pc", &fetch_pc.value());
+    b.finish()
+}
+
+/// Builds the unpipelined (serial) Alpha0 specification machine (Figure 15):
+/// the instruction is latched in phase 0 and committed in phase 4, so one
+/// instruction completes every `k = 5` cycles. Bug injections are ignored.
+///
+/// # Errors
+/// Returns [`BuildError`] only if the internal construction is inconsistent.
+pub fn unpipelined(config: PipelineConfig) -> Result<Netlist, BuildError> {
+    config.isa.validate();
+    let cfg = config.isa;
+    let w = cfg.data_width;
+
+    let mut b = NetlistBuilder::new("alpha0-unpipelined");
+    let instr = b.input("instr", INSTR_WIDTH);
+    let reset = b.input("reset", 1).bit(0);
+    let not_reset = b.not(reset);
+
+    let regs = b.reg_array("r", cfg.num_regs, w, 0);
+    let mem = b.reg_array("m", cfg.mem_words, w, 0);
+    let pc = b.register("pc", PC_WIDTH, 0);
+    let phase = b.register("phase", 3, 0);
+    let ir = b.register("ir", INSTR_WIDTH, 0);
+
+    let phasew = phase.value();
+    let zero3 = b.wconst(0, 3);
+    let four = b.wconst(4, 3);
+    let is_phase0 = b.weq(&phasew, &zero3);
+    let is_phase4 = b.weq(&phasew, &four);
+
+    // Fetch.
+    let zero_instr = b.wconst(0, INSTR_WIDTH);
+    let fetched = b.wmux(is_phase0, &instr, &ir.value());
+    let ir_next = b.wmux(reset, &zero_instr, &fetched);
+    b.set_next(&ir, &ir_next);
+
+    // Phase counter 0..4.
+    let phase_inc = b.winc(&phasew);
+    let wrapped = b.wmux(is_phase4, &zero3, &phase_inc);
+    let phase_next = b.wmux(reset, &zero3, &wrapped);
+    b.set_next(&phase, &phase_next);
+
+    // Execute (combinational; committed in phase 4).
+    let dec = decode(&mut b, &ir.value(), cfg);
+    let ra_val = b.reg_array_read(&regs, &dec.ra_addr);
+    let rb_val = b.reg_array_read(&regs, &dec.rb_addr);
+    let pcw = pc.value();
+    let exec = execute(&mut b, &dec, &ra_val, &rb_val, &pcw, cfg, config.alu, None);
+    let mem_rdata = b.reg_array_read(&mem, &exec.ea);
+    let result = b.wmux(exec.is_ld, &mem_rdata, &exec.result);
+
+    // Commit.
+    let commit = b.and(is_phase4, not_reset);
+    let wb_en = b.and(commit, exec.wen);
+    let st_en = b.and(commit, exec.is_st);
+    b.reg_array_write(&regs, &[(wb_en, exec.dest.clone(), result.clone())]);
+    b.reg_array_write(&mem, &[(st_en, exec.ea.clone(), exec.st_data.clone())]);
+    let zero_pc = b.wconst(0, PC_WIDTH);
+    let pc_keep = b.wmux(commit, &exec.next_pc, &pcw);
+    let pc_next = b.wmux(reset, &zero_pc, &pc_keep);
+    b.set_next(&pc, &pc_next);
+
+    expose_architectural_state(&mut b, cfg, &regs, &mem, &pcw, wb_en, &exec.dest, &result);
+    b.expose("phase", &phasew);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_isa::alpha0::{Alpha0Config, Alpha0Instr, Alpha0Op, Alpha0State};
+    use pv_netlist::ConcreteSim;
+    use rand::prelude::*;
+
+    const K: usize = 5;
+
+    fn arch_state(
+        cfg: Alpha0Config,
+        out: &std::collections::HashMap<String, u64>,
+    ) -> (Vec<u64>, Vec<u64>, u64) {
+        (
+            (0..cfg.num_regs).map(|i| out[&format!("r{i}")]).collect(),
+            (0..cfg.mem_words).map(|i| out[&format!("m{i}")]).collect(),
+            out["pc"],
+        )
+    }
+
+    fn run_unpipelined(cfg: Alpha0Config, program: &[Alpha0Instr]) -> (Vec<u64>, Vec<u64>, u64) {
+        let n = unpipelined(PipelineConfig::with_isa(cfg)).expect("build");
+        let mut sim = ConcreteSim::new(&n);
+        sim.step(&[("reset", 1), ("instr", 0)]);
+        for instr in program {
+            sim.step(&[("reset", 0), ("instr", u64::from(instr.encode()))]);
+            for _ in 0..K - 1 {
+                sim.step(&[("reset", 0), ("instr", 0)]);
+            }
+        }
+        arch_state(cfg, &sim.outputs(&[("instr", 0), ("reset", 0)]))
+    }
+
+    fn run_pipelined(
+        cfg: Alpha0Config,
+        program: &[Alpha0Instr],
+        config: PipelineConfig,
+    ) -> (Vec<u64>, Vec<u64>, u64) {
+        let n = pipelined(config).expect("build");
+        let mut sim = ConcreteSim::new(&n);
+        sim.step(&[("reset", 1), ("instr", 0)]);
+        // Junk fed into annulled delay slots; it would visibly corrupt r3 if it
+        // were ever allowed to retire.
+        let junk = Alpha0Instr::operate_lit(Alpha0Op::Add, 3, 3, 7).encode();
+        for instr in program {
+            sim.step(&[("reset", 0), ("instr", u64::from(instr.encode()))]);
+            if instr.is_control_transfer() {
+                sim.step(&[("reset", 0), ("instr", u64::from(junk))]);
+            }
+        }
+        // Drain: after k-1 more cycles the last real instruction has written
+        // back while the drain instructions have not yet retired.
+        for _ in 0..K - 1 {
+            sim.step(&[("reset", 0), ("instr", 0)]);
+        }
+        arch_state(cfg, &sim.outputs(&[("instr", 0), ("reset", 0)]))
+    }
+
+    fn isa_state(cfg: Alpha0Config, program: &[Alpha0Instr]) -> (Vec<u64>, Vec<u64>, u64) {
+        let s = Alpha0State::reset(cfg).run(program);
+        (s.regs.clone(), s.mem.clone(), s.pc)
+    }
+
+    fn random_program(rng: &mut StdRng, cfg: Alpha0Config, len: usize) -> Vec<Alpha0Instr> {
+        (0..len)
+            .map(|_| {
+                let ops = Alpha0Op::all();
+                let op = ops[rng.random_range(0..ops.len())];
+                let ra = rng.random_range(0..cfg.num_regs as u32) as u8;
+                let rb = rng.random_range(0..cfg.num_regs as u32) as u8;
+                let rc = rng.random_range(0..cfg.num_regs as u32) as u8;
+                let disp = rng.random_range(-4..4);
+                match op {
+                    o if o.is_operate() => {
+                        if rng.random_bool(0.4) {
+                            Alpha0Instr::operate_lit(o, rc, ra, rng.random_range(0..16) as u8)
+                        } else {
+                            Alpha0Instr::operate(o, rc, ra, rb)
+                        }
+                    }
+                    Alpha0Op::Br => Alpha0Instr::br(ra, disp),
+                    Alpha0Op::Bf => Alpha0Instr::cond_branch(true, ra, disp),
+                    Alpha0Op::Bt => Alpha0Instr::cond_branch(false, ra, disp),
+                    Alpha0Op::Jmp => Alpha0Instr::jmp(ra, rb),
+                    Alpha0Op::Ld => Alpha0Instr::ld(ra, rb, disp),
+                    Alpha0Op::St => Alpha0Instr::st(ra, rb, disp),
+                    _ => unreachable!(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unpipelined_matches_isa_interpreter() {
+        let cfg = Alpha0Config::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let prog = random_program(&mut rng, cfg, 6);
+            assert_eq!(run_unpipelined(cfg, &prog), isa_state(cfg, &prog), "{prog:?}");
+        }
+    }
+
+    #[test]
+    fn pipelined_matches_isa_interpreter() {
+        let cfg = Alpha0Config::default();
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..10 {
+            let prog = random_program(&mut rng, cfg, 8);
+            assert_eq!(
+                run_pipelined(cfg, &prog, PipelineConfig::with_isa(cfg)),
+                isa_state(cfg, &prog),
+                "{prog:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_handles_load_use_and_store_load_hazards() {
+        let cfg = Alpha0Config::default();
+        let prog = [
+            Alpha0Instr::operate_lit(Alpha0Op::Add, 1, 0, 9), // r1 = 9
+            Alpha0Instr::st(1, 0, 2),                         // m[2] = 9
+            Alpha0Instr::ld(2, 0, 2),                         // r2 = m[2] (RAW through memory)
+            Alpha0Instr::operate(Alpha0Op::Add, 3, 2, 2),     // load-use hazard
+            Alpha0Instr::cond_branch(false, 3, 2),            // branch on just-computed value
+            Alpha0Instr::operate(Alpha0Op::Sub, 4, 3, 1),
+        ];
+        assert_eq!(
+            run_pipelined(cfg, &prog, PipelineConfig::with_isa(cfg)),
+            isa_state(cfg, &prog)
+        );
+    }
+
+    #[test]
+    fn bugs_diverge_from_specification() {
+        let cfg = Alpha0Config::default();
+        let hazard_prog = [
+            Alpha0Instr::operate_lit(Alpha0Op::Add, 1, 0, 3),
+            Alpha0Instr::operate(Alpha0Op::Add, 2, 1, 1),
+        ];
+        let branch_prog = [
+            Alpha0Instr::operate_lit(Alpha0Op::Add, 1, 0, 1),
+            Alpha0Instr::cond_branch(false, 1, 3),
+            Alpha0Instr::operate_lit(Alpha0Op::Add, 2, 0, 7),
+        ];
+        let compare_prog = [
+            Alpha0Instr::operate_lit(Alpha0Op::Add, 1, 0, 0xC), // negative in 4 bits
+            Alpha0Instr::operate_lit(Alpha0Op::Cmplt, 2, 1, 1),
+        ];
+        for (bug, prog) in [
+            (Alpha0Bug::NoBypass, &hazard_prog[..]),
+            (Alpha0Bug::NoAnnul, &branch_prog[..]),
+            (Alpha0Bug::NoRedirect, &branch_prog[..]),
+            (Alpha0Bug::UnsignedCompare, &compare_prog[..]),
+        ] {
+            let good = run_pipelined(cfg, prog, PipelineConfig::with_isa(cfg));
+            let bad = run_pipelined(cfg, prog, PipelineConfig::with_isa(cfg).bug(bug));
+            assert_eq!(good, isa_state(cfg, prog), "{bug:?}");
+            assert_ne!(good, bad, "{bug:?} must diverge");
+        }
+    }
+
+    #[test]
+    fn tiny_and_paper_configs_build() {
+        for cfg in [Alpha0Config::tiny(), Alpha0Config::paper()] {
+            let p = pipelined(PipelineConfig::with_isa(cfg)).expect("pipelined build");
+            let u = unpipelined(PipelineConfig::with_isa(cfg)).expect("unpipelined build");
+            assert_eq!(p.input_width("instr"), Some(INSTR_WIDTH));
+            assert_eq!(u.output_width("pc"), Some(PC_WIDTH));
+            assert!(p.register_bits() > u.register_bits());
+        }
+    }
+
+    #[test]
+    fn exposed_ports_match_between_machines() {
+        let cfg = Alpha0Config::default();
+        let p = pipelined(PipelineConfig::with_isa(cfg)).expect("build");
+        let u = unpipelined(PipelineConfig::with_isa(cfg)).expect("build");
+        for name in ["r0", "r7", "m0", "m7", "pc", "wb_en", "wb_addr", "wb_data"] {
+            assert_eq!(p.output_width(name), u.output_width(name), "{name}");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The interrupt/trap extension of the VSM (Section 5.5).
+//!
+//! The extended machines have an additional `irq` input. When `irq` is
+//! asserted during an instruction-fetch cycle, the fetched instruction is
+//! replaced by a *trap*: the return address (the architectural PC + 1) is
+//! written to register [`TRAP_LINK_REG`](crate::vsm::TRAP_LINK_REG) and
+//! control transfers to the fixed handler address
+//! [`TRAP_HANDLER_PC`](crate::vsm::TRAP_HANDLER_PC). In the pipelined machine
+//! the trap behaves like a control-transfer instruction — it annuls the
+//! instruction in its delay slot — so the output-filtering function has to be
+//! modified *on the fly* when the event occurs: this is the dynamic
+//! β-relation the verifier exercises in the `interrupts` example.
+//!
+//! The machines are built by [`crate::vsm::pipelined`] /
+//! [`crate::vsm::unpipelined`] with [`VsmConfig::with_interrupts`]; this
+//! module only provides the convenience constructors.
+
+use pv_netlist::{BuildError, Netlist};
+
+use crate::vsm::{self, VsmConfig};
+
+/// The pipelined VSM with interrupt/trap support.
+///
+/// # Errors
+/// Returns [`BuildError`] only if the internal construction is inconsistent.
+pub fn pipelined() -> Result<Netlist, BuildError> {
+    vsm::pipelined(VsmConfig::with_interrupts())
+}
+
+/// The unpipelined VSM specification machine with interrupt/trap support.
+///
+/// # Errors
+/// Returns [`BuildError`] only if the internal construction is inconsistent.
+pub fn unpipelined() -> Result<Netlist, BuildError> {
+    vsm::unpipelined(VsmConfig::with_interrupts())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vsm::{TRAP_HANDLER_PC, TRAP_LINK_REG};
+    use pv_isa::vsm::VsmInstr;
+    use pv_netlist::ConcreteSim;
+
+    /// Both machines, fed the same two instructions with an interrupt arriving
+    /// at the second instruction slot, end in the same architectural state:
+    /// the trap takes the place of the second instruction.
+    #[test]
+    fn trap_behaves_identically_in_both_machines() {
+        let i1 = u64::from(VsmInstr::add_lit(1, 0, 3).encode());
+        let i2 = u64::from(VsmInstr::add_lit(2, 0, 5).encode());
+
+        // Unpipelined: interrupt asserted during the fetch phase of slot 2.
+        let un = unpipelined().expect("build");
+        let mut us = ConcreteSim::new(&un);
+        us.step(&[("reset", 1), ("instr", 0), ("irq", 0)]);
+        us.step(&[("instr", i1), ("irq", 0)]);
+        for _ in 0..3 {
+            us.step(&[("instr", 0), ("irq", 0)]);
+        }
+        us.step(&[("instr", i2), ("irq", 1)]); // slot 2 becomes a trap
+        for _ in 0..3 {
+            us.step(&[("instr", 0), ("irq", 0)]);
+        }
+        let uo = us.outputs(&[("instr", 0), ("irq", 0)]);
+
+        // Pipelined: interrupt asserted during the IF cycle of slot 2; one
+        // extra (annulled) slot follows the trap.
+        let pn = pipelined().expect("build");
+        let mut ps = ConcreteSim::new(&pn);
+        ps.step(&[("reset", 1), ("instr", 0), ("irq", 0)]);
+        ps.step(&[("instr", i1), ("irq", 0)]);
+        ps.step(&[("instr", i2), ("irq", 1)]);
+        ps.step(&[("instr", i2), ("irq", 0)]); // delay slot of the trap: annulled
+        for _ in 0..3 {
+            ps.step(&[("instr", 0), ("irq", 0)]);
+        }
+        let po = ps.outputs(&[("instr", 0), ("irq", 0)]);
+
+        for name in ["r1", "r2", "pc", &format!("r{TRAP_LINK_REG}")] {
+            assert_eq!(uo[name], po[name], "{name}");
+        }
+        assert_eq!(uo["pc"], TRAP_HANDLER_PC);
+        assert_eq!(uo["r1"], 3);
+        assert_eq!(uo["r2"], 0, "the interrupted instruction must not execute");
+        // The trap links to the interrupted instruction's address.
+        assert_eq!(uo[&format!("r{TRAP_LINK_REG}")], 2 & 0x7);
+    }
+}

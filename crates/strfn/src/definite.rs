@@ -1,0 +1,279 @@
+//! Definite machines (Chapter 4).
+//!
+//! A sequential machine is *definite of order k* (k-definite) if its present
+//! state is uniquely determined by its last `k` inputs. Such a machine can be
+//! realised canonically as `k` delay elements feeding a combinational block
+//! (Figure 4), and two k-definite machines can be verified equivalent by
+//! simulating only the `πᵏ` input sequences of length `k`
+//! (Theorem 4.3.1.1) — the theoretical basis for verifying microprocessors
+//! with a bounded number of symbolic-simulation cycles.
+
+use std::collections::BTreeSet;
+
+use crate::func::StringFn;
+
+/// The canonical realization of a k-definite machine (Figure 4): `k` delay
+/// elements holding the last `k` inputs, feeding a combinational output
+/// function.
+///
+/// The output at time `t` is `f(window)` where `window` is the string of the
+/// last `k` inputs *including* the one at time `t`, left-padded with `fill`
+/// while fewer than `k` inputs have been seen.
+pub struct DefiniteMachine {
+    order: usize,
+    fill: u64,
+    output: Box<dyn Fn(&[u64]) -> u64>,
+}
+
+impl DefiniteMachine {
+    /// Creates a k-definite machine with the given combinational output
+    /// function.
+    ///
+    /// # Panics
+    /// Panics if `order` is zero.
+    pub fn new<F: Fn(&[u64]) -> u64 + 'static>(order: usize, fill: u64, output: F) -> Self {
+        assert!(order > 0, "a definite machine has order at least 1");
+        DefiniteMachine { order, fill, output: Box::new(output) }
+    }
+
+    /// The order of definiteness `k`.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+}
+
+impl StringFn for DefiniteMachine {
+    fn apply(&self, input: &[u64]) -> Vec<u64> {
+        let mut window = vec![self.fill; self.order];
+        input
+            .iter()
+            .map(|&u| {
+                window.rotate_left(1);
+                let k = self.order;
+                window[k - 1] = u;
+                (self.output)(&window)
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for DefiniteMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DefiniteMachine")
+            .field("order", &self.order)
+            .field("fill", &self.fill)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An explicit-state Mealy machine given by transition and output tables,
+/// used to *measure* orders of definiteness and to run the exhaustive
+/// verification procedure of Theorem 4.3.1.1 on small examples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExplicitMealy {
+    /// `next[s][i]` is the successor of state `s` under input `i`.
+    pub next: Vec<Vec<usize>>,
+    /// `output[s][i]` is the output produced in state `s` under input `i`.
+    pub output: Vec<Vec<u64>>,
+    /// The initial state.
+    pub initial: usize,
+}
+
+impl ExplicitMealy {
+    /// Creates a machine, checking table consistency.
+    ///
+    /// # Panics
+    /// Panics if the tables are empty, ragged, or reference missing states.
+    pub fn new(next: Vec<Vec<usize>>, output: Vec<Vec<u64>>, initial: usize) -> Self {
+        assert!(!next.is_empty(), "machine must have at least one state");
+        assert_eq!(next.len(), output.len(), "table size mismatch");
+        let num_inputs = next[0].len();
+        assert!(num_inputs > 0, "machine must have at least one input");
+        for (row_n, row_o) in next.iter().zip(&output) {
+            assert_eq!(row_n.len(), num_inputs, "ragged next-state table");
+            assert_eq!(row_o.len(), num_inputs, "ragged output table");
+            assert!(row_n.iter().all(|&s| s < next.len()), "dangling state reference");
+        }
+        assert!(initial < next.len(), "initial state out of range");
+        ExplicitMealy { next, output, initial }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.next.len()
+    }
+
+    /// Number of input characters.
+    pub fn num_inputs(&self) -> usize {
+        self.next[0].len()
+    }
+
+    /// Computes the order of definiteness: the least `k` such that any input
+    /// string of length `k` drives the machine to a unique state regardless of
+    /// the starting state. Returns `None` if the machine is not definite
+    /// within `max_order` steps (a non-definite machine never converges).
+    pub fn definiteness_order(&self, max_order: usize) -> Option<usize> {
+        // Uncertainty-set iteration: start from "the state could be anything";
+        // after applying one more (unknown) input, the possible uncertainty
+        // sets are the images of the previous sets under each input character.
+        let all: BTreeSet<usize> = (0..self.num_states()).collect();
+        if all.len() == 1 {
+            // A one-state machine needs no input history at all.
+            return Some(0);
+        }
+        let mut frontier: BTreeSet<BTreeSet<usize>> = BTreeSet::from([all]);
+        for k in 1..=max_order {
+            let mut next_frontier = BTreeSet::new();
+            for set in &frontier {
+                for input in 0..self.num_inputs() {
+                    let image: BTreeSet<usize> =
+                        set.iter().map(|&s| self.next[s][input]).collect();
+                    next_frontier.insert(image);
+                }
+            }
+            if next_frontier.iter().all(|s| s.len() == 1) {
+                return Some(k);
+            }
+            if next_frontier == frontier {
+                return None;
+            }
+            frontier = next_frontier;
+        }
+        None
+    }
+}
+
+impl StringFn for ExplicitMealy {
+    fn apply(&self, input: &[u64]) -> Vec<u64> {
+        let mut state = self.initial;
+        input
+            .iter()
+            .map(|&u| {
+                let i = u as usize % self.num_inputs();
+                let out = self.output[state][i];
+                state = self.next[state][i];
+                out
+            })
+            .collect()
+    }
+}
+
+/// Exhaustive equivalence check of Theorem 4.3.1.1: two k-definite machines
+/// over an alphabet of `num_inputs` characters are functionally equivalent iff
+/// they produce the same outputs on every one of the `num_inputsᵏ` input
+/// sequences of length `k`.
+///
+/// Returns `None` if no difference is found, or the first differing input
+/// sequence otherwise. The cost is `num_inputsᵏ · k`, which is why the thesis
+/// restricts `k` to the pipeline depth rather than traversing the full state
+/// space.
+pub fn verify_definite_equivalence(
+    left: &dyn StringFn,
+    right: &dyn StringFn,
+    order: usize,
+    num_inputs: u64,
+) -> Option<Vec<u64>> {
+    assert!(num_inputs > 0, "alphabet must be non-empty");
+    let total = num_inputs.checked_pow(order as u32).expect("sequence space overflows u64");
+    let mut sequence = vec![0u64; order];
+    for index in 0..total {
+        let mut rest = index;
+        for slot in sequence.iter_mut() {
+            *slot = rest % num_inputs;
+            rest /= num_inputs;
+        }
+        if left.apply(&sequence) != right.apply(&sequence) {
+            return Some(sequence);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::CharFn;
+
+    /// A 2-definite machine: output = previous input XOR current input.
+    fn xor_of_last_two() -> DefiniteMachine {
+        DefiniteMachine::new(2, 0, |w| w[0] ^ w[1])
+    }
+
+    /// The same function realised as an explicit Mealy machine over inputs
+    /// {0,1}: state = last input.
+    fn xor_mealy() -> ExplicitMealy {
+        ExplicitMealy::new(
+            vec![vec![0, 1], vec![0, 1]],
+            vec![vec![0, 1], vec![1, 0]],
+            0,
+        )
+    }
+
+    #[test]
+    fn canonical_realization_windows_inputs() {
+        let m = xor_of_last_two();
+        assert_eq!(m.order(), 2);
+        assert_eq!(m.apply(&[1, 1, 0, 1]), vec![1, 0, 1, 1]);
+        assert_eq!(m.apply(&[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn explicit_mealy_matches_canonical() {
+        let canon = xor_of_last_two();
+        let mealy = xor_mealy();
+        assert_eq!(verify_definite_equivalence(&canon, &mealy, 2, 2), None);
+    }
+
+    #[test]
+    fn definiteness_order_of_shift_register() {
+        // A machine whose state is the last input: 1-definite.
+        let m = xor_mealy();
+        assert_eq!(m.definiteness_order(5), Some(1));
+        // A machine whose state is the last two inputs: 2-definite.
+        // States encode (a,b) as 2a+b; input shifts in.
+        let next = (0..4)
+            .map(|s: usize| vec![(s % 2) * 2, (s % 2) * 2 + 1])
+            .collect::<Vec<_>>();
+        let output = vec![vec![0, 1]; 4];
+        let m2 = ExplicitMealy::new(next, output, 0);
+        assert_eq!(m2.definiteness_order(5), Some(2));
+    }
+
+    #[test]
+    fn non_definite_machine_detected() {
+        // A toggling machine (a modulo-2 counter ignoring its input) is not
+        // definite: no amount of input knowledge pins down the state.
+        let m = ExplicitMealy::new(
+            vec![vec![1, 1], vec![0, 0]],
+            vec![vec![0, 0], vec![1, 1]],
+            0,
+        );
+        assert_eq!(m.definiteness_order(10), None);
+    }
+
+    #[test]
+    fn theorem_4311_finds_differences() {
+        let canon = xor_of_last_two();
+        // A machine that differs only when the last two inputs are both 1.
+        let broken = DefiniteMachine::new(2, 0, |w| if w == [1, 1] { 1 } else { w[0] ^ w[1] });
+        let cex = verify_definite_equivalence(&canon, &broken, 2, 2).expect("must differ");
+        assert_eq!(cex, vec![1, 1]);
+        // Identical machines are equivalent.
+        let again = xor_of_last_two();
+        assert_eq!(verify_definite_equivalence(&canon, &again, 2, 2), None);
+    }
+
+    #[test]
+    fn equivalence_against_char_fn() {
+        // A 1-definite machine is just a character function.
+        let m = DefiniteMachine::new(1, 0, |w| w[0] + 1);
+        let c = CharFn::new(|u| u + 1);
+        assert_eq!(verify_definite_equivalence(&m, &c, 1, 4), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn empty_machine_rejected() {
+        let _ = ExplicitMealy::new(vec![], vec![], 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Output-filtering schedules: concrete, finite realisations of the filter
+//! function `H` (the `1 0 0 0 1 …` strings printed in Sections 6.2 and 6.3),
+//! including the on-the-fly modifications that make up the *dynamic*
+//! β-relation of Chapter 5.
+
+use std::fmt;
+
+use crate::func::{CharFn, StringFn};
+
+/// A finite filtering schedule: one Boolean per simulation cycle, `true`
+/// meaning "sample the observed variables in this cycle".
+///
+/// ```
+/// use pv_strfn::FilterSchedule;
+/// // The unpipelined VSM schedule of Section 6.2 (k = 4, 4 instructions,
+/// // one reset cycle): 1 0 0 0 1 0 0 0 1 0 0 0 1 0 0 0 1
+/// let s = FilterSchedule::every_kth(4, 17, 0);
+/// assert_eq!(s.to_string(), "1 0 0 0 1 0 0 0 1 0 0 0 1 0 0 0 1");
+/// assert_eq!(s.relevant_cycles(), vec![0, 4, 8, 12, 16]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FilterSchedule {
+    bits: Vec<bool>,
+}
+
+impl FilterSchedule {
+    /// Builds a schedule from explicit per-cycle bits.
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        FilterSchedule { bits }
+    }
+
+    /// An all-zero (never sample) schedule of the given length.
+    pub fn zeros(len: usize) -> Self {
+        FilterSchedule { bits: vec![false; len] }
+    }
+
+    /// An all-one (sample every cycle) schedule of the given length.
+    pub fn ones(len: usize) -> Self {
+        FilterSchedule { bits: vec![true; len] }
+    }
+
+    /// A periodic schedule of the given length that samples at cycles
+    /// `offset, offset+period, offset+2·period, …` — the unpipelined-machine
+    /// filter of Theorem 4.3.3.1 (sample every `k` cycles).
+    pub fn every_kth(period: usize, len: usize, offset: usize) -> Self {
+        assert!(period > 0, "period must be positive");
+        let bits = (0..len).map(|t| t >= offset && (t - offset) % period == 0).collect();
+        FilterSchedule { bits }
+    }
+
+    /// A pipelined-machine schedule: irrelevant during the initial `latency`
+    /// cycles, sampled every cycle afterwards (Figure 6).
+    pub fn after_latency(latency: usize, len: usize) -> Self {
+        let bits = (0..len).map(|t| t >= latency).collect();
+        FilterSchedule { bits }
+    }
+
+    /// Length of the schedule in cycles.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` if the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Whether outputs are sampled at cycle `t` (cycles beyond the end are
+    /// never sampled).
+    pub fn is_relevant(&self, t: usize) -> bool {
+        self.bits.get(t).copied().unwrap_or(false)
+    }
+
+    /// The cycles at which outputs are sampled, in order.
+    pub fn relevant_cycles(&self) -> Vec<usize> {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter_map(|(t, &b)| b.then_some(t))
+            .collect()
+    }
+
+    /// Number of sampled cycles.
+    pub fn relevant_count(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Marks cycle `t` as a don't-care (used for branch-delay-slot annulment,
+    /// Section 5.3). Cycles beyond the end are ignored.
+    pub fn suppress(&mut self, t: usize) {
+        if let Some(b) = self.bits.get_mut(t) {
+            *b = false;
+        }
+    }
+
+    /// Marks cycle `t` as relevant.
+    pub fn mark(&mut self, t: usize) {
+        if let Some(b) = self.bits.get_mut(t) {
+            *b = true;
+        }
+    }
+
+    /// Inserts `count` don't-care cycles starting at cycle `t`, pushing the
+    /// remainder of the schedule back — the dynamic-β modification applied
+    /// while an event (interrupt, trap) is being handled (Section 5.5).
+    pub fn insert_dont_cares(&mut self, t: usize, count: usize) {
+        let at = t.min(self.bits.len());
+        self.bits.splice(at..at, std::iter::repeat_n(false, count));
+    }
+
+    /// Appends one cycle to the schedule.
+    pub fn push(&mut self, relevant: bool) {
+        self.bits.push(relevant);
+    }
+
+    /// The underlying per-cycle bits.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// The schedule as a string function over positions, usable as the filter
+    /// `H` in [`crate::beta_holds`]. Positions beyond the schedule are
+    /// irrelevant.
+    pub fn as_string_fn(&self) -> CharFn {
+        let bits = self.bits.clone();
+        CharFn::from_sequence_fn(move |t| u64::from(bits.get(t).copied().unwrap_or(false)))
+    }
+}
+
+impl fmt::Display for FilterSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for &b in &self.bits {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", u8::from(b))?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl StringFn for FilterSchedule {
+    fn apply(&self, input: &[u64]) -> Vec<u64> {
+        (0..input.len()).map(|t| u64::from(self.is_relevant(t))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_section_6_2_schedules() {
+        // UNPIPELINED: 1 0 0 0 1 0 0 0 1 0 0 0 1 0 0 0 1
+        let unpipelined = FilterSchedule::every_kth(4, 17, 0);
+        assert_eq!(
+            unpipelined.to_string(),
+            "1 0 0 0 1 0 0 0 1 0 0 0 1 0 0 0 1"
+        );
+        // PIPELINED: 1 0 0 0 1 1 1 0 1 — start from the latency pattern and
+        // annul the delay-slot sample after the control-transfer instruction.
+        let mut pipelined = FilterSchedule::from_bits(vec![
+            true, false, false, false, true, true, true, true, true,
+        ]);
+        pipelined.suppress(7);
+        assert_eq!(pipelined.to_string(), "1 0 0 0 1 1 1 0 1");
+        assert_eq!(pipelined.relevant_count(), 5);
+        assert_eq!(unpipelined.relevant_count(), pipelined.relevant_count());
+    }
+
+    #[test]
+    fn relevance_queries() {
+        let s = FilterSchedule::after_latency(3, 6);
+        assert!(!s.is_relevant(2));
+        assert!(s.is_relevant(3));
+        assert!(!s.is_relevant(99));
+        assert_eq!(s.relevant_cycles(), vec![3, 4, 5]);
+        assert_eq!(s.len(), 6);
+        assert!(!s.is_empty());
+        assert_eq!(FilterSchedule::zeros(4).relevant_count(), 0);
+        assert_eq!(FilterSchedule::ones(4).relevant_count(), 4);
+    }
+
+    #[test]
+    fn dynamic_modifications() {
+        let mut s = FilterSchedule::every_kth(2, 6, 0);
+        assert_eq!(s.to_string(), "1 0 1 0 1 0");
+        s.insert_dont_cares(2, 3);
+        assert_eq!(s.to_string(), "1 0 0 0 0 1 0 1 0");
+        s.mark(1);
+        s.suppress(0);
+        assert_eq!(s.to_string(), "0 1 0 0 0 1 0 1 0");
+        s.push(true);
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn schedule_as_string_fn() {
+        let s = FilterSchedule::every_kth(3, 6, 1);
+        let f = s.as_string_fn();
+        use crate::func::StringFn as _;
+        assert_eq!(f.apply(&[9; 6]), vec![0, 1, 0, 0, 1, 0]);
+        assert_eq!(s.apply(&[9; 8]), vec![0, 1, 0, 0, 1, 0, 0, 0]);
+    }
+}

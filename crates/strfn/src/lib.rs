@@ -1,0 +1,58 @@
+//! String functions, the β-relation and definite machines.
+//!
+//! This crate implements the theory of Chapters 2 and 4 of *Automatic
+//! Verification of Pipelined Microprocessors* (Bhagwati, 1994):
+//!
+//! * [`string`] — strings over an alphabet and the primitive operations
+//!   (concatenation, prefix, `Last`, `Past`, power, position) of Section 2.2,
+//!   together with the [`relevant`](string::relevant) filter of
+//!   Definition 2.3.1;
+//! * [`func`] — string functions realised by synchronous machines
+//!   (combinational lifts, register functions and explicit Mealy machines),
+//!   which are length- and prefix-preserving;
+//! * [`beta`] — the "don't-care times" β-relation of Definition 2.3.2, the
+//!   α-relation it subsumes, and the worked examples of Figures 1 and 2;
+//! * [`filter`] — output-filtering schedules (the `1 0 0 0 1 …` strings of
+//!   Section 6.2), including the dynamic modifications used by the dynamic
+//!   β-relation of Chapter 5;
+//! * [`definite`] — k-definite machines: the canonical realization
+//!   (Figure 4), computation of the order of definiteness, and the
+//!   exhaustive-equivalence check of Theorem 4.3.1.1.
+//!
+//! Symbols are packed into `u64` words (the alphabet of the thesis is vectors
+//! of Booleans), which lets the same machinery drive both the toy examples and
+//! the processor netlists.
+//!
+//! # Example
+//!
+//! The Figure 1 situation: an implementation that delays its output by one
+//! cycle and only produces relevant values on every second cycle is in
+//! β-relation with the specification that consumes every relevant input
+//! directly.
+//!
+//! ```
+//! use pv_strfn::{beta_holds, CharFn, MealyFn, StringFn};
+//!
+//! // Specification: identity on every (relevant) input character.
+//! let spec = CharFn::new(|u| u);
+//! // Implementation: a one-place delay line (outputs the previous input).
+//! let imp = MealyFn::new(0, |state, input| (state, input));
+//! // H: the modulo-2 counter that marks every second time point relevant.
+//! let h = CharFn::from_sequence_fn(|t| u64::from(t % 2 == 1));
+//! let x: Vec<u64> = (1..=9).collect();
+//! assert!(beta_holds(&imp, &spec, &h, 1, &x).is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beta;
+pub mod definite;
+pub mod filter;
+pub mod func;
+pub mod string;
+
+pub use beta::{alpha_holds, beta_holds, BetaWitness};
+pub use definite::{DefiniteMachine, ExplicitMealy};
+pub use filter::FilterSchedule;
+pub use func::{CharFn, ComposeFn, MealyFn, RegisterFn, StringFn};

@@ -1,0 +1,107 @@
+//! Strings over an alphabet and the primitive operations of Section 2.2.
+//!
+//! A *string* is a finite sequence of characters; we represent it as a slice
+//! or `Vec`. The operations below mirror the notation of the thesis:
+//! concatenation (`.`), length (`| |`), the prefix relation (`≤`), `Last`,
+//! `Past`, "to the power" (`↑`) and "at position", plus the `Relevant`
+//! filter of Definition 2.3.1.
+
+/// Concatenates two strings.
+pub fn concat<T: Clone>(x: &[T], y: &[T]) -> Vec<T> {
+    let mut out = x.to_vec();
+    out.extend_from_slice(y);
+    out
+}
+
+/// The prefix relation: `true` iff `x ≤ y` (every character of `x` appears at
+/// the start of `y`).
+pub fn is_prefix<T: PartialEq>(x: &[T], y: &[T]) -> bool {
+    x.len() <= y.len() && x.iter().zip(y).all(|(a, b)| a == b)
+}
+
+/// `Last`: the last character of the string, or `None` for the empty string
+/// (the thesis defines `L(ε) = ε` for totality).
+pub fn last<T>(x: &[T]) -> Option<&T> {
+    x.last()
+}
+
+/// `Past`: all characters except the last one (`P(ε) = ε`).
+pub fn past<T>(x: &[T]) -> &[T] {
+    if x.is_empty() {
+        x
+    } else {
+        &x[..x.len() - 1]
+    }
+}
+
+/// "To the power": `n` repetitions of the character `c`.
+pub fn power<T: Clone>(c: T, n: usize) -> Vec<T> {
+    std::iter::repeat_n(c, n).collect()
+}
+
+/// "At position": the character at 0-based position `i` (the thesis indexes
+/// from 1; we follow Rust convention and document the shift).
+pub fn at<T>(x: &[T], i: usize) -> Option<&T> {
+    x.get(i)
+}
+
+/// The `Relevant` function of Definition 2.3.1: deletes every character of `x`
+/// whose corresponding position in the Boolean string `h` is `false`.
+///
+/// # Panics
+/// Panics if the two strings have different lengths (they are combined by the
+/// string Cartesian product, which requires equal length).
+pub fn relevant<T: Clone>(x: &[T], h: &[bool]) -> Vec<T> {
+    assert_eq!(x.len(), h.len(), "Relevant requires strings of equal length");
+    x.iter()
+        .zip(h)
+        .filter_map(|(c, &keep)| keep.then(|| c.clone()))
+        .collect()
+}
+
+/// [`relevant`] with the Boolean string packed as `u64` symbols (any non-zero
+/// symbol counts as relevant), matching the output of filter string functions.
+pub fn relevant_u64(x: &[u64], h: &[u64]) -> Vec<u64> {
+    assert_eq!(x.len(), h.len(), "Relevant requires strings of equal length");
+    x.iter()
+        .zip(h)
+        .filter_map(|(&c, &keep)| (keep != 0).then_some(c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_string_ops() {
+        let x = [1u64, 2, 3];
+        let y = [4u64, 5];
+        assert_eq!(concat(&x, &y), vec![1, 2, 3, 4, 5]);
+        assert!(is_prefix(&x, &[1, 2, 3, 4]));
+        assert!(!is_prefix(&x, &[1, 2]));
+        assert!(is_prefix::<u64>(&[], &x));
+        assert_eq!(last(&x), Some(&3));
+        assert_eq!(last::<u64>(&[]), None);
+        assert_eq!(past(&x), &[1, 2]);
+        assert_eq!(past::<u64>(&[]), &[] as &[u64]);
+        assert_eq!(power(7u64, 3), vec![7, 7, 7]);
+        assert_eq!(at(&x, 1), Some(&2));
+        assert_eq!(at(&x, 9), None);
+    }
+
+    #[test]
+    fn relevant_filters_dont_care_positions() {
+        let x = [10u64, 20, 30, 40];
+        let h = [false, true, false, true];
+        assert_eq!(relevant(&x, &h), vec![20, 40]);
+        assert_eq!(relevant_u64(&x, &[0, 1, 0, 1]), vec![20, 40]);
+        assert_eq!(relevant::<u64>(&[], &[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn relevant_rejects_length_mismatch() {
+        let _ = relevant(&[1u64], &[true, false]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the string-function layer: laws of the primitive
+//! string operations, the `Relevant` filter, length/prefix preservation of
+//! machine-realised string functions, and the β-relation for delay machines.
+
+use proptest::prelude::*;
+use pv_strfn::definite::verify_definite_equivalence;
+use pv_strfn::string::{at, concat, is_prefix, last, past, power, relevant, relevant_u64};
+use pv_strfn::{beta_holds, CharFn, DefiniteMachine, FilterSchedule, MealyFn, RegisterFn, StringFn};
+
+proptest! {
+    #[test]
+    fn string_operation_laws(x in proptest::collection::vec(0u64..64, 0..12),
+                             y in proptest::collection::vec(0u64..64, 0..12),
+                             c in 0u64..64, n in 0usize..8) {
+        let cat = concat(&x, &y);
+        prop_assert_eq!(cat.len(), x.len() + y.len());
+        prop_assert!(is_prefix(&x, &cat));
+        if !x.is_empty() {
+            prop_assert_eq!(last(&x), x.last());
+            prop_assert_eq!(past(&x).len(), x.len() - 1);
+            prop_assert_eq!(concat(past(&x), &[*last(&x).unwrap()]), x.clone());
+        }
+        let p = power(c, n);
+        prop_assert_eq!(p.len(), n);
+        prop_assert!(p.iter().all(|&v| v == c));
+        for i in 0..x.len() {
+            prop_assert_eq!(at(&x, i), Some(&x[i]));
+        }
+    }
+
+    #[test]
+    fn relevant_laws(x in proptest::collection::vec(0u64..64, 0..16), mask in proptest::collection::vec(any::<bool>(), 0..16)) {
+        let len = x.len().min(mask.len());
+        let x = &x[..len];
+        let mask = &mask[..len];
+        let filtered = relevant(x, mask);
+        prop_assert_eq!(filtered.len(), mask.iter().filter(|&&b| b).count());
+        // All-true mask is the identity; all-false mask is the empty string.
+        prop_assert_eq!(relevant(x, &vec![true; len]), x.to_vec());
+        prop_assert_eq!(relevant(x, &vec![false; len]), Vec::<u64>::new());
+        // Agreement between the bool and the packed-u64 form.
+        let mask_u: Vec<u64> = mask.iter().map(|&b| u64::from(b)).collect();
+        prop_assert_eq!(relevant_u64(x, &mask_u), filtered);
+    }
+
+    /// Every machine-realised string function is length- and prefix-preserving
+    /// (the defining property of Section 2.2).
+    #[test]
+    fn machines_are_length_and_prefix_preserving(x in proptest::collection::vec(0u64..16, 0..20), init in 0u64..16) {
+        let machines: Vec<Box<dyn StringFn>> = vec![
+            Box::new(CharFn::new(move |u| u ^ init)),
+            Box::new(RegisterFn::new(init)),
+            Box::new(RegisterFn::chain(init, 3)),
+            Box::new(MealyFn::new(init, |s, u| (s.wrapping_add(u), u))),
+            Box::new(DefiniteMachine::new(3, init, |w| w.iter().sum::<u64>() & 0xF)),
+        ];
+        for f in &machines {
+            let full = f.apply(&x);
+            prop_assert_eq!(full.len(), x.len());
+            for cut in 0..=x.len() {
+                prop_assert_eq!(f.apply(&x[..cut]), full[..cut].to_vec());
+            }
+        }
+    }
+
+    /// The Figure 1 situation generalises: an n-place delay line is in
+    /// β-relation (with delay n and a modulo-(n+1) filter) with the identity
+    /// specification, for any input string.
+    #[test]
+    fn delay_lines_satisfy_the_beta_relation(x in proptest::collection::vec(1u64..64, 0..24), n in 1usize..4) {
+        let spec = CharFn::new(|u| u);
+        let imp = RegisterFn::chain(0, n);
+        let period = n + 1;
+        let h = CharFn::from_sequence_fn(move |t| u64::from(t % period == period - 1 - 0));
+        // Only check strings long enough for the relation to be non-vacuous.
+        let holds = beta_holds(&imp, &spec, &h, n, &x);
+        // The relation must hold whenever the filter is consistent with the
+        // delay; a mismatch would indicate a bug in Relevant or the machines.
+        if x.len() % period == 0 {
+            prop_assert!(holds.is_none(), "witness: {holds:?}");
+        }
+    }
+
+    /// Theorem 4.3.1.1: two canonical realisations with the same window
+    /// function are always equivalent; changing the function on one window is
+    /// always detected.
+    #[test]
+    fn theorem_4311_detects_any_single_window_change(k in 1usize..4, poisoned in 0u64..8) {
+        let k_mask = (1u64 << k) - 1;
+        let poisoned = poisoned & k_mask;
+        let left = DefiniteMachine::new(k, 0, |w| w.iter().fold(0, |a, &b| (a << 1 | b) & 0xF) );
+        let same = DefiniteMachine::new(k, 0, |w| w.iter().fold(0, |a, &b| (a << 1 | b) & 0xF) );
+        prop_assert_eq!(verify_definite_equivalence(&left, &same, k, 2), None);
+        let broken = DefiniteMachine::new(k, 0, move |w| {
+            let packed = w.iter().fold(0, |a, &b| (a << 1 | b) & 0xF);
+            if w.iter().fold(0u64, |a, &b| a << 1 | b) == poisoned { packed ^ 1 } else { packed }
+        });
+        let cex = verify_definite_equivalence(&left, &broken, k, 2);
+        prop_assert!(cex.is_some());
+    }
+
+    /// Filter schedules: marking then suppressing is the identity on the
+    /// relevant count, and the string-function view agrees with the schedule.
+    #[test]
+    fn filter_schedule_consistency(bits in proptest::collection::vec(any::<bool>(), 1..24)) {
+        let schedule = FilterSchedule::from_bits(bits.clone());
+        prop_assert_eq!(schedule.relevant_count(), bits.iter().filter(|&&b| b).count());
+        prop_assert_eq!(schedule.relevant_cycles().len(), schedule.relevant_count());
+        let as_fn = schedule.as_string_fn();
+        let probe: Vec<u64> = vec![7; bits.len()];
+        let mask = as_fn.apply(&probe);
+        for (t, &bit) in bits.iter().enumerate() {
+            prop_assert_eq!(mask[t] == 1, bit);
+            prop_assert_eq!(schedule.is_relevant(t), bit);
+        }
+    }
+}

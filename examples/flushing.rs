@@ -1,0 +1,48 @@
+//! The Burch–Dill flushing method on the term-level three-stage pipeline:
+//! the companion verification flow to the β-relation methodology (see
+//! `DESIGN.md`).
+//!
+//! The example checks the commuting diagram for the correct pipeline, then
+//! for every injectable control bug, printing the counterexample assignments
+//! the EUF checker returns.
+//!
+//! Run with `cargo run --release --example flushing`.
+
+use pipeverify::flush::{FlushVerifier, PipelineBug, PipelineModel, TermManager};
+
+fn main() {
+    println!("=== Burch–Dill flushing verification (term level, uninterpreted ALU) ===\n");
+
+    let correct = FlushVerifier::new(PipelineModel::correct());
+    let mut terms = TermManager::new();
+    let vc = correct.verification_condition(&mut terms);
+    println!(
+        "verification condition: {} distinct terms, {} Boolean atoms\n",
+        terms.len(),
+        terms.atoms(vc).len()
+    );
+
+    let report = correct.verify();
+    print!("{report}");
+    assert!(report.valid());
+
+    println!("\n--- injected control bugs ---");
+    for bug in [
+        PipelineBug::NoForwarding,
+        PipelineBug::ForwardAlways,
+        PipelineBug::WriteBackBubbles,
+        PipelineBug::StuckPc,
+    ] {
+        let report = FlushVerifier::new(PipelineModel::with_bug(bug)).verify();
+        assert!(!report.valid(), "{bug:?} must be rejected");
+        let cex = report.counterexample.expect("counterexample");
+        println!("\n{bug:?}: commuting diagram violated under");
+        println!("  {cex}");
+        println!(
+            "  ({} case splits, {} congruence-closure checks)",
+            report.splits, report.closure_checks
+        );
+    }
+
+    println!("\nAll four control bugs were rejected; the correct design was accepted.");
+}

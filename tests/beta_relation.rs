@@ -1,0 +1,90 @@
+//! The β-relation of Chapter 2 checked *directly* on concrete netlist
+//! traces, independently of the symbolic verifier: the VSM pipeline's
+//! write-back stream, filtered by the output filtering function, must equal
+//! the write-back stream of the serial specification machine on the relevant
+//! inputs. This ties the string-function theory (pv-strfn) to the netlist
+//! machinery (pv-netlist) the verifier is built on.
+
+use pipeverify::isa::vsm::{VsmInstr, VsmOp};
+use pipeverify::netlist::{ConcreteSim, Netlist};
+use pipeverify::proc::vsm::{self, VsmConfig};
+use pipeverify::strfn::string::relevant_u64;
+use pipeverify::strfn::FilterSchedule;
+use rand::prelude::*;
+
+/// Packs the architectural state exposed by either VSM netlist into one word.
+fn observe(out: &std::collections::HashMap<String, u64>) -> u64 {
+    let regs = (0..8).fold(0u64, |acc, i| acc | out[&format!("r{i}")] << (3 * i));
+    regs | out["pc"] << 24
+}
+
+/// Runs a netlist on a per-cycle instruction stream and returns the observed
+/// architectural state per cycle.
+fn trace(netlist: &Netlist, instrs: &[u64]) -> Vec<u64> {
+    let mut sim = ConcreteSim::new(netlist);
+    sim.step(&[("reset", 1), ("instr", 0)]);
+    instrs
+        .iter()
+        .map(|&i| observe(&sim.step(&[("reset", 0), ("instr", i)])))
+        .collect()
+}
+
+fn random_program(rng: &mut StdRng, len: usize) -> Vec<VsmInstr> {
+    (0..len)
+        .map(|_| {
+            let op = [VsmOp::Add, VsmOp::Xor, VsmOp::And, VsmOp::Or][rng.random_range(0..4)];
+            VsmInstr::alu_reg(op, rng.random_range(0..8), rng.random_range(0..8), rng.random_range(0..8))
+        })
+        .collect()
+}
+
+#[test]
+fn pipeline_trace_is_in_beta_relation_with_the_serial_trace() {
+    let pipelined = vsm::pipelined(VsmConfig::correct()).expect("build");
+    let unpipelined = vsm::unpipelined(VsmConfig::correct()).expect("build");
+    let k = 4;
+    let n = 6; // six ordinary instructions
+    let mut rng = StdRng::seed_from_u64(21);
+    for _ in 0..10 {
+        let program = random_program(&mut rng, n);
+
+        // Pipelined machine: one instruction per cycle, then drain.
+        let mut p_stream: Vec<u64> = program.iter().map(|i| u64::from(i.encode())).collect();
+        p_stream.extend(std::iter::repeat_n(0u64, k));
+        let p_trace = trace(&pipelined, &p_stream);
+        // Its relevant outputs are the cycles right after each retirement.
+        let p_filter = FilterSchedule::from_bits(
+            (0..p_trace.len()).map(|c| c >= k && c < k + n).collect(),
+        );
+
+        // Unpipelined machine: each instruction occupies k cycles.
+        let mut u_stream = Vec::new();
+        for i in &program {
+            u_stream.push(u64::from(i.encode()));
+            u_stream.extend(std::iter::repeat_n(0u64, k - 1));
+        }
+        u_stream.push(0);
+        let u_trace = trace(&unpipelined, &u_stream);
+        let u_filter = FilterSchedule::from_bits(
+            (0..u_trace.len()).map(|c| c >= k && (c - k) % k == 0).collect(),
+        );
+
+        // Definition 2.3.1/2.3.2: the relevant outputs of the implementation
+        // equal the relevant outputs of the specification.
+        let p_relevant = relevant_u64(&p_trace, &p_filter.apply_mask(p_trace.len()));
+        let u_relevant = relevant_u64(&u_trace, &u_filter.apply_mask(u_trace.len()));
+        assert_eq!(p_relevant.len(), n);
+        assert_eq!(p_relevant, u_relevant, "{program:?}");
+    }
+}
+
+/// Helper: a `FilterSchedule` as a 0/1 mask of a given length.
+trait ApplyMask {
+    fn apply_mask(&self, len: usize) -> Vec<u64>;
+}
+
+impl ApplyMask for FilterSchedule {
+    fn apply_mask(&self, len: usize) -> Vec<u64> {
+        (0..len).map(|t| u64::from(self.is_relevant(t))).collect()
+    }
+}

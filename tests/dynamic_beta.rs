@@ -1,0 +1,91 @@
+//! The dynamic β-relation (Sections 5.3 and 5.5): delay-slot annulment and
+//! interrupt handling change the output filtering function on the fly, and
+//! the verifier must still decide equivalence correctly.
+
+use pipeverify::core::{MachineSpec, SimulationPlan, Slot, Verifier, VerifyError};
+use pipeverify::proc::vsm::{self, VsmConfig};
+use pipeverify::strfn::FilterSchedule;
+
+/// Reduced-register interrupt-capable machines and the matching spec (the
+/// symbolic experiments use the thesis's reduced register-file model).
+fn interrupt_pair() -> (pipeverify::netlist::Netlist, pipeverify::netlist::Netlist, MachineSpec) {
+    let config = VsmConfig { with_interrupt: true, ..VsmConfig::reduced(2) };
+    let spec = MachineSpec { irq_port: Some("irq".to_owned()), ..MachineSpec::vsm_reduced(2) };
+    (
+        vsm::pipelined(config).expect("build"),
+        vsm::unpipelined(config).expect("build"),
+        spec,
+    )
+}
+
+#[test]
+fn interrupts_verify_at_every_arrival_slot() {
+    let (pipelined, unpipelined, spec) = interrupt_pair();
+    let k = spec.k;
+    let verifier = Verifier::new(spec);
+    for position in 0..k {
+        let plan = SimulationPlan::with_interrupt_at(k, position);
+        let report = verifier.verify_plan(&pipelined, &unpipelined, &plan).expect("verify");
+        assert!(report.equivalent(), "interrupt at slot {position}: {report}");
+    }
+}
+
+#[test]
+fn interrupt_extended_machines_still_verify_without_interrupts() {
+    let (pipelined, unpipelined, spec) = interrupt_pair();
+    let report = Verifier::new(spec).verify(&pipelined, &unpipelined).expect("verify");
+    assert!(report.equivalent(), "{report}");
+}
+
+#[test]
+fn interrupt_plans_require_an_irq_port() {
+    // Using an interrupt plan with a specification that names no irq port is
+    // a user error, reported as such.
+    let pipelined = vsm::pipelined(VsmConfig::reduced(2)).expect("build");
+    let unpipelined = vsm::unpipelined(VsmConfig::reduced(2)).expect("build");
+    let verifier = Verifier::new(MachineSpec::vsm_reduced(2));
+    let err = verifier
+        .verify_plan(&pipelined, &unpipelined, &SimulationPlan::with_interrupt_at(4, 1))
+        .unwrap_err();
+    assert_eq!(err, VerifyError::InterruptWithoutIrqPort);
+}
+
+#[test]
+fn filter_strings_differ_per_interrupt_arrival_time() {
+    // The dynamic β-relation: each arrival time yields a different pipelined
+    // filter, while the number of relevant (sampled) points stays the number
+    // of instruction slots.
+    let (pipelined, unpipelined, spec) = interrupt_pair();
+    let verifier = Verifier::new(spec);
+    let mut filters = Vec::new();
+    for position in 0..3 {
+        let plan = SimulationPlan::with_interrupt_at(3, position);
+        let report = verifier.verify_plan(&pipelined, &unpipelined, &plan).expect("verify");
+        let parsed = FilterSchedule::from_bits(
+            report.filters.0.split_whitespace().map(|b| b == "1").collect(),
+        );
+        assert_eq!(parsed.relevant_count(), 3);
+        filters.push(report.filters.0.clone());
+    }
+    assert_ne!(filters[0], filters[1]);
+    assert_ne!(filters[1], filters[2]);
+}
+
+#[test]
+fn delay_slot_annulment_shifts_the_schedule() {
+    // With a control transfer in slot 1 of 4, the pipelined machine needs one
+    // extra cycle; the schedule says so and the verifier still succeeds.
+    let pipelined = vsm::pipelined(VsmConfig::reduced(2)).expect("build");
+    let unpipelined = vsm::unpipelined(VsmConfig::reduced(2)).expect("build");
+    let verifier = Verifier::new(MachineSpec::vsm_reduced(2));
+    let no_ct = verifier
+        .verify_plan(&pipelined, &unpipelined, &SimulationPlan::all_normal(4))
+        .expect("verify");
+    let with_ct = verifier
+        .verify_plan(&pipelined, &unpipelined, &SimulationPlan::with_control_at(4, 1))
+        .expect("verify");
+    assert!(no_ct.equivalent() && with_ct.equivalent());
+    assert_eq!(with_ct.pipelined_cycles, no_ct.pipelined_cycles + 1);
+    assert_eq!(with_ct.unpipelined_cycles, no_ct.unpipelined_cycles);
+    assert!(SimulationPlan::with_control_at(4, 1).slots().contains(&Slot::ControlTransfer));
+}
