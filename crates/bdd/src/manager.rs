@@ -41,8 +41,16 @@ impl Default for BddManager {
 impl BddManager {
     /// Creates an empty manager containing only the two terminal nodes.
     pub fn new() -> Self {
-        let terminal_false = Node { var: TERMINAL_VAR, lo: Bdd::FALSE, hi: Bdd::FALSE };
-        let terminal_true = Node { var: TERMINAL_VAR, lo: Bdd::TRUE, hi: Bdd::TRUE };
+        let terminal_false = Node {
+            var: TERMINAL_VAR,
+            lo: Bdd::FALSE,
+            hi: Bdd::FALSE,
+        };
+        let terminal_true = Node {
+            var: TERMINAL_VAR,
+            lo: Bdd::TRUE,
+            hi: Bdd::TRUE,
+        };
         BddManager {
             nodes: vec![terminal_false, terminal_true],
             unique: HashMap::new(),
@@ -82,13 +90,19 @@ impl BddManager {
     /// # Panics
     /// Panics if `v` was not allocated by this manager.
     pub fn var(&mut self, v: Var) -> Bdd {
-        assert!(v.0 < self.num_vars, "variable {v} not allocated in this manager");
+        assert!(
+            v.0 < self.num_vars,
+            "variable {v} not allocated in this manager"
+        );
         self.mk(v.0, Bdd::FALSE, Bdd::TRUE)
     }
 
     /// The negated projection function of `v`.
     pub fn nvar(&mut self, v: Var) -> Bdd {
-        assert!(v.0 < self.num_vars, "variable {v} not allocated in this manager");
+        assert!(
+            v.0 < self.num_vars,
+            "variable {v} not allocated in this manager"
+        );
         self.mk(v.0, Bdd::TRUE, Bdd::FALSE)
     }
 
@@ -170,8 +184,16 @@ impl BddManager {
             return r;
         }
         let vf = self.node(f).var;
-        let vg = if g.is_const() { TERMINAL_VAR } else { self.node(g).var };
-        let vh = if h.is_const() { TERMINAL_VAR } else { self.node(h).var };
+        let vg = if g.is_const() {
+            TERMINAL_VAR
+        } else {
+            self.node(g).var
+        };
+        let vh = if h.is_const() {
+            TERMINAL_VAR
+        } else {
+            self.node(h).var
+        };
         let top = vf.min(vg).min(vh);
         let (f0, f1) = self.split(f, top);
         let (g0, g1) = self.split(g, top);
@@ -326,7 +348,10 @@ impl BddManager {
     /// Panics if `care` is the constant false function (an empty care set has
     /// no generalized cofactor).
     pub fn constrain(&mut self, f: Bdd, care: Bdd) -> Bdd {
-        assert!(!care.is_false(), "generalized cofactor with an empty care set");
+        assert!(
+            !care.is_false(),
+            "generalized cofactor with an empty care set"
+        );
         let mut memo = HashMap::new();
         self.constrain_rec(f, care, &mut memo)
     }
@@ -434,8 +459,16 @@ impl BddManager {
         if let Some(&r) = memo.get(&key) {
             return r;
         }
-        let vf = if f.is_const() { TERMINAL_VAR } else { self.node(f).var };
-        let vg = if g.is_const() { TERMINAL_VAR } else { self.node(g).var };
+        let vf = if f.is_const() {
+            TERMINAL_VAR
+        } else {
+            self.node(f).var
+        };
+        let vg = if g.is_const() {
+            TERMINAL_VAR
+        } else {
+            self.node(g).var
+        };
         let top = vf.min(vg);
         let pos = vars.partition_point(|&v| v < top);
         let vars_below = &vars[pos..];
@@ -483,7 +516,12 @@ impl BddManager {
         self.replace_rec(f, &raw, &mut memo)
     }
 
-    fn replace_rec(&mut self, f: Bdd, map: &HashMap<u32, u32>, memo: &mut HashMap<Bdd, Bdd>) -> Bdd {
+    fn replace_rec(
+        &mut self,
+        f: Bdd,
+        map: &HashMap<u32, u32>,
+        memo: &mut HashMap<Bdd, Bdd>,
+    ) -> Bdd {
         if f.is_const() {
             return f;
         }
@@ -495,8 +533,8 @@ impl BddManager {
         let hi = self.replace_rec(n.hi, map, memo);
         let new_var = *map.get(&n.var).unwrap_or(&n.var);
         debug_assert!(
-            self.top_var(lo).map_or(true, |v| v.0 > new_var)
-                && self.top_var(hi).map_or(true, |v| v.0 > new_var),
+            self.top_var(lo).is_none_or(|v| v.0 > new_var)
+                && self.top_var(hi).is_none_or(|v| v.0 > new_var),
             "non-monotone variable replacement"
         );
         let result = self.mk(new_var, lo, hi);

@@ -54,8 +54,18 @@ impl TransitionSystem {
         relation: Bdd,
         init: Bdd,
     ) -> Self {
-        assert_eq!(present.len(), next.len(), "present/next variable count mismatch");
-        TransitionSystem { inputs, present, next, relation, init }
+        assert_eq!(
+            present.len(),
+            next.len(),
+            "present/next variable count mismatch"
+        );
+        TransitionSystem {
+            inputs,
+            present,
+            next,
+            relation,
+            init,
+        }
     }
 
     /// Computes the image of `states` (a characteristic function over the
@@ -69,7 +79,12 @@ impl TransitionSystem {
         quantified.extend_from_slice(&self.present);
         let next_states = m.and_exists(states, self.relation, &quantified);
         // Rename ns -> ps.
-        let map: HashMap<Var, Var> = self.next.iter().copied().zip(self.present.iter().copied()).collect();
+        let map: HashMap<Var, Var> = self
+            .next
+            .iter()
+            .copied()
+            .zip(self.present.iter().copied())
+            .collect();
         m.replace(next_states, &map)
     }
 
@@ -83,7 +98,12 @@ impl TransitionSystem {
         quantified.extend_from_slice(&self.inputs);
         quantified.extend_from_slice(&self.present);
         let next_states = m.and_exists(states, constrained, &quantified);
-        let map: HashMap<Var, Var> = self.next.iter().copied().zip(self.present.iter().copied()).collect();
+        let map: HashMap<Var, Var> = self
+            .next
+            .iter()
+            .copied()
+            .zip(self.present.iter().copied())
+            .collect();
         m.replace(next_states, &map)
     }
 
@@ -97,7 +117,10 @@ impl TransitionSystem {
             let next = m.or(current, img);
             iterations += 1;
             if next == current {
-                return ReachableSet { states: current, iterations };
+                return ReachableSet {
+                    states: current,
+                    iterations,
+                };
             }
             current = next;
         }

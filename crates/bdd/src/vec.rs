@@ -86,10 +86,17 @@ impl BddVec {
 
     /// Bitwise negation.
     pub fn not(&self, m: &mut BddManager) -> Self {
-        BddVec { bits: self.bits.iter().map(|&b| m.not(b)).collect() }
+        BddVec {
+            bits: self.bits.iter().map(|&b| m.not(b)).collect(),
+        }
     }
 
-    fn zip(&self, m: &mut BddManager, other: &Self, op: fn(&mut BddManager, Bdd, Bdd) -> Bdd) -> Self {
+    fn zip(
+        &self,
+        m: &mut BddManager,
+        other: &Self,
+        op: fn(&mut BddManager, Bdd, Bdd) -> Bdd,
+    ) -> Self {
         assert_eq!(self.width(), other.width(), "width mismatch");
         let bits = self
             .bits
@@ -321,7 +328,9 @@ impl BddVec {
     /// Panics if the range is out of bounds.
     pub fn slice(&self, lo: usize, len: usize) -> Self {
         assert!(lo + len <= self.width(), "slice out of range");
-        BddVec { bits: self.bits[lo..lo + len].to_vec() }
+        BddVec {
+            bits: self.bits[lo..lo + len].to_vec(),
+        }
     }
 
     /// Concatenates `self` (low part) with `high`.
@@ -346,7 +355,10 @@ mod tests {
         for (a, b) in [(0u64, 0u64), (3, 5), (7, 9), (15, 1), (12, 12)] {
             let (va, vb) = consts(&m, a, b, 4);
             assert_eq!(va.add(&mut m, &vb).as_const(&m), Some((a + b) & 0xF));
-            assert_eq!(va.sub(&mut m, &vb).as_const(&m), Some(a.wrapping_sub(b) & 0xF));
+            assert_eq!(
+                va.sub(&mut m, &vb).as_const(&m),
+                Some(a.wrapping_sub(b) & 0xF)
+            );
             assert_eq!(va.and(&mut m, &vb).as_const(&m), Some(a & b));
             assert_eq!(va.or(&mut m, &vb).as_const(&m), Some(a | b));
             assert_eq!(va.xor(&mut m, &vb).as_const(&m), Some(a ^ b));

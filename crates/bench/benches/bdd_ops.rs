@@ -87,5 +87,10 @@ fn bench_image_computation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_apply, bench_quantification, bench_image_computation);
+criterion_group!(
+    benches,
+    bench_apply,
+    bench_quantification,
+    bench_image_computation
+);
 criterion_main!(benches);

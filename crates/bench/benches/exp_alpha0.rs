@@ -46,7 +46,9 @@ fn bench_alpha0(c: &mut Criterion) {
 
     let verifier = Verifier::new(MachineSpec::alpha0_condensed(isa));
     let t2 = Instant::now();
-    let report = verifier.verify_plan(&pipelined, &unpipelined, &plan).expect("verify");
+    let report = verifier
+        .verify_plan(&pipelined, &unpipelined, &plan)
+        .expect("verify");
     println!("full verification of the paper plan: {:.2?}", t2.elapsed());
     println!("PIPELINED filter  : {}", report.filters.0);
     println!("UNPIPELINED filter: {}", report.filters.1);

@@ -45,7 +45,9 @@ fn bench_methodology_vs_product(c: &mut Criterion) {
         "product machine (8-bit accumulator vs itself): {} state bits, {} BFS iterations, {:.0} reachable states",
         product.state_bits, product.iterations, product.reachable_states
     );
-    let beta = verifier.verify_plan(&pipelined, &unpipelined, &plan).expect("verify");
+    let beta = verifier
+        .verify_plan(&pipelined, &unpipelined, &plan)
+        .expect("verify");
     println!(
         "β-relation verification (pipelined vs unpipelined): {} + {} simulation cycles, {} BDD nodes",
         beta.pipelined_cycles, beta.unpipelined_cycles, beta.bdd_nodes
@@ -57,7 +59,9 @@ fn bench_methodology_vs_product(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.bench_function("beta_relation_vsm_pair", |b| {
         b.iter(|| {
-            let r = verifier.verify_plan(&pipelined, &unpipelined, &plan).expect("verify");
+            let r = verifier
+                .verify_plan(&pipelined, &unpipelined, &plan)
+                .expect("verify");
             assert!(r.equivalent());
         })
     });
@@ -84,5 +88,9 @@ fn bench_theorem_4311_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_methodology_vs_product, bench_theorem_4311_scaling);
+criterion_group!(
+    benches,
+    bench_methodology_vs_product,
+    bench_theorem_4311_scaling
+);
 criterion_main!(benches);

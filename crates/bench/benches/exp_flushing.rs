@@ -40,12 +40,16 @@ fn bench_flushing(c: &mut Criterion) {
         PipelineBug::WriteBackBubbles,
         PipelineBug::StuckPc,
     ] {
-        group.bench_with_input(BenchmarkId::new("bug", format!("{bug:?}")), &bug, |b, &bug| {
-            b.iter(|| {
-                let r = FlushVerifier::new(PipelineModel::with_bug(bug)).verify();
-                assert!(!r.valid());
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bug", format!("{bug:?}")),
+            &bug,
+            |b, &bug| {
+                b.iter(|| {
+                    let r = FlushVerifier::new(PipelineModel::with_bug(bug)).verify();
+                    assert!(!r.valid());
+                })
+            },
+        );
     }
     group.finish();
 
@@ -58,7 +62,9 @@ fn bench_flushing(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("beta_relation_vsm_paper_plan", |b| {
         b.iter(|| {
-            let r = verifier.verify_plan(&pipelined, &unpipelined, &plan).expect("verify");
+            let r = verifier
+                .verify_plan(&pipelined, &unpipelined, &plan)
+                .expect("verify");
             assert!(r.equivalent());
         })
     });

@@ -42,7 +42,9 @@ fn bench_observation_model(c: &mut Criterion) {
         let verifier = Verifier::new(spec);
         group.bench_function(label, |b| {
             b.iter(|| {
-                let r = verifier.verify_plan(&pipelined, &unpipelined, &plan).expect("verify");
+                let r = verifier
+                    .verify_plan(&pipelined, &unpipelined, &plan)
+                    .expect("verify");
                 assert!(r.equivalent());
             })
         });
@@ -54,12 +56,18 @@ fn bench_register_file_size(_c: &mut Criterion) {
     println!("=== register-file-size ablation (Alpha0, condensed ALU, one-shot) ===");
     let plan = SimulationPlan::paper_alpha0();
     for num_regs in [2usize, 4] {
-        let isa = Alpha0Config { data_width: 4, num_regs, mem_words: 2 };
+        let isa = Alpha0Config {
+            data_width: 4,
+            num_regs,
+            mem_words: 2,
+        };
         let pipelined = alpha0::pipelined(PipelineConfig::condensed(isa)).expect("build");
         let unpipelined = alpha0::unpipelined(PipelineConfig::condensed(isa)).expect("build");
         let verifier = Verifier::new(MachineSpec::alpha0_condensed(isa));
         let start = Instant::now();
-        let r = verifier.verify_plan(&pipelined, &unpipelined, &plan).expect("verify");
+        let r = verifier
+            .verify_plan(&pipelined, &unpipelined, &plan)
+            .expect("verify");
         assert!(r.equivalent());
         println!(
             "  {num_regs} registers: {:.2?} ({} BDD nodes, {} formulae compared)",

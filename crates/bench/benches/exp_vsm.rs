@@ -30,7 +30,9 @@ fn bench_vsm(c: &mut Criterion) {
         symbolic_simulation_cost(&spec, &pipelined, Side::Pipelined, &plan),
     );
     let verifier = Verifier::new(MachineSpec::vsm_reduced(2));
-    let report = verifier.verify_plan(&pipelined, &unpipelined, &plan).expect("verify");
+    let report = verifier
+        .verify_plan(&pipelined, &unpipelined, &plan)
+        .expect("verify");
     println!("PIPELINED filter  : {}", report.filters.0);
     println!("UNPIPELINED filter: {}", report.filters.1);
     assert!(report.equivalent());
@@ -47,7 +49,9 @@ fn bench_vsm(c: &mut Criterion) {
     });
     group.bench_function("full_verification_paper_plan", |b| {
         b.iter(|| {
-            let r = verifier.verify_plan(&pipelined, &unpipelined, &plan).expect("verify");
+            let r = verifier
+                .verify_plan(&pipelined, &unpipelined, &plan)
+                .expect("verify");
             assert!(r.equivalent());
         })
     });

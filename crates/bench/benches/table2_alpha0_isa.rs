@@ -11,7 +11,10 @@ fn print_table2() {
     for op in Alpha0Op::all() {
         let (opcode, function) = op.encoding();
         let func = function.map_or("-".to_owned(), |f| format!("{f:#04x}"));
-        println!("{:<7} {opcode:#04x}    {func:<10}", format!("{op:?}").to_lowercase());
+        println!(
+            "{:<7} {opcode:#04x}    {func:<10}",
+            format!("{op:?}").to_lowercase()
+        );
     }
 }
 

@@ -10,7 +10,10 @@ use pv_netlist::SymbolicSim;
 use pv_proc::vsm::{self, VsmConfig};
 
 fn main() {
-    let num_regs: usize = std::env::var("PROBE_REGS").ok().and_then(|v| v.parse().ok()).unwrap_or(2);
+    let num_regs: usize = std::env::var("PROBE_REGS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
     let spec = MachineSpec::vsm_reduced(num_regs);
     let plan = SimulationPlan::all_normal(4);
     let schedule = SimulationSchedule::expand(&spec, &plan);

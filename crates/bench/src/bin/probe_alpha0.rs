@@ -24,7 +24,10 @@ fn main() {
         AluModel::Full => MachineSpec::alpha0(isa),
         AluModel::Condensed => MachineSpec::alpha0_condensed(isa),
     };
-    let plan = match std::env::var("PROBE_SLOTS").ok().and_then(|v| v.parse::<usize>().ok()) {
+    let plan = match std::env::var("PROBE_SLOTS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
         Some(n) => SimulationPlan::all_normal(n),
         None => SimulationPlan::paper_alpha0(),
     };
@@ -32,9 +35,15 @@ fn main() {
     let mut config = PipelineConfig::with_isa(isa);
     config.alu = alu;
     let (netlist, inputs) = if side == "unpipelined" {
-        (alpha0::unpipelined(config).expect("build"), &schedule.unpipelined_inputs)
+        (
+            alpha0::unpipelined(config).expect("build"),
+            &schedule.unpipelined_inputs,
+        )
     } else {
-        (alpha0::pipelined(config).expect("build"), &schedule.pipelined_inputs)
+        (
+            alpha0::pipelined(config).expect("build"),
+            &schedule.pipelined_inputs,
+        )
     };
     println!("side = {side}, alu = {alu:?}, cycles = {}", inputs.len());
 

@@ -63,7 +63,10 @@ pub fn symbolic_simulation_cost(
         };
         let mut inputs = BTreeMap::new();
         inputs.insert(spec.instr_port.clone(), instr);
-        inputs.insert(spec.reset_port.clone(), BddVec::constant(&manager, reset, 1));
+        inputs.insert(
+            spec.reset_port.clone(),
+            BddVec::constant(&manager, reset, 1),
+        );
         if let Some(irq) = &spec.irq_port {
             if netlist.input_width(irq).is_some() {
                 inputs.insert(irq.clone(), BddVec::constant(&manager, 0, 1));

@@ -104,7 +104,9 @@ pub fn product_equivalence(left: &Netlist, right: &Netlist) -> Result<ProductRep
                      next: &[Var],
                      inputs: &BTreeMap<String, BddVec>| {
         let sym = SymbolicSim::new(netlist);
-        let state = SymState { regs: present.iter().map(|&v| m.var(v)).collect() };
+        let state = SymState {
+            regs: present.iter().map(|&v| m.var(v)).collect(),
+        };
         let (next_state, outputs) = sym.step(m, &state, inputs);
         let mut relation = Bdd::TRUE;
         for (i, f) in next_state.regs.iter().enumerate() {
@@ -122,7 +124,12 @@ pub fn product_equivalence(left: &Netlist, right: &Netlist) -> Result<ProductRep
         .iter()
         .copied()
         .zip(init_l.regs.iter().map(|b| b.is_true()))
-        .chain(pres_r.iter().copied().zip(init_r.regs.iter().map(|b| b.is_true())))
+        .chain(
+            pres_r
+                .iter()
+                .copied()
+                .zip(init_r.regs.iter().map(|b| b.is_true())),
+        )
         .collect();
     let init = m.cube(&init_cube);
 
@@ -229,7 +236,12 @@ where
         }
     }
     let schedule = SimulationSchedule::expand(spec, plan);
-    let mut report = RandomSimReport { programs, cycles: 0, samples_compared: 0, mismatch: None };
+    let mut report = RandomSimReport {
+        programs,
+        cycles: 0,
+        samples_compared: 0,
+        mismatch: None,
+    };
     'programs: for p in 0..programs {
         let words: Vec<u64> = schedule
             .slot_classes
@@ -262,8 +274,16 @@ where
             }
             per_cycle
         };
-        let p_trace = run(&schedule.pipelined_inputs, &schedule.pipelined_irq_cycles, pipelined);
-        let u_trace = run(&schedule.unpipelined_inputs, &schedule.unpipelined_irq_cycles, unpipelined);
+        let p_trace = run(
+            &schedule.pipelined_inputs,
+            &schedule.pipelined_irq_cycles,
+            pipelined,
+        );
+        let u_trace = run(
+            &schedule.unpipelined_inputs,
+            &schedule.unpipelined_irq_cycles,
+            unpipelined,
+        );
         report.cycles += p_trace.len() + u_trace.len();
         for &(slot, pc, uc) in &schedule.samples {
             for name in &spec.observed {

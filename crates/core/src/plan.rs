@@ -58,7 +58,11 @@ pub struct ParsePlanError {
 
 impl fmt::Display for ParsePlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: unrecognised simulation token `{}`", self.line, self.token)
+        write!(
+            f,
+            "line {}: unrecognised simulation token `{}`",
+            self.line, self.token
+        )
     }
 }
 
@@ -91,7 +95,13 @@ impl SimulationPlan {
     pub fn with_control_at(n: usize, position: usize) -> Self {
         assert!(position < n, "control-transfer position out of range");
         let mut slots = vec![Slot::Reset];
-        slots.extend((0..n).map(|i| if i == position { Slot::ControlTransfer } else { Slot::Normal }));
+        slots.extend((0..n).map(|i| {
+            if i == position {
+                Slot::ControlTransfer
+            } else {
+                Slot::Normal
+            }
+        }));
         SimulationPlan { slots }
     }
 
@@ -103,7 +113,13 @@ impl SimulationPlan {
     pub fn with_interrupt_at(n: usize, position: usize) -> Self {
         assert!(position < n, "interrupt position out of range");
         let mut slots = vec![Slot::Reset];
-        slots.extend((0..n).map(|i| if i == position { Slot::Interrupt } else { Slot::Normal }));
+        slots.extend((0..n).map(|i| {
+            if i == position {
+                Slot::Interrupt
+            } else {
+                Slot::Normal
+            }
+        }));
         SimulationPlan { slots }
     }
 
@@ -144,7 +160,11 @@ impl SimulationPlan {
 
     /// The instruction slots (everything except the leading reset cycles).
     pub fn instruction_slots(&self) -> Vec<Slot> {
-        self.slots.iter().copied().filter(|s| s.is_instruction()).collect()
+        self.slots
+            .iter()
+            .copied()
+            .filter(|s| s.is_instruction())
+            .collect()
     }
 
     /// Number of instruction slots.
@@ -154,7 +174,10 @@ impl SimulationPlan {
 
     /// Number of slots that create delay slots in the pipelined machine.
     pub fn control_transfer_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.creates_delay_slots()).count()
+        self.slots
+            .iter()
+            .filter(|s| s.creates_delay_slots())
+            .count()
     }
 }
 
@@ -188,7 +211,12 @@ impl FromStr for SimulationPlan {
                 "0" => Slot::Normal,
                 "1" => Slot::ControlTransfer,
                 "i" | "I" => Slot::Interrupt,
-                other => return Err(ParsePlanError { line: idx + 1, token: other.to_owned() }),
+                other => {
+                    return Err(ParsePlanError {
+                        line: idx + 1,
+                        token: other.to_owned(),
+                    })
+                }
             };
             slots.push(slot);
         }
@@ -279,7 +307,10 @@ impl SimulationSchedule {
         let offset = spec.sample_offset;
         let shift = |cycle: usize| {
             let shifted = cycle as isize + offset;
-            assert!(shifted >= 0, "sample offset moves a sampling point before cycle 0");
+            assert!(
+                shifted >= 0,
+                "sample offset moves a sampling point before cycle 0"
+            );
             shifted as usize
         };
         let samples: Vec<(usize, usize, usize)> = (0..n)
@@ -345,7 +376,10 @@ mod tests {
         let interrupted = SimulationPlan::with_interrupt_at(4, 2);
         assert_eq!(interrupted.control_transfer_count(), 1);
         assert_eq!(SimulationPlan::all_normal(3).instruction_count(), 3);
-        assert_eq!(SimulationPlan::with_control_at(4, 0).slots()[1], Slot::ControlTransfer);
+        assert_eq!(
+            SimulationPlan::with_control_at(4, 0).slots()[1],
+            Slot::ControlTransfer
+        );
     }
 
     #[test]

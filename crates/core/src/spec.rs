@@ -65,7 +65,10 @@ impl MachineSpec {
 
     /// The VSM pair with the interrupt extension (`irq` port present).
     pub fn vsm_with_interrupts() -> Self {
-        MachineSpec { irq_port: Some("irq".to_owned()), ..Self::vsm() }
+        MachineSpec {
+            irq_port: Some("irq".to_owned()),
+            ..Self::vsm()
+        }
     }
 
     /// The reduced-register-file VSM model of Section 6.2 ("the single
@@ -169,12 +172,16 @@ fn vsm_control_class(m: &mut BddManager, instr: &[Var]) -> Bdd {
 }
 
 fn opcode_equals(m: &mut BddManager, instr: &[Var], opcode: u64) -> Bdd {
-    let lits: Vec<(Var, bool)> = (0..6).map(|i| (instr[26 + i], opcode >> i & 1 == 1)).collect();
+    let lits: Vec<(Var, bool)> = (0..6)
+        .map(|i| (instr[26 + i], opcode >> i & 1 == 1))
+        .collect();
     m.cube(&lits)
 }
 
 fn function_equals(m: &mut BddManager, instr: &[Var], function: u64) -> Bdd {
-    let lits: Vec<(Var, bool)> = (0..7).map(|i| (instr[5 + i], function >> i & 1 == 1)).collect();
+    let lits: Vec<(Var, bool)> = (0..7)
+        .map(|i| (instr[5 + i], function >> i & 1 == 1))
+        .collect();
     m.cube(&lits)
 }
 
@@ -189,7 +196,10 @@ fn alpha0_normal_class(m: &mut BddManager, instr: &[Var]) -> Bdd {
         (0x12, &[0x34, 0x39][..]),
     ] {
         let grp = opcode_equals(m, instr, opcode);
-        let fns: Vec<Bdd> = functions.iter().map(|&f| function_equals(m, instr, f)).collect();
+        let fns: Vec<Bdd> = functions
+            .iter()
+            .map(|&f| function_equals(m, instr, f))
+            .collect();
         let any_fn = m.or_many(&fns);
         classes.push(m.and(grp, any_fn));
     }
@@ -204,7 +214,10 @@ fn alpha0_condensed_normal_class(m: &mut BddManager, instr: &[Var]) -> Bdd {
     let mut classes = Vec::new();
     for (opcode, functions) in [(0x10u64, &[0x2Du64][..]), (0x11, &[0x00, 0x20][..])] {
         let grp = opcode_equals(m, instr, opcode);
-        let fns: Vec<Bdd> = functions.iter().map(|&f| function_equals(m, instr, f)).collect();
+        let fns: Vec<Bdd> = functions
+            .iter()
+            .map(|&f| function_equals(m, instr, f))
+            .collect();
         let any_fn = m.or_many(&fns);
         classes.push(m.and(grp, any_fn));
     }
@@ -246,8 +259,16 @@ mod tests {
             let i = VsmInstr::alu_reg(op, 1, 2, 3);
             let word = u64::from(i.encode());
             let a = assignment_for(word, &vars);
-            assert_eq!(m.eval(normal, &a), !op.is_control_transfer(), "{op:?} normal");
-            assert_eq!(m.eval(control, &a), op.is_control_transfer(), "{op:?} control");
+            assert_eq!(
+                m.eval(normal, &a),
+                !op.is_control_transfer(),
+                "{op:?} normal"
+            );
+            assert_eq!(
+                m.eval(control, &a),
+                op.is_control_transfer(),
+                "{op:?} control"
+            );
         }
         // The two classes never overlap.
         assert!(m.and(normal, control).is_false());
@@ -268,7 +289,11 @@ mod tests {
                 Alpha0Instr::br(1, 2)
             };
             let word = u64::from(if op.is_memory() {
-                if op == Alpha0Op::St { Alpha0Instr::st(1, 2, 3).encode() } else { i.encode() }
+                if op == Alpha0Op::St {
+                    Alpha0Instr::st(1, 2, 3).encode()
+                } else {
+                    i.encode()
+                }
             } else {
                 i.encode()
             });

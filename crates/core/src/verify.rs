@@ -137,7 +137,11 @@ impl fmt::Display for VerificationReport {
             "simulation cycles : {} (pipelined) / {} (unpipelined)",
             self.pipelined_cycles, self.unpipelined_cycles
         )?;
-        writeln!(f, "BDD nodes / vars  : {} / {}", self.bdd_nodes, self.bdd_vars)?;
+        writeln!(
+            f,
+            "BDD nodes / vars  : {} / {}",
+            self.bdd_nodes, self.bdd_vars
+        )?;
         writeln!(f, "PIPELINED filter  : {}", self.filters.0)?;
         writeln!(f, "UNPIPELINED filter: {}", self.filters.1)?;
         match &self.counterexample {
@@ -239,10 +243,14 @@ impl Verifier {
 
     fn validate(&self, netlist: &Netlist) -> Result<(), VerifyError> {
         let spec = &self.spec;
-        let known: Vec<&str> = [Some(spec.instr_port.as_str()), Some(spec.reset_port.as_str()), spec.irq_port.as_deref()]
-            .into_iter()
-            .flatten()
-            .collect();
+        let known: Vec<&str> = [
+            Some(spec.instr_port.as_str()),
+            Some(spec.reset_port.as_str()),
+            spec.irq_port.as_deref(),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
         for required in [&spec.instr_port, &spec.reset_port] {
             if netlist.input_width(required).is_none() {
                 return Err(VerifyError::MissingPort {
@@ -335,7 +343,11 @@ impl Verifier {
             &schedule.pipelined_inputs,
             &schedule.pipelined_irq_cycles,
             &slot_words,
-            &schedule.samples.iter().map(|&(j, pc, _)| (j, pc)).collect::<Vec<_>>(),
+            &schedule
+                .samples
+                .iter()
+                .map(|&(j, pc, _)| (j, pc))
+                .collect::<Vec<_>>(),
             true,
             assumption,
         );
@@ -345,7 +357,11 @@ impl Verifier {
             &schedule.unpipelined_inputs,
             &schedule.unpipelined_irq_cycles,
             &slot_words,
-            &schedule.samples.iter().map(|&(j, _, uc)| (j, uc)).collect::<Vec<_>>(),
+            &schedule
+                .samples
+                .iter()
+                .map(|&(j, _, uc)| (j, uc))
+                .collect::<Vec<_>>(),
             false,
             assumption,
         );
@@ -376,7 +392,11 @@ impl Verifier {
                 if !violation.is_false() {
                     let witness = manager.sat_one(violation).unwrap_or_default();
                     let assignment = |v: Var| {
-                        witness.iter().find(|&&(w, _)| w == v).map(|&(_, val)| val).unwrap_or(false)
+                        witness
+                            .iter()
+                            .find(|&&(w, _)| w == v)
+                            .map(|&(_, val)| val)
+                            .unwrap_or(false)
                     };
                     let slot_instructions = slot_vars
                         .iter()
@@ -447,13 +467,14 @@ impl Verifier {
                     let vars = manager.new_vars(spec.instr_width);
                     (BddVec::from_vars(manager, &vars), false)
                 }
-                CycleInput::DontCare => {
-                    (BddVec::constant(manager, 0, spec.instr_width), false)
-                }
+                CycleInput::DontCare => (BddVec::constant(manager, 0, spec.instr_width), false),
             };
             let mut inputs = BTreeMap::new();
             inputs.insert(spec.instr_port.clone(), instr);
-            inputs.insert(spec.reset_port.clone(), BddVec::constant(manager, u64::from(reset), 1));
+            inputs.insert(
+                spec.reset_port.clone(),
+                BddVec::constant(manager, u64::from(reset), 1),
+            );
             if has_irq {
                 let irq = irq_cycles.contains(&cycle);
                 inputs.insert(

@@ -93,15 +93,27 @@ impl EufReport {
 /// ```
 pub fn check_valid(terms: &mut TermManager, formula: Term) -> EufReport {
     let negated = terms.not(formula);
-    let mut search = Search { terms, splits: 0, closure_checks: 0 };
+    let mut search = Search {
+        terms,
+        splits: 0,
+        closure_checks: 0,
+    };
     let counterexample = search.find_model(negated, &mut Vec::new());
-    EufReport { counterexample, splits: search.splits, closure_checks: search.closure_checks }
+    EufReport {
+        counterexample,
+        splits: search.splits,
+        closure_checks: search.closure_checks,
+    }
 }
 
 /// Decides satisfiability of the Boolean term `formula` (used by tests and by
 /// the benchmarks to size the search space). Returns a model if one exists.
 pub fn check_sat(terms: &mut TermManager, formula: Term) -> Option<EufCounterexample> {
-    let mut search = Search { terms, splits: 0, closure_checks: 0 };
+    let mut search = Search {
+        terms,
+        splits: 0,
+        closure_checks: 0,
+    };
     search.find_model(formula, &mut Vec::new())
 }
 
@@ -168,7 +180,10 @@ impl Search<'_> {
         EufCounterexample {
             assignments: trail
                 .iter()
-                .map(|&(atom, value)| AtomAssignment { atom: self.terms.to_string(atom), value })
+                .map(|&(atom, value)| AtomAssignment {
+                    atom: self.terms.to_string(atom),
+                    value,
+                })
                 .collect(),
         }
     }
@@ -205,7 +220,12 @@ struct CongruenceClosure<'a> {
 
 impl<'a> CongruenceClosure<'a> {
     fn new(terms: &'a TermManager) -> Self {
-        CongruenceClosure { terms, parent: HashMap::new(), apps: Vec::new(), disequal: Vec::new() }
+        CongruenceClosure {
+            terms,
+            parent: HashMap::new(),
+            apps: Vec::new(),
+            disequal: Vec::new(),
+        }
     }
 
     fn register(&mut self, t: Term) {
@@ -271,16 +291,16 @@ impl<'a> CongruenceClosure<'a> {
     /// Signature of an application node under the current partition.
     fn signature(&mut self, t: Term) -> (String, Vec<Term>) {
         match self.terms.node(t).clone() {
-            TermNode::App(name, args) => {
-                (name, args.into_iter().map(|a| self.find(a)).collect())
-            }
+            TermNode::App(name, args) => (name, args.into_iter().map(|a| self.find(a)).collect()),
             TermNode::Select(a, i) => ("select".to_owned(), vec![self.find(a), self.find(i)]),
-            TermNode::Store(a, i, v) => {
-                ("store".to_owned(), vec![self.find(a), self.find(i), self.find(v)])
-            }
-            TermNode::Ite(c, a, b) => {
-                ("ite".to_owned(), vec![self.find(c), self.find(a), self.find(b)])
-            }
+            TermNode::Store(a, i, v) => (
+                "store".to_owned(),
+                vec![self.find(a), self.find(i), self.find(v)],
+            ),
+            TermNode::Ite(c, a, b) => (
+                "ite".to_owned(),
+                vec![self.find(c), self.find(a), self.find(b)],
+            ),
             TermNode::Eq(a, b) => ("=".to_owned(), vec![self.find(a), self.find(b)]),
             _ => unreachable!("only application-like nodes are registered in `apps`"),
         }

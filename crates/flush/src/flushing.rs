@@ -16,7 +16,9 @@
 use std::fmt;
 
 use crate::euf::{check_valid, EufCounterexample};
-use crate::pipeline::{flush, impl_step, spec_step, ArchState, Instruction, PipelineModel, PipelineState};
+use crate::pipeline::{
+    flush, impl_step, spec_step, ArchState, Instruction, PipelineModel, PipelineState,
+};
 use crate::term::{Sort, Term, TermManager};
 
 /// Outcome of a flushing verification run.
@@ -143,7 +145,10 @@ mod tests {
             let report = FlushVerifier::new(PipelineModel::with_bug(bug)).verify();
             assert!(!report.valid(), "{bug:?} must break the commuting diagram");
             let cex = report.counterexample.expect("counterexample");
-            assert!(!cex.assignments.is_empty(), "{bug:?} counterexample should name atoms");
+            assert!(
+                !cex.assignments.is_empty(),
+                "{bug:?} counterexample should name atoms"
+            );
         }
     }
 

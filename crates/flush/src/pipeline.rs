@@ -181,7 +181,11 @@ pub fn impl_step(
 
     // ------------------------------------------------------------------ WB --
     // The WB-stage result is written into the register file this cycle.
-    let wb_write = if bug == Some(PipelineBug::WriteBackBubbles) { t.tru() } else { s.wb_valid };
+    let wb_write = if bug == Some(PipelineBug::WriteBackBubbles) {
+        t.tru()
+    } else {
+        s.wb_valid
+    };
     let written = t.store(s.rf, s.wb_dest, s.wb_value);
     let rf_after_wb = t.ite(wb_write, written, s.rf);
 
@@ -245,7 +249,10 @@ pub fn flush(t: &mut TermManager, model: PipelineModel, s: PipelineState) -> Arc
         let dontcare = Instruction::symbolic(t, &format!("flushbubble{i}"));
         state = impl_step(t, model, state, dontcare, bubble);
     }
-    ArchState { rf: state.rf, pc: state.pc }
+    ArchState {
+        rf: state.rf,
+        pc: state.pc,
+    }
 }
 
 #[cfg(test)]
@@ -255,7 +262,10 @@ mod tests {
     #[test]
     fn spec_step_reads_and_writes_the_register_file() {
         let mut t = TermManager::new();
-        let arch = ArchState { rf: t.var("rf", Sort::Array), pc: t.var("pc", Sort::Data) };
+        let arch = ArchState {
+            rf: t.var("rf", Sort::Array),
+            pc: t.var("pc", Sort::Data),
+        };
         let i = Instruction::symbolic(&mut t, "i0");
         let next = spec_step(&mut t, arch, i);
         // The destination now holds the ALU application of the read operands.
@@ -274,7 +284,10 @@ mod tests {
         let pc = t.var("pc", Sort::Data);
         let reset = PipelineState::reset(&mut t, rf, pc);
         let arch = flush(&mut t, PipelineModel::correct(), reset);
-        assert_eq!(arch.rf, rf, "no in-flight instruction may write the register file");
+        assert_eq!(
+            arch.rf, rf,
+            "no in-flight instruction may write the register file"
+        );
         assert_eq!(arch.pc, pc, "bubbles must not advance the PC");
     }
 
@@ -315,8 +328,13 @@ mod tests {
         let reset = PipelineState::reset(&mut t, rf, pc);
         let fetched = Instruction::symbolic(&mut t, "i");
         let fls = t.fls();
-        let next =
-            impl_step(&mut t, PipelineModel::with_bug(PipelineBug::StuckPc), reset, fetched, fls);
+        let next = impl_step(
+            &mut t,
+            PipelineModel::with_bug(PipelineBug::StuckPc),
+            reset,
+            fetched,
+            fls,
+        );
         assert_eq!(next.pc, pc);
     }
 }

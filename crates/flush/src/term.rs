@@ -314,8 +314,10 @@ impl TermManager {
         let result = match self.node(t).clone() {
             TermNode::BoolConst(_) | TermNode::Var(..) => t,
             TermNode::App(name, args) => {
-                let new_args: Vec<Term> =
-                    args.iter().map(|&a| self.assign_rec(a, atom, value, memo)).collect();
+                let new_args: Vec<Term> = args
+                    .iter()
+                    .map(|&a| self.assign_rec(a, atom, value, memo))
+                    .collect();
                 if new_args == args {
                     t
                 } else {
@@ -386,7 +388,10 @@ impl TermManager {
             TermNode::BoolConst(_) | TermNode::Var(..) => false,
             TermNode::App(_, args) => args.iter().any(|&a| self.contains_rec(a, needle, visited)),
             TermNode::Not(a) => self.contains_rec(*a, needle, visited),
-            TermNode::Eq(a, b) | TermNode::And(a, b) | TermNode::Or(a, b) | TermNode::Select(a, b) => {
+            TermNode::Eq(a, b)
+            | TermNode::And(a, b)
+            | TermNode::Or(a, b)
+            | TermNode::Select(a, b) => {
                 self.contains_rec(*a, needle, visited) || self.contains_rec(*b, needle, visited)
             }
             TermNode::Ite(a, b, c) | TermNode::Store(a, b, c) => {
@@ -461,7 +466,8 @@ impl TermManager {
     /// Renders a term as an S-expression (for reports and counterexamples).
     pub fn to_string(&self, t: Term) -> String {
         let mut s = String::new();
-        self.write(t, &mut s).expect("string formatting never fails");
+        self.write(t, &mut s)
+            .expect("string formatting never fails");
         s
     }
 

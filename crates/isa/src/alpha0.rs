@@ -40,7 +40,11 @@ pub struct Alpha0Config {
 
 impl Default for Alpha0Config {
     fn default() -> Self {
-        Alpha0Config { data_width: 4, num_regs: 8, mem_words: 8 }
+        Alpha0Config {
+            data_width: 4,
+            num_regs: 8,
+            mem_words: 8,
+        }
     }
 }
 
@@ -48,12 +52,20 @@ impl Alpha0Config {
     /// The configuration closest to the thesis experiment: 4-bit datapath,
     /// thirty-two 4-bit registers.
     pub fn paper() -> Self {
-        Alpha0Config { data_width: 4, num_regs: 32, mem_words: 8 }
+        Alpha0Config {
+            data_width: 4,
+            num_regs: 32,
+            mem_words: 8,
+        }
     }
 
     /// A deliberately tiny configuration for fast exhaustive tests.
     pub fn tiny() -> Self {
-        Alpha0Config { data_width: 2, num_regs: 4, mem_words: 4 }
+        Alpha0Config {
+            data_width: 2,
+            num_regs: 4,
+            mem_words: 4,
+        }
     }
 
     /// The condensation used for the *symbolic* experiments, mirroring the
@@ -61,7 +73,11 @@ impl Alpha0Config {
     /// datapath with two registers and two memory words. The concrete test
     /// suite exercises the larger configurations.
     pub fn condensed() -> Self {
-        Alpha0Config { data_width: 4, num_regs: 2, mem_words: 2 }
+        Alpha0Config {
+            data_width: 4,
+            num_regs: 2,
+            mem_words: 2,
+        }
     }
 
     /// Bit mask for data values.
@@ -90,9 +106,18 @@ impl Alpha0Config {
     /// Panics if a field is zero, not a power of two where required, or too
     /// wide for the fixed instruction encoding.
     pub fn validate(&self) {
-        assert!(self.data_width > 0 && self.data_width <= 16, "data width out of range");
-        assert!(self.num_regs.is_power_of_two() && self.num_regs <= 32, "register count must be a power of two ≤ 32");
-        assert!(self.mem_words.is_power_of_two() && self.mem_words >= 2, "memory size must be a power of two ≥ 2");
+        assert!(
+            self.data_width > 0 && self.data_width <= 16,
+            "data width out of range"
+        );
+        assert!(
+            self.num_regs.is_power_of_two() && self.num_regs <= 32,
+            "register count must be a power of two ≤ 32"
+        );
+        assert!(
+            self.mem_words.is_power_of_two() && self.mem_words >= 2,
+            "memory size must be a power of two ≥ 2"
+        );
     }
 }
 
@@ -176,7 +201,10 @@ impl Alpha0Op {
 
     /// `true` for control-transfer instructions (`br`, `bf`, `bt`, `jmp`).
     pub fn is_control_transfer(self) -> bool {
-        matches!(self, Alpha0Op::Br | Alpha0Op::Bf | Alpha0Op::Bt | Alpha0Op::Jmp)
+        matches!(
+            self,
+            Alpha0Op::Br | Alpha0Op::Bf | Alpha0Op::Bt | Alpha0Op::Jmp
+        )
     }
 
     /// `true` for memory-access instructions.
@@ -226,7 +254,10 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
             DecodeError::UnknownFunction { opcode, function } => {
-                write!(f, "unknown function {function:#04x} for opcode {opcode:#04x}")
+                write!(
+                    f,
+                    "unknown function {function:#04x} for opcode {opcode:#04x}"
+                )
             }
         }
     }
@@ -256,39 +287,92 @@ impl Alpha0Instr {
     /// Register-register operate instruction.
     pub fn operate(op: Alpha0Op, rc: u8, ra: u8, rb: u8) -> Self {
         assert!(op.is_operate(), "{op:?} is not an operate instruction");
-        Alpha0Instr { op, ra: ra & 31, rb: rb & 31, rc: rc & 31, literal: None, disp: 0 }
+        Alpha0Instr {
+            op,
+            ra: ra & 31,
+            rb: rb & 31,
+            rc: rc & 31,
+            literal: None,
+            disp: 0,
+        }
     }
 
     /// Operate-with-literal instruction.
     pub fn operate_lit(op: Alpha0Op, rc: u8, ra: u8, lit: u8) -> Self {
         assert!(op.is_operate(), "{op:?} is not an operate instruction");
-        Alpha0Instr { op, ra: ra & 31, rb: 0, rc: rc & 31, literal: Some(lit), disp: 0 }
+        Alpha0Instr {
+            op,
+            ra: ra & 31,
+            rb: 0,
+            rc: rc & 31,
+            literal: Some(lit),
+            disp: 0,
+        }
     }
 
     /// Unconditional branch-and-link.
     pub fn br(ra: u8, disp: i32) -> Self {
-        Alpha0Instr { op: Alpha0Op::Br, ra: ra & 31, rb: 0, rc: 0, literal: None, disp }
+        Alpha0Instr {
+            op: Alpha0Op::Br,
+            ra: ra & 31,
+            rb: 0,
+            rc: 0,
+            literal: None,
+            disp,
+        }
     }
 
     /// Conditional branch (`bf` if `taken_on_zero`, `bt` otherwise).
     pub fn cond_branch(taken_on_zero: bool, ra: u8, disp: i32) -> Self {
-        let op = if taken_on_zero { Alpha0Op::Bf } else { Alpha0Op::Bt };
-        Alpha0Instr { op, ra: ra & 31, rb: 0, rc: 0, literal: None, disp }
+        let op = if taken_on_zero {
+            Alpha0Op::Bf
+        } else {
+            Alpha0Op::Bt
+        };
+        Alpha0Instr {
+            op,
+            ra: ra & 31,
+            rb: 0,
+            rc: 0,
+            literal: None,
+            disp,
+        }
     }
 
     /// Jump through a register, linking to `ra`.
     pub fn jmp(ra: u8, rb: u8) -> Self {
-        Alpha0Instr { op: Alpha0Op::Jmp, ra: ra & 31, rb: rb & 31, rc: 0, literal: None, disp: 0 }
+        Alpha0Instr {
+            op: Alpha0Op::Jmp,
+            ra: ra & 31,
+            rb: rb & 31,
+            rc: 0,
+            literal: None,
+            disp: 0,
+        }
     }
 
     /// Load `ra ← Mem[rb + disp]`.
     pub fn ld(ra: u8, rb: u8, disp: i32) -> Self {
-        Alpha0Instr { op: Alpha0Op::Ld, ra: ra & 31, rb: rb & 31, rc: 0, literal: None, disp }
+        Alpha0Instr {
+            op: Alpha0Op::Ld,
+            ra: ra & 31,
+            rb: rb & 31,
+            rc: 0,
+            literal: None,
+            disp,
+        }
     }
 
     /// Store `Mem[rb + disp] ← ra`.
     pub fn st(ra: u8, rb: u8, disp: i32) -> Self {
-        Alpha0Instr { op: Alpha0Op::St, ra: ra & 31, rb: rb & 31, rc: 0, literal: None, disp }
+        Alpha0Instr {
+            op: Alpha0Op::St,
+            ra: ra & 31,
+            rb: rb & 31,
+            rc: 0,
+            literal: None,
+            disp,
+        }
     }
 
     /// `true` if this instruction transfers control.
@@ -304,13 +388,13 @@ impl Alpha0Instr {
             op if op.is_operate() => {
                 let func = function.expect("operate instructions have a function code") << 5;
                 match self.literal {
-                    Some(lit) => base | u32::from(lit) << 13 | 1 << 12 | func | u32::from(self.rc & 31),
+                    Some(lit) => {
+                        base | u32::from(lit) << 13 | 1 << 12 | func | u32::from(self.rc & 31)
+                    }
                     None => base | u32::from(self.rb & 31) << 16 | func | u32::from(self.rc & 31),
                 }
             }
-            Alpha0Op::Br | Alpha0Op::Bf | Alpha0Op::Bt => {
-                base | (self.disp as u32 & 0x1F_FFFF)
-            }
+            Alpha0Op::Br | Alpha0Op::Bf | Alpha0Op::Bt => base | (self.disp as u32 & 0x1F_FFFF),
             // Memory format (ld/st/jmp).
             _ => base | u32::from(self.rb & 31) << 16 | (self.disp as u32 & 0xFFFF),
         }
@@ -337,18 +421,33 @@ impl Alpha0Instr {
                 0x2D => Alpha0Op::Cmpeq,
                 0x4D => Alpha0Op::Cmplt,
                 0x6D => Alpha0Op::Cmple,
-                f => return Err(DecodeError::UnknownFunction { opcode, function: f }),
+                f => {
+                    return Err(DecodeError::UnknownFunction {
+                        opcode,
+                        function: f,
+                    })
+                }
             },
             0x11 => match function {
                 0x00 => Alpha0Op::And,
                 0x20 => Alpha0Op::Or,
                 0x40 => Alpha0Op::Xor,
-                f => return Err(DecodeError::UnknownFunction { opcode, function: f }),
+                f => {
+                    return Err(DecodeError::UnknownFunction {
+                        opcode,
+                        function: f,
+                    })
+                }
             },
             0x12 => match function {
                 0x34 => Alpha0Op::Srl,
                 0x39 => Alpha0Op::Sll,
-                f => return Err(DecodeError::UnknownFunction { opcode, function: f }),
+                f => {
+                    return Err(DecodeError::UnknownFunction {
+                        opcode,
+                        function: f,
+                    })
+                }
             },
             0x30 => Alpha0Op::Br,
             0x39 => Alpha0Op::Bf,
@@ -367,10 +466,22 @@ impl Alpha0Instr {
                 literal: lit_flag.then_some(literal),
                 disp: 0,
             },
-            Alpha0Op::Br | Alpha0Op::Bf | Alpha0Op::Bt => {
-                Alpha0Instr { op, ra, rb: 0, rc: 0, literal: None, disp: disp_b }
-            }
-            _ => Alpha0Instr { op, ra, rb, rc: 0, literal: None, disp: disp_m },
+            Alpha0Op::Br | Alpha0Op::Bf | Alpha0Op::Bt => Alpha0Instr {
+                op,
+                ra,
+                rb: 0,
+                rc: 0,
+                literal: None,
+                disp: disp_b,
+            },
+            _ => Alpha0Instr {
+                op,
+                ra,
+                rb,
+                rc: 0,
+                literal: None,
+                disp: disp_m,
+            },
         })
     }
 
@@ -396,8 +507,20 @@ impl Alpha0Instr {
                     Alpha0Op::And => a & b,
                     Alpha0Op::Or => a | b,
                     Alpha0Op::Xor => a ^ b,
-                    Alpha0Op::Sll => if b as usize >= cfg.data_width { 0 } else { (a << b) & dm },
-                    Alpha0Op::Srl => if b as usize >= cfg.data_width { 0 } else { a >> b },
+                    Alpha0Op::Sll => {
+                        if b as usize >= cfg.data_width {
+                            0
+                        } else {
+                            (a << b) & dm
+                        }
+                    }
+                    Alpha0Op::Srl => {
+                        if b as usize >= cfg.data_width {
+                            0
+                        } else {
+                            a >> b
+                        }
+                    }
                     Alpha0Op::Cmpeq => u64::from(a == b),
                     Alpha0Op::Cmplt => u64::from(signed(a, cfg) < signed(b, cfg)),
                     Alpha0Op::Cmple => u64::from(signed(a, cfg) <= signed(b, cfg)),
@@ -411,7 +534,11 @@ impl Alpha0Instr {
             }
             Alpha0Op::Bf | Alpha0Op::Bt => {
                 let a = reg(self.ra);
-                let taken = if self.op == Alpha0Op::Bf { a == 0 } else { a != 0 };
+                let taken = if self.op == Alpha0Op::Bf {
+                    a == 0
+                } else {
+                    a != 0
+                };
                 if taken {
                     next.pc = pc_plus_1.wrapping_add_signed(self.disp as i64) & cfg.pc_mask();
                 }
@@ -514,7 +641,10 @@ mod tests {
 
     #[test]
     fn decode_rejects_unknown_encodings() {
-        assert!(matches!(Alpha0Instr::decode(0x3F << 26), Err(DecodeError::UnknownOpcode(_))));
+        assert!(matches!(
+            Alpha0Instr::decode(0x3F << 26),
+            Err(DecodeError::UnknownOpcode(_))
+        ));
         assert!(matches!(
             Alpha0Instr::decode(0x10 << 26 | 0x7F << 5),
             Err(DecodeError::UnknownFunction { .. })
@@ -592,8 +722,8 @@ mod tests {
             Alpha0Instr::operate_lit(Alpha0Op::Add, 1, 0, 5), // r1 = 5
             Alpha0Instr::operate_lit(Alpha0Op::Add, 2, 0, 3), // r2 = 3
             Alpha0Instr::operate(Alpha0Op::Sub, 3, 1, 2),     // r3 = 2
-            Alpha0Instr::st(3, 0, 1),                          // mem[1] = 2
-            Alpha0Instr::ld(4, 0, 1),                          // r4 = 2
+            Alpha0Instr::st(3, 0, 1),                         // mem[1] = 2
+            Alpha0Instr::ld(4, 0, 1),                         // r4 = 2
         ];
         let out = s.run(&prog);
         assert_eq!(out.regs[3], 2);
@@ -614,7 +744,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_config_rejected() {
-        Alpha0Config { data_width: 4, num_regs: 3, mem_words: 8 }.validate();
+        Alpha0Config {
+            data_width: 4,
+            num_regs: 3,
+            mem_words: 8,
+        }
+        .validate();
     }
 
     #[test]

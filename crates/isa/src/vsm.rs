@@ -124,12 +124,24 @@ pub struct VsmInstr {
 impl VsmInstr {
     /// Register-register ALU instruction.
     pub fn alu_reg(op: VsmOp, rc: u8, ra: u8, rb: u8) -> Self {
-        VsmInstr { op, literal: false, ra: ra & 7, rb: rb & 7, rc: rc & 7 }
+        VsmInstr {
+            op,
+            literal: false,
+            ra: ra & 7,
+            rb: rb & 7,
+            rc: rc & 7,
+        }
     }
 
     /// Register-literal ALU instruction.
     pub fn alu_lit(op: VsmOp, rc: u8, ra: u8, lit: u8) -> Self {
-        VsmInstr { op, literal: true, ra: ra & 7, rb: lit & 7, rc: rc & 7 }
+        VsmInstr {
+            op,
+            literal: true,
+            ra: ra & 7,
+            rb: lit & 7,
+            rc: rc & 7,
+        }
     }
 
     /// `add rc, ra, rb`.
@@ -144,7 +156,13 @@ impl VsmInstr {
 
     /// `br rc, disp` — link to `rc`, branch by the sign-extended displacement.
     pub fn br(rc: u8, disp: u8) -> Self {
-        VsmInstr { op: VsmOp::Br, literal: false, ra: disp & 7, rb: 0, rc: rc & 7 }
+        VsmInstr {
+            op: VsmOp::Br,
+            literal: false,
+            ra: disp & 7,
+            rb: 0,
+            rc: rc & 7,
+        }
     }
 
     /// Encodes into the 13-bit format of Table 1.
@@ -192,7 +210,11 @@ impl VsmInstr {
             }
             alu => {
                 let a = state.regs[self.ra as usize];
-                let b = if self.literal { self.rb } else { state.regs[self.rb as usize] };
+                let b = if self.literal {
+                    self.rb
+                } else {
+                    state.regs[self.rb as usize]
+                };
                 let value = match alu {
                     VsmOp::Add => a.wrapping_add(b),
                     VsmOp::Xor => a ^ b,
@@ -251,7 +273,13 @@ mod tests {
         for op in VsmOp::all() {
             for literal in [false, true] {
                 for ra in 0..8u8 {
-                    let i = VsmInstr { op, literal, ra, rb: (ra + 3) & 7, rc: (ra + 5) & 7 };
+                    let i = VsmInstr {
+                        op,
+                        literal,
+                        ra,
+                        rb: (ra + 3) & 7,
+                        rc: (ra + 5) & 7,
+                    };
                     assert_eq!(VsmInstr::decode(i.encode()), Ok(i));
                     assert!(u32::from(i.encode()) < 1 << INSTR_WIDTH);
                 }
@@ -261,10 +289,15 @@ mod tests {
 
     #[test]
     fn decode_rejects_bad_words() {
-        assert!(matches!(VsmInstr::decode(1 << 13), Err(DecodeError::OutOfRange(_))));
-        // Opcodes 101, 110, 111 are unassigned.
         assert!(matches!(
-            VsmInstr::decode(0b101_0_000_000_000),
+            VsmInstr::decode(1 << 13),
+            Err(DecodeError::OutOfRange(_))
+        ));
+        // Opcodes 101, 110, 111 are unassigned. (Digits grouped op_lit_rc_ra_rb.)
+        #[allow(clippy::unusual_byte_groupings)]
+        let unassigned = 0b101_0_000_000_000;
+        assert!(matches!(
+            VsmInstr::decode(unassigned),
             Err(DecodeError::UnknownOpcode(_))
         ));
     }

@@ -19,8 +19,16 @@ fn arb_vsm_instr() -> impl Strategy<Value = VsmInstr> {
 
 fn arb_alpha0_instr(cfg: Alpha0Config) -> impl Strategy<Value = Alpha0Instr> {
     let regs = cfg.num_regs as u8;
-    (0usize..16, 0u8..regs, 0u8..regs, 0u8..regs, -8i32..8, 0u8..16, any::<bool>()).prop_map(
-        move |(op, ra, rb, rc, disp, lit, use_lit)| {
+    (
+        0usize..16,
+        0u8..regs,
+        0u8..regs,
+        0u8..regs,
+        -8i32..8,
+        0u8..16,
+        any::<bool>(),
+    )
+        .prop_map(move |(op, ra, rb, rc, disp, lit, use_lit)| {
             let op = Alpha0Op::all()[op];
             match op {
                 o if o.is_operate() && use_lit => Alpha0Instr::operate_lit(o, rc, ra, lit),
@@ -32,8 +40,7 @@ fn arb_alpha0_instr(cfg: Alpha0Config) -> impl Strategy<Value = Alpha0Instr> {
                 Alpha0Op::Ld => Alpha0Instr::ld(ra, rb, disp),
                 _ => Alpha0Instr::st(ra, rb, disp),
             }
-        },
-    )
+        })
 }
 
 proptest! {

@@ -45,7 +45,9 @@ impl Word {
     /// Panics if the range is out of bounds.
     pub fn slice(&self, lo: usize, len: usize) -> Word {
         assert!(lo + len <= self.width(), "slice out of range");
-        Word { bits: self.bits[lo..lo + len].to_vec() }
+        Word {
+            bits: self.bits[lo..lo + len].to_vec(),
+        }
     }
 
     /// Concatenates `self` (low part) with `high`.
@@ -295,9 +297,17 @@ impl NetlistBuilder {
     /// Declares a primary input port of the given width.
     pub fn input(&mut self, name: &str, width: usize) -> Word {
         let port = self.inputs.len() as u32;
-        self.inputs.push(PortInfo { name: name.to_owned(), width });
+        self.inputs.push(PortInfo {
+            name: name.to_owned(),
+            width,
+        });
         let bits = (0..width)
-            .map(|bit| self.push(NetNode::Input { port, bit: bit as u32 }))
+            .map(|bit| {
+                self.push(NetNode::Input {
+                    port,
+                    bit: bit as u32,
+                })
+            })
             .collect();
         Word { bits }
     }
@@ -331,7 +341,11 @@ impl NetlistBuilder {
             reg_indices.push(idx);
             bits.push(self.push(NetNode::Reg(idx)));
         }
-        RegWord { name: name.to_owned(), reg_indices, value: Word { bits } }
+        RegWord {
+            name: name.to_owned(),
+            reg_indices,
+            value: Word { bits },
+        }
     }
 
     /// Assigns the next-state word of a register.
@@ -339,7 +353,12 @@ impl NetlistBuilder {
     /// # Panics
     /// Panics if the widths differ.
     pub fn set_next(&mut self, reg: &RegWord, next: &Word) {
-        assert_eq!(reg.width(), next.width(), "register `{}` width mismatch", reg.name);
+        assert_eq!(
+            reg.width(),
+            next.width(),
+            "register `{}` width mismatch",
+            reg.name
+        );
         for (i, &idx) in reg.reg_indices.iter().enumerate() {
             if self.assigned[idx as usize] {
                 // Defer the error to `finish` so that it is reported through
@@ -353,7 +372,14 @@ impl NetlistBuilder {
     }
 
     /// Convenience: a register whose next state is `enable ? data : hold`.
-    pub fn register_en(&mut self, name: &str, width: usize, init: u64, enable: NetId, data: &Word) -> RegWord {
+    pub fn register_en(
+        &mut self,
+        name: &str,
+        width: usize,
+        init: u64,
+        enable: NetId,
+        data: &Word,
+    ) -> RegWord {
         let reg = self.register(name, width, init);
         let next = self.wmux(enable, data, &reg.value());
         self.set_next(&reg, &next);
@@ -366,7 +392,10 @@ impl NetlistBuilder {
         let words = (0..count)
             .map(|i| self.register(&format!("{name}[{i}]"), width, init))
             .collect();
-        RegArray { name: name.to_owned(), words }
+        RegArray {
+            name: name.to_owned(),
+            words,
+        }
     }
 
     /// Combinationally reads `array[addr]` through a multiplexer tree.
@@ -415,13 +444,20 @@ impl NetlistBuilder {
 
     /// Bitwise NOT.
     pub fn wnot(&mut self, a: &Word) -> Word {
-        Word { bits: a.bits.iter().map(|&b| self.not(b)).collect() }
+        Word {
+            bits: a.bits.iter().map(|&b| self.not(b)).collect(),
+        }
     }
 
     fn wzip(&mut self, a: &Word, b: &Word, op: fn(&mut Self, NetId, NetId) -> NetId) -> Word {
         assert_eq!(a.width(), b.width(), "word width mismatch");
         Word {
-            bits: a.bits.iter().zip(&b.bits).map(|(&x, &y)| op(self, x, y)).collect(),
+            bits: a
+                .bits
+                .iter()
+                .zip(&b.bits)
+                .map(|(&x, &y)| op(self, x, y))
+                .collect(),
         }
     }
 
@@ -539,7 +575,12 @@ impl NetlistBuilder {
     pub fn wmux(&mut self, sel: NetId, t: &Word, e: &Word) -> Word {
         assert_eq!(t.width(), e.width(), "word width mismatch");
         Word {
-            bits: t.bits.iter().zip(&e.bits).map(|(&a, &b)| self.mux(sel, a, b)).collect(),
+            bits: t
+                .bits
+                .iter()
+                .zip(&e.bits)
+                .map(|(&a, &b)| self.mux(sel, a, b))
+                .collect(),
         }
     }
 
@@ -556,7 +597,13 @@ impl NetlistBuilder {
     pub fn wshr_const(&mut self, a: &Word, amount: usize) -> Word {
         let zero = self.lit(false);
         let bits = (0..a.width())
-            .map(|i| if i + amount < a.width() { a.bit(i + amount) } else { zero })
+            .map(|i| {
+                if i + amount < a.width() {
+                    a.bit(i + amount)
+                } else {
+                    zero
+                }
+            })
             .collect();
         Word { bits }
     }
@@ -618,7 +665,9 @@ impl NetlistBuilder {
         let mut seen = std::collections::HashSet::new();
         for p in &self.inputs {
             if !seen.insert(p.name.clone()) {
-                return Err(BuildError::DuplicatePort { name: p.name.clone() });
+                return Err(BuildError::DuplicatePort {
+                    name: p.name.clone(),
+                });
             }
         }
         let mut seen_out = std::collections::HashSet::new();
@@ -630,9 +679,13 @@ impl NetlistBuilder {
         for (i, r) in self.regs.iter().enumerate() {
             if r.next.is_none() {
                 if self.assigned[i] {
-                    return Err(BuildError::DoubleAssignedRegister { name: r.name.clone() });
+                    return Err(BuildError::DoubleAssignedRegister {
+                        name: r.name.clone(),
+                    });
                 }
-                return Err(BuildError::UnassignedRegister { name: r.name.clone() });
+                return Err(BuildError::UnassignedRegister {
+                    name: r.name.clone(),
+                });
             }
         }
         Ok(Netlist {
@@ -694,7 +747,10 @@ mod tests {
         let v = r.value();
         b.set_next(&r, &v);
         b.set_next(&r, &v);
-        assert!(matches!(b.finish(), Err(BuildError::DoubleAssignedRegister { .. })));
+        assert!(matches!(
+            b.finish(),
+            Err(BuildError::DoubleAssignedRegister { .. })
+        ));
     }
 
     #[test]

@@ -123,7 +123,9 @@ impl<'a> ConcreteSim<'a> {
             .collect();
         let mut next = Vec::with_capacity(self.state.len());
         for r in &self.netlist.regs {
-            let n = r.next.expect("finished netlists have all next-state nets assigned");
+            let n = r
+                .next
+                .expect("finished netlists have all next-state nets assigned");
             next.push(values[n.0 as usize]);
         }
         self.state = next;

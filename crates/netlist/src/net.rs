@@ -121,7 +121,10 @@ impl Netlist {
     pub fn outputs(&self) -> Vec<PortInfo> {
         self.outputs
             .iter()
-            .map(|(name, nets)| PortInfo { name: name.clone(), width: nets.len() })
+            .map(|(name, nets)| PortInfo {
+                name: name.clone(),
+                width: nets.len(),
+            })
             .collect()
     }
 
@@ -132,7 +135,10 @@ impl Netlist {
 
     /// Width of the named output port, if it exists.
     pub fn output_width(&self, name: &str) -> Option<usize> {
-        self.outputs.iter().find(|(n, _)| n == name).map(|(_, nets)| nets.len())
+        self.outputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, nets)| nets.len())
     }
 
     /// Number of register bits (the state-variable count that drives BDD cost).

@@ -39,7 +39,9 @@ impl SymState {
             return None;
         }
         bits.sort_by_key(|&(bit, _)| bit);
-        Some(BddVec::from_bits(bits.into_iter().map(|(_, b)| b).collect()))
+        Some(BddVec::from_bits(
+            bits.into_iter().map(|(_, b)| b).collect(),
+        ))
     }
 }
 
@@ -65,7 +67,10 @@ pub struct SymbolicMachine {
 impl SymbolicMachine {
     /// The variables of the named input port, if present.
     pub fn input(&self, name: &str) -> Option<&[Var]> {
-        self.input_vars.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_slice())
+        self.input_vars
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
     }
 
     /// The function of the named output port, if present.
@@ -83,7 +88,12 @@ impl<'a> SymbolicSim<'a> {
     /// The reset state as constant BDDs.
     pub fn initial_state(&self, manager: &BddManager) -> SymState {
         SymState {
-            regs: self.netlist.regs.iter().map(|r| manager.constant(r.init)).collect(),
+            regs: self
+                .netlist
+                .regs
+                .iter()
+                .map(|r| manager.constant(r.init))
+                .collect(),
         }
     }
 
@@ -97,11 +107,8 @@ impl<'a> SymbolicSim<'a> {
     ) -> Vec<Bdd> {
         let netlist = self.netlist;
         // Resolve input ports to their symbolic words once.
-        let port_words: Vec<Option<&BddVec>> = netlist
-            .inputs
-            .iter()
-            .map(|p| inputs.get(&p.name))
-            .collect();
+        let port_words: Vec<Option<&BddVec>> =
+            netlist.inputs.iter().map(|p| inputs.get(&p.name)).collect();
         let mut values: Vec<Bdd> = Vec::with_capacity(netlist.nodes.len());
         for node in &netlist.nodes {
             let v = match *node {
@@ -174,7 +181,9 @@ impl<'a> SymbolicSim<'a> {
             .regs
             .iter()
             .map(|r| {
-                let n = r.next.expect("finished netlists have all next-state nets assigned");
+                let n = r
+                    .next
+                    .expect("finished netlists have all next-state nets assigned");
                 values[n.0 as usize]
             })
             .collect();
@@ -269,7 +278,7 @@ impl<'a> SymbolicSim<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ConcreteSim, NetlistBuilder, Netlist};
+    use crate::{ConcreteSim, Netlist, NetlistBuilder};
 
     fn accumulator() -> Netlist {
         let mut b = NetlistBuilder::new("acc");
@@ -316,7 +325,11 @@ mod tests {
                 conc.step(&[("in", a)]);
                 let o = conc.step(&[("in", b)]);
                 assert_eq!(sum_sampled, o["sum"], "sum for {a},{b}");
-                assert_eq!(acc_after, conc.register("acc").expect("acc"), "acc for {a},{b}");
+                assert_eq!(
+                    acc_after,
+                    conc.register("acc").expect("acc"),
+                    "acc for {a},{b}"
+                );
             }
         }
     }

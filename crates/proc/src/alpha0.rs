@@ -69,7 +69,11 @@ pub struct PipelineConfig {
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        PipelineConfig { isa: Alpha0Config::default(), alu: AluModel::Full, bug: None }
+        PipelineConfig {
+            isa: Alpha0Config::default(),
+            alu: AluModel::Full,
+            bug: None,
+        }
     }
 }
 
@@ -81,18 +85,30 @@ impl PipelineConfig {
 
     /// The correct design with a specific datapath configuration.
     pub fn with_isa(isa: Alpha0Config) -> Self {
-        PipelineConfig { isa, alu: AluModel::Full, bug: None }
+        PipelineConfig {
+            isa,
+            alu: AluModel::Full,
+            bug: None,
+        }
     }
 
     /// The correct design with a specific datapath configuration and the
     /// condensed (and/or/cmpeq) ALU used for the symbolic experiments.
     pub fn condensed(isa: Alpha0Config) -> Self {
-        PipelineConfig { isa, alu: AluModel::Condensed, bug: None }
+        PipelineConfig {
+            isa,
+            alu: AluModel::Condensed,
+            bug: None,
+        }
     }
 
     /// A configuration with the given bug injected.
     pub fn with_bug(bug: Alpha0Bug) -> Self {
-        PipelineConfig { isa: Alpha0Config::default(), alu: AluModel::Full, bug: Some(bug) }
+        PipelineConfig {
+            isa: Alpha0Config::default(),
+            alu: AluModel::Full,
+            bug: Some(bug),
+        }
     }
 
     /// Replaces the injected bug (builder style).
@@ -227,8 +243,16 @@ fn alu(
             let xor = b.wxor(a, bv);
             let sll = b.wshl(a, bv);
             let srl = b.wshr(a, bv);
-            let lt_bit = if unsigned_compare { b.wult(a, bv) } else { b.wslt(a, bv) };
-            let le_bit = if unsigned_compare { b.wule(a, bv) } else { b.wsle(a, bv) };
+            let lt_bit = if unsigned_compare {
+                b.wult(a, bv)
+            } else {
+                b.wslt(a, bv)
+            };
+            let le_bit = if unsigned_compare {
+                b.wule(a, bv)
+            } else {
+                b.wsle(a, bv)
+            };
             let lt = b.wzext(&Word::from_bit(lt_bit), w);
             let le = b.wzext(&Word::from_bit(le_bit), w);
             (
@@ -284,6 +308,7 @@ struct Executed {
     next_pc: Word,
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors the EX-stage port list of Figure 14
 fn execute(
     b: &mut NetlistBuilder,
     d: &Decode,
@@ -336,6 +361,7 @@ fn execute(
     }
 }
 
+#[allow(clippy::too_many_arguments)] // the architectural observables are one flat port list
 fn expose_architectural_state(
     b: &mut NetlistBuilder,
     cfg: Alpha0Config,
@@ -470,7 +496,11 @@ pub fn pipelined(config: PipelineConfig) -> Result<Netlist, BuildError> {
 
     // ------------------------------------------------------------ IF stage --
     let ct_in_rd = b.and(rd_valid, dec.is_ct);
-    let annul = if bug == Some(Alpha0Bug::NoAnnul) { b.lit(false) } else { ct_in_rd };
+    let annul = if bug == Some(Alpha0Bug::NoAnnul) {
+        b.lit(false)
+    } else {
+        ct_in_rd
+    };
     let not_annul = b.not(annul);
     let v1_next = b.and(not_reset, not_annul);
     let fetch_plus_1 = b.winc(&fetch_pc.value());
@@ -526,7 +556,16 @@ pub fn pipelined(config: PipelineConfig) -> Result<Netlist, BuildError> {
     b.set_next(&pc, &pc_next);
 
     let pcw = pc.value();
-    expose_architectural_state(&mut b, cfg, &regs, &mem, &pcw, wb_en, &dest4.value(), &result4.value());
+    expose_architectural_state(
+        &mut b,
+        cfg,
+        &regs,
+        &mem,
+        &pcw,
+        wb_en,
+        &dest4.value(),
+        &result4.value(),
+    );
     b.expose("fetch_pc", &fetch_pc.value());
     b.finish()
 }
@@ -694,7 +733,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..10 {
             let prog = random_program(&mut rng, cfg, 6);
-            assert_eq!(run_unpipelined(cfg, &prog), isa_state(cfg, &prog), "{prog:?}");
+            assert_eq!(
+                run_unpipelined(cfg, &prog),
+                isa_state(cfg, &prog),
+                "{prog:?}"
+            );
         }
     }
 

@@ -17,8 +17,8 @@
 //! tests) and the interrupt/trap extension used by the dynamic-β example of
 //! Section 5.5.
 
-use pv_netlist::{BuildError, NetId, Netlist, NetlistBuilder, RegArray, Word};
 use pv_isa::vsm::{DATA_WIDTH, INSTR_WIDTH, NUM_REGS, PC_WIDTH};
+use pv_netlist::{BuildError, NetId, Netlist, NetlistBuilder, RegArray, Word};
 
 /// Address (in instruction words) of the interrupt handler used by the
 /// trap-extension machines.
@@ -58,7 +58,11 @@ pub struct VsmConfig {
 
 impl Default for VsmConfig {
     fn default() -> Self {
-        VsmConfig { bug: None, with_interrupt: false, num_regs: NUM_REGS }
+        VsmConfig {
+            bug: None,
+            with_interrupt: false,
+            num_regs: NUM_REGS,
+        }
     }
 }
 
@@ -70,18 +74,27 @@ impl VsmConfig {
 
     /// A configuration with the given bug injected.
     pub fn with_bug(bug: VsmBug) -> Self {
-        VsmConfig { bug: Some(bug), ..VsmConfig::default() }
+        VsmConfig {
+            bug: Some(bug),
+            ..VsmConfig::default()
+        }
     }
 
     /// The interrupt/trap extension, without bugs.
     pub fn with_interrupts() -> Self {
-        VsmConfig { with_interrupt: true, ..VsmConfig::default() }
+        VsmConfig {
+            with_interrupt: true,
+            ..VsmConfig::default()
+        }
     }
 
     /// The reduced-register-file model of Section 6.2 (the paper uses a
     /// single register; any power of two up to 8 is accepted here).
     pub fn reduced(num_regs: usize) -> Self {
-        VsmConfig { num_regs, ..VsmConfig::default() }
+        VsmConfig {
+            num_regs,
+            ..VsmConfig::default()
+        }
     }
 
     /// Number of register-address bits for this configuration.
@@ -191,7 +204,11 @@ pub fn pipelined(config: VsmConfig) -> Result<Netlist, BuildError> {
     let mut b = NetlistBuilder::new("vsm-pipelined");
     let instr = b.input("instr", INSTR_WIDTH);
     let reset = b.input("reset", 1).bit(0);
-    let irq = if config.with_interrupt { Some(b.input("irq", 1).bit(0)) } else { None };
+    let irq = if config.with_interrupt {
+        Some(b.input("irq", 1).bit(0))
+    } else {
+        None
+    };
     let not_reset = b.not(reset);
 
     // Architectural and pipeline registers (declared first so that any stage
@@ -251,7 +268,11 @@ pub fn pipelined(config: VsmConfig) -> Result<Netlist, BuildError> {
     let pc_plus_1 = b.winc(&pc1w);
     let link1 = pc_plus_1.slice(0, DATA_WIDTH);
     let disp5 = sext_disp(&mut b, &dec.ra);
-    let br_base = if bug == Some(VsmBug::BranchTargetOffByOne) { pc1w.clone() } else { pc_plus_1.clone() };
+    let br_base = if bug == Some(VsmBug::BranchTargetOffByOne) {
+        pc1w.clone()
+    } else {
+        pc_plus_1.clone()
+    };
     let target1 = b.wadd(&br_base, &disp5);
     let handler = b.wconst(TRAP_HANDLER_PC, PC_WIDTH);
     let trap_link_reg = b.wconst(TRAP_LINK_REG % config.num_regs as u64, aw);
@@ -260,13 +281,21 @@ pub fn pipelined(config: VsmConfig) -> Result<Netlist, BuildError> {
     let br_next = b.wmux(dec.is_br, &target1, &pc_plus_1);
     let next_pc1 = b.wmux(is_trap, &handler, &br_next);
     let is_link1 = b.or(dec.is_br, is_trap);
-    let rc_field = if bug == Some(VsmBug::WrongWritebackReg) { dec.rb.clone() } else { dec.rc.clone() };
+    let rc_field = if bug == Some(VsmBug::WrongWritebackReg) {
+        dec.rb.clone()
+    } else {
+        dec.rc.clone()
+    };
     let rc_addr = rc_field.slice(0, aw);
     let rc1 = b.wmux(is_trap, &trap_link_reg, &rc_addr);
 
     // ------------------------------------------------------------ IF stage --
     let ct_in_rf = b.and(rf_valid, is_ct);
-    let annul = if bug == Some(VsmBug::NoAnnul) { b.lit(false) } else { ct_in_rf };
+    let annul = if bug == Some(VsmBug::NoAnnul) {
+        b.lit(false)
+    } else {
+        ct_in_rf
+    };
     let not_annul = b.not(annul);
     let v1_next_bit = b.and(not_reset, not_annul);
     let fetch_plus_1 = b.winc(&fetch_pc.value());
@@ -312,7 +341,15 @@ pub fn pipelined(config: VsmConfig) -> Result<Netlist, BuildError> {
 
     // Observed variables.
     let pcw = pc.value();
-    expose_architectural_state(&mut b, config.num_regs, &regs, &pcw, wb_en, &rc3.value(), &result3.value());
+    expose_architectural_state(
+        &mut b,
+        config.num_regs,
+        &regs,
+        &pcw,
+        wb_en,
+        &rc3.value(),
+        &result3.value(),
+    );
     b.expose("fetch_pc", &fetch_pc.value());
     b.finish()
 }
@@ -331,7 +368,11 @@ pub fn unpipelined(config: VsmConfig) -> Result<Netlist, BuildError> {
     let mut b = NetlistBuilder::new("vsm-unpipelined");
     let instr = b.input("instr", INSTR_WIDTH);
     let reset = b.input("reset", 1).bit(0);
-    let irq = if config.with_interrupt { Some(b.input("irq", 1).bit(0)) } else { None };
+    let irq = if config.with_interrupt {
+        Some(b.input("irq", 1).bit(0))
+    } else {
+        None
+    };
     let not_reset = b.not(reset);
 
     let regs = b.reg_array("r", config.num_regs, DATA_WIDTH, 0);
@@ -395,7 +436,15 @@ pub fn unpipelined(config: VsmConfig) -> Result<Netlist, BuildError> {
     let pc_next = b.wmux(reset, &zero_pc, &pc_keep);
     b.set_next(&pc, &pc_next);
 
-    expose_architectural_state(&mut b, config.num_regs, &regs, &pcw, wb_en, &rc_sel, &result);
+    expose_architectural_state(
+        &mut b,
+        config.num_regs,
+        &regs,
+        &pcw,
+        wb_en,
+        &rc_sel,
+        &result,
+    );
     b.expose("phase", &phasew);
     b.finish()
 }
@@ -420,7 +469,10 @@ mod tests {
             }
         }
         let out = sim.outputs(&[("instr", 0), ("reset", 0)]);
-        ((0..NUM_REGS).map(|i| out[&format!("r{i}")]).collect(), out["pc"])
+        (
+            (0..NUM_REGS).map(|i| out[&format!("r{i}")]).collect(),
+            out["pc"],
+        )
     }
 
     /// Runs `program` through the pipelined netlist, inserting a junk cycle
@@ -434,7 +486,10 @@ mod tests {
             sim.step(&[("reset", 0), ("instr", u64::from(instr.encode()))]);
             if instr.is_control_transfer() {
                 // Delay slot: feed an arbitrary instruction; it must be annulled.
-                sim.step(&[("reset", 0), ("instr", u64::from(VsmInstr::add_lit(6, 6, 7).encode()))]);
+                sim.step(&[
+                    ("reset", 0),
+                    ("instr", u64::from(VsmInstr::add_lit(6, 6, 7).encode())),
+                ]);
             }
         }
         // Drain the pipeline: after three more cycles the last real
@@ -445,12 +500,18 @@ mod tests {
             sim.step(&[("reset", 0), ("instr", 0)]);
         }
         let out = sim.outputs(&[("instr", 0), ("reset", 0)]);
-        ((0..NUM_REGS).map(|i| out[&format!("r{i}")]).collect(), out["pc"])
+        (
+            (0..NUM_REGS).map(|i| out[&format!("r{i}")]).collect(),
+            out["pc"],
+        )
     }
 
     fn isa_state(program: &[VsmInstr]) -> (Vec<u64>, u64) {
         let s = VsmState::reset().run(program);
-        (s.regs.iter().map(|&r| u64::from(r)).collect(), u64::from(s.pc))
+        (
+            s.regs.iter().map(|&r| u64::from(r)).collect(),
+            u64::from(s.pc),
+        )
     }
 
     fn random_program(rng: &mut impl Rng, len: usize, with_branches: bool) -> Vec<VsmInstr> {
@@ -566,6 +627,11 @@ mod tests {
         let u = unpipelined(VsmConfig::with_interrupts()).expect("build");
         assert_eq!(p.input_width("irq"), Some(1));
         assert_eq!(u.input_width("irq"), Some(1));
-        assert_eq!(pipelined(VsmConfig::correct()).expect("build").input_width("irq"), None);
+        assert_eq!(
+            pipelined(VsmConfig::correct())
+                .expect("build")
+                .input_width("irq"),
+            None
+        );
     }
 }

@@ -225,8 +225,12 @@ mod tests {
         let h = serial_input_filter();
         for instructions in 1..4usize {
             let len = instructions * 6;
-            let x: Vec<u64> = (0..len as u64).map(|t| 0x0203_00 + t).collect();
-            assert_eq!(beta_holds(&imp, &spec, &h, 5, &x), None, "{instructions} ops");
+            let x: Vec<u64> = (0..len as u64).map(|t| 0x2_0300 + t).collect();
+            assert_eq!(
+                beta_holds(&imp, &spec, &h, 5, &x),
+                None,
+                "{instructions} ops"
+            );
         }
     }
 

@@ -12,6 +12,10 @@ use std::collections::BTreeSet;
 
 use crate::func::StringFn;
 
+/// The combinational output function of a [`DefiniteMachine`]: a function of
+/// the window of the last `k` inputs.
+pub type WindowFn = Box<dyn Fn(&[u64]) -> u64>;
+
 /// The canonical realization of a k-definite machine (Figure 4): `k` delay
 /// elements holding the last `k` inputs, feeding a combinational output
 /// function.
@@ -22,7 +26,7 @@ use crate::func::StringFn;
 pub struct DefiniteMachine {
     order: usize,
     fill: u64,
-    output: Box<dyn Fn(&[u64]) -> u64>,
+    output: WindowFn,
 }
 
 impl DefiniteMachine {
@@ -33,7 +37,11 @@ impl DefiniteMachine {
     /// Panics if `order` is zero.
     pub fn new<F: Fn(&[u64]) -> u64 + 'static>(order: usize, fill: u64, output: F) -> Self {
         assert!(order > 0, "a definite machine has order at least 1");
-        DefiniteMachine { order, fill, output: Box::new(output) }
+        DefiniteMachine {
+            order,
+            fill,
+            output: Box::new(output),
+        }
     }
 
     /// The order of definiteness `k`.
@@ -92,10 +100,17 @@ impl ExplicitMealy {
         for (row_n, row_o) in next.iter().zip(&output) {
             assert_eq!(row_n.len(), num_inputs, "ragged next-state table");
             assert_eq!(row_o.len(), num_inputs, "ragged output table");
-            assert!(row_n.iter().all(|&s| s < next.len()), "dangling state reference");
+            assert!(
+                row_n.iter().all(|&s| s < next.len()),
+                "dangling state reference"
+            );
         }
         assert!(initial < next.len(), "initial state out of range");
-        ExplicitMealy { next, output, initial }
+        ExplicitMealy {
+            next,
+            output,
+            initial,
+        }
     }
 
     /// Number of states.
@@ -126,8 +141,7 @@ impl ExplicitMealy {
             let mut next_frontier = BTreeSet::new();
             for set in &frontier {
                 for input in 0..self.num_inputs() {
-                    let image: BTreeSet<usize> =
-                        set.iter().map(|&s| self.next[s][input]).collect();
+                    let image: BTreeSet<usize> = set.iter().map(|&s| self.next[s][input]).collect();
                     next_frontier.insert(image);
                 }
             }
@@ -174,7 +188,9 @@ pub fn verify_definite_equivalence(
     num_inputs: u64,
 ) -> Option<Vec<u64>> {
     assert!(num_inputs > 0, "alphabet must be non-empty");
-    let total = num_inputs.checked_pow(order as u32).expect("sequence space overflows u64");
+    let total = num_inputs
+        .checked_pow(order as u32)
+        .expect("sequence space overflows u64");
     let mut sequence = vec![0u64; order];
     for index in 0..total {
         let mut rest = index;

@@ -31,12 +31,16 @@ impl FilterSchedule {
 
     /// An all-zero (never sample) schedule of the given length.
     pub fn zeros(len: usize) -> Self {
-        FilterSchedule { bits: vec![false; len] }
+        FilterSchedule {
+            bits: vec![false; len],
+        }
     }
 
     /// An all-one (sample every cycle) schedule of the given length.
     pub fn ones(len: usize) -> Self {
-        FilterSchedule { bits: vec![true; len] }
+        FilterSchedule {
+            bits: vec![true; len],
+        }
     }
 
     /// A periodic schedule of the given length that samples at cycles
@@ -44,7 +48,9 @@ impl FilterSchedule {
     /// filter of Theorem 4.3.3.1 (sample every `k` cycles).
     pub fn every_kth(period: usize, len: usize, offset: usize) -> Self {
         assert!(period > 0, "period must be positive");
-        let bits = (0..len).map(|t| t >= offset && (t - offset) % period == 0).collect();
+        let bits = (0..len)
+            .map(|t| t >= offset && (t - offset).is_multiple_of(period))
+            .collect();
         FilterSchedule { bits }
     }
 
@@ -143,7 +149,9 @@ impl fmt::Display for FilterSchedule {
 
 impl StringFn for FilterSchedule {
     fn apply(&self, input: &[u64]) -> Vec<u64> {
-        (0..input.len()).map(|t| u64::from(self.is_relevant(t))).collect()
+        (0..input.len())
+            .map(|t| u64::from(self.is_relevant(t)))
+            .collect()
     }
 }
 
@@ -155,10 +163,7 @@ mod tests {
     fn paper_section_6_2_schedules() {
         // UNPIPELINED: 1 0 0 0 1 0 0 0 1 0 0 0 1 0 0 0 1
         let unpipelined = FilterSchedule::every_kth(4, 17, 0);
-        assert_eq!(
-            unpipelined.to_string(),
-            "1 0 0 0 1 0 0 0 1 0 0 0 1 0 0 0 1"
-        );
+        assert_eq!(unpipelined.to_string(), "1 0 0 0 1 0 0 0 1 0 0 0 1 0 0 0 1");
         // PIPELINED: 1 0 0 0 1 1 1 0 1 — start from the latency pattern and
         // annul the delay-slot sample after the control-transfer instruction.
         let mut pipelined = FilterSchedule::from_bits(vec![

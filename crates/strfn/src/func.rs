@@ -37,13 +37,17 @@ pub struct CharFn {
 impl CharFn {
     /// Lifts a character function to strings.
     pub fn new<F: Fn(u64) -> u64 + 'static>(f: F) -> Self {
-        CharFn { f: Box::new(move |_, u| f(u)) }
+        CharFn {
+            f: Box::new(move |_, u| f(u)),
+        }
     }
 
     /// A string function whose output depends only on the position in the
     /// string (a clock pattern); used for filter functions like `H`.
     pub fn from_sequence_fn<F: Fn(usize) -> u64 + 'static>(f: F) -> Self {
-        CharFn { f: Box::new(move |t, _| f(t)) }
+        CharFn {
+            f: Box::new(move |t, _| f(t)),
+        }
     }
 
     /// A string function of both the position and the input character.
@@ -54,7 +58,11 @@ impl CharFn {
 
 impl StringFn for CharFn {
     fn apply(&self, input: &[u64]) -> Vec<u64> {
-        input.iter().enumerate().map(|(t, &u)| (self.f)(t, u)).collect()
+        input
+            .iter()
+            .enumerate()
+            .map(|(t, &u)| (self.f)(t, u))
+            .collect()
     }
 }
 
@@ -131,7 +139,10 @@ impl MealyFn {
     /// A machine with an arbitrary vector-valued state, mutated in place by
     /// the step closure, which returns the output character.
     pub fn with_state<F: Fn(&mut Vec<u64>, u64) -> u64 + 'static>(init: Vec<u64>, step: F) -> Self {
-        MealyFn { init, step: Box::new(step) }
+        MealyFn {
+            init,
+            step: Box::new(step),
+        }
     }
 }
 
@@ -144,7 +155,9 @@ impl StringFn for MealyFn {
 
 impl std::fmt::Debug for MealyFn {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MealyFn").field("init", &self.init).finish_non_exhaustive()
+        f.debug_struct("MealyFn")
+            .field("init", &self.init)
+            .finish_non_exhaustive()
     }
 }
 

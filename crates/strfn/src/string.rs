@@ -52,17 +52,26 @@ pub fn at<T>(x: &[T], i: usize) -> Option<&T> {
 /// Panics if the two strings have different lengths (they are combined by the
 /// string Cartesian product, which requires equal length).
 pub fn relevant<T: Clone>(x: &[T], h: &[bool]) -> Vec<T> {
-    assert_eq!(x.len(), h.len(), "Relevant requires strings of equal length");
+    assert_eq!(
+        x.len(),
+        h.len(),
+        "Relevant requires strings of equal length"
+    );
     x.iter()
         .zip(h)
-        .filter_map(|(c, &keep)| keep.then(|| c.clone()))
+        .filter(|&(_c, &keep)| keep)
+        .map(|(c, &_keep)| c.clone())
         .collect()
 }
 
 /// [`relevant`] with the Boolean string packed as `u64` symbols (any non-zero
 /// symbol counts as relevant), matching the output of filter string functions.
 pub fn relevant_u64(x: &[u64], h: &[u64]) -> Vec<u64> {
-    assert_eq!(x.len(), h.len(), "Relevant requires strings of equal length");
+    assert_eq!(
+        x.len(),
+        h.len(),
+        "Relevant requires strings of equal length"
+    );
     x.iter()
         .zip(h)
         .filter_map(|(&c, &keep)| (keep != 0).then_some(c))

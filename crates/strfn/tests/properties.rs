@@ -5,7 +5,9 @@
 use proptest::prelude::*;
 use pv_strfn::definite::verify_definite_equivalence;
 use pv_strfn::string::{at, concat, is_prefix, last, past, power, relevant, relevant_u64};
-use pv_strfn::{beta_holds, CharFn, DefiniteMachine, FilterSchedule, MealyFn, RegisterFn, StringFn};
+use pv_strfn::{
+    beta_holds, CharFn, DefiniteMachine, FilterSchedule, MealyFn, RegisterFn, StringFn,
+};
 
 proptest! {
     #[test]
@@ -71,7 +73,7 @@ proptest! {
         let spec = CharFn::new(|u| u);
         let imp = RegisterFn::chain(0, n);
         let period = n + 1;
-        let h = CharFn::from_sequence_fn(move |t| u64::from(t % period == period - 1 - 0));
+        let h = CharFn::from_sequence_fn(move |t| u64::from(t % period == (period - 1)));
         // Only check strings long enough for the relation to be non-vacuous.
         let holds = beta_holds(&imp, &spec, &h, n, &x);
         // The relation must hold whenever the filter is consistent with the

@@ -16,7 +16,11 @@ use pipeverify::proc::alpha0::{self, PipelineConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let paper = std::env::args().any(|a| a == "--paper");
-    let isa = if paper { Alpha0Config::paper() } else { Alpha0Config::condensed() };
+    let isa = if paper {
+        Alpha0Config::paper()
+    } else {
+        Alpha0Config::condensed()
+    };
     println!(
         "Alpha0 configuration: {}-bit datapath, {} registers, {} memory words, condensed ALU{}",
         isa.data_width,
@@ -52,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = verifier.verify_plan(&pipelined, &unpipelined, &plan)?;
         println!(
             "  control transfer in slot {position}: {} ({} formulae, {} BDD nodes)",
-            if report.equivalent() { "equivalent" } else { "NOT equivalent" },
+            if report.equivalent() {
+                "equivalent"
+            } else {
+                "NOT equivalent"
+            },
             report.samples_compared,
             report.bdd_nodes
         );

@@ -20,18 +20,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         VsmBug::BranchTargetOffByOne,
     ] {
         println!("=== injected bug: {bug:?} ===");
-        let buggy = vsm::pipelined(VsmConfig { bug: Some(bug), ..VsmConfig::reduced(2) })?;
+        let buggy = vsm::pipelined(VsmConfig {
+            bug: Some(bug),
+            ..VsmConfig::reduced(2)
+        })?;
         let report = verifier.verify(&buggy, &unpipelined)?;
         match &report.counterexample {
             None => println!("UNEXPECTED: the bug was not detected\n"),
             Some(cex) => {
-                println!("rejected after comparing {} formulae", report.samples_compared);
-                println!("counterexample ({}):", cex.plan.to_string().trim().replace('\n', " "));
+                println!(
+                    "rejected after comparing {} formulae",
+                    report.samples_compared
+                );
+                println!(
+                    "counterexample ({}):",
+                    cex.plan.to_string().trim().replace('\n', " ")
+                );
                 for (i, &word) in cex.slot_instructions.iter().enumerate() {
                     let decoded = VsmInstr::decode(word as u16)
                         .map(|i| format!("{i:?}"))
                         .unwrap_or_else(|_| "<unconstrained slot>".to_owned());
-                    let marker = if i == cex.slot { "  <-- divergence observed here" } else { "" };
+                    let marker = if i == cex.slot {
+                        "  <-- divergence observed here"
+                    } else {
+                        ""
+                    };
                     println!("  slot {i}: {decoded}{marker}");
                 }
                 println!(

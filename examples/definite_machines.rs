@@ -19,21 +19,42 @@ fn main() {
         u64::from(w.iter().filter(|&&b| b != 0).count() >= 2)
     });
     let input = [1u64, 1, 0, 0, 1, 0, 1, 1];
-    println!("majority-of-last-3 on {input:?} -> {:?}", majority.apply(&input));
+    println!(
+        "majority-of-last-3 on {input:?} -> {:?}",
+        majority.apply(&input)
+    );
 
     // --- Order of definiteness --------------------------------------------
     // A machine whose state is its last input is 1-definite; a free-running
     // toggle is not definite at all.
-    let shift = ExplicitMealy::new(vec![vec![0, 1], vec![0, 1]], vec![vec![0, 1], vec![1, 0]], 0);
-    let toggle = ExplicitMealy::new(vec![vec![1, 1], vec![0, 0]], vec![vec![0, 0], vec![1, 1]], 0);
-    println!("order of definiteness of the shift machine : {:?}", shift.definiteness_order(8));
-    println!("order of definiteness of the toggle machine: {:?}", toggle.definiteness_order(8));
+    let shift = ExplicitMealy::new(
+        vec![vec![0, 1], vec![0, 1]],
+        vec![vec![0, 1], vec![1, 0]],
+        0,
+    );
+    let toggle = ExplicitMealy::new(
+        vec![vec![1, 1], vec![0, 0]],
+        vec![vec![0, 0], vec![1, 1]],
+        0,
+    );
+    println!(
+        "order of definiteness of the shift machine : {:?}",
+        shift.definiteness_order(8)
+    );
+    println!(
+        "order of definiteness of the toggle machine: {:?}",
+        toggle.definiteness_order(8)
+    );
 
     // --- Theorem 4.3.1.1 ----------------------------------------------------
     // Two 2-definite machines are equivalent iff they agree on all 2² = 4
     // input sequences of length 2; a seeded difference is found immediately.
     let xor_window = DefiniteMachine::new(2, 0, |w| w[0] ^ w[1]);
-    let xor_mealy = ExplicitMealy::new(vec![vec![0, 1], vec![0, 1]], vec![vec![0, 1], vec![1, 0]], 0);
+    let xor_mealy = ExplicitMealy::new(
+        vec![vec![0, 1], vec![0, 1]],
+        vec![vec![0, 1], vec![1, 0]],
+        0,
+    );
     println!(
         "xor-of-last-two vs. Mealy realisation: {:?}",
         verify_definite_equivalence(&xor_window, &xor_mealy, 2, 2)
@@ -51,15 +72,23 @@ fn main() {
     let x: Vec<u64> = (1..=10).collect();
     println!(
         "Figure 1 (one-cycle delay vs identity, n = 1): {}",
-        if beta_holds(&imp, &spec, &h, 1, &x).is_none() { "β-relation holds" } else { "β-relation fails" }
+        if beta_holds(&imp, &spec, &h, 1, &x).is_none() {
+            "β-relation holds"
+        } else {
+            "β-relation fails"
+        }
     );
 
     let mac_spec = examples::mac_specification();
     let serial = examples::serial_mac_implementation();
     let h6 = examples::serial_input_filter();
-    let x2: Vec<u64> = (0..18).map(|t| 0x0203_00 + t).collect();
+    let x2: Vec<u64> = (0..18).map(|t| 0x2_0300 + t).collect();
     println!(
         "Figure 2 (serial 6-state implementation, n = 5): {}",
-        if beta_holds(&serial, &mac_spec, &h6, 5, &x2).is_none() { "β-relation holds" } else { "β-relation fails" }
+        if beta_holds(&serial, &mac_spec, &h6, 5, &x2).is_none() {
+            "β-relation holds"
+        } else {
+            "β-relation fails"
+        }
     );
 }

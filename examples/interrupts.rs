@@ -15,7 +15,10 @@ use pipeverify::proc::vsm::{self, VsmConfig, TRAP_HANDLER_PC, TRAP_LINK_REG};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Reduced register-file model (Section 6.2), with the interrupt extension.
-    let config = VsmConfig { with_interrupt: true, ..VsmConfig::reduced(2) };
+    let config = VsmConfig {
+        with_interrupt: true,
+        ..VsmConfig::reduced(2)
+    };
     let pipelined = vsm::pipelined(config)?;
     let unpipelined = vsm::unpipelined(config)?;
     println!(
@@ -23,13 +26,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         TRAP_LINK_REG % config.num_regs as u64
     );
 
-    let spec = MachineSpec { irq_port: Some("irq".to_owned()), ..MachineSpec::vsm_reduced(2) };
+    let spec = MachineSpec {
+        irq_port: Some("irq".to_owned()),
+        ..MachineSpec::vsm_reduced(2)
+    };
     let k = spec.k;
     let verifier = Verifier::new(spec);
 
     // First make sure the extension did not break ordinary execution.
     let base = verifier.verify(&pipelined, &unpipelined)?;
-    println!("interrupt-free plans: {}", if base.equivalent() { "equivalent" } else { "NOT equivalent" });
+    println!(
+        "interrupt-free plans: {}",
+        if base.equivalent() {
+            "equivalent"
+        } else {
+            "NOT equivalent"
+        }
+    );
     assert!(base.equivalent());
 
     // Now let an interrupt arrive at each slot position in turn. Each run
@@ -43,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  UNPIPELINED filter: {}", report.filters.1);
         println!(
             "  result            : {}",
-            if report.equivalent() { "equivalent" } else { "NOT equivalent" }
+            if report.equivalent() {
+                "equivalent"
+            } else {
+                "NOT equivalent"
+            }
         );
         assert!(report.equivalent());
     }

@@ -32,8 +32,13 @@ fn trace(netlist: &Netlist, instrs: &[u64]) -> Vec<u64> {
 fn random_program(rng: &mut StdRng, len: usize) -> Vec<VsmInstr> {
     (0..len)
         .map(|_| {
-            let op = [VsmOp::Add, VsmOp::Xor, VsmOp::And, VsmOp::Or][rng.random_range(0..4)];
-            VsmInstr::alu_reg(op, rng.random_range(0..8), rng.random_range(0..8), rng.random_range(0..8))
+            let op = [VsmOp::Add, VsmOp::Xor, VsmOp::And, VsmOp::Or][rng.random_range(0..4usize)];
+            VsmInstr::alu_reg(
+                op,
+                rng.random_range(0..8),
+                rng.random_range(0..8),
+                rng.random_range(0..8),
+            )
         })
         .collect()
 }
@@ -53,9 +58,8 @@ fn pipeline_trace_is_in_beta_relation_with_the_serial_trace() {
         p_stream.extend(std::iter::repeat_n(0u64, k));
         let p_trace = trace(&pipelined, &p_stream);
         // Its relevant outputs are the cycles right after each retirement.
-        let p_filter = FilterSchedule::from_bits(
-            (0..p_trace.len()).map(|c| c >= k && c < k + n).collect(),
-        );
+        let p_filter =
+            FilterSchedule::from_bits((0..p_trace.len()).map(|c| c >= k && c < k + n).collect());
 
         // Unpipelined machine: each instruction occupies k cycles.
         let mut u_stream = Vec::new();
@@ -66,7 +70,9 @@ fn pipeline_trace_is_in_beta_relation_with_the_serial_trace() {
         u_stream.push(0);
         let u_trace = trace(&unpipelined, &u_stream);
         let u_filter = FilterSchedule::from_bits(
-            (0..u_trace.len()).map(|c| c >= k && (c - k) % k == 0).collect(),
+            (0..u_trace.len())
+                .map(|c| c >= k && (c - k) % k == 0)
+                .collect(),
         );
 
         // Definition 2.3.1/2.3.2: the relevant outputs of the implementation

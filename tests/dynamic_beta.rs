@@ -8,9 +8,19 @@ use pipeverify::strfn::FilterSchedule;
 
 /// Reduced-register interrupt-capable machines and the matching spec (the
 /// symbolic experiments use the thesis's reduced register-file model).
-fn interrupt_pair() -> (pipeverify::netlist::Netlist, pipeverify::netlist::Netlist, MachineSpec) {
-    let config = VsmConfig { with_interrupt: true, ..VsmConfig::reduced(2) };
-    let spec = MachineSpec { irq_port: Some("irq".to_owned()), ..MachineSpec::vsm_reduced(2) };
+fn interrupt_pair() -> (
+    pipeverify::netlist::Netlist,
+    pipeverify::netlist::Netlist,
+    MachineSpec,
+) {
+    let config = VsmConfig {
+        with_interrupt: true,
+        ..VsmConfig::reduced(2)
+    };
+    let spec = MachineSpec {
+        irq_port: Some("irq".to_owned()),
+        ..MachineSpec::vsm_reduced(2)
+    };
     (
         vsm::pipelined(config).expect("build"),
         vsm::unpipelined(config).expect("build"),
@@ -25,15 +35,22 @@ fn interrupts_verify_at_every_arrival_slot() {
     let verifier = Verifier::new(spec);
     for position in 0..k {
         let plan = SimulationPlan::with_interrupt_at(k, position);
-        let report = verifier.verify_plan(&pipelined, &unpipelined, &plan).expect("verify");
-        assert!(report.equivalent(), "interrupt at slot {position}: {report}");
+        let report = verifier
+            .verify_plan(&pipelined, &unpipelined, &plan)
+            .expect("verify");
+        assert!(
+            report.equivalent(),
+            "interrupt at slot {position}: {report}"
+        );
     }
 }
 
 #[test]
 fn interrupt_extended_machines_still_verify_without_interrupts() {
     let (pipelined, unpipelined, spec) = interrupt_pair();
-    let report = Verifier::new(spec).verify(&pipelined, &unpipelined).expect("verify");
+    let report = Verifier::new(spec)
+        .verify(&pipelined, &unpipelined)
+        .expect("verify");
     assert!(report.equivalent(), "{report}");
 }
 
@@ -45,7 +62,11 @@ fn interrupt_plans_require_an_irq_port() {
     let unpipelined = vsm::unpipelined(VsmConfig::reduced(2)).expect("build");
     let verifier = Verifier::new(MachineSpec::vsm_reduced(2));
     let err = verifier
-        .verify_plan(&pipelined, &unpipelined, &SimulationPlan::with_interrupt_at(4, 1))
+        .verify_plan(
+            &pipelined,
+            &unpipelined,
+            &SimulationPlan::with_interrupt_at(4, 1),
+        )
         .unwrap_err();
     assert_eq!(err, VerifyError::InterruptWithoutIrqPort);
 }
@@ -60,9 +81,16 @@ fn filter_strings_differ_per_interrupt_arrival_time() {
     let mut filters = Vec::new();
     for position in 0..3 {
         let plan = SimulationPlan::with_interrupt_at(3, position);
-        let report = verifier.verify_plan(&pipelined, &unpipelined, &plan).expect("verify");
+        let report = verifier
+            .verify_plan(&pipelined, &unpipelined, &plan)
+            .expect("verify");
         let parsed = FilterSchedule::from_bits(
-            report.filters.0.split_whitespace().map(|b| b == "1").collect(),
+            report
+                .filters
+                .0
+                .split_whitespace()
+                .map(|b| b == "1")
+                .collect(),
         );
         assert_eq!(parsed.relevant_count(), 3);
         filters.push(report.filters.0.clone());
@@ -82,10 +110,16 @@ fn delay_slot_annulment_shifts_the_schedule() {
         .verify_plan(&pipelined, &unpipelined, &SimulationPlan::all_normal(4))
         .expect("verify");
     let with_ct = verifier
-        .verify_plan(&pipelined, &unpipelined, &SimulationPlan::with_control_at(4, 1))
+        .verify_plan(
+            &pipelined,
+            &unpipelined,
+            &SimulationPlan::with_control_at(4, 1),
+        )
         .expect("verify");
     assert!(no_ct.equivalent() && with_ct.equivalent());
     assert_eq!(with_ct.pipelined_cycles, no_ct.pipelined_cycles + 1);
     assert_eq!(with_ct.unpipelined_cycles, no_ct.unpipelined_cycles);
-    assert!(SimulationPlan::with_control_at(4, 1).slots().contains(&Slot::ControlTransfer));
+    assert!(SimulationPlan::with_control_at(4, 1)
+        .slots()
+        .contains(&Slot::ControlTransfer));
 }

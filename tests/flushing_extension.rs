@@ -13,7 +13,11 @@ fn the_commuting_diagram_holds_for_the_correct_pipeline() {
     assert!(report.valid(), "{report}");
     // The check is a single EUF validity query over a few dozen atoms, not a
     // cycle-by-cycle simulation.
-    assert!(report.terms < 10_000, "term count stays small: {}", report.terms);
+    assert!(
+        report.terms < 10_000,
+        "term count stays small: {}",
+        report.terms
+    );
 }
 
 #[test]
@@ -31,7 +35,9 @@ fn control_bugs_break_the_commuting_diagram_with_counterexamples() {
         // Every counterexample names at least one atom over the symbolic
         // starting state or the fetched instruction.
         assert!(
-            cex.assignments.iter().any(|a| a.atom.contains("s.") || a.atom.contains("i.")),
+            cex.assignments
+                .iter()
+                .any(|a| a.atom.contains("s.") || a.atom.contains("i.")),
             "{bug:?}: {cex}"
         );
     }

@@ -6,7 +6,9 @@
 //! and the β-relation of Chapter 2 must hold directly on the concrete
 //! netlist traces.
 
-use pipeverify::core::{product_equivalence, random_simulation, MachineSpec, SimulationPlan, Slot, Verifier};
+use pipeverify::core::{
+    product_equivalence, random_simulation, MachineSpec, SimulationPlan, Slot, Verifier,
+};
 use pipeverify::isa::vsm::{VsmInstr, VsmOp};
 use pipeverify::netlist::{Netlist, NetlistBuilder};
 use pipeverify::proc::vsm::{self, VsmBug, VsmConfig};
@@ -41,7 +43,7 @@ fn random_vsm_word(rng: &mut StdRng, class: Slot) -> u64 {
     let instr = match class {
         Slot::ControlTransfer => VsmInstr::br(rc, ra),
         _ => {
-            let op = [VsmOp::Add, VsmOp::Xor, VsmOp::And, VsmOp::Or][rng.random_range(0..4)];
+            let op = [VsmOp::Add, VsmOp::Xor, VsmOp::And, VsmOp::Or][rng.random_range(0..4usize)];
             if rng.random_bool(0.5) {
                 VsmInstr::alu_lit(op, rc, ra, rb)
             } else {
@@ -79,7 +81,10 @@ fn random_simulation_eventually_catches_a_blatant_bug() {
         random_vsm_word(&mut rng, class)
     })
     .expect("simulate");
-    assert!(!report.agreed(), "a write-back bug must show up under random simulation");
+    assert!(
+        !report.agreed(),
+        "a write-back bug must show up under random simulation"
+    );
 }
 
 #[test]
@@ -90,8 +95,11 @@ fn subtle_bug_found_symbolically_can_hide_from_a_small_random_sample() {
     // symbolic verifier's plan sweep does. (Symbolic runs use the reduced
     // register-file model, as in the thesis.)
     let spec = MachineSpec::vsm_reduced(2);
-    let buggy = vsm::pipelined(VsmConfig { bug: Some(VsmBug::NoAnnul), ..VsmConfig::reduced(2) })
-        .expect("build");
+    let buggy = vsm::pipelined(VsmConfig {
+        bug: Some(VsmBug::NoAnnul),
+        ..VsmConfig::reduced(2)
+    })
+    .expect("build");
     let unpipelined = vsm::unpipelined(VsmConfig::reduced(2)).expect("build");
     let plan = SimulationPlan::all_normal(4);
     let mut rng = StdRng::seed_from_u64(9);
@@ -99,9 +107,17 @@ fn subtle_bug_found_symbolically_can_hide_from_a_small_random_sample() {
         random_vsm_word(&mut rng, class)
     })
     .expect("simulate");
-    assert!(random.agreed(), "the all-ordinary plan cannot exhibit the annulment bug");
-    let symbolic = Verifier::new(spec).verify(&buggy, &unpipelined).expect("verify");
-    assert!(!symbolic.equivalent(), "the plan sweep must find the annulment bug");
+    assert!(
+        random.agreed(),
+        "the all-ordinary plan cannot exhibit the annulment bug"
+    );
+    let symbolic = Verifier::new(spec)
+        .verify(&buggy, &unpipelined)
+        .expect("verify");
+    assert!(
+        !symbolic.equivalent(),
+        "the plan sweep must find the annulment bug"
+    );
 }
 
 #[test]

@@ -42,7 +42,9 @@ fn control_transfer_in_the_first_slot_verifies() {
     let (pipelined, unpipelined) = condensed_machines(cfg);
     let verifier = Verifier::new(MachineSpec::alpha0_condensed(cfg));
     let plan = SimulationPlan::with_control_at(3, 0);
-    let report = verifier.verify_plan(&pipelined, &unpipelined, &plan).expect("verify");
+    let report = verifier
+        .verify_plan(&pipelined, &unpipelined, &plan)
+        .expect("verify");
     assert!(report.equivalent(), "{report}");
 }
 
@@ -60,7 +62,10 @@ fn tiny_configuration_with_the_full_instruction_class_verifies() {
         .verify_plans(
             &pipelined,
             &unpipelined,
-            &[SimulationPlan::all_normal(3), SimulationPlan::with_control_at(3, 1)],
+            &[
+                SimulationPlan::all_normal(3),
+                SimulationPlan::with_control_at(3, 1),
+            ],
         )
         .expect("verify");
     assert!(report.equivalent(), "{report}");
@@ -85,7 +90,9 @@ fn injected_bugs_are_rejected() {
         (Alpha0Bug::NoRedirect, &branch_plan),
     ] {
         let buggy = alpha0::pipelined(PipelineConfig::condensed(cfg).bug(bug)).expect("build");
-        let report = verifier.verify_plan(&buggy, &unpipelined, plan).expect("verify");
+        let report = verifier
+            .verify_plan(&buggy, &unpipelined, plan)
+            .expect("verify");
         assert!(!report.equivalent(), "{bug:?} must be rejected");
         let cex = report.counterexample.expect("counterexample");
         assert_eq!(cex.slot_instructions.len(), plan.instruction_count());

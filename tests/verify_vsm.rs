@@ -15,7 +15,10 @@ use pipeverify::proc::vsm::{self, VsmBug, VsmConfig};
 const REGS: usize = 2;
 
 fn reduced(bug: Option<VsmBug>) -> VsmConfig {
-    VsmConfig { bug, ..VsmConfig::reduced(REGS) }
+    VsmConfig {
+        bug,
+        ..VsmConfig::reduced(REGS)
+    }
 }
 
 #[test]
@@ -37,7 +40,9 @@ fn paper_simulation_information_file_is_accepted() {
     let unpipelined = vsm::unpipelined(reduced(None)).expect("build");
     let verifier = Verifier::new(MachineSpec::vsm_reduced(REGS));
     let plan: SimulationPlan = "# VSM\nr\n0\n0\n1\n0\n".parse().expect("parse");
-    let report = verifier.verify_plan(&pipelined, &unpipelined, &plan).expect("verify");
+    let report = verifier
+        .verify_plan(&pipelined, &unpipelined, &plan)
+        .expect("verify");
     assert!(report.equivalent(), "{report}");
     // The unpipelined filter is the 1-in-k pattern of Section 6.2 (shifted by
     // the reset cycle and by sampling the state *after* each retirement).
@@ -96,7 +101,9 @@ fn writeback_port_observation_mode_verifies() {
         sample_offset: -1,
         ..MachineSpec::vsm_reduced(REGS).with_observed(["wb_en", "wb_addr", "wb_data", "pc"])
     };
-    let report = Verifier::new(spec).verify(&pipelined, &unpipelined).expect("verify");
+    let report = Verifier::new(spec)
+        .verify(&pipelined, &unpipelined)
+        .expect("verify");
     assert!(report.equivalent(), "{report}");
     // The write-back-port observation compares the write port and the PC per
     // slot instead of every architectural register. On the 2-register reduced
@@ -108,7 +115,10 @@ fn writeback_port_observation_mode_verifies() {
         .verify(&pipelined, &unpipelined)
         .expect("verify");
     assert!(full.equivalent(), "{full}");
-    assert_eq!(report.samples_compared / 4, full.samples_compared / (REGS + 1));
+    assert_eq!(
+        report.samples_compared / 4,
+        full.samples_compared / (REGS + 1)
+    );
 }
 
 #[test]
@@ -116,7 +126,9 @@ fn missing_ports_are_reported() {
     let pipelined = vsm::pipelined(reduced(None)).expect("build");
     let unpipelined = vsm::unpipelined(reduced(None)).expect("build");
     let spec = MachineSpec::vsm_reduced(REGS).with_observed(["does_not_exist"]);
-    let err = Verifier::new(spec).verify(&pipelined, &unpipelined).unwrap_err();
+    let err = Verifier::new(spec)
+        .verify(&pipelined, &unpipelined)
+        .unwrap_err();
     let message = err.to_string();
     assert!(message.contains("does_not_exist"), "{message}");
 }

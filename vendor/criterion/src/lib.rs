@@ -1,0 +1,247 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Provides the subset of the criterion 0.5 API the `pv-bench` benches use:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery, each benchmark is warmed up
+//! once and then timed over `sample_size` iterations (default 10); the
+//! median per-iteration time is printed as `name ... <time>`. That is enough
+//! to compare hot spots between runs, which is all the Chapter 6 evaluation
+//! harness needs in an offline environment.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as the first
+        // non-flag argument, exactly as libtest/criterion do.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 10,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in ignores CLI configuration
+    /// beyond the optional name filter captured in `default()`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        if self.matches(id) {
+            run_one(id, self.sample_size, f);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Accepted for API compatibility; the fixed-iteration stand-in has no
+    /// measurement-time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (a single warm-up call is always made).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a function under `group_name/id`.
+    pub fn bench_function(&mut self, id: impl IdLike, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.render());
+        if self.parent.matches(&full) {
+            run_one(
+                &full,
+                self.sample_size.unwrap_or(self.parent.sample_size),
+                f,
+            );
+        }
+        self
+    }
+
+    /// Benchmarks a function parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IdLike,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a plain string or a [`BenchmarkId`].
+pub trait IdLike {
+    /// The displayed form of the identifier.
+    fn render(&self) -> String;
+}
+
+impl IdLike for &str {
+    fn render(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl IdLike for String {
+    fn render(&self) -> String {
+        self.clone()
+    }
+}
+
+impl IdLike for BenchmarkId {
+    fn render(&self) -> String {
+        self.0.clone()
+    }
+}
+
+/// Mirrors `criterion::BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id consisting of the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to the benchmark closure; [`iter`](Bencher::iter) times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine()); // warm-up, also forces lazy setup
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<60} (no measurement)");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    println!("{id:<60} median {median:>12.3?} ({sample_size} samples)");
+}
+
+/// Mirrors `criterion::criterion_group!` (plain `(name, targets…)` form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filter: None,
+        };
+        let mut ran = 0;
+        c.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(3).measurement_time(Duration::from_secs(1));
+            g.bench_function(BenchmarkId::from_parameter(4), |b| {
+                b.iter(|| black_box(2 * 2))
+            });
+            g.bench_with_input(BenchmarkId::new("f", 7), &7, |b, &x| {
+                ran += 1;
+                b.iter(|| black_box(x * x))
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 1);
+    }
+}

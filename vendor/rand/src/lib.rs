@@ -1,0 +1,175 @@
+//! Offline stand-in for the `rand` crate (see `vendor/README.md`).
+//!
+//! Implements the subset of the rand 0.9 API this workspace uses:
+//! [`StdRng`] seeded via [`SeedableRng::seed_from_u64`], and the
+//! [`Rng::random_range`] / [`Rng::random_bool`] / [`Rng::random`] methods.
+//! The generator is xoshiro256++, which is more than adequate for the
+//! randomised-testing workloads here; every call site seeds explicitly, so
+//! runs are deterministic by construction.
+
+#![forbid(unsafe_code)]
+
+/// Types for seeding a generator from simple integer seeds.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (via SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The subset of rand's `Rng` extension trait used by this workspace.
+pub trait Rng: RngCore {
+    /// Uniformly samples a value from `range` (half-open integer ranges).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self.next_u64())
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        // 53 bits of uniform mantissa, as rand does.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// Samples a value of a supported primitive type uniformly at random.
+    fn random<T: FromRng>(&mut self) -> T {
+        T::from_rng(self.next_u64())
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Raw 64-bit output, the only primitive the stand-in needs.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Conversion from a uniform `u64` to a primitive sample (for [`Rng::random`]).
+pub trait FromRng {
+    /// Builds a uniform sample of `Self` from 64 uniform bits.
+    fn from_rng(bits: u64) -> Self;
+}
+
+macro_rules! impl_from_rng_int {
+    ($($t:ty),*) => {$(
+        impl FromRng for $t {
+            fn from_rng(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    )*};
+}
+impl_from_rng_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl FromRng for bool {
+    fn from_rng(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+/// Ranges that can be sampled uniformly from 64 random bits.
+///
+/// Only half-open `Range<T>` over the primitive integers is provided — the
+/// only form used in this workspace.
+pub trait SampleRange<T> {
+    /// Maps 64 uniform bits into the range.
+    fn sample(self, bits: u64) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, bits: u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (bits % span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, bits: u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i64 - self.start as i64) as u64;
+                self.start.wrapping_add((bits % span) as $u as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64);
+
+/// xoshiro256++ — the algorithm behind rand's `SmallRng`, plenty here.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as rand_core's `seed_from_u64` does.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// `rand::prelude` — re-exports matching the real crate's prelude.
+pub mod prelude {
+    pub use super::{Rng, RngCore, SeedableRng, StdRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: u64 = a.random_range(0..17);
+            assert_eq!(x, b.random_range(0..17));
+            assert!(x < 17);
+            let y: i32 = a.random_range(-4..4);
+            let _ = b.random_range(-4i32..4);
+            assert!((-4..4).contains(&y));
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut r = StdRng::seed_from_u64(7);
+        assert!(!(0..100).any(|_| r.random_bool(0.0)));
+        assert!((0..100).all(|_| r.random_bool(1.0)));
+    }
+}
