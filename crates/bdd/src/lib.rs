@@ -45,7 +45,7 @@ mod node;
 mod relation;
 mod vec;
 
-pub use manager::{BddManager, BddStats};
+pub use manager::{BddManager, BddStats, GcStats};
 pub use node::{Bdd, Var};
 pub use relation::{ReachableSet, TransitionSystem};
 pub use vec::BddVec;

@@ -114,3 +114,18 @@ pub(crate) struct Node {
 /// Variable index used by the two terminal pseudo-nodes; orders after every
 /// real variable so that terminal tests fall out of the ordering comparisons.
 pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
+
+/// Variable index marking a reclaimed slot in the node table. Free slots are
+/// chained through their `lo` field into the manager's free list; they are
+/// never hash-consed (the sweep removes them from the unique table) and are
+/// reused by the next `mk`. Orders after every real variable, like
+/// [`TERMINAL_VAR`], so a dangling handle fails ordering-based invariants
+/// loudly in debug builds rather than silently.
+pub(crate) const FREE_VAR: u32 = u32::MAX - 1;
+
+impl Node {
+    /// `true` iff this slot has been reclaimed by garbage collection.
+    pub(crate) fn is_free(&self) -> bool {
+        self.var == FREE_VAR
+    }
+}

@@ -6,17 +6,46 @@
 //! the image of a set of states is computed by simultaneous conjunction and
 //! smoothing; and the set of reachable states is the breadth-first fixpoint
 //! `C_{i+1} = C_i ∪ f(C_i × I)`.
+//!
+//! The relation is held **partitioned** (Burch–Clarke–Long 1991): one
+//! conjunct per next-state bit, greedily merged into clusters bounded by a
+//! node-count limit, with an *early-quantification* schedule — each
+//! input/present variable is smoothed out at the last cluster whose support
+//! mentions it, so the intermediate products of the image computation never
+//! carry variables they no longer need. The monolithic relation of the
+//! original presentation is the special case of a single cluster
+//! ([`TransitionSystem::new`]).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use crate::{Bdd, BddManager, Var};
+
+/// Default node-count bound on one cluster of the partitioned relation.
+/// Conjuncts are merged until their product would exceed this size.
+const DEFAULT_CLUSTER_LIMIT: usize = 2_000;
+
+/// One cluster of the partitioned transition relation, with the variables the
+/// image computation smooths out right after conjoining it.
+#[derive(Clone, Debug)]
+struct Cluster {
+    rel: Bdd,
+    /// Sorted quantifiable (input/present) variables whose last occurrence
+    /// across the cluster sequence is this cluster.
+    quantify: Vec<Var>,
+}
 
 /// A synchronous machine as a transition relation plus an initial-state set.
 ///
 /// The three variable families must be disjoint. For the renaming step of the
 /// image computation to be valid, the `present` and `next` variables should be
-/// allocated interleaved (each `next[i]` immediately after `present[i]`), as
-/// produced by the netlist symbolic simulator.
+/// allocated interleaved (each `next[i]` immediately after `present[i]`, as
+/// [`crate::BddManager::new_vars_interleaved`] produces and the netlist
+/// symbolic simulator does).
+///
+/// Constructing a system registers its relation clusters and initial-state
+/// set as garbage-collection roots in the manager, so a
+/// [`reachable`](Self::reachable) fixpoint can collect its per-iteration
+/// garbage without invalidating the machine itself.
 #[derive(Clone, Debug)]
 pub struct TransitionSystem {
     /// Primary-input variables `pi`.
@@ -25,10 +54,9 @@ pub struct TransitionSystem {
     pub present: Vec<Var>,
     /// Next-state variables `ns`.
     pub next: Vec<Var>,
-    /// The relation `A(pi, ps, ns)`, true iff applying `pi` in `ps` reaches `ns`.
-    pub relation: Bdd,
     /// Characteristic function of the initial state set, over `present`.
     pub init: Bdd,
+    clusters: Vec<Cluster>,
 }
 
 /// Result of a reachability fixpoint computation.
@@ -42,30 +70,176 @@ pub struct ReachableSet {
 }
 
 impl TransitionSystem {
-    /// Builds a transition system, checking the basic well-formedness
-    /// conditions.
+    /// Builds a transition system from a **monolithic** relation
+    /// `A(pi, ps, ns)` (a single cluster; every input/present variable is
+    /// quantified in the one `and_exists` of the image computation).
     ///
     /// # Panics
     /// Panics if `present` and `next` have different lengths.
     pub fn new(
+        m: &mut BddManager,
         inputs: Vec<Var>,
         present: Vec<Var>,
         next: Vec<Var>,
         relation: Bdd,
         init: Bdd,
     ) -> Self {
+        Self::from_partitions_with_limit(m, inputs, present, next, vec![relation], init, usize::MAX)
+    }
+
+    /// Builds a transition system from a **partitioned** relation: `partitions`
+    /// are conjuncts (typically `ns_i ↔ f_i(pi, ps)`, one per next-state bit)
+    /// whose conjunction is the transition relation. The conjuncts are
+    /// clustered by support up to a default node-count limit and an early
+    /// quantification schedule is precomputed; the monolithic conjunction is
+    /// never built.
+    ///
+    /// # Panics
+    /// Panics if `present` and `next` have different lengths.
+    pub fn from_partitions(
+        m: &mut BddManager,
+        inputs: Vec<Var>,
+        present: Vec<Var>,
+        next: Vec<Var>,
+        partitions: Vec<Bdd>,
+        init: Bdd,
+    ) -> Self {
+        Self::from_partitions_with_limit(
+            m,
+            inputs,
+            present,
+            next,
+            partitions,
+            init,
+            DEFAULT_CLUSTER_LIMIT,
+        )
+    }
+
+    /// [`from_partitions`](Self::from_partitions) with an explicit cluster
+    /// node-count limit: `0` never merges (one cluster per conjunct), larger
+    /// limits merge neighbouring conjuncts while the product stays within the
+    /// limit, and `usize::MAX` conjoins everything back into a single
+    /// monolithic cluster.
+    ///
+    /// # Panics
+    /// Panics if `present` and `next` have different lengths.
+    pub fn from_partitions_with_limit(
+        m: &mut BddManager,
+        inputs: Vec<Var>,
+        present: Vec<Var>,
+        next: Vec<Var>,
+        partitions: Vec<Bdd>,
+        init: Bdd,
+        cluster_limit: usize,
+    ) -> Self {
         assert_eq!(
             present.len(),
             next.len(),
             "present/next variable count mismatch"
         );
+        let quantifiable: BTreeSet<Var> = inputs.iter().chain(&present).copied().collect();
+        let clusters = Self::cluster(m, partitions, &quantifiable, cluster_limit);
+        for c in &clusters {
+            m.add_root(c.rel);
+        }
+        m.add_root(init);
         TransitionSystem {
             inputs,
             present,
             next,
-            relation,
             init,
+            clusters,
         }
+    }
+
+    /// Orders the conjuncts so that ones over early (topmost) variables come
+    /// first, merges neighbours while the product stays below `limit` nodes,
+    /// and assigns every quantifiable variable to the **last** cluster whose
+    /// support mentions it — the early-quantification schedule.
+    fn cluster(
+        m: &mut BddManager,
+        partitions: Vec<Bdd>,
+        quantifiable: &BTreeSet<Var>,
+        limit: usize,
+    ) -> Vec<Cluster> {
+        let mut parts: Vec<(Bdd, BTreeSet<Var>)> = partitions
+            .into_iter()
+            .filter(|p| !p.is_true())
+            .map(|p| {
+                let support: BTreeSet<Var> = m
+                    .support(p)
+                    .into_iter()
+                    .filter(|v| quantifiable.contains(v))
+                    .collect();
+                (p, support)
+            })
+            .collect();
+        // Sort by the bottom-most quantifiable variable in the support: a
+        // conjunct whose support ends early lets everything above it be
+        // smoothed out early. Ties break on the topmost variable so clusters
+        // with similar spans end up adjacent and merge.
+        parts.sort_by_key(|(_, s)| {
+            (
+                s.iter().next_back().map_or(0, |v| v.index() + 1),
+                s.iter().next().map_or(0, |v| v.index() + 1),
+            )
+        });
+        let mut rels: Vec<Bdd> = Vec::new();
+        let mut current: Option<Bdd> = None;
+        for (p, _) in parts {
+            current = Some(match current {
+                None => p,
+                Some(acc) => {
+                    let candidate = m.and(acc, p);
+                    if m.node_count(candidate) > limit {
+                        rels.push(acc);
+                        p
+                    } else {
+                        candidate
+                    }
+                }
+            });
+        }
+        rels.push(current.unwrap_or(Bdd::TRUE));
+        // Last occurrence of each quantifiable variable over the cluster
+        // sequence; variables in no support are smoothed at the first cluster
+        // (they can only come from the state set being imaged).
+        let supports: Vec<BTreeSet<Var>> = rels
+            .iter()
+            .map(|&r| {
+                m.support(r)
+                    .into_iter()
+                    .filter(|v| quantifiable.contains(v))
+                    .collect()
+            })
+            .collect();
+        let mut quantify: Vec<Vec<Var>> = vec![Vec::new(); rels.len()];
+        for &v in quantifiable {
+            let last = supports.iter().rposition(|s| s.contains(&v)).unwrap_or(0);
+            quantify[last].push(v);
+        }
+        rels.into_iter()
+            .zip(quantify)
+            .map(|(rel, mut quantify)| {
+                quantify.sort_unstable();
+                Cluster { rel, quantify }
+            })
+            .collect()
+    }
+
+    /// Number of clusters the relation is partitioned into (1 for a
+    /// monolithic system).
+    pub fn partition_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The monolithic relation `A(pi, ps, ns)`, conjoining every cluster.
+    ///
+    /// Provided for cross-checks and diagnostics; on large systems this can
+    /// be exactly the blow-up the partitioned representation avoids.
+    pub fn relation(&self, m: &mut BddManager) -> Bdd {
+        let rels: Vec<Bdd> = self.clusters.iter().map(|c| c.rel).collect();
+        m.and_many(&rels)
     }
 
     /// Computes the image of `states` (a characteristic function over the
@@ -73,19 +247,7 @@ impl TransitionSystem {
     /// step under *some* input, expressed again over the present-state
     /// variables.
     pub fn image(&self, m: &mut BddManager, states: Bdd) -> Bdd {
-        // E_i(ps, ns) = C_i(ps) ∧ A(pi, ps, ns);  C'_{i+1}(ns) = S_{pi,ps} E_i
-        let mut quantified: Vec<Var> = Vec::with_capacity(self.inputs.len() + self.present.len());
-        quantified.extend_from_slice(&self.inputs);
-        quantified.extend_from_slice(&self.present);
-        let next_states = m.and_exists(states, self.relation, &quantified);
-        // Rename ns -> ps.
-        let map: HashMap<Var, Var> = self
-            .next
-            .iter()
-            .copied()
-            .zip(self.present.iter().copied())
-            .collect();
-        m.replace(next_states, &map)
+        self.image_constrained(m, states, None)
     }
 
     /// Computes the image of `states` under inputs restricted to the
@@ -93,23 +255,47 @@ impl TransitionSystem {
     /// This is the cofactoring step used in Section 5.2 to simulate only a
     /// selected instruction class in a given cycle.
     pub fn image_under(&self, m: &mut BddManager, states: Bdd, input_constraint: Bdd) -> Bdd {
-        let constrained = m.and(self.relation, input_constraint);
-        let mut quantified: Vec<Var> = Vec::with_capacity(self.inputs.len() + self.present.len());
-        quantified.extend_from_slice(&self.inputs);
-        quantified.extend_from_slice(&self.present);
-        let next_states = m.and_exists(states, constrained, &quantified);
+        self.image_constrained(m, states, Some(input_constraint))
+    }
+
+    /// The relational product: conjoin the state set (and optional input
+    /// constraint) with each cluster in turn, smoothing out each variable at
+    /// the last cluster that mentions it, then rename `ns → ps`.
+    fn image_constrained(&self, m: &mut BddManager, states: Bdd, constraint: Option<Bdd>) -> Bdd {
+        let mut acc = match constraint {
+            Some(c) => m.and(states, c),
+            None => states,
+        };
+        for cluster in &self.clusters {
+            if acc.is_false() {
+                break;
+            }
+            acc = m.and_exists(acc, cluster.rel, &cluster.quantify);
+        }
         let map: HashMap<Var, Var> = self
             .next
             .iter()
             .copied()
             .zip(self.present.iter().copied())
             .collect();
-        m.replace(next_states, &map)
+        m.replace(acc, &map)
     }
 
     /// Breadth-first reachability from the initial states:
     /// `C_0 = init`, `C_{i+1} = C_i ∪ image(C_i)`, until a fixpoint.
+    ///
+    /// Between iterations the manager is offered a chance to collect garbage
+    /// ([`BddManager::maybe_gc`]); the relation clusters and `init` are
+    /// already rooted, and the current frontier is passed as an extra root.
+    /// Callers holding further unrooted handles across this call should use
+    /// [`reachable_with_roots`](Self::reachable_with_roots).
     pub fn reachable(&self, m: &mut BddManager) -> ReachableSet {
+        self.reachable_with_roots(m, &[])
+    }
+
+    /// [`reachable`](Self::reachable), additionally protecting `extra_roots`
+    /// from the between-iteration garbage collections.
+    pub fn reachable_with_roots(&self, m: &mut BddManager, extra_roots: &[Bdd]) -> ReachableSet {
         let mut current = self.init;
         let mut iterations = 0usize;
         loop {
@@ -123,6 +309,10 @@ impl TransitionSystem {
                 };
             }
             current = next;
+            let mut roots = Vec::with_capacity(extra_roots.len() + 1);
+            roots.push(current);
+            roots.extend_from_slice(extra_roots);
+            m.maybe_gc(&roots);
         }
     }
 
@@ -138,7 +328,7 @@ impl TransitionSystem {
         m: &mut BddManager,
         property: Bdd,
     ) -> Result<ReachableSet, (ReachableSet, Vec<(Var, bool)>)> {
-        let reach = self.reachable(m);
+        let reach = self.reachable_with_roots(m, &[property]);
         let not_prop = m.not(property);
         let violation = m.and(reach.states, not_prop);
         if violation.is_false() {
@@ -156,6 +346,15 @@ mod tests {
 
     /// A 2-bit counter that increments whenever the single input is high.
     fn counter(m: &mut BddManager) -> TransitionSystem {
+        let (relation, parts) = counter_parts(m);
+        let (input, p0, n0, p1, n1) = parts;
+        let init = m.cube(&[(p0, false), (p1, false)]);
+        TransitionSystem::new(m, vec![input], vec![p0, p1], vec![n0, n1], relation, init)
+    }
+
+    type CounterVars = (Var, Var, Var, Var, Var);
+
+    fn counter_bit_relations(m: &mut BddManager) -> ((Bdd, Bdd), CounterVars) {
         let input = m.new_var();
         let p0 = m.new_var();
         let n0 = m.new_var();
@@ -168,9 +367,12 @@ mod tests {
         let f1 = m.xor(vp1, carry);
         let r0 = m.xnor(vn0, f0);
         let r1 = m.xnor(vn1, f1);
-        let relation = m.and(r0, r1);
-        let init = m.cube(&[(p0, false), (p1, false)]);
-        TransitionSystem::new(vec![input], vec![p0, p1], vec![n0, n1], relation, init)
+        ((r0, r1), (input, p0, n0, p1, n1))
+    }
+
+    fn counter_parts(m: &mut BddManager) -> (Bdd, CounterVars) {
+        let ((r0, r1), vars) = counter_bit_relations(m);
+        (m.and(r0, r1), vars)
     }
 
     #[test]
@@ -218,5 +420,53 @@ mod tests {
         let constraint = m.nvar(ts.inputs[0]);
         let img = ts.image_under(&mut m, ts.init, constraint);
         assert_eq!(img, ts.init);
+    }
+
+    #[test]
+    fn partitioned_agrees_with_monolithic() {
+        // `limit: 0` never merges, `usize::MAX` merges everything back into
+        // one cluster; every variant must produce the same (canonical) images,
+        // constrained images and reachable sets as the monolithic system.
+        // Building both systems over the same variables in the same manager
+        // makes these handle comparisons.
+        for limit in [0usize, 1, usize::MAX] {
+            let mut m = BddManager::new();
+            let ((r0, r1), (input, p0, n0, p1, n1)) = counter_bit_relations(&mut m);
+            let init = m.cube(&[(p0, false), (p1, false)]);
+            let relation = m.and(r0, r1);
+            let mono = TransitionSystem::new(
+                &mut m,
+                vec![input],
+                vec![p0, p1],
+                vec![n0, n1],
+                relation,
+                init,
+            );
+            let part = TransitionSystem::from_partitions_with_limit(
+                &mut m,
+                vec![input],
+                vec![p0, p1],
+                vec![n0, n1],
+                vec![r0, r1],
+                init,
+                limit,
+            );
+            assert!(limit > 0 || part.partition_count() == 2);
+            assert_eq!(mono.partition_count(), 1);
+            let img_m = mono.image(&mut m, mono.init);
+            let img_p = part.image(&mut m, part.init);
+            assert_eq!(img_m, img_p);
+            let constraint = m.nvar(input);
+            let ium = mono.image_under(&mut m, mono.init, constraint);
+            let iup = part.image_under(&mut m, part.init, constraint);
+            assert_eq!(ium, iup);
+            let mono_reach = mono.reachable(&mut m);
+            let part_reach = part.reachable(&mut m);
+            assert_eq!(mono_reach.states, part_reach.states);
+            assert_eq!(mono_reach.iterations, part_reach.iterations);
+            // The partitioned clusters still conjoin to the full relation.
+            let part_rel = part.relation(&mut m);
+            assert_eq!(part_rel, relation);
+        }
     }
 }

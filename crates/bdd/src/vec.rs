@@ -42,6 +42,31 @@ impl BddVec {
         BddVec { bits }
     }
 
+    /// Allocates `families` fresh symbolic words of `width` bits with their
+    /// variables **interleaved**: bit `i` of every word is adjacent in the
+    /// variable order (`a_0, b_0, a_1, b_1, …` for two words).
+    ///
+    /// This is the default layout for words that will be combined bitwise or
+    /// arithmetically — a ripple-carry [`add`](Self::add) over interleaved
+    /// operands stays linear in the width, whereas operands allocated
+    /// wholesale one after the other blow up exponentially. Returns the words
+    /// together with their variables (needed for quantification and
+    /// counterexample expansion).
+    pub fn new_interleaved(
+        manager: &mut BddManager,
+        families: usize,
+        width: usize,
+    ) -> Vec<(Vec<Var>, BddVec)> {
+        manager
+            .new_vars_interleaved(families, width)
+            .into_iter()
+            .map(|vars| {
+                let word = BddVec::from_vars(manager, &vars);
+                (vars, word)
+            })
+            .collect()
+    }
+
     /// Width in bits.
     pub fn width(&self) -> usize {
         self.bits.len()
@@ -431,6 +456,44 @@ mod tests {
         assert_eq!(sl.as_const(&m), Some(0b01));
         let cat = sl.concat(&BddVec::constant(&m, 0b1, 1));
         assert_eq!(cat.as_const(&m), Some(0b101));
+    }
+
+    #[test]
+    fn interleaved_adder_stays_linear() {
+        // With interleaved operands the 16-bit ripple-carry adder's node
+        // count grows linearly in the width; the sequential allocation of the
+        // same adder is exponential (the regression case kept measurable in
+        // `benches/bdd_ops.rs`).
+        let mut m = BddManager::new();
+        let words = BddVec::new_interleaved(&mut m, 2, 16);
+        let (avars, a) = &words[0];
+        let (bvars, b) = &words[1];
+        for bit in 0..16 {
+            assert_eq!(avars[bit].index() + 1, bvars[bit].index());
+        }
+        let sum = a.add(&mut m, b);
+        // Each sum bit is O(i) nodes under interleaving (so the per-bit sum is
+        // O(w²), ~440 here); the sequential ordering is Ω(2^w) per high bit.
+        let total: usize = (0..16).map(|i| m.node_count(sum.bit(i))).sum();
+        assert!(
+            total < 1_000,
+            "interleaved adder should stay polynomial, got {total} nodes"
+        );
+        let msb = m.node_count(sum.bit(15));
+        assert!(msb < 16 * 4, "high sum bit should be linear, got {msb}");
+        // Spot-check functional correctness on a few assignments.
+        for (x, y) in [(0u64, 0u64), (0xffff, 1), (0x1234, 0x4321)] {
+            let assign = |v: Var| {
+                if let Some(i) = avars.iter().position(|&w| w == v) {
+                    x >> i & 1 == 1
+                } else if let Some(i) = bvars.iter().position(|&w| w == v) {
+                    y >> i & 1 == 1
+                } else {
+                    false
+                }
+            };
+            assert_eq!(sum.eval(&m, assign), (x + y) & 0xffff);
+        }
     }
 
     #[test]

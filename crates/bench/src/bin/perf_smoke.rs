@@ -1,0 +1,205 @@
+//! Perf-smoke gate for the BDD engine: three small fixed workloads whose
+//! wall times and node counts are written to `BENCH_bdd.json` and compared
+//! against the checked-in baselines in `crates/bench/baselines/`.
+//!
+//! The workloads are the three hot spots the engine overhaul targeted:
+//!
+//! 1. **12-bit counter reachability** (10 samples) — partitioned transition
+//!    relation with early quantification plus between-iteration garbage
+//!    collection. Before the overhaul this did not finish 10 samples within
+//!    500 s and grew past 10 GB RSS.
+//! 2. **16-bit interleaved adder** (median of 100 builds) — the interleaved
+//!    variable-order default. The sequential ordering took 238 ms at 16 bits.
+//! 3. **Quickstart VSM verification** — the Section 6.2 experiment, with
+//!    per-cycle collection bounding live nodes.
+//!
+//! Exit status is non-zero when a hard limit (the acceptance criteria) is
+//! exceeded or any measurement regresses by more than an order of magnitude
+//! against the baseline file, making this runnable as a CI gate.
+
+use std::time::{Duration, Instant};
+
+use pipeverify_core::{MachineSpec, Verifier};
+use pv_bdd::{BddManager, BddVec};
+use pv_bench::counter_system;
+use pv_proc::vsm::{self, VsmConfig};
+
+/// Hard wall-time limit on the 10-sample 12-bit reachability sweep (s).
+const REACH12_WALL_LIMIT_S: f64 = 60.0;
+/// Hard limit on the median 16-bit interleaved adder build (s).
+const ADDER16_MEDIAN_LIMIT_S: f64 = 0.005;
+/// Relative regression factor tolerated against the checked-in baseline.
+const REGRESSION_FACTOR: f64 = 10.0;
+
+/// Seed-engine figures (PR 1 profiling, before the GC / interleaving /
+/// partitioned-image overhaul), recorded alongside the fresh measurements so
+/// the JSON artifact documents the before/after.
+const SEED_REACH12_WALL_S: f64 = 500.0; // lower bound: did not finish
+const SEED_ADDER16_SEQUENTIAL_S: f64 = 0.238;
+const SEED_VSM_ALLOCATED_NODES: f64 = 900_000.0;
+
+struct Measurement {
+    key: &'static str,
+    value: f64,
+}
+
+fn main() {
+    let mut measurements: Vec<Measurement> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    // 1. 12-bit counter reachability, 10 samples.
+    let samples = 10usize;
+    let mut peak_live = 0usize;
+    let mut allocated = 0usize;
+    let start = Instant::now();
+    for _ in 0..samples {
+        let mut m = BddManager::new();
+        let ts = counter_system(&mut m, 12);
+        let reach = ts.reachable(&mut m);
+        assert!(
+            reach.iterations >= 1 << 12,
+            "fixpoint after 2^12 increments"
+        );
+        let stats = m.stats();
+        peak_live = peak_live.max(stats.peak_live);
+        allocated = allocated.max(stats.allocated);
+    }
+    let reach_wall = start.elapsed().as_secs_f64();
+    println!(
+        "reach12       : {samples} samples in {reach_wall:.3} s, peak live {peak_live}, allocated {allocated}"
+    );
+    measurements.push(Measurement {
+        key: "reach12_wall_s",
+        value: reach_wall,
+    });
+    measurements.push(Measurement {
+        key: "reach12_peak_live",
+        value: peak_live as f64,
+    });
+    if reach_wall > REACH12_WALL_LIMIT_S {
+        failures.push(format!(
+            "reach12 wall {reach_wall:.3} s exceeds the {REACH12_WALL_LIMIT_S} s hard limit"
+        ));
+    }
+
+    // 2. 16-bit interleaved adder, median of 100 builds.
+    let mut times: Vec<Duration> = (0..100)
+        .map(|_| {
+            let start = Instant::now();
+            let mut m = BddManager::new();
+            let words = BddVec::new_interleaved(&mut m, 2, 16);
+            let sum = words[0].1.add(&mut m, &words[1].1);
+            assert_eq!(sum.width(), 16);
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    let adder_median = times[times.len() / 2].as_secs_f64();
+    println!("adder16       : median {:.1} µs", adder_median * 1e6);
+    measurements.push(Measurement {
+        key: "adder16_median_s",
+        value: adder_median,
+    });
+    if adder_median > ADDER16_MEDIAN_LIMIT_S {
+        failures.push(format!(
+            "adder16 median {adder_median:.6} s exceeds the {ADDER16_MEDIAN_LIMIT_S} s hard limit"
+        ));
+    }
+
+    // 3. Quickstart VSM verification.
+    let start = Instant::now();
+    let config = VsmConfig::reduced(2);
+    let pipelined = vsm::pipelined(config).expect("build pipelined VSM");
+    let unpipelined = vsm::unpipelined(config).expect("build unpipelined VSM");
+    let verifier = Verifier::new(MachineSpec::vsm_reduced(2));
+    let report = verifier
+        .verify(&pipelined, &unpipelined)
+        .expect("verify VSM");
+    assert!(report.equivalent(), "quickstart VSM must verify");
+    let vsm_wall = start.elapsed().as_secs_f64();
+    println!(
+        "vsm quickstart: {vsm_wall:.3} s, allocated {} nodes, peak live {}",
+        report.bdd_nodes, report.bdd_peak_live
+    );
+    measurements.push(Measurement {
+        key: "vsm_wall_s",
+        value: vsm_wall,
+    });
+    measurements.push(Measurement {
+        key: "vsm_allocated_nodes",
+        value: report.bdd_nodes as f64,
+    });
+    measurements.push(Measurement {
+        key: "vsm_peak_live",
+        value: report.bdd_peak_live as f64,
+    });
+
+    // Compare against the checked-in baseline (order-of-magnitude gate; the
+    // absolute limits above are the hard acceptance criteria).
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/BENCH_bdd.json");
+    match std::fs::read_to_string(baseline_path) {
+        Ok(baseline) => {
+            for m in &measurements {
+                match json_number(&baseline, m.key) {
+                    Some(base) if base > 0.0 && m.value > base * REGRESSION_FACTOR => {
+                        failures.push(format!(
+                            "{} = {:.6} regressed more than {REGRESSION_FACTOR}× over baseline {:.6}",
+                            m.key, m.value, base
+                        ));
+                    }
+                    Some(_) => {}
+                    None => failures.push(format!("baseline file lacks key `{}`", m.key)),
+                }
+            }
+        }
+        Err(e) => failures.push(format!("cannot read baseline {baseline_path}: {e}")),
+    }
+
+    write_json(&measurements);
+
+    if failures.is_empty() {
+        println!("perf-smoke: OK");
+    } else {
+        for f in &failures {
+            eprintln!("perf-smoke FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Writes `BENCH_bdd.json` into the current directory: the fresh
+/// measurements plus the seed-engine figures for the before/after record.
+fn write_json(measurements: &[Measurement]) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"pipeverify-bdd-smoke-v1\",\n");
+    out.push_str(&format!(
+        "  \"seed_reach12_wall_s_lower_bound\": {SEED_REACH12_WALL_S},\n"
+    ));
+    out.push_str(&format!(
+        "  \"seed_adder16_sequential_s\": {SEED_ADDER16_SEQUENTIAL_S},\n"
+    ));
+    out.push_str(&format!(
+        "  \"seed_vsm_allocated_nodes\": {SEED_VSM_ALLOCATED_NODES},\n"
+    ));
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 == measurements.len() { "" } else { "," };
+        out.push_str(&format!("  \"{}\": {:.9}{comma}\n", m.key, m.value));
+    }
+    out.push_str("}\n");
+    std::fs::write("BENCH_bdd.json", &out).expect("write BENCH_bdd.json");
+    println!("wrote BENCH_bdd.json");
+}
+
+/// Minimal flat-JSON number extraction: finds `"key"` and parses the number
+/// after the colon. Sufficient for the baseline files this tool writes.
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

@@ -41,9 +41,14 @@ fn main() {
         inputs.insert("reset".to_owned(), reset);
         let (next, _outputs) = sym.step(&mut manager, &state, &inputs);
         state = next;
+        // Collect the per-cycle garbage with only the live state rooted, so
+        // the reported live count is the real per-cycle growth (the slot
+        // words are rebuilt from their variables each cycle).
+        manager.gc_with_roots(&state.regs);
         let state_nodes: usize = state.regs.iter().map(|&b| manager.node_count(b)).sum();
         println!(
-            "cycle {cycle:2} ({input:?}): manager nodes = {:8}, state nodes = {state_nodes:8}",
+            "cycle {cycle:2} ({input:?}): live = {:8}, allocated = {:9}, state nodes = {state_nodes:8}",
+            manager.live_nodes(),
             manager.total_nodes()
         );
     }

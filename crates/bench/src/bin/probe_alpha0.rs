@@ -69,9 +69,13 @@ fn main() {
         io.insert("reset".to_owned(), BddVec::constant(&manager, reset, 1));
         let (next, _outputs) = sym.step(&mut manager, &state, &io);
         state = next;
+        // Collect the per-cycle garbage with only the live state rooted, so
+        // the reported live count is the real per-cycle growth.
+        manager.gc_with_roots(&state.regs);
         let state_nodes: usize = state.regs.iter().map(|&b| manager.node_count(b)).sum();
         println!(
-            "cycle {cycle:2} ({input:?}): manager nodes = {:9}, state nodes = {state_nodes:8}, vars = {}",
+            "cycle {cycle:2} ({input:?}): live = {:8}, allocated = {:9}, state nodes = {state_nodes:8}, vars = {}",
+            manager.live_nodes(),
             manager.total_nodes(),
             manager.var_count(),
         );

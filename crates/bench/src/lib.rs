@@ -6,8 +6,36 @@
 use std::collections::BTreeMap;
 
 use pipeverify_core::{CycleInput, MachineSpec, SimulationPlan, SimulationSchedule, Slot};
-use pv_bdd::{Bdd, BddManager, BddVec, Var};
+use pv_bdd::{Bdd, BddManager, BddVec, TransitionSystem, Var};
 use pv_netlist::{Netlist, SymbolicSim};
+
+/// An `n`-bit counter with an enable input, as a partitioned transition
+/// system with interleaved present/next state variables — the machine family
+/// the `bdd_ops` reachability benchmark and the `perf_smoke` gate sweep.
+pub fn counter_system(m: &mut BddManager, n: usize) -> TransitionSystem {
+    let enable = m.new_var();
+    let mut present = Vec::with_capacity(n);
+    let mut next = Vec::with_capacity(n);
+    for _ in 0..n {
+        present.push(m.new_var());
+        next.push(m.new_var());
+    }
+    let state = BddVec::from_vars(m, &present);
+    let en = m.var(enable);
+    let inc = state.inc(m);
+    let next_val = BddVec::mux(m, en, &inc, &state);
+    let partitions: Vec<Bdd> = next
+        .iter()
+        .enumerate()
+        .map(|(i, &nv)| {
+            let v = m.var(nv);
+            m.xnor(v, next_val.bit(i))
+        })
+        .collect();
+    let init_cube: Vec<(Var, bool)> = present.iter().map(|&v| (v, false)).collect();
+    let init = m.cube(&init_cube);
+    TransitionSystem::from_partitions(m, vec![enable], present, next, partitions, init)
+}
 
 /// Which side of a design pair to simulate.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -53,6 +81,10 @@ pub fn symbolic_simulation_cost(
         };
         assumption = manager.and(assumption, constraint);
     }
+    // The assumption survives every per-cycle collection below; the slot
+    // words are rebuilt from their variables each cycle, so they need no
+    // pinning.
+    manager.add_root(assumption);
     let sym = SymbolicSim::new(netlist);
     let mut state = sym.initial_state(&manager);
     for input in cycles {
@@ -79,6 +111,7 @@ pub fn symbolic_simulation_cost(
             }
         }
         state = next;
+        manager.maybe_gc(&state.regs);
     }
     manager.total_nodes()
 }

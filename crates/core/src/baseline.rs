@@ -98,6 +98,9 @@ pub fn product_equivalence(left: &Netlist, right: &Netlist) -> Result<ProductRep
         }
     }
 
+    // One relation conjunct per register bit of either machine; the
+    // partitioned image computation clusters them by support instead of ever
+    // conjoining the full product relation.
     let eval_half = |m: &mut BddManager,
                      netlist: &Netlist,
                      present: &[Var],
@@ -108,18 +111,21 @@ pub fn product_equivalence(left: &Netlist, right: &Netlist) -> Result<ProductRep
             regs: present.iter().map(|&v| m.var(v)).collect(),
         };
         let (next_state, outputs) = sym.step(m, &state, inputs);
-        let mut relation = Bdd::TRUE;
-        for (i, f) in next_state.regs.iter().enumerate() {
-            let nv = m.var(next[i]);
-            let bit = m.xnor(nv, *f);
-            relation = m.and(relation, bit);
-        }
-        (relation, outputs, sym.initial_state(m))
+        let partitions: Vec<Bdd> = next_state
+            .regs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let nv = m.var(next[i]);
+                m.xnor(nv, *f)
+            })
+            .collect();
+        (partitions, outputs, sym.initial_state(m))
     };
-    let (rel_l, out_l, init_l) = eval_half(&mut m, left, &pres_l, &next_l, &inputs);
-    let (rel_r, out_r, init_r) = eval_half(&mut m, right, &pres_r, &next_r, &inputs);
+    let (mut partitions, out_l, init_l) = eval_half(&mut m, left, &pres_l, &next_l, &inputs);
+    let (parts_r, out_r, init_r) = eval_half(&mut m, right, &pres_r, &next_r, &inputs);
+    partitions.extend(parts_r);
 
-    let relation = m.and(rel_l, rel_r);
     let init_cube: Vec<(Var, bool)> = pres_l
         .iter()
         .copied()
@@ -144,11 +150,15 @@ pub fn product_equivalence(left: &Netlist, right: &Netlist) -> Result<ProductRep
     let present: Vec<Var> = pres_l.iter().chain(&pres_r).copied().collect();
     let next: Vec<Var> = next_l.iter().chain(&next_r).copied().collect();
     let state_bits = present.len();
-    let system = TransitionSystem::new(input_vars, present, next, relation, init);
+    let system =
+        TransitionSystem::from_partitions(&mut m, input_vars, present, next, partitions, init);
 
     // Breadth-first traversal with the property checked after every image
     // step (the procedure of Section 3.4 stops as soon as a reachable state
-    // disagrees; a fixpoint is only needed for equivalent machines).
+    // disagrees; a fixpoint is only needed for equivalent machines). The
+    // relation clusters and `init` are rooted by the construction above, so
+    // between iterations the manager may reclaim the image-computation
+    // garbage; only the frontier and the property must be protected here.
     let not_property = m.not(property);
     let mut current = system.init;
     let mut iterations = 0usize;
@@ -164,6 +174,7 @@ pub fn product_equivalence(left: &Netlist, right: &Netlist) -> Result<ProductRep
             break true;
         }
         current = next_set;
+        m.maybe_gc(&[current, not_property]);
     };
     let free_vars = m.var_count() - state_bits;
     let reachable_states = m.sat_count(current) / 2f64.powi(free_vars as i32);
@@ -171,7 +182,7 @@ pub fn product_equivalence(left: &Netlist, right: &Netlist) -> Result<ProductRep
         equivalent,
         iterations,
         reachable_states,
-        bdd_nodes: m.stats().nodes,
+        bdd_nodes: m.stats().allocated,
         state_bits,
     })
 }

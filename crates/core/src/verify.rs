@@ -108,8 +108,12 @@ pub struct VerificationReport {
     pub pipelined_cycles: usize,
     /// Total symbolic-simulation cycles of the unpipelined specification.
     pub unpipelined_cycles: usize,
-    /// Total ROBDD nodes created across all plans.
+    /// Total ROBDD nodes created across all plans (monotone across garbage
+    /// collections: reclaimed-and-recreated nodes count again).
     pub bdd_nodes: usize,
+    /// Largest number of simultaneously **live** ROBDD nodes in any plan's
+    /// manager — the figure bounded by the per-cycle garbage collections.
+    pub bdd_peak_live: usize,
     /// Total BDD variables allocated across all plans.
     pub bdd_vars: usize,
     /// The output filtering functions of the last plan checked
@@ -139,8 +143,8 @@ impl fmt::Display for VerificationReport {
         )?;
         writeln!(
             f,
-            "BDD nodes / vars  : {} / {}",
-            self.bdd_nodes, self.bdd_vars
+            "BDD nodes / vars  : {} / {} (peak live {})",
+            self.bdd_nodes, self.bdd_vars, self.bdd_peak_live
         )?;
         writeln!(f, "PIPELINED filter  : {}", self.filters.0)?;
         writeln!(f, "UNPIPELINED filter: {}", self.filters.1)?;
@@ -226,6 +230,7 @@ impl Verifier {
             pipelined_cycles: 0,
             unpipelined_cycles: 0,
             bdd_nodes: 0,
+            bdd_peak_live: 0,
             bdd_vars: 0,
             filters: (String::new(), String::new()),
             counterexample: None,
@@ -336,6 +341,14 @@ impl Verifier {
                 .collect();
             slot_words.push(BddVec::from_bits(bits));
         }
+        // The assumption and the slot words live across both simulations and
+        // the final comparison; pin them against the per-cycle collections.
+        manager.add_root(assumption);
+        for word in &slot_words {
+            for &bit in word.bits() {
+                manager.add_root(bit);
+            }
+        }
 
         let pipelined_samples = self.simulate(
             &mut manager,
@@ -420,7 +433,8 @@ impl Verifier {
         }
 
         let stats = manager.stats();
-        report.bdd_nodes += stats.nodes;
+        report.bdd_nodes += stats.allocated;
+        report.bdd_peak_live = report.bdd_peak_live.max(stats.peak_live);
         report.bdd_vars += stats.vars;
         Ok(result)
     }
@@ -497,7 +511,7 @@ impl Verifier {
             }
             for &(slot, sample_cycle) in sample_cycles {
                 if sample_cycle == cycle {
-                    let observed = spec
+                    let observed: BTreeMap<String, BddVec> = spec
                         .observed
                         .iter()
                         .map(|name| {
@@ -508,10 +522,23 @@ impl Verifier {
                             (name.clone(), BddVec::from_bits(bits))
                         })
                         .collect();
+                    // Sampled formulae outlive this simulation (they are
+                    // compared after both machines have run), so pin them
+                    // against the per-cycle collections.
+                    for word in observed.values() {
+                        for &bit in word.bits() {
+                            manager.add_root(bit);
+                        }
+                    }
                     samples.insert(slot, observed);
                 }
             }
             state = next_state;
+            // The per-cycle garbage — intermediate net functions and
+            // constrain temporaries — is dead now; everything still needed
+            // is either rooted (assumption, slot words, samples) or passed
+            // here (the state the next cycle starts from).
+            manager.maybe_gc(&state.regs);
         }
         samples
     }

@@ -211,7 +211,9 @@ impl<'a> SymbolicSim<'a> {
             .collect()
     }
 
-    /// Exports the netlist as a transition relation `A(pi, ps, ns)` with an
+    /// Exports the netlist as a **partitioned** transition relation
+    /// `A(pi, ps, ns)` — one conjunct `ns_i ↔ f_i(pi, ps)` per register bit,
+    /// clustered by [`TransitionSystem::from_partitions`] — with an
     /// interleaved present/next variable order, plus the output functions over
     /// `(pi, ps)`.
     ///
@@ -219,6 +221,11 @@ impl<'a> SymbolicSim<'a> {
     /// primary-input bit (in port order), then, per register bit, its present
     /// and next variables adjacent to each other — the interleaving required
     /// by [`TransitionSystem`]'s image computation.
+    ///
+    /// The relation clusters, the initial-state set and the output functions
+    /// are registered as garbage-collection roots in `manager`, so the
+    /// returned machine survives the collections that
+    /// [`TransitionSystem::reachable`] performs between fixpoint iterations.
     pub fn transition_system(&self, manager: &mut BddManager) -> SymbolicMachine {
         let netlist = self.netlist;
         let mut input_vars = Vec::new();
@@ -240,21 +247,24 @@ impl<'a> SymbolicSim<'a> {
             regs: present.iter().map(|&v| manager.var(v)).collect(),
         };
         let values = self.eval_nets(manager, &state, &inputs);
-        // Relation: conjunction over register bits of ns_i <-> f_i(pi, ps).
-        let mut relation = Bdd::TRUE;
-        for (i, r) in netlist.regs.iter().enumerate() {
-            let f = values[r.next.expect("assigned").0 as usize];
-            let nv = manager.var(next[i]);
-            let bit_rel = manager.xnor(nv, f);
-            relation = manager.and(relation, bit_rel);
-        }
+        // One relation conjunct per register bit: ns_i <-> f_i(pi, ps).
+        let partitions: Vec<Bdd> = netlist
+            .regs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let f = values[r.next.expect("assigned").0 as usize];
+                let nv = manager.var(next[i]);
+                manager.xnor(nv, f)
+            })
+            .collect();
         let init_cube: Vec<(Var, bool)> = present
             .iter()
             .copied()
             .zip(netlist.regs.iter().map(|r| r.init))
             .collect();
         let init = manager.cube(&init_cube);
-        let outputs = netlist
+        let outputs: Vec<(String, BddVec)> = netlist
             .outputs
             .iter()
             .map(|(name, nets)| {
@@ -262,8 +272,20 @@ impl<'a> SymbolicSim<'a> {
                 (name.clone(), BddVec::from_bits(bits))
             })
             .collect();
+        for (_, word) in &outputs {
+            for &bit in word.bits() {
+                manager.add_root(bit);
+            }
+        }
         SymbolicMachine {
-            system: TransitionSystem::new(all_input_vars, present, next, relation, init),
+            system: TransitionSystem::from_partitions(
+                manager,
+                all_input_vars,
+                present,
+                next,
+                partitions,
+                init,
+            ),
             input_vars,
             outputs,
         }
