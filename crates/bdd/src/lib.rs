@@ -11,10 +11,15 @@
 //!   variable replacement,
 //! * satisfiability queries, model extraction and model counting,
 //! * [`BddVec`], fixed-width bit-vectors of BDDs with adder/comparator/shifter
-//!   logic used when building word-level datapaths symbolically, and
+//!   logic used when building word-level datapaths symbolically,
 //! * [`TransitionSystem`], the transition-relation representation of a
 //!   synchronous machine together with image computation and breadth-first
-//!   reachability (Coudert–Berthet–Madre 1989, Section 3.3 of the thesis).
+//!   reachability (Coudert–Berthet–Madre 1989, Section 3.3 of the thesis), and
+//! * **dynamic variable reordering**: grouped Rudell sifting over a
+//!   var↔level indirection ([`BddManager::reorder`],
+//!   [`BddManager::maybe_reorder`], [`AutoReorderPolicy`]) with reorder
+//!   groups ([`BddManager::group_vars`]) that keep interleaved words and
+//!   present/next pairs adjacent while their blocks move.
 //!
 //! # Example
 //!
@@ -43,9 +48,11 @@
 mod manager;
 mod node;
 mod relation;
+mod reorder;
 mod vec;
 
 pub use manager::{BddManager, BddStats, GcStats};
 pub use node::{Bdd, Var};
 pub use relation::{ReachableSet, TransitionSystem};
+pub use reorder::{AutoReorderPolicy, ReorderStats};
 pub use vec::BddVec;

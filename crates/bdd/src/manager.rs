@@ -1,11 +1,12 @@
 //! The ROBDD manager: node store, hash-consing and the core operations.
 
 use std::collections::{BTreeSet, HashMap};
+use std::time::Duration;
 
 use crate::node::{Bdd, Node, Var, FREE_VAR, TERMINAL_VAR};
 
 /// Sentinel terminating the free-list chain threaded through reclaimed slots.
-const FREE_NIL: u32 = u32::MAX;
+pub(crate) const FREE_NIL: u32 = u32::MAX;
 
 /// Default live-node count above which [`BddManager::maybe_gc`] collects.
 const DEFAULT_GC_THRESHOLD: usize = 1 << 20;
@@ -27,6 +28,13 @@ pub struct BddStats {
     pub vars: usize,
     /// Number of entries in the if-then-else memo table.
     pub ite_cache_entries: usize,
+    /// Number of dynamic-reordering passes performed
+    /// ([`reorder`](BddManager::reorder) and automatic triggers).
+    pub reorder_runs: usize,
+    /// Total adjacent-level swaps across all reordering passes.
+    pub reorder_swaps: usize,
+    /// Total wall-clock time spent reordering.
+    pub reorder_time: Duration,
 }
 
 /// Outcome of one mark-and-sweep collection.
@@ -56,27 +64,60 @@ pub struct GcStats {
 /// across individual operations are always safe.
 ///
 /// See the [crate-level documentation](crate) for an example.
+///
+/// # Variable order and dynamic reordering
+///
+/// A variable's identity ([`Var`], stable for the life of the manager) is
+/// decoupled from its *level* — its position in the ROBDD order. Levels start
+/// out equal to allocation order and can be changed by the sifting-based
+/// reorderer ([`reorder`](Self::reorder), [`maybe_reorder`](Self::maybe_reorder));
+/// see the `reorder` module. Like a garbage collection, a reordering pass
+/// invalidates every handle that is not covered by the registered roots (or
+/// the extra roots passed to the reordering call); covered handles keep
+/// denoting the same Boolean function.
 #[derive(Debug)]
 pub struct BddManager {
-    nodes: Vec<Node>,
-    unique: HashMap<Node, Bdd>,
-    ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
-    num_vars: u32,
+    pub(crate) nodes: Vec<Node>,
+    /// Per-variable unique tables: `subtables[v]` maps `(lo, hi)` to the
+    /// handle of the live node `(v, lo, hi)`. Keyed by children only — the
+    /// variable is the subtable index — so one level's nodes can be
+    /// enumerated and rewritten in `O(nodes at level)` during an
+    /// adjacent-level swap.
+    pub(crate) subtables: Vec<HashMap<(Bdd, Bdd), Bdd>>,
+    pub(crate) ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
+    pub(crate) num_vars: u32,
+    /// `var2level[v]` is the current level (0 = topmost) of variable `v`.
+    pub(crate) var2level: Vec<u32>,
+    /// `level2var[l]` is the variable currently at level `l`.
+    pub(crate) level2var: Vec<u32>,
+    /// Reorder-group id per variable. Variables sharing a group occupy
+    /// contiguous levels in a fixed relative order and are moved as one block
+    /// by the sifting reorderer (see [`group_vars`](Self::group_vars)).
+    pub(crate) group_of: Vec<u32>,
+    pub(crate) next_group: u32,
     /// Head of the free-list chained through reclaimed slots (`FREE_NIL` when
     /// empty).
-    free_head: u32,
-    free_count: usize,
+    pub(crate) free_head: u32,
+    pub(crate) free_count: usize,
     /// Registered GC roots with reference counts.
-    roots: HashMap<Bdd, usize>,
+    pub(crate) roots: HashMap<Bdd, usize>,
     /// Configured floor for the collection trigger (see
     /// [`set_gc_threshold`](Self::set_gc_threshold)).
     gc_floor: usize,
     /// Current live-node count above which [`maybe_gc`](Self::maybe_gc)
     /// collects; re-derived from the live set after every collection.
     gc_threshold: usize,
-    allocated: usize,
-    peak_live: usize,
+    /// Automatic-reordering policy (see [`set_auto_reorder`](Self::set_auto_reorder)).
+    pub(crate) auto_reorder: crate::reorder::AutoReorderPolicy,
+    /// Current live-node count above which [`maybe_reorder`](Self::maybe_reorder)
+    /// sifts; re-derived adaptively after every reordering pass.
+    pub(crate) reorder_threshold: usize,
+    pub(crate) allocated: usize,
+    pub(crate) peak_live: usize,
     gc_runs: usize,
+    pub(crate) reorder_runs: usize,
+    pub(crate) reorder_swaps: usize,
+    pub(crate) reorder_time: Duration,
 }
 
 impl Default for BddManager {
@@ -100,23 +141,38 @@ impl BddManager {
         };
         BddManager {
             nodes: vec![terminal_false, terminal_true],
-            unique: HashMap::new(),
+            subtables: Vec::new(),
             ite_cache: HashMap::new(),
             num_vars: 0,
+            var2level: Vec::new(),
+            level2var: Vec::new(),
+            group_of: Vec::new(),
+            next_group: 0,
             free_head: FREE_NIL,
             free_count: 0,
             roots: HashMap::new(),
             gc_floor: DEFAULT_GC_THRESHOLD,
             gc_threshold: DEFAULT_GC_THRESHOLD,
+            auto_reorder: crate::reorder::AutoReorderPolicy::Off,
+            reorder_threshold: usize::MAX,
             allocated: 2,
             peak_live: 2,
             gc_runs: 0,
+            reorder_runs: 0,
+            reorder_swaps: 0,
+            reorder_time: Duration::ZERO,
         }
     }
 
-    /// Allocates a fresh variable at the bottom of the current order.
+    /// Allocates a fresh variable at the bottom of the current order, in a
+    /// reorder group of its own.
     pub fn new_var(&mut self) -> Var {
         let v = Var(self.num_vars);
+        self.var2level.push(self.num_vars);
+        self.level2var.push(self.num_vars);
+        self.group_of.push(self.next_group);
+        self.next_group += 1;
+        self.subtables.push(HashMap::new());
         self.num_vars += 1;
         v
     }
@@ -137,12 +193,20 @@ impl BddManager {
     /// the other's is exponential (Bryant 1986). It is the default layout for
     /// operand pairs ([`crate::BddVec::new_interleaved`]) and for the
     /// present/next state families of [`crate::TransitionSystem`].
+    ///
+    /// Each rank — bit `i` of every family — is placed in one reorder group,
+    /// so dynamic reordering moves corresponding bits as a block and cannot
+    /// un-interleave the families (see [`group_vars`](Self::group_vars)).
     pub fn new_vars_interleaved(&mut self, families: usize, width: usize) -> Vec<Vec<Var>> {
         let mut out = vec![Vec::with_capacity(width); families];
         for _ in 0..width {
+            let mut rank = Vec::with_capacity(families);
             for family in out.iter_mut() {
-                family.push(self.new_var());
+                let v = self.new_var();
+                family.push(v);
+                rank.push(v);
             }
+            self.group_vars(&rank);
         }
         out
     }
@@ -150,6 +214,92 @@ impl BddManager {
     /// Number of variables allocated so far.
     pub fn var_count(&self) -> usize {
         self.num_vars as usize
+    }
+
+    // ------------------------------------------------------ variable order --
+
+    /// Current level of `v` in the variable order (0 = topmost). Levels change
+    /// under dynamic reordering; the variable's [`Var::index`] does not.
+    ///
+    /// # Panics
+    /// Panics if `v` was not allocated by this manager.
+    pub fn level_of(&self, v: Var) -> usize {
+        assert!(
+            v.0 < self.num_vars,
+            "variable {v} not allocated in this manager"
+        );
+        self.var2level[v.0 as usize] as usize
+    }
+
+    /// The variable currently at `level`.
+    ///
+    /// # Panics
+    /// Panics if `level >= var_count()`.
+    pub fn var_at_level(&self, level: usize) -> Var {
+        Var(self.level2var[level])
+    }
+
+    /// The current variable order, topmost first.
+    pub fn current_order(&self) -> Vec<Var> {
+        self.level2var.iter().map(|&v| Var(v)).collect()
+    }
+
+    /// Places `vars` into one reorder group: dynamic reordering will keep
+    /// them at contiguous levels in their current relative order and move
+    /// them as a single block. Use this for the bits of a word (or for
+    /// present/next state pairs) whose adjacency a reordering pass must not
+    /// destroy — the interleaving wins of
+    /// [`new_vars_interleaved`](Self::new_vars_interleaved) and the
+    /// order-preservation requirement of [`replace`](Self::replace) both
+    /// depend on it.
+    ///
+    /// # Panics
+    /// Panics if the variables do not currently occupy contiguous levels, or
+    /// if any of them belongs to a multi-variable group that is not wholly
+    /// contained in `vars` (merging whole groups into a larger one is
+    /// allowed; splitting a group is not).
+    pub fn group_vars(&mut self, vars: &[Var]) {
+        if vars.len() < 2 {
+            return;
+        }
+        let mut levels: Vec<u32> = vars.iter().map(|&v| self.var2level[v.0 as usize]).collect();
+        levels.sort_unstable();
+        for w in levels.windows(2) {
+            assert_eq!(
+                w[0] + 1,
+                w[1],
+                "grouped variables must occupy contiguous levels"
+            );
+        }
+        let members: std::collections::HashSet<u32> = vars.iter().map(|v| v.0).collect();
+        for &v in vars {
+            let g = self.group_of[v.0 as usize];
+            let group_contained = self
+                .group_of
+                .iter()
+                .enumerate()
+                .filter(|&(_, &x)| x == g)
+                .all(|(w, _)| members.contains(&(w as u32)));
+            assert!(
+                group_contained,
+                "variable {v} is in a multi-variable group not wholly contained in the new group"
+            );
+        }
+        let group = self.group_of[vars[0].0 as usize];
+        for &v in vars {
+            self.group_of[v.0 as usize] = group;
+        }
+    }
+
+    /// Current level of a raw variable index; terminals (and reclaimed slots)
+    /// order below every real variable.
+    #[inline]
+    pub(crate) fn lvl(&self, var: u32) -> u32 {
+        if var >= self.num_vars {
+            u32::MAX
+        } else {
+            self.var2level[var as usize]
+        }
     }
 
     /// Returns the constant function for `value`.
@@ -191,14 +341,21 @@ impl BddManager {
         }
     }
 
-    fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+    pub(crate) fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
         if lo == hi {
             return lo;
         }
-        let node = Node { var, lo, hi };
-        if let Some(&b) = self.unique.get(&node) {
+        if let Some(&b) = self.subtables[var as usize].get(&(lo, hi)) {
             return b;
         }
+        self.alloc_node(Node { var, lo, hi })
+    }
+
+    /// Allocates a table slot for a (not yet hash-consed) node, reusing the
+    /// free list, and enters it into its variable's subtable — the one
+    /// allocation protocol shared by [`mk`](Self::mk) and the reorderer's
+    /// refcounting `mk_ref`.
+    pub(crate) fn alloc_node(&mut self, node: Node) -> Bdd {
         let idx = if self.free_head != FREE_NIL {
             let idx = self.free_head;
             self.free_head = self.nodes[idx as usize].lo.0;
@@ -216,12 +373,12 @@ impl BddManager {
             self.peak_live = live;
         }
         let handle = Bdd(idx);
-        self.unique.insert(node, handle);
+        self.subtables[node.var as usize].insert((node.lo, node.hi), handle);
         handle
     }
 
     #[inline]
-    fn node(&self, b: Bdd) -> Node {
+    pub(crate) fn node(&self, b: Bdd) -> Node {
         let n = self.nodes[b.0 as usize];
         debug_assert!(!n.is_free(), "dangling handle {b}: slot was reclaimed");
         n
@@ -286,7 +443,13 @@ impl BddManager {
         } else {
             self.node(h).var
         };
-        let top = vf.min(vg).min(vh);
+        let mut top = vf;
+        if self.lvl(vg) < self.lvl(top) {
+            top = vg;
+        }
+        if self.lvl(vh) < self.lvl(top) {
+            top = vh;
+        }
         let (f0, f1) = self.split(f, top);
         let (g0, g1) = self.split(g, top);
         let (h0, h1) = self.split(h, top);
@@ -395,7 +558,7 @@ impl BddManager {
             return f;
         }
         let n = self.node(f);
-        if n.var > var {
+        if self.lvl(n.var) > self.lvl(var) {
             return f;
         }
         if let Some(&r) = memo.get(&f) {
@@ -460,7 +623,7 @@ impl BddManager {
         }
         let vf = self.node(f).var;
         let vc = self.node(care).var;
-        let top = vf.min(vc);
+        let top = if self.lvl(vc) < self.lvl(vf) { vc } else { vf };
         let (f0, f1) = self.split(f, top);
         let (c0, c1) = self.split(care, top);
         let result = if c0.is_false() {
@@ -479,11 +642,19 @@ impl BddManager {
     /// Existential quantification (the *smoothing* operator `S_x f` of
     /// Definition 3.3.1): `∃ vars . f`.
     pub fn exists(&mut self, f: Bdd, vars: &[Var]) -> Bdd {
+        let sorted = self.sorted_by_level(vars);
+        let mut memo = HashMap::new();
+        self.exists_rec(f, &sorted, &mut memo)
+    }
+
+    /// The raw indices of `vars`, deduplicated and sorted by **current level**
+    /// — the order the top-down quantification recursions consume them in.
+    fn sorted_by_level(&self, vars: &[Var]) -> Vec<u32> {
         let mut sorted: Vec<u32> = vars.iter().map(|v| v.0).collect();
         sorted.sort_unstable();
         sorted.dedup();
-        let mut memo = HashMap::new();
-        self.exists_rec(f, &sorted, &mut memo)
+        sorted.sort_unstable_by_key(|&v| self.lvl(v));
+        sorted
     }
 
     fn exists_rec(&mut self, f: Bdd, vars: &[u32], memo: &mut HashMap<Bdd, Bdd>) -> Bdd {
@@ -492,7 +663,8 @@ impl BddManager {
         }
         let n = self.node(f);
         // Skip quantified variables that are above the root of f.
-        let pos = vars.partition_point(|&v| v < n.var);
+        let root_level = self.lvl(n.var);
+        let pos = vars.partition_point(|&v| self.lvl(v) < root_level);
         let vars = &vars[pos..];
         if vars.is_empty() {
             return f;
@@ -524,9 +696,7 @@ impl BddManager {
     /// `∃ vars . (f ∧ g)`, computed in one recursive pass as described for the
     /// image computation of Section 3.3 (Burch et al. 1990).
     pub fn and_exists(&mut self, f: Bdd, g: Bdd, vars: &[Var]) -> Bdd {
-        let mut sorted: Vec<u32> = vars.iter().map(|v| v.0).collect();
-        sorted.sort_unstable();
-        sorted.dedup();
+        let sorted = self.sorted_by_level(vars);
         let mut memo = HashMap::new();
         self.and_exists_rec(f, g, &sorted, &mut memo)
     }
@@ -561,8 +731,9 @@ impl BddManager {
         } else {
             self.node(g).var
         };
-        let top = vf.min(vg);
-        let pos = vars.partition_point(|&v| v < top);
+        let top = if self.lvl(vg) < self.lvl(vf) { vg } else { vf };
+        let top_level = self.lvl(top);
+        let pos = vars.partition_point(|&v| self.lvl(v) < top_level);
         let vars_below = &vars[pos..];
         let (f0, f1) = self.split(f, top);
         let (g0, g1) = self.split(g, top);
@@ -593,19 +764,68 @@ impl BddManager {
     /// Replaces each variable of `f` that appears as a key of `map` with the
     /// corresponding value.
     ///
-    /// The replacement must be *order-preserving*: whenever `a < b` in the
-    /// variable order and both are replaced, `map[a] < map[b]`, and no
-    /// replacement may move a variable across an unreplaced variable in `f`'s
-    /// support. This is the case for the interleaved present/next state
-    /// variable layout used by [`crate::TransitionSystem`].
-    ///
-    /// # Panics
-    /// Panics (in debug builds) if the mapping is detected to be non-monotone
-    /// at a node.
+    /// When the replacement is *order-preserving* on `f`'s support — mapped
+    /// variables keep their relative **level** order and none crosses an
+    /// unmapped support variable — the substitution is a single linear
+    /// rewriting pass. This is the case for the interleaved present/next
+    /// state layout used by [`crate::TransitionSystem`], and stays the case
+    /// under dynamic reordering when each present/next pair shares a reorder
+    /// group (see [`group_vars`](Self::group_vars)). Otherwise — e.g. after
+    /// sifting an ungrouped layout — the substitution falls back to one
+    /// functional composition per mapped variable, which is slower but
+    /// correct for any order.
     pub fn replace(&mut self, f: Bdd, map: &HashMap<Var, Var>) -> Bdd {
         let raw: HashMap<u32, u32> = map.iter().map(|(k, v)| (k.0, v.0)).collect();
-        let mut memo = HashMap::new();
-        self.replace_rec(f, &raw, &mut memo)
+        // While no reordering pass has ever run, levels are identical to
+        // allocation order and the caller-supplied layouts (interleaved
+        // present/next pairs) are monotone by construction — skip the
+        // support scan on this hot path; `replace_rec` keeps its
+        // per-node debug assertion either way.
+        if self.reorder_runs == 0 || self.replace_is_monotone(f, &raw) {
+            let mut memo = HashMap::new();
+            return self.replace_rec(f, &raw, &mut memo);
+        }
+        // General rename: compose out one mapped variable at a time. Correct
+        // regardless of order because the map is a rename onto fresh
+        // variables (values may not occur in `f`'s support).
+        let mut acc = f;
+        for (&k, &v) in &raw {
+            debug_assert!(
+                !self.support(f).contains(&Var(v)),
+                "general replace requires the target variable to be fresh in f"
+            );
+            let projection = self.var(Var(v));
+            acc = self.compose(acc, Var(k), projection);
+        }
+        acc
+    }
+
+    /// `true` when rewriting `f`'s mapped variables in place cannot violate
+    /// the level order: mapped support variables keep their relative order
+    /// and no mapped variable moves across an unmapped support variable.
+    fn replace_is_monotone(&self, f: Bdd, map: &HashMap<u32, u32>) -> bool {
+        let support = self.support(f);
+        let mut mapped: Vec<(u32, u32)> = Vec::new(); // (old level, new level)
+        let mut unmapped_levels: Vec<u32> = Vec::new();
+        for v in support {
+            match map.get(&v.0) {
+                Some(&to) => mapped.push((self.lvl(v.0), self.lvl(to))),
+                None => unmapped_levels.push(self.lvl(v.0)),
+            }
+        }
+        mapped.sort_unstable();
+        if mapped.windows(2).any(|w| w[0].1 >= w[1].1) {
+            return false;
+        }
+        // No unmapped support variable may lie strictly between a mapped
+        // variable's old and new levels (the rewrite would carry the mapped
+        // decision across it).
+        unmapped_levels.sort_unstable();
+        mapped.iter().all(|&(from, to)| {
+            let (low, high) = if from < to { (from, to) } else { (to, from) };
+            let first_inside = unmapped_levels.partition_point(|&l| l <= low);
+            unmapped_levels[first_inside..].iter().all(|&l| l >= high)
+        })
     }
 
     fn replace_rec(
@@ -625,8 +845,11 @@ impl BddManager {
         let hi = self.replace_rec(n.hi, map, memo);
         let new_var = *map.get(&n.var).unwrap_or(&n.var);
         debug_assert!(
-            self.top_var(lo).is_none_or(|v| v.0 > new_var)
-                && self.top_var(hi).is_none_or(|v| v.0 > new_var),
+            self.top_var(lo)
+                .is_none_or(|v| self.lvl(v.0) > self.lvl(new_var))
+                && self
+                    .top_var(hi)
+                    .is_none_or(|v| self.lvl(v.0) > self.lvl(new_var)),
             "non-monotone variable replacement"
         );
         let result = self.mk(new_var, lo, hi);
@@ -733,7 +956,7 @@ impl BddManager {
             if marked[idx] || n.is_free() {
                 continue;
             }
-            self.unique.remove(&n);
+            self.subtables[n.var as usize].remove(&(n.lo, n.hi));
             self.nodes[idx] = Node {
                 var: FREE_VAR,
                 lo: Bdd(self.free_head),
@@ -748,8 +971,10 @@ impl BddManager {
         // Resize: release table capacity when the live set is a small
         // fraction of it, and keep the operation cache proportionate.
         let live = self.live_nodes();
-        if self.unique.capacity() > live.saturating_mul(4) {
-            self.unique.shrink_to(live * 2);
+        for table in &mut self.subtables {
+            if table.capacity() > table.len().saturating_mul(4) {
+                table.shrink_to(table.len() * 2);
+            }
         }
         if self.ite_cache.capacity() > live.saturating_mul(4) {
             self.ite_cache.shrink_to(live * 2);
@@ -883,10 +1108,14 @@ impl BddManager {
     /// Enumerates every satisfying total assignment of `f` over `vars`,
     /// calling `visit` with each. Intended for small variable sets (tests and
     /// counterexample expansion); the number of calls is exponential in
-    /// `vars.len()`.
+    /// `vars.len()`. The assignment pairs are presented in the current
+    /// variable order (topmost first), which the enumeration needs to proceed
+    /// top-down.
     pub fn for_each_model<F: FnMut(&[(Var, bool)])>(&self, f: Bdd, vars: &[Var], mut visit: F) {
-        let mut assignment: Vec<(Var, bool)> = Vec::with_capacity(vars.len());
-        self.for_each_model_rec(f, vars, &mut assignment, &mut visit);
+        let mut by_level: Vec<Var> = vars.to_vec();
+        by_level.sort_unstable_by_key(|&v| self.lvl(v.0));
+        let mut assignment: Vec<(Var, bool)> = Vec::with_capacity(by_level.len());
+        self.for_each_model_rec(f, &by_level, &mut assignment, &mut visit);
     }
 
     fn for_each_model_rec<F: FnMut(&[(Var, bool)])>(
@@ -943,6 +1172,9 @@ impl BddManager {
             gc_runs: self.gc_runs,
             vars: self.num_vars as usize,
             ite_cache_entries: self.ite_cache.len(),
+            reorder_runs: self.reorder_runs,
+            reorder_swaps: self.reorder_swaps,
+            reorder_time: self.reorder_time,
         }
     }
 
@@ -1108,6 +1340,26 @@ mod tests {
         assert_eq!(m.stats().vars, 8);
         assert_eq!(m.stats().allocated, m.total_nodes());
         assert!(m.stats().peak_live >= m.stats().nodes);
+    }
+
+    #[test]
+    fn group_vars_merge_rules_are_symmetric() {
+        let mut m = BddManager::new();
+        let v = m.new_vars(4);
+        m.group_vars(&[v[0], v[1]]);
+        // Growing an existing group is allowed from either direction...
+        m.group_vars(&[v[0], v[1], v[2]]);
+        let g = m.new_vars(2);
+        m.group_vars(&[g[1], g[0]]);
+        // ...but splitting one is rejected regardless of argument order.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.group_vars(&[v[2], v[3]]);
+        }));
+        assert!(result.is_err(), "splitting a group must panic");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.group_vars(&[v[3], v[2]]);
+        }));
+        assert!(result.is_err(), "argument order must not matter");
     }
 
     #[test]

@@ -4,8 +4,11 @@ use std::fmt;
 
 /// A Boolean variable managed by a [`crate::BddManager`].
 ///
-/// Variables are totally ordered by their index; the index order *is* the
-/// ROBDD variable order (index 0 is the topmost variable).
+/// The index is the variable's *identity* — stable for the life of the
+/// manager, assigned in allocation order. Its position in the ROBDD order is
+/// its **level** ([`crate::BddManager::level_of`]); the two start out equal
+/// and diverge once dynamic reordering moves variables
+/// ([`crate::BddManager::reorder`]).
 ///
 /// ```
 /// use pv_bdd::BddManager;
@@ -13,12 +16,14 @@ use std::fmt;
 /// let a = m.new_var();
 /// let b = m.new_var();
 /// assert!(a.index() < b.index());
+/// assert_eq!(m.level_of(a), a.index()); // until a reorder moves it
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Var(pub(crate) u32);
 
 impl Var {
-    /// Position of the variable in the global order (0 = topmost).
+    /// The variable's stable index (allocation order; *not* its current
+    /// level once the order has been resifted).
     pub fn index(self) -> usize {
         self.0 as usize
     }

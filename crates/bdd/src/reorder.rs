@@ -1,0 +1,670 @@
+//! Dynamic variable reordering: Rudell-style sifting over reorder groups.
+//!
+//! The manager decouples a variable's identity ([`crate::Var`]) from its
+//! *level* (position in the order); this module changes the levels while
+//! every covered handle keeps denoting the same Boolean function:
+//!
+//! * [`BddManager::reorder`] / [`BddManager::reorder_with_roots`] run one
+//!   sifting pass: each *block* of variables is moved through every position
+//!   in the order and left where the total live-node count was smallest
+//!   (Rudell 1993), with the classic max-growth early abort.
+//! * The unit of movement is a **reorder group** ([`BddManager::group_vars`]):
+//!   word ranks allocated by [`crate::BddManager::new_vars_interleaved`],
+//!   present/next state pairs, or whole instruction words move as one block,
+//!   so sifting cannot destroy the adjacency those layouts rely on (the
+//!   interleaved-adder win, the order-preservation requirement of
+//!   [`crate::BddManager::replace`]).
+//! * The primitive is an **adjacent-level swap** in `O(nodes at the upper
+//!   level)`: nodes of the upper variable that depend on the lower one are
+//!   rewritten *in place* (same slot, same function, new root variable), so
+//!   rooted handles survive; nodes orphaned by a swap are reclaimed eagerly
+//!   through a transient reference-count array, which keeps the live-node
+//!   metric the sifter minimises exact.
+//! * [`AutoReorderPolicy`] + [`BddManager::maybe_reorder`] trigger sifting at
+//!   safe points (between image iterations, between simulation cycles) once
+//!   the live-node count passes an adaptive threshold, mirroring
+//!   [`BddManager::maybe_gc`].
+//!
+//! Like a garbage collection, a reordering pass begins by collecting with the
+//! registered + extra roots; handles not covered by those roots are
+//! invalidated.
+
+use std::time::{Duration, Instant};
+
+use crate::manager::BddManager;
+use crate::node::{Bdd, Node, FREE_VAR};
+
+/// Sifting abandons a direction once the live-node count exceeds
+/// `best × MAX_GROWTH_NUM / MAX_GROWTH_DEN` (the classic 1.2× bound).
+const MAX_GROWTH_NUM: usize = 6;
+const MAX_GROWTH_DEN: usize = 5;
+
+/// A sifting pass repeats (up to [`MAX_PASSES`]) while it keeps shrinking the
+/// live set by at least 10%.
+const MAX_PASSES: usize = 3;
+
+/// Work budget for one whole [`BddManager::reorder`] call, in node rewrites:
+/// `max(SWAP_BUDGET_FLOOR, SWAP_BUDGET_FACTOR × live)`. Sifting visits blocks
+/// most-populous-first, so the budget is spent where the gain is; once it
+/// runs out the current block settles at its best seen position and the pass
+/// ends. This bounds a reordering pass to a small constant multiple of a
+/// garbage collection, whatever the block count (cf. CUDD's `siftMaxSwap`).
+const SWAP_BUDGET_FACTOR: usize = 8;
+const SWAP_BUDGET_FLOOR: usize = 200_000;
+
+/// When to trigger automatic reordering from [`BddManager::maybe_reorder`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AutoReorderPolicy {
+    /// Never reorder automatically (the default).
+    #[default]
+    Off,
+    /// Grouped sifting whenever the live-node count passes an adaptive
+    /// threshold that starts at `floor` and is re-derived after every pass
+    /// from the post-reorder live set (so a well-ordered workload backs off
+    /// instead of thrashing).
+    Sifting {
+        /// Lowest live-node count that can trigger a reordering pass.
+        floor: usize,
+    },
+}
+
+/// Outcome of one reordering pass, the reordering analogue of
+/// [`crate::GcStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReorderStats {
+    /// Adjacent-level swaps performed.
+    pub swaps: usize,
+    /// Live nodes when the pass started (after its initial collection).
+    pub nodes_before: usize,
+    /// Live nodes when the pass finished.
+    pub nodes_after: usize,
+    /// Wall-clock time of the pass.
+    pub elapsed: Duration,
+}
+
+/// A maximal run of adjacent levels sharing one reorder group; the unit the
+/// sifter moves.
+struct Block {
+    group: u32,
+    /// Member variables in level order (their relative order is fixed).
+    vars: Vec<u32>,
+}
+
+impl BddManager {
+    /// Sets the automatic-reordering policy consulted by
+    /// [`maybe_reorder`](Self::maybe_reorder).
+    pub fn set_auto_reorder(&mut self, policy: AutoReorderPolicy) {
+        self.auto_reorder = policy;
+        self.reorder_threshold = match policy {
+            AutoReorderPolicy::Off => usize::MAX,
+            AutoReorderPolicy::Sifting { floor } => floor.max(2),
+        };
+    }
+
+    /// The automatic-reordering policy currently in force.
+    pub fn auto_reorder_policy(&self) -> AutoReorderPolicy {
+        self.auto_reorder
+    }
+
+    /// Reorders now if the policy is enabled and the live-node count has
+    /// passed the adaptive trigger; returns `None` otherwise. Callers invoke
+    /// this at the same safe points as [`maybe_gc`](Self::maybe_gc) — never
+    /// while unrooted intermediate handles are in flight — passing the
+    /// handles they hold across the call as `extra_roots`.
+    pub fn maybe_reorder(&mut self, extra_roots: &[Bdd]) -> Option<ReorderStats> {
+        let AutoReorderPolicy::Sifting { floor } = self.auto_reorder else {
+            return None;
+        };
+        // The trigger compares the raw table count (which includes
+        // uncollected garbage — the pass collects before sifting anyway);
+        // the re-arm below doubles past this raw level, so garbage churn
+        // backs the trigger off geometrically instead of re-firing at every
+        // safe point.
+        let raw_at_trigger = self.live_nodes();
+        if raw_at_trigger < self.reorder_threshold {
+            return None;
+        }
+        let stats = self.reorder_with_roots(extra_roots);
+        // Re-arm adaptively: wait for the (hopefully shrunk) live set to grow
+        // 4x before sifting again, and back off 4x harder when the pass
+        // gained less than 5% — the order is already as good as sifting gets.
+        let gained = stats.nodes_before.saturating_sub(stats.nodes_after);
+        let factor = if gained * 20 < stats.nodes_before {
+            16
+        } else {
+            4
+        };
+        self.reorder_threshold = floor
+            .max(16)
+            .max(stats.nodes_after.saturating_mul(factor))
+            .max(raw_at_trigger.saturating_mul(2));
+        Some(stats)
+    }
+
+    /// Runs grouped sifting over the registered roots: every reorder group is
+    /// moved through the whole order and left at its best position. Handles
+    /// not reachable from the registered roots are invalidated (the pass
+    /// starts with a collection); covered handles keep denoting the same
+    /// function.
+    pub fn reorder(&mut self) -> ReorderStats {
+        self.reorder_with_roots(&[])
+    }
+
+    /// [`reorder`](Self::reorder), additionally keeping `extra_roots` (and
+    /// everything reachable from them) alive and valid across the pass.
+    pub fn reorder_with_roots(&mut self, extra_roots: &[Bdd]) -> ReorderStats {
+        self.reorder_with_budget_floor(extra_roots, SWAP_BUDGET_FLOOR)
+    }
+
+    /// [`reorder_with_roots`](Self::reorder_with_roots) with an explicit
+    /// swap-budget floor (exposed for tests that exercise the abort paths).
+    pub(crate) fn reorder_with_budget_floor(
+        &mut self,
+        extra_roots: &[Bdd],
+        budget_floor: usize,
+    ) -> ReorderStats {
+        let start = Instant::now();
+        // Collect first: sifting minimises the *live* node count, so garbage
+        // must not distort the metric (and dead nodes must not be dragged
+        // through thousands of swaps).
+        self.gc_with_roots(extra_roots);
+        let nodes_before = self.live_nodes();
+        let mut swaps = 0usize;
+        if self.num_vars >= 2 && nodes_before > 2 {
+            let mut refs = self.build_refs(extra_roots);
+            let mut blocks = self.level_blocks();
+            let mut budget = budget_floor.max(SWAP_BUDGET_FACTOR * nodes_before) as isize;
+            'passes: for _ in 0..MAX_PASSES {
+                let pass_start = self.live_nodes();
+                // Sift blocks in decreasing population order: the variables
+                // with the most nodes have the most to gain (Rudell 1993).
+                let mut ranking: Vec<(usize, u32)> = blocks
+                    .iter()
+                    .map(|b| (self.block_population(b), b.group))
+                    .collect();
+                ranking.sort_unstable_by_key(|&(population, _)| std::cmp::Reverse(population));
+                for (population, group) in ranking {
+                    if population == 0 {
+                        continue;
+                    }
+                    if budget <= 0 {
+                        break 'passes;
+                    }
+                    let pos = blocks
+                        .iter()
+                        .position(|b| b.group == group)
+                        .expect("sifted block vanished");
+                    self.sift_block(&mut blocks, pos, &mut refs, &mut swaps, &mut budget);
+                }
+                let pass_end = self.live_nodes();
+                if pass_end * 10 >= pass_start * 9 {
+                    break;
+                }
+            }
+        }
+        let nodes_after = self.live_nodes();
+        let elapsed = start.elapsed();
+        self.reorder_runs += 1;
+        self.reorder_swaps += swaps;
+        self.reorder_time += elapsed;
+        ReorderStats {
+            swaps,
+            nodes_before,
+            nodes_after,
+            elapsed,
+        }
+    }
+
+    /// Transient reference counts over the (all-live, just-collected) node
+    /// store: graph edges plus root registrations. Maintained across swaps so
+    /// orphaned nodes are reclaimed the moment their last parent lets go.
+    fn build_refs(&self, extra_roots: &[Bdd]) -> Vec<u32> {
+        let mut refs = vec![0u32; self.nodes.len()];
+        for n in self.nodes.iter().skip(2) {
+            if n.is_free() {
+                continue;
+            }
+            if !n.lo.is_const() {
+                refs[n.lo.0 as usize] += 1;
+            }
+            if !n.hi.is_const() {
+                refs[n.hi.0 as usize] += 1;
+            }
+        }
+        for (&b, &count) in &self.roots {
+            if !b.is_const() {
+                refs[b.0 as usize] += count as u32;
+            }
+        }
+        for &b in extra_roots {
+            if !b.is_const() {
+                refs[b.0 as usize] += 1;
+            }
+        }
+        refs
+    }
+
+    /// The current order as maximal same-group level runs.
+    fn level_blocks(&self) -> Vec<Block> {
+        let mut blocks: Vec<Block> = Vec::new();
+        for &v in &self.level2var {
+            let group = self.group_of[v as usize];
+            match blocks.last_mut() {
+                Some(b) if b.group == group => b.vars.push(v),
+                _ => blocks.push(Block {
+                    group,
+                    vars: vec![v],
+                }),
+            }
+        }
+        blocks
+    }
+
+    /// Live nodes labelled by any member of `block`.
+    fn block_population(&self, block: &Block) -> usize {
+        block
+            .vars
+            .iter()
+            .map(|&v| self.subtables[v as usize].len())
+            .sum()
+    }
+
+    /// A priori cost estimate of swapping the blocks at `i` and `i + 1`, in
+    /// node visits: every variable of one block crosses every level of the
+    /// other, so the visit count is roughly each block's width times the
+    /// other's current population. A *move* is atomic (stopping half-way
+    /// would fragment a group), so exploration consults this estimate before
+    /// committing — the budget check alone would only stop *between* moves,
+    /// and one word-block crossing a dense region can cost tens of millions
+    /// of visits.
+    fn block_move_estimate(&self, blocks: &[Block], i: usize) -> isize {
+        let pop_upper = self.block_population(&blocks[i]);
+        let pop_lower = self.block_population(&blocks[i + 1]);
+        (blocks[i + 1].vars.len() * pop_upper + blocks[i].vars.len() * pop_lower) as isize
+    }
+
+    /// Moves the block at `start_pos` through every position, tracking the
+    /// smallest total live-node count, and settles it there. Decrements
+    /// `budget` by the nodes each swap visits; exploration stops before any
+    /// move whose estimated cost exceeds the remaining budget (the settle
+    /// phase always completes — it re-crosses explored, affordable ground).
+    fn sift_block(
+        &mut self,
+        blocks: &mut [Block],
+        start_pos: usize,
+        refs: &mut Vec<u32>,
+        swaps: &mut usize,
+        budget: &mut isize,
+    ) {
+        let nblocks = blocks.len();
+        if nblocks < 2 {
+            return;
+        }
+        let mut pos = start_pos;
+        let mut best = self.live_nodes();
+        let mut best_pos = pos;
+        // Both sweeps pass back through already-visited positions; the
+        // max-growth abort only applies in unexplored territory, so a bad
+        // stretch near one end cannot cut the other direction short.
+        let mut explored_lo = start_pos;
+        let mut explored_hi = start_pos;
+        let down_first = start_pos >= nblocks / 2;
+        'phases: for phase in 0..2 {
+            let go_down = down_first == (phase == 0);
+            if go_down {
+                while pos + 1 < nblocks {
+                    if *budget <= self.block_move_estimate(blocks, pos)
+                        || !self.swap_blocks(blocks, pos, refs, swaps, budget, true)
+                    {
+                        break 'phases;
+                    }
+                    pos += 1;
+                    let size = self.live_nodes();
+                    if size < best {
+                        best = size;
+                        best_pos = pos;
+                    }
+                    let unexplored = pos > explored_hi;
+                    explored_hi = explored_hi.max(pos);
+                    if unexplored && size * MAX_GROWTH_DEN > best * MAX_GROWTH_NUM {
+                        break;
+                    }
+                }
+            } else {
+                while pos > 0 {
+                    if *budget <= self.block_move_estimate(blocks, pos - 1)
+                        || !self.swap_blocks(blocks, pos - 1, refs, swaps, budget, true)
+                    {
+                        break 'phases;
+                    }
+                    pos -= 1;
+                    let size = self.live_nodes();
+                    if size < best {
+                        best = size;
+                        best_pos = pos;
+                    }
+                    let unexplored = pos < explored_lo;
+                    explored_lo = explored_lo.min(pos);
+                    if unexplored && size * MAX_GROWTH_DEN > best * MAX_GROWTH_NUM {
+                        break;
+                    }
+                }
+            }
+        }
+        while pos < best_pos {
+            self.swap_blocks(blocks, pos, refs, swaps, budget, false);
+            pos += 1;
+        }
+        while pos > best_pos {
+            self.swap_blocks(blocks, pos - 1, refs, swaps, budget, false);
+            pos -= 1;
+        }
+    }
+
+    /// Swaps the blocks at positions `i` and `i + 1` by lifting each variable
+    /// of the lower block over the whole upper block, preserving both blocks'
+    /// internal order. Costs `|upper| × |lower|` adjacent swaps.
+    ///
+    /// When `abortable`, the move is rolled back and `false` returned if the
+    /// budget runs out part-way: a block move is atomic (stopping half-way
+    /// would fragment a group across levels), and node populations can grow
+    /// while a block crosses a correlation-dense region, so the a-priori
+    /// estimate alone cannot bound the work. The rollback replays the
+    /// recorded swap sequence backwards — an adjacent swap at a fixed level
+    /// pair is an involution — which costs about as much as the partial move
+    /// did, giving a hard ~2× budget bound. The settle phase passes
+    /// `abortable = false`: it only re-crosses ground exploration already
+    /// paid for.
+    fn swap_blocks(
+        &mut self,
+        blocks: &mut [Block],
+        i: usize,
+        refs: &mut Vec<u32>,
+        swaps: &mut usize,
+        budget: &mut isize,
+        abortable: bool,
+    ) -> bool {
+        let start: usize = blocks[..i].iter().map(|b| b.vars.len()).sum();
+        let upper = blocks[i].vars.len();
+        let lower = blocks[i + 1].vars.len();
+        let mut done: Vec<usize> = Vec::new();
+        for j in 0..lower {
+            for level in (start + j..start + upper + j).rev() {
+                if abortable && *budget <= 0 {
+                    for &l in done.iter().rev() {
+                        self.swap_adjacent(l, refs);
+                        *swaps += 1;
+                    }
+                    return false;
+                }
+                *budget -= self.swap_adjacent(level, refs) as isize;
+                *swaps += 1;
+                done.push(level);
+            }
+        }
+        blocks.swap(i, i + 1);
+        true
+    }
+
+    /// The reordering primitive: exchanges the variables at `level` and
+    /// `level + 1`.
+    ///
+    /// Nodes of the upper variable `a` whose function depends on the lower
+    /// variable `b` are rewritten in place as `b`-nodes over freshly
+    /// hash-consed `a`-cofactors (Rudell's swap), so every handle to them
+    /// keeps denoting the same function; `a`-nodes independent of `b` are
+    /// untouched. Children orphaned by the rewrite are dereferenced and — at
+    /// refcount zero — reclaimed immediately into the free list. Returns the
+    /// number of upper-level nodes visited (the work metric the sifting
+    /// budget is charged in).
+    fn swap_adjacent(&mut self, level: usize, refs: &mut Vec<u32>) -> usize {
+        let a = self.level2var[level];
+        let b = self.level2var[level + 1];
+        let candidates: Vec<Bdd> = self.subtables[a as usize].values().copied().collect();
+        let visited = candidates.len();
+        for f in candidates {
+            let n = self.nodes[f.0 as usize];
+            let (f0, f1) = (n.lo, n.hi);
+            let n0 = self.nodes[f0.0 as usize];
+            let n1 = self.nodes[f1.0 as usize];
+            let dep0 = !f0.is_const() && n0.var == b;
+            let dep1 = !f1.is_const() && n1.var == b;
+            if !dep0 && !dep1 {
+                // f does not depend on b: the node just sinks one level.
+                continue;
+            }
+            let (f00, f01) = if dep0 { (n0.lo, n0.hi) } else { (f0, f0) };
+            let (f10, f11) = if dep1 { (n1.lo, n1.hi) } else { (f1, f1) };
+            let g0 = self.mk_ref(a, f00, f10, refs);
+            let g1 = self.mk_ref(a, f01, f11, refs);
+            // g0 == g1 would mean f never depended on b, contradicting dep0|dep1.
+            debug_assert_ne!(g0, g1, "swap degenerated a dependent node");
+            self.subtables[a as usize].remove(&(f0, f1));
+            self.nodes[f.0 as usize] = Node {
+                var: b,
+                lo: g0,
+                hi: g1,
+            };
+            let previous = self.subtables[b as usize].insert((g0, g1), f);
+            debug_assert!(
+                previous.is_none(),
+                "swap produced a duplicate node at the lower level"
+            );
+            self.deref(f0, refs);
+            self.deref(f1, refs);
+        }
+        self.level2var.swap(level, level + 1);
+        self.var2level.swap(a as usize, b as usize);
+        visited
+    }
+
+    /// [`mk`](Self::mk) for the swap loop: hash-conses `(var, lo, hi)` and
+    /// accounts one new parent edge to the returned handle in `refs`
+    /// (child edges of a freshly created node are accounted too).
+    fn mk_ref(&mut self, var: u32, lo: Bdd, hi: Bdd, refs: &mut Vec<u32>) -> Bdd {
+        if lo == hi {
+            if !lo.is_const() {
+                refs[lo.0 as usize] += 1;
+            }
+            return lo;
+        }
+        if let Some(&h) = self.subtables[var as usize].get(&(lo, hi)) {
+            refs[h.0 as usize] += 1;
+            return h;
+        }
+        let handle = self.alloc_node(Node { var, lo, hi });
+        let idx = handle.0 as usize;
+        if idx >= refs.len() {
+            refs.resize(idx + 1, 0);
+        }
+        refs[idx] = 1;
+        if !lo.is_const() {
+            refs[lo.0 as usize] += 1;
+        }
+        if !hi.is_const() {
+            refs[hi.0 as usize] += 1;
+        }
+        handle
+    }
+
+    /// Drops one reference to `b`; reclaims it (and, transitively, children
+    /// it was the last parent of) when the count reaches zero.
+    fn deref(&mut self, b: Bdd, refs: &mut [u32]) {
+        if b.is_const() {
+            return;
+        }
+        let mut stack = vec![b];
+        while let Some(x) = stack.pop() {
+            let idx = x.0 as usize;
+            debug_assert!(refs[idx] > 0, "dereferencing a dead node");
+            refs[idx] -= 1;
+            if refs[idx] > 0 {
+                continue;
+            }
+            let n = self.nodes[idx];
+            self.subtables[n.var as usize].remove(&(n.lo, n.hi));
+            self.nodes[idx] = Node {
+                var: FREE_VAR,
+                lo: Bdd(self.free_head),
+                hi: Bdd::FALSE,
+            };
+            self.free_head = x.0;
+            self.free_count += 1;
+            if !n.lo.is_const() {
+                stack.push(n.lo);
+            }
+            if !n.hi.is_const() {
+                stack.push(n.hi);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    /// Builds `f = (a ∧ c) ∨ (b ∧ d)` with the pessimal order `a b c d`
+    /// (operands separated) — 2 levels of avoidable blow-up in miniature.
+    fn separated_pairs(m: &mut BddManager) -> (Bdd, Vec<Var>) {
+        let vars = m.new_vars(4);
+        let (a, b, c, d) = (
+            m.var(vars[0]),
+            m.var(vars[1]),
+            m.var(vars[2]),
+            m.var(vars[3]),
+        );
+        let ac = m.and(a, c);
+        let bd = m.and(b, d);
+        let f = m.or(ac, bd);
+        (f, vars)
+    }
+
+    fn truth_table(m: &BddManager, f: Bdd, vars: &[Var]) -> Vec<bool> {
+        (0u32..1 << vars.len())
+            .map(|bits| {
+                m.eval(f, |v| {
+                    let i = vars.iter().position(|&w| w == v).expect("known var");
+                    bits >> i & 1 == 1
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn adjacent_swap_preserves_semantics_and_inverts() {
+        let mut m = BddManager::new();
+        let (f, vars) = separated_pairs(&mut m);
+        m.add_root(f);
+        let before = truth_table(&m, f, &vars);
+        m.gc(); // all-live precondition for the transient refcounts
+        let mut refs = m.build_refs(&[]);
+        let count_before = m.live_nodes();
+        for level in 0..3 {
+            m.swap_adjacent(level, &mut refs);
+            assert_eq!(truth_table(&m, f, &vars), before, "after swap {level}");
+            m.swap_adjacent(level, &mut refs);
+            assert_eq!(truth_table(&m, f, &vars), before, "after undo {level}");
+            assert_eq!(m.live_nodes(), count_before, "swap+undo must round-trip");
+        }
+    }
+
+    #[test]
+    fn sifting_finds_the_paired_order() {
+        let mut m = BddManager::new();
+        let (f, vars) = separated_pairs(&mut m);
+        m.add_root(f);
+        let before = truth_table(&m, f, &vars);
+        let live_before = m.live_nodes();
+        let stats = m.reorder();
+        assert_eq!(truth_table(&m, f, &vars), before);
+        assert!(stats.swaps > 0);
+        assert_eq!(stats.nodes_after, m.live_nodes());
+        assert!(
+            m.live_nodes() <= live_before,
+            "sifting never grows the result"
+        );
+        // The optimum pairs each operand bit with its partner: a next to c,
+        // b next to d (in some block order).
+        let dist =
+            |x: Var, y: Var| (m.level_of(x) as isize - m.level_of(y) as isize).unsigned_abs();
+        assert_eq!(dist(vars[0], vars[2]), 1, "a and c end up adjacent");
+        assert_eq!(dist(vars[1], vars[3]), 1, "b and d end up adjacent");
+    }
+
+    #[test]
+    fn grouped_variables_move_as_a_block() {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(6);
+        m.group_vars(&[vars[1], vars[2], vars[3]]);
+        // A function that wants var 4 at the top; the group must stay intact.
+        let (v0, v4) = (m.var(vars[0]), m.var(vars[4]));
+        let f = m.xor(v0, v4);
+        let g = {
+            let (a, b) = (m.var(vars[1]), m.var(vars[3]));
+            m.and(a, b)
+        };
+        let fg = m.and(f, g);
+        m.add_root(fg);
+        m.reorder();
+        let l1 = m.level_of(vars[1]);
+        assert_eq!(m.level_of(vars[2]), l1 + 1, "group order preserved");
+        assert_eq!(m.level_of(vars[3]), l1 + 2, "group stays contiguous");
+    }
+
+    #[test]
+    fn exhausted_budget_aborts_moves_without_corruption() {
+        // A budget floor of 1 forces the mid-move rollback path on wide
+        // grouped blocks (SWAP_BUDGET_FACTOR × live still allows a little
+        // exploration; the first unaffordable word-block crossing aborts and
+        // replays its swap log backwards). Semantics, group contiguity and
+        // the live count must all be intact afterwards.
+        let mut m = BddManager::new();
+        let a = m.new_vars(4);
+        m.group_vars(&a);
+        let b = m.new_vars(4);
+        m.group_vars(&b);
+        let lits: Vec<Bdd> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| {
+                let (vx, vy) = (m.var(x), m.var(y));
+                m.xor(vx, vy)
+            })
+            .collect();
+        let f = m.and_many(&lits);
+        m.add_root(f);
+        let vars: Vec<Var> = a.iter().chain(&b).copied().collect();
+        let before = truth_table(&m, f, &vars);
+        let stats = m.reorder_with_budget_floor(&[], 1);
+        assert_eq!(truth_table(&m, f, &vars), before);
+        assert_eq!(stats.nodes_after, m.live_nodes());
+        let la = m.level_of(a[0]);
+        let lb = m.level_of(b[0]);
+        for i in 1..4 {
+            assert_eq!(m.level_of(a[i]), la + i, "group a stays contiguous");
+            assert_eq!(m.level_of(b[i]), lb + i, "group b stays contiguous");
+        }
+        assert_eq!(m.gc().collected, 0, "no garbage leaked by aborted moves");
+    }
+
+    #[test]
+    fn maybe_reorder_respects_policy_and_threshold() {
+        let mut m = BddManager::new();
+        let (f, _) = separated_pairs(&mut m);
+        m.add_root(f);
+        assert!(m.maybe_reorder(&[]).is_none(), "off by default");
+        m.set_auto_reorder(AutoReorderPolicy::Sifting { floor: usize::MAX });
+        assert!(m.maybe_reorder(&[]).is_none(), "below the floor");
+        m.set_auto_reorder(AutoReorderPolicy::Sifting { floor: 2 });
+        let stats = m.maybe_reorder(&[]).expect("above the floor");
+        assert_eq!(stats.nodes_after, m.live_nodes());
+        assert!(
+            m.maybe_reorder(&[]).is_none(),
+            "re-armed threshold backs off after a pass"
+        );
+        assert_eq!(m.stats().reorder_runs, 1);
+        assert!(m.stats().reorder_time > Duration::ZERO);
+    }
+}

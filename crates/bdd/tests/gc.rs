@@ -1,9 +1,10 @@
 //! Garbage-collection correctness: rooted functions keep their semantics
 //! across collections, unrooted garbage is reclaimed completely, reclaimed
-//! slots are reused, and hash-consing stays canonical afterwards.
+//! slots are reused, and hash-consing stays canonical afterwards — also with
+//! dynamic variable reordering enabled underneath.
 
 use proptest::prelude::*;
-use pv_bdd::{Bdd, BddManager, Var};
+use pv_bdd::{AutoReorderPolicy, Bdd, BddManager, Var};
 
 /// A small random Boolean expression over `n` variables.
 #[derive(Clone, Debug)]
@@ -141,5 +142,29 @@ proptest! {
         let after_restrict = m.restrict(f, v, true);
         prop_assert_eq!(before_exists, after_exists);
         prop_assert_eq!(before_restrict, after_restrict);
+    }
+
+    /// The collection invariants hold unchanged when a hair-trigger
+    /// reordering pass runs between build, collection and rebuild: rooted
+    /// semantics survive, a second collection right after reorder+gc finds
+    /// nothing, and rebuilding a rooted formula is still canonical.
+    #[test]
+    fn gc_invariants_hold_with_auto_reorder((fe, ge) in (arb_expr(NVARS, 4), arb_expr(NVARS, 4))) {
+        let mut m = BddManager::new();
+        m.set_auto_reorder(AutoReorderPolicy::Sifting { floor: 2 });
+        let vars = m.new_vars(NVARS);
+        let f = build(&mut m, &vars, &fe);
+        let g = build(&mut m, &vars, &ge);
+        let _ = g; // dropped: unrooted, reclaimed by the reorder's collection
+        m.add_root(f);
+        m.maybe_reorder(&[]);
+        let stats = m.gc();
+        prop_assert_eq!(stats.live, m.live_nodes());
+        prop_assert_eq!(m.gc().collected, 0);
+        for a in 0u32..1 << NVARS {
+            prop_assert_eq!(m.eval(f, |v| a >> v.index() & 1 == 1), eval_expr(&fe, a));
+        }
+        let f2 = build(&mut m, &vars, &fe);
+        prop_assert_eq!(f2, f);
     }
 }

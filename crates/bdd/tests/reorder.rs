@@ -1,0 +1,280 @@
+//! Dynamic-reordering correctness: sifting preserves semantics and
+//! canonicity, rooted handles survive, the pass leaves no transient swap
+//! garbage behind, groups stay intact, and the transition-relation machinery
+//! (partitioned image, reachability) agrees with the static-order run when
+//! automatic reordering is enabled.
+
+use proptest::prelude::*;
+use pv_bdd::{AutoReorderPolicy, Bdd, BddManager, BddVec, TransitionSystem, Var};
+
+/// A small random Boolean expression over `n` variables.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr(nvars: usize, depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = (0..nvars).prop_map(Expr::Var);
+    leaf.prop_recursive(depth, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(m: &mut BddManager, vars: &[Var], e: &Expr) -> Bdd {
+    match e {
+        Expr::Var(i) => m.var(vars[*i]),
+        Expr::Not(a) => {
+            let x = build(m, vars, a);
+            m.not(x)
+        }
+        Expr::And(a, b) => {
+            let (x, y) = (build(m, vars, a), build(m, vars, b));
+            m.and(x, y)
+        }
+        Expr::Or(a, b) => {
+            let (x, y) = (build(m, vars, a), build(m, vars, b));
+            m.or(x, y)
+        }
+        Expr::Xor(a, b) => {
+            let (x, y) = (build(m, vars, a), build(m, vars, b));
+            m.xor(x, y)
+        }
+    }
+}
+
+fn eval_expr(e: &Expr, assignment: u32) -> bool {
+    match e {
+        Expr::Var(i) => assignment >> i & 1 == 1,
+        Expr::Not(a) => !eval_expr(a, assignment),
+        Expr::And(a, b) => eval_expr(a, assignment) && eval_expr(b, assignment),
+        Expr::Or(a, b) => eval_expr(a, assignment) || eval_expr(b, assignment),
+        Expr::Xor(a, b) => eval_expr(a, assignment) ^ eval_expr(b, assignment),
+    }
+}
+
+const NVARS: usize = 6;
+
+proptest! {
+    /// Sifting preserves the semantics of every rooted formula — truth table,
+    /// satisfiability and model count — and preserves canonicity: rebuilding
+    /// a rooted formula after the pass hash-conses to the *same handle*.
+    #[test]
+    fn reorder_preserves_rooted_semantics((fe, ge) in (arb_expr(NVARS, 4), arb_expr(NVARS, 4))) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(NVARS);
+        let f = build(&mut m, &vars, &fe);
+        let g = build(&mut m, &vars, &ge);
+        m.add_root(f);
+        m.add_root(g);
+        let sat_f = m.sat_count(f);
+        let stats = m.reorder();
+        prop_assert_eq!(stats.nodes_after, m.live_nodes());
+        prop_assert!(stats.nodes_after <= stats.nodes_before);
+        for a in 0u32..1 << NVARS {
+            prop_assert_eq!(m.eval(f, |v| a >> v.index() & 1 == 1), eval_expr(&fe, a));
+            prop_assert_eq!(m.eval(g, |v| a >> v.index() & 1 == 1), eval_expr(&ge, a));
+        }
+        prop_assert_eq!(m.sat_count(f), sat_f);
+        prop_assert_eq!(m.is_satisfiable(f), (0u32..1 << NVARS).any(|a| eval_expr(&fe, a)));
+        let f2 = build(&mut m, &vars, &fe);
+        let g2 = build(&mut m, &vars, &ge);
+        prop_assert_eq!(f2, f);
+        prop_assert_eq!(g2, g);
+    }
+
+    /// A reordering pass reclaims its transient swap garbage eagerly: a
+    /// collection immediately afterwards finds nothing to free, and the live
+    /// count equals what is reachable from the roots.
+    #[test]
+    fn gc_right_after_reorder_reclaims_all_swap_garbage(fe in arb_expr(NVARS, 4)) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(NVARS);
+        let f = build(&mut m, &vars, &fe);
+        m.add_root(f);
+        let stats = m.reorder();
+        let gc = m.gc();
+        prop_assert_eq!(gc.collected, 0, "no transient swap garbage may survive the pass");
+        prop_assert_eq!(gc.live, stats.nodes_after);
+        let reachable = if f.is_const() { 2 } else { m.node_count(f) };
+        prop_assert_eq!(m.live_nodes(), reachable);
+    }
+
+    /// Quantification and cofactoring give identical (canonical) handles
+    /// before and after an interposed reordering pass.
+    #[test]
+    fn operations_agree_across_reorder((fe, idx) in (arb_expr(NVARS, 4), 0..NVARS)) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(NVARS);
+        let f = build(&mut m, &vars, &fe);
+        let v = vars[idx];
+        let before_exists = m.exists(f, &[v]);
+        let before_restrict = m.restrict(f, v, true);
+        m.add_root(f);
+        m.add_root(before_exists);
+        m.add_root(before_restrict);
+        m.reorder();
+        prop_assert_eq!(m.exists(f, &[v]), before_exists);
+        prop_assert_eq!(m.restrict(f, v, true), before_restrict);
+    }
+
+    /// A stream of operations with hair-trigger automatic reordering *and*
+    /// collection interleaved keeps every rooted formula correct — no stale
+    /// ITE-cache entry or dangling level map survives either pass.
+    #[test]
+    fn auto_reorder_and_gc_interleave_safely(exprs in proptest::collection::vec(arb_expr(NVARS, 3), 4)) {
+        let mut m = BddManager::new();
+        m.set_auto_reorder(AutoReorderPolicy::Sifting { floor: 2 });
+        m.set_gc_threshold(2);
+        let vars = m.new_vars(NVARS);
+        let mut rooted: Vec<Bdd> = Vec::new();
+        for e in &exprs {
+            let f = build(&mut m, &vars, e);
+            m.add_root(f);
+            rooted.push(f);
+            m.maybe_reorder(&[]);
+            m.maybe_gc(&[]);
+        }
+        for (e, &f) in exprs.iter().zip(&rooted) {
+            for a in 0u32..1 << NVARS {
+                prop_assert_eq!(m.eval(f, |v| a >> v.index() & 1 == 1), eval_expr(e, a));
+            }
+        }
+    }
+}
+
+/// Sifting recovers the interleaved order from the pessimal sequential one:
+/// the 8-bit ripple-carry adder over `a7..a0 b7..b0` is exponential, and one
+/// `reorder()` takes it to the linear-per-bit interleaved shape.
+#[test]
+fn sifting_shrinks_the_sequential_adder() {
+    const W: usize = 8;
+    let mut m = BddManager::new();
+    let avars = m.new_vars(W);
+    let bvars = m.new_vars(W);
+    let a = BddVec::from_vars(&mut m, &avars);
+    let b = BddVec::from_vars(&mut m, &bvars);
+    let sum = a.add(&mut m, &b);
+    for &bit in sum.bits() {
+        m.add_root(bit);
+    }
+    let before: usize = (0..W).map(|i| m.node_count(sum.bit(i))).sum();
+    let stats = m.reorder();
+    let after: usize = (0..W).map(|i| m.node_count(sum.bit(i))).sum();
+    assert!(stats.swaps > 0);
+    assert!(
+        after * 2 < before,
+        "sifting should at least halve the sequential adder ({before} -> {after})"
+    );
+    // The interleaved layout is ~O(w) per bit; allow slack for a local optimum.
+    assert!(
+        after < 200,
+        "sifted adder should be near the interleaved size, got {after}"
+    );
+    for (x, y) in [(0u64, 0u64), (255, 1), (0x5a, 0xa5), (0x13, 0x2c)] {
+        let assign = |v: Var| {
+            if let Some(i) = avars.iter().position(|&w| w == v) {
+                x >> i & 1 == 1
+            } else if let Some(i) = bvars.iter().position(|&w| w == v) {
+                y >> i & 1 == 1
+            } else {
+                false
+            }
+        };
+        assert_eq!(sum.eval(&m, assign), (x + y) & 0xff, "{x}+{y}");
+    }
+}
+
+/// Reorder groups survive sifting: the ranks of an interleaved allocation
+/// stay adjacent (in their original internal order) wherever their blocks
+/// end up.
+#[test]
+fn interleaved_groups_stay_adjacent_across_reorder() {
+    let mut m = BddManager::new();
+    let words = BddVec::new_interleaved(&mut m, 2, 8);
+    let (avars, a) = &words[0];
+    let (bvars, b) = &words[1];
+    let sum = a.add(&mut m, b);
+    for &bit in sum.bits() {
+        m.add_root(bit);
+    }
+    m.reorder();
+    for bit in 0..8 {
+        assert_eq!(
+            m.level_of(avars[bit]) + 1,
+            m.level_of(bvars[bit]),
+            "rank {bit} split by reordering"
+        );
+    }
+}
+
+/// A 2-bit counter used by the agreement tests below.
+fn counter(m: &mut BddManager) -> (TransitionSystem, Vec<Bdd>) {
+    let input = m.new_var();
+    let p0 = m.new_var();
+    let n0 = m.new_var();
+    let p1 = m.new_var();
+    let n1 = m.new_var();
+    let (i, vp0, vp1) = (m.var(input), m.var(p0), m.var(p1));
+    let f0 = m.xor(vp0, i);
+    let carry = m.and(vp0, i);
+    let f1 = m.xor(vp1, carry);
+    let (vn0, vn1) = (m.var(n0), m.var(n1));
+    let r0 = m.xnor(vn0, f0);
+    let r1 = m.xnor(vn1, f1);
+    let init = m.cube(&[(p0, false), (p1, false)]);
+    let ts = TransitionSystem::from_partitions(
+        m,
+        vec![input],
+        vec![p0, p1],
+        vec![n0, n1],
+        vec![r0, r1],
+        init,
+    );
+    (ts, vec![r0, r1])
+}
+
+/// Partitioned and monolithic images and reachable sets agree — as canonical
+/// handles in one manager — when hair-trigger automatic reordering runs
+/// between the iterations, and match the static-order manager's state count.
+#[test]
+fn partitioned_agrees_with_monolithic_under_auto_reorder() {
+    let mut stat = BddManager::new();
+    let (ts_static, _) = counter(&mut stat);
+    let static_reach = ts_static.reachable(&mut stat);
+
+    let mut m = BddManager::new();
+    m.set_auto_reorder(AutoReorderPolicy::Sifting { floor: 2 });
+    let (part, parts) = counter(&mut m);
+    let relation = m.and(parts[0], parts[1]);
+    let mono = TransitionSystem::new(
+        &mut m,
+        part.inputs.clone(),
+        part.present.clone(),
+        part.next.clone(),
+        relation,
+        part.init,
+    );
+    let img_m = mono.image(&mut m, mono.init);
+    let img_p = part.image(&mut m, part.init);
+    assert_eq!(img_m, img_p);
+    let mono_reach = mono.reachable(&mut m);
+    let part_reach = part.reachable(&mut m);
+    assert_eq!(mono_reach.states, part_reach.states);
+    assert_eq!(mono_reach.iterations, part_reach.iterations);
+    assert_eq!(mono_reach.iterations, static_reach.iterations);
+    // All four counter states reachable in both managers.
+    let count_reordered = m.sat_count(part_reach.states) / 2f64.powi((m.var_count() - 2) as i32);
+    let count_static =
+        stat.sat_count(static_reach.states) / 2f64.powi((stat.var_count() - 2) as i32);
+    assert_eq!(count_reordered, 4.0);
+    assert_eq!(count_reordered, count_static);
+}

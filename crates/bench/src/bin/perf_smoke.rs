@@ -12,6 +12,11 @@
 //!    variable-order default. The sequential ordering took 238 ms at 16 bits.
 //! 3. **Quickstart VSM verification** — the Section 6.2 experiment, with
 //!    per-cycle collection bounding live nodes.
+//! 4. **Reordered counter reachability** — the 12-bit counter again, but
+//!    with the *pessimal* blocked variable layout (all present bits, then
+//!    all next bits) and automatic sifting enabled, against its static-order
+//!    twin. The gate requires the sifted run to allocate fewer total nodes
+//!    than the static twin — the dynamic-reordering win.
 //!
 //! Exit status is non-zero when a hard limit (the acceptance criteria) is
 //! exceeded or any measurement regresses by more than an order of magnitude
@@ -20,8 +25,8 @@
 use std::time::{Duration, Instant};
 
 use pipeverify_core::{MachineSpec, Verifier};
-use pv_bdd::{BddManager, BddVec};
-use pv_bench::counter_system;
+use pv_bdd::{AutoReorderPolicy, BddManager, BddVec};
+use pv_bench::{counter_system, counter_system_blocked};
 use pv_proc::vsm::{self, VsmConfig};
 
 /// Hard wall-time limit on the 10-sample 12-bit reachability sweep (s).
@@ -37,6 +42,10 @@ const REGRESSION_FACTOR: f64 = 10.0;
 const SEED_REACH12_WALL_S: f64 = 500.0; // lower bound: did not finish
 const SEED_ADDER16_SEQUENTIAL_S: f64 = 0.238;
 const SEED_VSM_ALLOCATED_NODES: f64 = 900_000.0;
+/// Live-node floor for the reorder workload's sifting trigger: low enough
+/// that the blocked 12-bit counter reorders within its first few fixpoint
+/// iterations.
+const REORDER12_FLOOR: usize = 1 << 12;
 
 struct Measurement {
     key: &'static str,
@@ -133,6 +142,53 @@ fn main() {
         key: "vsm_peak_live",
         value: report.bdd_peak_live as f64,
     });
+
+    // 4. Reordered vs static counter reachability on the pessimal blocked
+    //    variable layout.
+    let reorder_bits = 12usize;
+    let run_blocked = |reorder: bool| {
+        let mut m = BddManager::new();
+        if reorder {
+            m.set_auto_reorder(AutoReorderPolicy::Sifting {
+                floor: REORDER12_FLOOR,
+            });
+        }
+        let ts = counter_system_blocked(&mut m, reorder_bits);
+        let start = Instant::now();
+        let reach = ts.reachable(&mut m);
+        assert!(
+            reach.iterations >= 1 << reorder_bits,
+            "fixpoint after 2^{reorder_bits} increments"
+        );
+        (start.elapsed().as_secs_f64(), m.stats())
+    };
+    let (static_wall, static_stats) = run_blocked(false);
+    let (reorder_wall, reorder_stats) = run_blocked(true);
+    println!(
+        "reorder12     : static {static_wall:.3} s / {} allocated; sifted {reorder_wall:.3} s / {} allocated ({} passes, {} swaps)",
+        static_stats.allocated,
+        reorder_stats.allocated,
+        reorder_stats.reorder_runs,
+        reorder_stats.reorder_swaps
+    );
+    measurements.push(Measurement {
+        key: "reorder12_wall_s",
+        value: reorder_wall,
+    });
+    measurements.push(Measurement {
+        key: "reorder12_allocated",
+        value: reorder_stats.allocated as f64,
+    });
+    measurements.push(Measurement {
+        key: "reorder12_static_twin_allocated",
+        value: static_stats.allocated as f64,
+    });
+    if reorder_stats.allocated >= static_stats.allocated {
+        failures.push(format!(
+            "reorder12 allocated {} nodes but its static-order twin allocated {} — sifting must win",
+            reorder_stats.allocated, static_stats.allocated
+        ));
+    }
 
     // Compare against the checked-in baseline (order-of-magnitude gate; the
     // absolute limits above are the hard acceptance criteria).

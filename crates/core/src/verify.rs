@@ -4,9 +4,15 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Duration;
 
-use pv_bdd::{Bdd, BddManager, BddVec, Var};
+use pv_bdd::{AutoReorderPolicy, Bdd, BddManager, BddVec, Var};
 use pv_netlist::{Netlist, SymbolicSim};
+
+/// Live-node floor above which the verifier's per-plan managers start
+/// triggering dynamic variable reordering (grouped sifting) at the per-cycle
+/// safe points, when [`Verifier::with_auto_reorder`] has opted in.
+const AUTO_REORDER_FLOOR: usize = 1 << 18;
 
 use crate::plan::{CycleInput, SimulationPlan, SimulationSchedule, Slot};
 use crate::spec::MachineSpec;
@@ -116,6 +122,12 @@ pub struct VerificationReport {
     pub bdd_peak_live: usize,
     /// Total BDD variables allocated across all plans.
     pub bdd_vars: usize,
+    /// Dynamic variable-reordering passes across all plans' managers.
+    pub bdd_reorders: usize,
+    /// Total adjacent-level swaps those passes performed.
+    pub bdd_reorder_swaps: usize,
+    /// Total wall-clock time spent reordering.
+    pub bdd_reorder_time: Duration,
     /// The output filtering functions of the last plan checked
     /// (pipelined, unpipelined) — the `1 0 0 0 1 …` strings of Section 6.2.
     pub filters: (String, String),
@@ -146,6 +158,13 @@ impl fmt::Display for VerificationReport {
             "BDD nodes / vars  : {} / {} (peak live {})",
             self.bdd_nodes, self.bdd_vars, self.bdd_peak_live
         )?;
+        writeln!(
+            f,
+            "BDD reordering    : {} passes / {} swaps in {:.3} s",
+            self.bdd_reorders,
+            self.bdd_reorder_swaps,
+            self.bdd_reorder_time.as_secs_f64()
+        )?;
         writeln!(f, "PIPELINED filter  : {}", self.filters.0)?;
         writeln!(f, "UNPIPELINED filter: {}", self.filters.1)?;
         match &self.counterexample {
@@ -160,12 +179,41 @@ impl fmt::Display for VerificationReport {
 #[derive(Clone, Debug)]
 pub struct Verifier {
     spec: MachineSpec,
+    auto_reorder: bool,
 }
 
 impl Verifier {
     /// Creates a verifier for a design pair with the given properties.
+    /// Dynamic variable reordering is off by default (see
+    /// [`with_auto_reorder`](Self::with_auto_reorder) for why, and for how to
+    /// opt in).
     pub fn new(spec: MachineSpec) -> Self {
-        Verifier { spec }
+        Verifier {
+            spec,
+            auto_reorder: false,
+        }
+    }
+
+    /// Opts the per-plan BDD managers in to (or back out of) dynamic variable
+    /// reordering. When enabled, each manager sifts its order at the
+    /// per-cycle safe points once the live-node count passes an adaptive
+    /// threshold; slot instruction words and the don't-care words move as
+    /// blocks, and the report carries the pass/swap/time counters.
+    ///
+    /// It is **off by default** because on the β-relation simulation flow the
+    /// allocation order — slot words in program order, present/next register
+    /// bits interleaved — already encodes the problem structure, and sifting
+    /// measurably hurts: on the condensed Alpha0 slot-4 plan a single
+    /// mid-run pass inflates total allocation from 51.5 M to ≥124 M nodes
+    /// and wall time 2.4×, with continuous sifting worse still (the sifted
+    /// orders optimise the live set at the trigger point, not the later
+    /// cycles' compositions). Reordering pays off on reachability-style
+    /// workloads whose initial order is bad — see the `reorder12` perf-smoke
+    /// case, where it beats the static twin ~25× — so the switch is per
+    /// verifier, not global.
+    pub fn with_auto_reorder(mut self, enabled: bool) -> Self {
+        self.auto_reorder = enabled;
+        self
     }
 
     /// The machine specification this verifier uses.
@@ -232,6 +280,9 @@ impl Verifier {
             bdd_nodes: 0,
             bdd_peak_live: 0,
             bdd_vars: 0,
+            bdd_reorders: 0,
+            bdd_reorder_swaps: 0,
+            bdd_reorder_time: Duration::ZERO,
             filters: (String::new(), String::new()),
             counterexample: None,
         };
@@ -299,6 +350,11 @@ impl Verifier {
         }
         let schedule = SimulationSchedule::expand(spec, plan);
         let mut manager = BddManager::new();
+        if self.auto_reorder {
+            manager.set_auto_reorder(AutoReorderPolicy::Sifting {
+                floor: AUTO_REORDER_FLOOR,
+            });
+        }
 
         // One vector of instruction variables per slot, shared by both
         // machines, restricted to the slot's instruction class. Bits that the
@@ -308,10 +364,16 @@ impl Verifier {
         // instruction class" step of Section 5.2, and it keeps the BDDs much
         // smaller; the residual (non-cube) part of the constraint is carried
         // as an assumption and applied when the sampled formulae are compared.
+        // Each slot word is one reorder group: sifting moves whole
+        // instruction words past each other instead of scattering their bits.
         let slot_vars: Vec<Vec<Var>> = schedule
             .slot_classes
             .iter()
-            .map(|_| manager.new_vars(spec.instr_width))
+            .map(|_| {
+                let vars = manager.new_vars(spec.instr_width);
+                manager.group_vars(&vars);
+                vars
+            })
             .collect();
         let mut assumption = Bdd::TRUE;
         let mut slot_words: Vec<BddVec> = Vec::with_capacity(slot_vars.len());
@@ -436,6 +498,9 @@ impl Verifier {
         report.bdd_nodes += stats.allocated;
         report.bdd_peak_live = report.bdd_peak_live.max(stats.peak_live);
         report.bdd_vars += stats.vars;
+        report.bdd_reorders += stats.reorder_runs;
+        report.bdd_reorder_swaps += stats.reorder_swaps;
+        report.bdd_reorder_time += stats.reorder_time;
         Ok(result)
     }
 
@@ -479,6 +544,7 @@ impl Verifier {
                 CycleInput::Slot(j) => (slot_words[*j].clone(), false),
                 CycleInput::DontCare if is_implementation && cycle <= last_slot_cycle => {
                     let vars = manager.new_vars(spec.instr_width);
+                    manager.group_vars(&vars);
                     (BddVec::from_vars(manager, &vars), false)
                 }
                 CycleInput::DontCare => (BddVec::constant(manager, 0, spec.instr_width), false),
@@ -537,7 +603,11 @@ impl Verifier {
             // The per-cycle garbage — intermediate net functions and
             // constrain temporaries — is dead now; everything still needed
             // is either rooted (assumption, slot words, samples) or passed
-            // here (the state the next cycle starts from).
+            // here (the state the next cycle starts from). This is also the
+            // reordering safe point: when the live state has outgrown the
+            // adaptive threshold, the manager resifts the order before the
+            // next cycle's composition.
+            manager.maybe_reorder(&state.regs);
             manager.maybe_gc(&state.regs);
         }
         samples

@@ -220,7 +220,10 @@ impl<'a> SymbolicSim<'a> {
     /// Fresh variables are allocated in `manager`: first one variable per
     /// primary-input bit (in port order), then, per register bit, its present
     /// and next variables adjacent to each other — the interleaving required
-    /// by [`TransitionSystem`]'s image computation.
+    /// by [`TransitionSystem`]'s image computation. Each input port's word
+    /// and each present/next pair is placed in a reorder group
+    /// ([`BddManager::group_vars`]), so dynamic reordering moves words and
+    /// state pairs as blocks and cannot un-interleave the layout.
     ///
     /// The relation clusters, the initial-state set and the output functions
     /// are registered as garbage-collection roots in `manager`, so the
@@ -233,6 +236,7 @@ impl<'a> SymbolicSim<'a> {
         let mut all_input_vars = Vec::new();
         for p in &netlist.inputs {
             let vars = manager.new_vars(p.width);
+            manager.group_vars(&vars);
             all_input_vars.extend_from_slice(&vars);
             inputs.insert(p.name.clone(), BddVec::from_vars(manager, &vars));
             input_vars.push((p.name.clone(), vars));
@@ -240,8 +244,11 @@ impl<'a> SymbolicSim<'a> {
         let mut present = Vec::with_capacity(netlist.regs.len());
         let mut next = Vec::with_capacity(netlist.regs.len());
         for _ in &netlist.regs {
-            present.push(manager.new_var());
-            next.push(manager.new_var());
+            let p = manager.new_var();
+            let n = manager.new_var();
+            manager.group_vars(&[p, n]);
+            present.push(p);
+            next.push(n);
         }
         let state = SymState {
             regs: present.iter().map(|&v| manager.var(v)).collect(),

@@ -9,6 +9,10 @@
 //! two-register default.
 //!
 //! Run with `cargo run --release --example alpha0_verify [-- --paper]`.
+//! Pass `--reorder` to enable the verifier's dynamic variable reordering
+//! (off by default — see `Verifier::with_auto_reorder` for the measured
+//! A/B numbers). Set `ALPHA0_ONLY_SLOT=<n>` to run a single sweep position
+//! instead of the whole control-transfer sweep.
 
 use pipeverify::core::{MachineSpec, SimulationPlan, Verifier};
 use pipeverify::isa::alpha0::Alpha0Config;
@@ -16,6 +20,7 @@ use pipeverify::proc::alpha0::{self, PipelineConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let paper = std::env::args().any(|a| a == "--paper");
+    let reorder = std::env::args().any(|a| a == "--reorder");
     let isa = if paper {
         Alpha0Config::paper()
     } else {
@@ -38,31 +43,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let spec = MachineSpec::alpha0_condensed(isa);
-    let verifier = Verifier::new(spec);
+    let verifier = Verifier::new(spec).with_auto_reorder(reorder);
+    let only_slot: Option<usize> = std::env::var("ALPHA0_ONLY_SLOT")
+        .ok()
+        .and_then(|v| v.parse().ok());
 
     // The simulation information file of Section 6.3: a reset cycle, two
     // ordinary slots, a control-transfer slot, two more ordinary slots.
     let plan = SimulationPlan::paper_alpha0();
     println!("\nsimulation information:\n{plan}");
-    let report = verifier.verify_plan(&pipelined, &unpipelined, &plan)?;
-    print!("{report}");
-    assert!(report.equivalent());
+    if only_slot.is_none() {
+        let report = verifier.verify_plan(&pipelined, &unpipelined, &plan)?;
+        print!("{report}");
+        assert!(report.equivalent());
+    }
 
     // Sweep the control-transfer instruction over every slot position, as the
     // methodology prescribes (k·z simulations instead of all combinations).
     println!("\ncontrol-transfer position sweep:");
-    for position in 0..verifier.spec().k {
+    for position in (0..verifier.spec().k).filter(|p| only_slot.is_none_or(|o| o == *p)) {
         let plan = SimulationPlan::with_control_at(verifier.spec().k, position);
         let report = verifier.verify_plan(&pipelined, &unpipelined, &plan)?;
         println!(
-            "  control transfer in slot {position}: {} ({} formulae, {} BDD nodes)",
+            "  control transfer in slot {position}: {} ({} formulae, {} BDD nodes, peak live {}, {} reorders)",
             if report.equivalent() {
                 "equivalent"
             } else {
                 "NOT equivalent"
             },
             report.samples_compared,
-            report.bdd_nodes
+            report.bdd_nodes,
+            report.bdd_peak_live,
+            report.bdd_reorders,
         );
         assert!(report.equivalent());
     }
