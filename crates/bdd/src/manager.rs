@@ -75,6 +75,16 @@ pub struct GcStats {
 /// invalidates every handle that is not covered by the registered roots (or
 /// the extra roots passed to the reordering call); covered handles keep
 /// denoting the same Boolean function.
+/// # Threading
+///
+/// A manager is a plain owned value — node store, unique tables and caches
+/// are ordinary `Vec`s and `HashMap`s with no interior mutability or shared
+/// pointers (the crate forbids `unsafe`), so `BddManager` is `Send + Sync`
+/// and a manager can be **moved to** (or built on) a worker thread. Handles
+/// are only meaningful against the manager that created them, so concurrent
+/// use still means one manager per worker (the parallel plan verifier's
+/// model); the assertion below makes the `Send + Sync` guarantee a
+/// compile-time fact rather than an accident of the field types.
 #[derive(Debug)]
 pub struct BddManager {
     pub(crate) nodes: Vec<Node>,
@@ -119,6 +129,19 @@ pub struct BddManager {
     pub(crate) reorder_swaps: usize,
     pub(crate) reorder_time: Duration,
 }
+
+// The parallel plan verifier builds one manager per worker thread; keep the
+// manager (and the handle/stats types workers pass back) `Send + Sync` by
+// construction. If a future change introduces `Rc`, interior mutability or a
+// raw pointer, this assertion fails to compile instead of the worker pool.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<BddManager>();
+    assert_send_sync::<Bdd>();
+    assert_send_sync::<Var>();
+    assert_send_sync::<BddStats>();
+    assert_send_sync::<GcStats>();
+};
 
 impl Default for BddManager {
     fn default() -> Self {

@@ -11,7 +11,7 @@
 //! Criterion distribution; the sampled distributions for the cheaper VSM runs
 //! are in `exp_vsm`.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pipeverify_core::{MachineSpec, SimulationPlan, Verifier};
@@ -53,6 +53,39 @@ fn bench_alpha0(c: &mut Criterion) {
     println!("PIPELINED filter  : {}", report.filters.0);
     println!("UNPIPELINED filter: {}", report.filters.1);
     assert!(report.equivalent());
+
+    // The control-transfer position sweep of Section 5.3 on the worker pool:
+    // every position is verified in its own BDD manager, so the batch fans
+    // out over `PV_THREADS` workers (default: all cores), submitted highest
+    // slot first (longest-first scheduling — the late slots dominate) so the
+    // makespan approaches the slot-4 critical path. Run once with
+    // PV_THREADS=1 and once without for the sequential-vs-parallel A/B.
+    let sweep: Vec<SimulationPlan> = (0..verifier.spec().k)
+        .rev()
+        .map(|x| SimulationPlan::with_control_at(verifier.spec().k, x))
+        .collect();
+    let t3 = Instant::now();
+    let sweep_report = verifier
+        .verify_plans(&pipelined, &unpipelined, &sweep)
+        .expect("sweep");
+    let sweep_wall = t3.elapsed();
+    assert!(sweep_report.equivalent());
+    let k = verifier.spec().k;
+    println!(
+        "control-transfer sweep ({} plans): {:.2?} wall on {} worker thread(s); \
+         per-plan sum {:.2?} ({:.2}x concurrency), slowest slot {} at {:.2?}",
+        sweep.len(),
+        sweep_wall,
+        sweep_report.threads_used,
+        sweep_report.plan_wall_total(),
+        sweep_report.plan_wall_total().as_secs_f64() / sweep_wall.as_secs_f64().max(1e-9),
+        sweep_report
+            .slowest_plan()
+            .map_or(0, |p| k - 1 - p.plan_index),
+        sweep_report
+            .slowest_plan()
+            .map_or(Duration::ZERO, |p| p.wall_time),
+    );
 
     // A sampled Criterion entry for the cheapest meaningful Alpha0 run: the
     // symbolic simulation of a two-instruction plan. It keeps the harness

@@ -12,7 +12,7 @@
 //!   machines, whose cost grows as πᵏ.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pipeverify_core::{product_equivalence, MachineSpec, SimulationPlan, Verifier};
+use pipeverify_core::{pool, product_equivalence, MachineSpec, SimulationPlan, Verifier};
 use pv_netlist::{Netlist, NetlistBuilder};
 use pv_proc::vsm::{self, VsmConfig};
 use pv_strfn::definite::verify_definite_equivalence;
@@ -51,6 +51,40 @@ fn bench_methodology_vs_product(c: &mut Criterion) {
     println!(
         "β-relation verification (pipelined vs unpipelined): {} + {} simulation cycles, {} BDD nodes",
         beta.pipelined_cycles, beta.unpipelined_cycles, beta.bdd_nodes
+    );
+
+    // Batch product checks on the worker pool: each product-machine
+    // reachability run owns its BDD manager, so a batch of pairs (here: one
+    // accumulator width per item) fans out exactly like the verifier's plan
+    // sweep. Results come back in item order regardless of the worker count.
+    let widths = [6usize, 8, 10];
+    let t = std::time::Instant::now();
+    let sequential: Vec<usize> = widths
+        .iter()
+        .map(|&w| {
+            let (l, r) = (accumulator(w), accumulator(w));
+            let rep = product_equivalence(&l, &r).expect("product");
+            assert!(rep.equivalent);
+            rep.bdd_nodes
+        })
+        .collect();
+    let seq_wall = t.elapsed();
+    let t = std::time::Instant::now();
+    let parallel: Vec<usize> = pool::par_map(pool::default_threads(), &widths, |_, &w| {
+        let (l, r) = (accumulator(w), accumulator(w));
+        let rep = product_equivalence(&l, &r).expect("product");
+        assert!(rep.equivalent);
+        rep.bdd_nodes
+    });
+    let par_wall = t.elapsed();
+    assert_eq!(
+        sequential, parallel,
+        "batch product checks are deterministic"
+    );
+    println!(
+        "batch product checks (widths {widths:?}): sequential {seq_wall:.2?}, \
+         pool ({} workers) {par_wall:.2?}",
+        pool::default_threads().min(widths.len()),
     );
 
     let mut group = c.benchmark_group("definite_vs_product");

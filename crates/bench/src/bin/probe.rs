@@ -4,19 +4,51 @@
 //!
 //! Set `PROBE_REORDER=1` to enable per-cycle auto-sifting
 //! (`PROBE_REORDER_FLOOR` tunes the live-node trigger floor, default 2^18).
+//!
+//! Set `PROBE_SWEEP=1` to instead time the verifier's full default plan sweep
+//! on the worker pool — `PV_THREADS` picks the worker count (`PV_THREADS=1`
+//! is the sequential A/B twin) and the probe prints the per-plan wall-time
+//! breakdown plus the realised speedup.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
-use pipeverify_core::{CycleInput, MachineSpec, SimulationPlan, SimulationSchedule};
+use pipeverify_core::{
+    pool, CycleInput, MachineSpec, SimulationPlan, SimulationSchedule, Verifier,
+};
 use pv_bdd::{AutoReorderPolicy, BddManager, BddVec, Var};
 use pv_netlist::SymbolicSim;
 use pv_proc::vsm::{self, VsmConfig};
+
+/// `PROBE_SWEEP=1`: verify the default VSM plan sweep on the worker pool and
+/// print the per-plan wall-time breakdown (the `--threads` A/B in probe form).
+fn sweep_probe(spec: MachineSpec, config: VsmConfig) {
+    let pipelined = vsm::pipelined(config).expect("build");
+    let unpipelined = vsm::unpipelined(config).expect("build");
+    let verifier = Verifier::new(spec);
+    println!(
+        "sweep probe: {} worker thread(s) (PV_THREADS={})",
+        verifier.threads().min(verifier.default_plans().len()),
+        std::env::var("PV_THREADS")
+            .unwrap_or_else(|_| format!("unset; {}", pool::default_threads()))
+    );
+    let started = Instant::now();
+    let report = verifier.verify(&pipelined, &unpipelined).expect("verify");
+    pv_bench::print_sweep_breakdown(&report, started.elapsed(), |i| format!("plan {i:2}"));
+}
 
 fn main() {
     let num_regs: usize = std::env::var("PROBE_REGS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2);
+    if std::env::var("PROBE_SWEEP").as_deref() == Ok("1") {
+        sweep_probe(
+            MachineSpec::vsm_reduced(num_regs),
+            VsmConfig::reduced(num_regs),
+        );
+        return;
+    }
     let spec = MachineSpec::vsm_reduced(num_regs);
     let plan = SimulationPlan::all_normal(4);
     let schedule = SimulationSchedule::expand(&spec, &plan);

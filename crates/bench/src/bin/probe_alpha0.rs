@@ -6,14 +6,55 @@
 //! `PROBE_SLOTS` (number of ordinary slots when no control transfer is used),
 //! `PROBE_REORDER` (`1` enables per-cycle auto-sifting, default off) and
 //! `PROBE_REORDER_FLOOR` (live-node trigger floor, default 2^18).
+//!
+//! `PROBE_SWEEP=1` switches the probe from per-cycle growth to the parallel
+//! control-transfer sweep A/B: it verifies every sweep position on the
+//! verifier's worker pool (`PV_THREADS` picks the worker count, `1` is the
+//! sequential twin, `ALPHA0_ONLY_SLOT` narrows the sweep) and prints the
+//! per-plan wall-time breakdown plus the realised speedup.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
-use pipeverify_core::{CycleInput, MachineSpec, SimulationPlan, SimulationSchedule};
+use pipeverify_core::{
+    pool, CycleInput, MachineSpec, SimulationPlan, SimulationSchedule, Verifier,
+};
 use pv_bdd::{AutoReorderPolicy, BddManager, BddVec, Var};
 use pv_isa::alpha0::Alpha0Config;
 use pv_netlist::SymbolicSim;
 use pv_proc::alpha0::{self, AluModel, PipelineConfig};
+
+/// `PROBE_SWEEP=1`: run the Alpha0 control-transfer position sweep on the
+/// worker pool and print the per-plan wall-time breakdown.
+fn sweep_probe(spec: MachineSpec, config: PipelineConfig) {
+    let pipelined = alpha0::pipelined(config).expect("build");
+    let unpipelined = alpha0::unpipelined(config).expect("build");
+    let verifier = Verifier::new(spec);
+    let only_slot: Option<usize> = std::env::var("ALPHA0_ONLY_SLOT")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let positions: Vec<usize> = (0..verifier.spec().k)
+        .filter(|p| only_slot.is_none_or(|o| o == *p))
+        .collect();
+    let sweep: Vec<SimulationPlan> = positions
+        .iter()
+        .map(|&p| SimulationPlan::with_control_at(verifier.spec().k, p))
+        .collect();
+    println!(
+        "sweep probe: {} plan(s) on {} worker thread(s) (PV_THREADS={})",
+        sweep.len(),
+        verifier.threads().min(sweep.len()),
+        std::env::var("PV_THREADS")
+            .unwrap_or_else(|_| format!("unset; {}", pool::default_threads()))
+    );
+    let started = Instant::now();
+    let report = verifier
+        .verify_plans(&pipelined, &unpipelined, &sweep)
+        .expect("verify");
+    pv_bench::print_sweep_breakdown(&report, started.elapsed(), |i| {
+        format!("slot {}", positions[i])
+    });
+}
 
 fn main() {
     let side = std::env::var("PROBE_SIDE").unwrap_or_else(|_| "pipelined".to_owned());
@@ -26,6 +67,12 @@ fn main() {
         AluModel::Full => MachineSpec::alpha0(isa),
         AluModel::Condensed => MachineSpec::alpha0_condensed(isa),
     };
+    if std::env::var("PROBE_SWEEP").as_deref() == Ok("1") {
+        let mut config = PipelineConfig::with_isa(isa);
+        config.alu = alu;
+        sweep_probe(spec, config);
+        return;
+    }
     let plan = match std::env::var("PROBE_SLOTS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())

@@ -4,10 +4,47 @@
 //! thesis reports separately for the unpipelined and the pipelined machine.
 
 use std::collections::BTreeMap;
+use std::time::Duration;
 
-use pipeverify_core::{CycleInput, MachineSpec, SimulationPlan, SimulationSchedule, Slot};
+use pipeverify_core::{
+    CycleInput, MachineSpec, SimulationPlan, SimulationSchedule, Slot, VerificationReport,
+};
 use pv_bdd::{Bdd, BddManager, BddVec, TransitionSystem, Var};
 use pv_netlist::{Netlist, SymbolicSim};
+
+/// Prints the per-plan breakdown and wall-clock summary of a pooled sweep
+/// run — shared by the `probe` and `probe_alpha0` `PROBE_SWEEP=1` modes.
+/// `label` maps a plan index to the caller's display label (`plan 3`,
+/// `slot 4`, …). The summary ratio is labelled *concurrency*, not speedup:
+/// per-plan walls are measured inside each worker and include preemption, so
+/// the sequential baseline is a separate `PV_THREADS=1` run.
+pub fn print_sweep_breakdown<F: Fn(usize) -> String>(
+    report: &VerificationReport,
+    wall: Duration,
+    label: F,
+) {
+    for plan in &report.plan_reports {
+        println!(
+            "{}: {:9} allocated, peak live {:9}, {:.3} s — {}",
+            label(plan.plan_index),
+            plan.bdd_nodes,
+            plan.bdd_peak_live,
+            plan.wall_time.as_secs_f64(),
+            if plan.equivalent() {
+                "equivalent"
+            } else {
+                "NOT equivalent"
+            }
+        );
+    }
+    println!(
+        "sweep: {:.3} s wall on {} thread(s); per-plan sum {:.3} s ({:.2}x concurrency; A/B against a PV_THREADS=1 run for the true speedup)",
+        wall.as_secs_f64(),
+        report.threads_used,
+        report.plan_wall_total().as_secs_f64(),
+        report.plan_wall_total().as_secs_f64() / wall.as_secs_f64().max(1e-9),
+    );
+}
 
 /// An `n`-bit counter with an enable input, as a partitioned transition
 /// system with interleaved present/next state variables — the machine family

@@ -20,6 +20,12 @@
 //! functions (the β-relation / dynamic β-relation schedules) and compared as
 //! ROBDDs.
 //!
+//! Each plan in a batch is checked in its own freshly-built BDD manager, so
+//! batches run on a scoped worker pool ([`pool`], [`Verifier::with_threads`],
+//! the `PV_THREADS` environment variable) with a deterministic merge — the
+//! parallel report is field-by-field identical to the sequential one (see
+//! `DESIGN.md` § "Parallel verification").
+//!
 //! The crate also contains the baselines the evaluation compares against:
 //! the product-machine reachability equivalence procedure of Section 3.4 and
 //! a conventional random-simulation checker. (A Burch–Dill-style flushing
@@ -48,10 +54,11 @@
 
 mod baseline;
 mod plan;
+pub mod pool;
 mod spec;
 mod verify;
 
 pub use baseline::{product_equivalence, random_simulation, ProductReport, RandomSimReport};
 pub use plan::{CycleInput, ParsePlanError, SimulationPlan, SimulationSchedule, Slot};
 pub use spec::MachineSpec;
-pub use verify::{Counterexample, VerificationReport, Verifier, VerifyError};
+pub use verify::{Counterexample, PlanReport, VerificationReport, Verifier, VerifyError};

@@ -1,0 +1,191 @@
+//! A scoped worker pool over independent units of work.
+//!
+//! Plan verification is embarrassingly parallel: every [`crate::SimulationPlan`]
+//! is checked in its own freshly-built BDD manager, so the only shared state
+//! between two plan checks is the *read-only* inputs (the netlists and the
+//! [`crate::MachineSpec`]). This module provides the small, dependency-free
+//! fan-out the verifier and the benchmark harness use: [`std::thread::scope`]
+//! workers pulling indices from an atomic counter, with results merged back in
+//! **index order** so parallel output is bit-identical to the sequential path.
+//!
+//! The worker count comes from [`Verifier::with_threads`](crate::Verifier::with_threads)
+//! or, by default, from the `PV_THREADS` environment variable
+//! ([`default_threads`]); `1` bypasses the pool entirely and runs today's
+//! in-place sequential loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// The default worker count: the `PV_THREADS` environment variable when it is
+/// set to a positive integer, otherwise (or when it is `0` or unparsable) the
+/// machine's available parallelism, and `1` when even that is unknown.
+pub fn default_threads() -> usize {
+    match std::env::var("PV_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Applies `f` to every item on `threads` scoped workers and returns the
+/// results in item order.
+///
+/// `f` receives the item index and the item; items are claimed from an atomic
+/// counter, so the *assignment* of items to workers is nondeterministic while
+/// the returned vector is not. With `threads <= 1` (or a single item) the
+/// items are processed inline on the caller's thread, in order, with no
+/// threads spawned.
+pub fn par_map<I, R, F>(threads: usize, items: &[I], f: F) -> Vec<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(usize, &I) -> R + Sync,
+{
+    par_map_prefix(threads, items, |i, item| (f(i, item), false))
+        .into_iter()
+        .map(|r| r.expect("par_map_prefix computes every item when none is terminal"))
+        .collect()
+}
+
+/// Like [`par_map`], but `f` additionally returns a *terminal* flag: once an
+/// item is terminal, items with **higher** indices no longer need to be
+/// computed (the verifier's "stop at the first counterexample").
+///
+/// Every index up to and including the lowest terminal one is guaranteed to
+/// be computed (`Some`); indices past it may or may not be, depending on how
+/// far the workers had raced ahead. Callers that want sequential semantics
+/// must therefore consume the results in index order and stop at the first
+/// terminal item — exactly what
+/// [`Verifier::verify_plans`](crate::Verifier::verify_plans) does.
+pub fn par_map_prefix<I, R, F>(threads: usize, items: &[I], f: F) -> Vec<Option<R>>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(usize, &I) -> (R, bool) + Sync,
+{
+    let n = items.len();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        for (i, item) in items.iter().enumerate() {
+            let (r, terminal) = f(i, item);
+            results[i] = Some(r);
+            if terminal {
+                break;
+            }
+        }
+        return results;
+    }
+
+    // Work distribution: each worker claims the next unclaimed index. When an
+    // item turns out to be terminal, `cutoff` drops to its index and later
+    // indices are skipped instead of computed (they can never be part of the
+    // sequential prefix). `cutoff` only ever decreases, and an index at or
+    // below the final cutoff is never skipped, so the prefix is complete.
+    let next = AtomicUsize::new(0);
+    let cutoff = AtomicUsize::new(usize::MAX);
+    let computed = thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (f, next, cutoff) = (&f, &next, &cutoff);
+                s.spawn(move || {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        if i > cutoff.load(Ordering::Acquire) {
+                            continue;
+                        }
+                        let (r, terminal) = f(i, &items[i]);
+                        if terminal {
+                            cutoff.fetch_min(i, Ordering::AcqRel);
+                        }
+                        out.push((i, r));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("pool worker panicked"))
+            .collect::<Vec<(usize, R)>>()
+    });
+    for (i, r) in computed {
+        results[i] = Some(r);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn par_map_preserves_item_order() {
+        let items: Vec<usize> = (0..37).collect();
+        for threads in [1, 2, 4, 64] {
+            let out = par_map(threads, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * x
+            });
+            assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_oversized_pools() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(16, &[7u32], |_, &x| x + 1), vec![8]);
+        assert_eq!(par_map(0, &[1u32, 2], |_, &x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn prefix_up_to_the_lowest_terminal_is_always_computed() {
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 2, 4, 8] {
+            let results = par_map_prefix(threads, &items, |_, &x| (x, x == 20));
+            for (i, r) in results.iter().enumerate().take(21) {
+                assert_eq!(r, &Some(i), "index {i} belongs to the prefix");
+            }
+            // Consuming in index order and stopping at the terminal item
+            // reproduces the sequential prefix regardless of racing.
+            let prefix: Vec<usize> = results
+                .into_iter()
+                .map_while(|r| r)
+                .scan(false, |done, x| {
+                    if *done {
+                        return None;
+                    }
+                    *done = x == 20;
+                    Some(x)
+                })
+                .collect();
+            assert_eq!(prefix, (0..=20).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn sequential_fallback_stops_at_the_terminal_item() {
+        let calls = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..10).collect();
+        let results = par_map_prefix(1, &items, |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            (x, x == 3)
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+        assert_eq!(results[3], Some(3));
+        assert!(results[4..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

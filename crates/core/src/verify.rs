@@ -1,10 +1,20 @@
 //! The verification algorithm of Figure 8: symbolic simulation of both
 //! machines, output filtering, and ROBDD comparison of the sampled
 //! observed-variable formulae.
+//!
+//! Checking one [`SimulationPlan`] is a pure, self-contained unit of work —
+//! it builds its own [`BddManager`], simulates both machines, compares the
+//! sampled formulae and returns a [`PlanReport`]. Nothing is shared between
+//! two plan checks except the read-only inputs, so a batch of plans
+//! ([`Verifier::verify_plans`]) runs on the scoped worker pool of
+//! [`crate::pool`] and merges the per-plan reports deterministically: stats
+//! are summed in plan order and the counterexample (if any) is taken from the
+//! lowest-indexed failing plan, so the parallel report is bit-identical to
+//! the sequential one.
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pv_bdd::{AutoReorderPolicy, Bdd, BddManager, BddVec, Var};
 use pv_netlist::{Netlist, SymbolicSim};
@@ -15,6 +25,7 @@ use pv_netlist::{Netlist, SymbolicSim};
 const AUTO_REORDER_FLOOR: usize = 1 << 18;
 
 use crate::plan::{CycleInput, SimulationPlan, SimulationSchedule, Slot};
+use crate::pool;
 use crate::spec::MachineSpec;
 
 /// Errors detected before or during verification.
@@ -101,6 +112,53 @@ impl fmt::Display for Counterexample {
     }
 }
 
+/// Outcome and cost statistics of checking a **single** simulation plan in
+/// its own freshly-built BDD manager — the unit of work the worker pool
+/// distributes. Everything except [`wall_time`](Self::wall_time) is a pure
+/// function of `(MachineSpec, pipelined, unpipelined, plan)`.
+#[derive(Clone, Debug)]
+pub struct PlanReport {
+    /// The plan this report describes.
+    pub plan: SimulationPlan,
+    /// Position of the plan in the batch handed to
+    /// [`Verifier::verify_plans`] (0 for a single-plan check).
+    pub plan_index: usize,
+    /// Number of (slot, observed-variable) formula pairs compared.
+    pub samples_compared: usize,
+    /// Symbolic-simulation cycles of the pipelined implementation.
+    pub pipelined_cycles: usize,
+    /// Symbolic-simulation cycles of the unpipelined specification.
+    pub unpipelined_cycles: usize,
+    /// Total ROBDD nodes created (monotone across garbage collections).
+    pub bdd_nodes: usize,
+    /// Largest number of simultaneously live ROBDD nodes in this plan's
+    /// manager.
+    pub bdd_peak_live: usize,
+    /// BDD variables allocated.
+    pub bdd_vars: usize,
+    /// Dynamic variable-reordering passes.
+    pub bdd_reorders: usize,
+    /// Adjacent-level swaps those passes performed.
+    pub bdd_reorder_swaps: usize,
+    /// Wall-clock time spent reordering.
+    pub bdd_reorder_time: Duration,
+    /// The output filtering functions (pipelined, unpipelined) — the
+    /// `1 0 0 0 1 …` strings of Section 6.2.
+    pub filters: (String, String),
+    /// The first counterexample found in this plan, if any.
+    pub counterexample: Option<Counterexample>,
+    /// Wall-clock time this plan check took (simulation of both machines plus
+    /// the comparison). The only field that is not deterministic.
+    pub wall_time: Duration,
+}
+
+impl PlanReport {
+    /// `true` iff this plan produced no counterexample.
+    pub fn equivalent(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
 /// Outcome and cost statistics of a verification run.
 #[derive(Clone, Debug)]
 pub struct VerificationReport {
@@ -131,8 +189,17 @@ pub struct VerificationReport {
     /// The output filtering functions of the last plan checked
     /// (pipelined, unpipelined) — the `1 0 0 0 1 …` strings of Section 6.2.
     pub filters: (String, String),
-    /// The first counterexample found, if any.
+    /// The first counterexample found, if any. "First" means the one from the
+    /// lowest-indexed failing plan — identical to what the sequential loop
+    /// finds, regardless of the worker count.
     pub counterexample: Option<Counterexample>,
+    /// Worker threads the batch ran on (1 = the sequential path).
+    pub threads_used: usize,
+    /// Per-plan breakdown, in plan order, truncated exactly where the
+    /// sequential loop would have stopped (after the first failing plan).
+    /// The per-plan [`wall_time`](PlanReport::wall_time) exposes the parallel
+    /// speedup and the slowest plan directly.
+    pub plan_reports: Vec<PlanReport>,
 }
 
 impl VerificationReport {
@@ -141,12 +208,81 @@ impl VerificationReport {
     pub fn equivalent(&self) -> bool {
         self.counterexample.is_none()
     }
+
+    /// Deterministically merges per-plan reports (which must be the
+    /// *sequential prefix*: in plan order, with only the last one allowed to
+    /// carry a counterexample) into a batch report. Stats are summed in plan
+    /// order, the peak-live figure is the maximum over the plans, the filters
+    /// are those of the last plan checked, and the counterexample — if any —
+    /// comes from the lowest-indexed failing plan, so the merged report is
+    /// field-by-field identical to what the sequential loop produces.
+    pub fn merge(machine: String, threads_used: usize, plan_reports: Vec<PlanReport>) -> Self {
+        let mut report = VerificationReport {
+            machine,
+            plans_checked: plan_reports.len(),
+            samples_compared: 0,
+            pipelined_cycles: 0,
+            unpipelined_cycles: 0,
+            bdd_nodes: 0,
+            bdd_peak_live: 0,
+            bdd_vars: 0,
+            bdd_reorders: 0,
+            bdd_reorder_swaps: 0,
+            bdd_reorder_time: Duration::ZERO,
+            filters: (String::new(), String::new()),
+            counterexample: None,
+            threads_used,
+            plan_reports: Vec::new(),
+        };
+        for plan in &plan_reports {
+            debug_assert!(
+                report.counterexample.is_none(),
+                "only the last merged plan may carry a counterexample"
+            );
+            report.samples_compared += plan.samples_compared;
+            report.pipelined_cycles += plan.pipelined_cycles;
+            report.unpipelined_cycles += plan.unpipelined_cycles;
+            report.bdd_nodes += plan.bdd_nodes;
+            report.bdd_peak_live = report.bdd_peak_live.max(plan.bdd_peak_live);
+            report.bdd_vars += plan.bdd_vars;
+            report.bdd_reorders += plan.bdd_reorders;
+            report.bdd_reorder_swaps += plan.bdd_reorder_swaps;
+            report.bdd_reorder_time += plan.bdd_reorder_time;
+            report.filters = plan.filters.clone();
+            report.counterexample = plan.counterexample.clone();
+        }
+        report.plan_reports = plan_reports;
+        report
+    }
+
+    /// The slowest plan of the batch, by wall-clock time — on the Alpha0
+    /// control-transfer sweep this is the slot-4 plan, the figure the
+    /// parallel speedup is bounded by.
+    pub fn slowest_plan(&self) -> Option<&PlanReport> {
+        self.plan_reports.iter().max_by_key(|p| p.wall_time)
+    }
+
+    /// Sum of the per-plan wall-clock times. On a `threads = 1` run this is
+    /// the sequential cost of the batch; on a parallel run each plan's wall
+    /// time is measured inside its worker and therefore includes any time the
+    /// worker spent preempted, so the sum over wall clock is a *concurrency*
+    /// figure — for a true speedup, A/B two runs (as the `alpha0_sweep_par`
+    /// perf-smoke case does).
+    pub fn plan_wall_total(&self) -> Duration {
+        self.plan_reports.iter().map(|p| p.wall_time).sum()
+    }
 }
 
 impl fmt::Display for VerificationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "design pair       : {}", self.machine)?;
-        writeln!(f, "plans checked     : {}", self.plans_checked)?;
+        writeln!(
+            f,
+            "plans checked     : {} (on {} worker thread{})",
+            self.plans_checked,
+            self.threads_used,
+            if self.threads_used == 1 { "" } else { "s" }
+        )?;
         writeln!(f, "formulae compared : {}", self.samples_compared)?;
         writeln!(
             f,
@@ -165,6 +301,15 @@ impl fmt::Display for VerificationReport {
             self.bdd_reorder_swaps,
             self.bdd_reorder_time.as_secs_f64()
         )?;
+        if let Some(slowest) = self.slowest_plan() {
+            writeln!(
+                f,
+                "plan wall clock   : {:.3} s summed, slowest plan #{} at {:.3} s",
+                self.plan_wall_total().as_secs_f64(),
+                slowest.plan_index,
+                slowest.wall_time.as_secs_f64()
+            )?;
+        }
         writeln!(f, "PIPELINED filter  : {}", self.filters.0)?;
         writeln!(f, "UNPIPELINED filter: {}", self.filters.1)?;
         match &self.counterexample {
@@ -180,17 +325,36 @@ impl fmt::Display for VerificationReport {
 pub struct Verifier {
     spec: MachineSpec,
     auto_reorder: bool,
+    threads: Option<usize>,
 }
+
+// Plan checks run on pool workers holding `&Verifier` and `&Netlist`; keep
+// everything a worker touches `Send + Sync` (all of it is plain owned data —
+// the `BddManager` each check builds is owned by its worker, and
+// `MachineSpec`'s class constraints are plain `fn` pointers).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Verifier>();
+    assert_send_sync::<MachineSpec>();
+    assert_send_sync::<SimulationPlan>();
+    assert_send_sync::<Netlist>();
+    assert_send_sync::<PlanReport>();
+    assert_send_sync::<VerificationReport>();
+    assert_send_sync::<Counterexample>();
+    assert_send_sync::<VerifyError>();
+};
 
 impl Verifier {
     /// Creates a verifier for a design pair with the given properties.
     /// Dynamic variable reordering is off by default (see
     /// [`with_auto_reorder`](Self::with_auto_reorder) for why, and for how to
-    /// opt in).
+    /// opt in); the worker count defaults to the `PV_THREADS` environment
+    /// variable (see [`with_threads`](Self::with_threads)).
     pub fn new(spec: MachineSpec) -> Self {
         Verifier {
             spec,
             auto_reorder: false,
+            threads: None,
         }
     }
 
@@ -214,6 +378,37 @@ impl Verifier {
     pub fn with_auto_reorder(mut self, enabled: bool) -> Self {
         self.auto_reorder = enabled;
         self
+    }
+
+    /// Sets the worker count used by [`verify_plans`](Self::verify_plans)
+    /// (and everything built on it): `1` runs the plans sequentially on the
+    /// calling thread — exactly the pre-pool code path — and `0` restores the
+    /// default, which is the `PV_THREADS` environment variable when set to a
+    /// positive integer and the machine's available parallelism otherwise.
+    ///
+    /// The worker count never changes the report: plans are merged in plan
+    /// order with the counterexample taken from the lowest-indexed failing
+    /// plan (see [`VerificationReport::merge`]), so any thread count produces
+    /// a field-by-field identical report (modulo the wall-time fields and
+    /// [`VerificationReport::threads_used`] itself).
+    ///
+    /// **Memory:** every in-flight plan owns a full `BddManager`, so peak
+    /// residency is up to `threads ×` the largest single plan's peak-live
+    /// footprint (the Alpha0 slot-4 plan alone peaks at ~12.8 M live nodes).
+    /// On a machine that runs a big sweep near its memory ceiling, set
+    /// `PV_THREADS` (or this knob) below the core count — `1` restores the
+    /// sequential footprint exactly.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = (threads > 0).then_some(threads);
+        self
+    }
+
+    /// The resolved worker count for an unbounded batch: the explicit
+    /// [`with_threads`](Self::with_threads) setting if any, otherwise
+    /// [`pool::default_threads`] (`PV_THREADS` / available parallelism).
+    /// A batch of `n` plans uses at most `n` of them.
+    pub fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(pool::default_threads).max(1)
     }
 
     /// The machine specification this verifier uses.
@@ -259,7 +454,33 @@ impl Verifier {
         self.verify_plans(pipelined, unpipelined, std::slice::from_ref(plan))
     }
 
+    /// Checks one plan as a pure, self-contained unit of work: builds a fresh
+    /// [`BddManager`], simulates both machines under the plan, compares the
+    /// sampled formulae and returns the per-plan report. This is the function
+    /// the worker pool fans out.
+    ///
+    /// # Errors
+    /// See [`Verifier::verify`].
+    pub fn check_plan(
+        &self,
+        pipelined: &Netlist,
+        unpipelined: &Netlist,
+        plan: &SimulationPlan,
+    ) -> Result<PlanReport, VerifyError> {
+        self.validate(pipelined)?;
+        self.validate(unpipelined)?;
+        self.check_plan_indexed(pipelined, unpipelined, plan, 0)
+    }
+
     /// Verifies a sequence of plans, stopping at the first counterexample.
+    ///
+    /// With a worker count above 1 (see [`with_threads`](Self::with_threads)
+    /// and the `PV_THREADS` default) the plans are checked concurrently, one
+    /// freshly-built BDD manager per plan, and the per-plan reports are
+    /// merged in plan order — the resulting report is identical to the
+    /// sequential one, including which counterexample is reported and where
+    /// the batch stops counting (nothing past the first failing plan is
+    /// merged, even if a racing worker had already checked it).
     ///
     /// # Errors
     /// See [`Verifier::verify`].
@@ -271,30 +492,38 @@ impl Verifier {
     ) -> Result<VerificationReport, VerifyError> {
         self.validate(pipelined)?;
         self.validate(unpipelined)?;
-        let mut report = VerificationReport {
-            machine: self.spec.name.clone(),
-            plans_checked: 0,
-            samples_compared: 0,
-            pipelined_cycles: 0,
-            unpipelined_cycles: 0,
-            bdd_nodes: 0,
-            bdd_peak_live: 0,
-            bdd_vars: 0,
-            bdd_reorders: 0,
-            bdd_reorder_swaps: 0,
-            bdd_reorder_time: Duration::ZERO,
-            filters: (String::new(), String::new()),
-            counterexample: None,
-        };
-        for plan in plans {
-            let outcome = self.check_plan(pipelined, unpipelined, plan, &mut report)?;
-            report.plans_checked += 1;
-            if outcome.is_some() {
-                report.counterexample = outcome;
-                break;
+        let threads = self.threads().min(plans.len().max(1));
+        let results = pool::par_map_prefix(threads, plans, |index, plan| {
+            let result = self.check_plan_indexed(pipelined, unpipelined, plan, index);
+            let terminal = match &result {
+                Err(_) => true,
+                Ok(report) => report.counterexample.is_some(),
+            };
+            (result, terminal)
+        });
+        // Consume the sequential prefix: everything up to (and including) the
+        // first failing plan, exactly as the sequential loop would have.
+        let mut prefix: Vec<PlanReport> = Vec::with_capacity(plans.len());
+        for slot in results {
+            match slot {
+                // Past the lowest terminal index: the sequential loop would
+                // never have reached this plan.
+                None => break,
+                Some(Err(e)) => return Err(e),
+                Some(Ok(plan_report)) => {
+                    let stop = plan_report.counterexample.is_some();
+                    prefix.push(plan_report);
+                    if stop {
+                        break;
+                    }
+                }
             }
         }
-        Ok(report)
+        Ok(VerificationReport::merge(
+            self.spec.name.clone(),
+            threads,
+            prefix,
+        ))
     }
 
     fn validate(&self, netlist: &Netlist) -> Result<(), VerifyError> {
@@ -334,13 +563,17 @@ impl Verifier {
         Ok(())
     }
 
-    fn check_plan(
+    /// The unit of work behind [`check_plan`](Self::check_plan): assumes the
+    /// netlists have already been validated (validation is plan-independent
+    /// and done once per batch).
+    fn check_plan_indexed(
         &self,
         pipelined: &Netlist,
         unpipelined: &Netlist,
         plan: &SimulationPlan,
-        report: &mut VerificationReport,
-    ) -> Result<Option<Counterexample>, VerifyError> {
+        plan_index: usize,
+    ) -> Result<PlanReport, VerifyError> {
+        let started = Instant::now();
         let spec = &self.spec;
         if plan.instruction_count() == 0 {
             return Err(VerifyError::EmptyPlan);
@@ -441,14 +674,8 @@ impl Verifier {
             assumption,
         );
 
-        report.pipelined_cycles += schedule.pipelined_cycles();
-        report.unpipelined_cycles += schedule.unpipelined_cycles();
-        report.filters = (
-            schedule.pipelined_filter.to_string(),
-            schedule.unpipelined_filter.to_string(),
-        );
-
-        let mut result = None;
+        let mut samples_compared = 0usize;
+        let mut counterexample = None;
         'outer: for (slot, _, _) in &schedule.samples {
             for name in &spec.observed {
                 let p = &pipelined_samples[slot][name];
@@ -460,7 +687,7 @@ impl Verifier {
                         unpipelined: u.width(),
                     });
                 }
-                report.samples_compared += 1;
+                samples_compared += 1;
                 let equal = p.eq(&mut manager, u);
                 let differs = manager.not(equal);
                 let violation = manager.and(assumption, differs);
@@ -481,7 +708,7 @@ impl Verifier {
                                 .fold(0u64, |acc, (i, &v)| acc | (u64::from(assignment(v)) << i))
                         })
                         .collect();
-                    result = Some(Counterexample {
+                    counterexample = Some(Counterexample {
                         plan: plan.clone(),
                         slot_instructions,
                         slot: *slot,
@@ -495,13 +722,25 @@ impl Verifier {
         }
 
         let stats = manager.stats();
-        report.bdd_nodes += stats.allocated;
-        report.bdd_peak_live = report.bdd_peak_live.max(stats.peak_live);
-        report.bdd_vars += stats.vars;
-        report.bdd_reorders += stats.reorder_runs;
-        report.bdd_reorder_swaps += stats.reorder_swaps;
-        report.bdd_reorder_time += stats.reorder_time;
-        Ok(result)
+        Ok(PlanReport {
+            plan: plan.clone(),
+            plan_index,
+            samples_compared,
+            pipelined_cycles: schedule.pipelined_cycles(),
+            unpipelined_cycles: schedule.unpipelined_cycles(),
+            bdd_nodes: stats.allocated,
+            bdd_peak_live: stats.peak_live,
+            bdd_vars: stats.vars,
+            bdd_reorders: stats.reorder_runs,
+            bdd_reorder_swaps: stats.reorder_swaps,
+            bdd_reorder_time: stats.reorder_time,
+            filters: (
+                schedule.pipelined_filter.to_string(),
+                schedule.unpipelined_filter.to_string(),
+            ),
+            counterexample,
+            wall_time: started.elapsed(),
+        })
     }
 
     /// Symbolically simulates one machine over the expanded cycle plan and

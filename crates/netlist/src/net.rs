@@ -106,6 +106,15 @@ pub struct Netlist {
     pub(crate) outputs: Vec<(String, Vec<NetId>)>,
 }
 
+// A finished netlist is shared by reference across the parallel verifier's
+// worker threads (every plan check reads the same two netlists); this
+// assertion keeps that a compile-time guarantee.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Netlist>();
+    assert_send_sync::<PortInfo>();
+};
+
 impl Netlist {
     /// Human-readable design name.
     pub fn name(&self) -> &str {
