@@ -12,12 +12,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pipeverify_core::{MachineSpec, SimulationPlan, Verifier};
-use pv_flush::{FlushVerifier, PipelineBug, PipelineModel};
+use pv_flush::{FlushVerifier, PipelineBug, PipelineDesc};
 use pv_proc::vsm::{self, VsmConfig};
 
 fn bench_flushing(c: &mut Criterion) {
     println!("=== extension: Burch–Dill flushing vs. β-relation symbolic simulation ===");
-    let correct = FlushVerifier::new(PipelineModel::correct()).verify();
+    let correct = FlushVerifier::new(PipelineDesc::three_stage()).verify();
     println!(
         "correct pipeline: {} terms, {} case splits, {} closure checks, valid = {}",
         correct.terms,
@@ -30,7 +30,7 @@ fn bench_flushing(c: &mut Criterion) {
     let mut group = c.benchmark_group("flushing_euf");
     group.bench_function("correct_pipeline", |b| {
         b.iter(|| {
-            let r = FlushVerifier::new(PipelineModel::correct()).verify();
+            let r = FlushVerifier::new(PipelineDesc::three_stage()).verify();
             assert!(r.valid());
         })
     });
@@ -45,11 +45,25 @@ fn bench_flushing(c: &mut Criterion) {
             &bug,
             |b, &bug| {
                 b.iter(|| {
-                    let r = FlushVerifier::new(PipelineModel::with_bug(bug)).verify();
+                    let r = FlushVerifier::new(PipelineDesc::three_stage().with_bug(bug)).verify();
                     assert!(!r.valid());
                 })
             },
         );
+    }
+    group.finish();
+
+    // Depth-parametric scaling of the commuting-diagram check: the EUF case
+    // split grows with the in-flight window the forwarding network covers.
+    let mut group = c.benchmark_group("flushing_depth");
+    group.sample_size(10);
+    for depth in [2usize, 3, 5, 8, 10] {
+        group.bench_with_input(BenchmarkId::new("depth", depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let r = FlushVerifier::new(PipelineDesc::with_depth(depth)).verify();
+                assert!(r.valid());
+            })
+        });
     }
     group.finish();
 

@@ -24,6 +24,17 @@
 //!    and on a runner with at least two cores the parallel wall clock must
 //!    beat the sequential twin; on a single-core runner that gate is skipped
 //!    with a notice (there is nothing to win without a second core).
+//! 6. **Flushing of the stallable VSM** (`flush3`) — the cross-flow bridge:
+//!    the term-level pipeline description is derived from the stallable VSM
+//!    netlist (three in-flight latches → flush bound 3) and the Burch–Dill
+//!    commuting diagram is decided in EUF. The sequential and 4-worker
+//!    reports must be field-identical (the same deterministic-merge
+//!    guarantee as case 5, applied to EUF case-split blocks).
+//! 7. **Parallel EUF case split** (`flush_par`) — a deep (depth-12) term
+//!    pipeline whose case split is heavy enough to time: run sequentially
+//!    and on a four-worker pool. Report identity is gated always; on a
+//!    runner with at least two cores the parallel wall clock must beat the
+//!    sequential twin (skip-with-notice on one core, as in case 5).
 //!
 //! Exit status is non-zero when a hard limit (the acceptance criteria) is
 //! exceeded or any measurement regresses by more than an order of magnitude
@@ -34,6 +45,7 @@ use std::time::{Duration, Instant};
 use pipeverify_core::{MachineSpec, SimulationPlan, Verifier};
 use pv_bdd::{AutoReorderPolicy, BddManager, BddVec};
 use pv_bench::{counter_system, counter_system_blocked};
+use pv_flush::{FlushVerifier, PipelineDesc};
 use pv_isa::alpha0::Alpha0Config;
 use pv_proc::alpha0::{self, PipelineConfig};
 use pv_proc::vsm::{self, VsmConfig};
@@ -65,6 +77,14 @@ const SWEEP_THREADS: usize = 4;
 /// ~1 min) lives in the `alpha0_verify` example, not in the smoke gate.
 const SWEEP_SLOTS: usize = 4;
 const SWEEP_POSITIONS: usize = 3;
+/// Repetitions of the (fast) stallable-VSM flushing check, so the committed
+/// `flush3` wall figure sums to something timer noise cannot 10×.
+const FLUSH3_REPEATS: usize = 20;
+/// Depth of the term pipeline used for the parallel-EUF wall-clock A/B: deep
+/// enough that its case split takes a few hundred milliseconds sequentially
+/// (the cube walls are balanced — no block dominates — so a ≥2-core pool has
+/// real parallelism to win with).
+const FLUSH_PAR_DEPTH: usize = 12;
 
 struct Measurement {
     key: &'static str,
@@ -276,6 +296,104 @@ fn main() {
         );
     }
 
+    // 6. Flushing of the stallable VSM: derive the term-level pipeline from
+    //    the netlist the β-relation flow simulates, decide the commuting
+    //    diagram, and gate the deterministic-merge guarantee of the parallel
+    //    EUF case split (report identity for any worker count).
+    let stallable = vsm::pipelined(VsmConfig::reduced(2).stallable()).expect("build stallable VSM");
+    let flush3 = FlushVerifier::from_netlist(&stallable).expect("derive flushing verifier");
+    assert_eq!(
+        flush3.desc().flush_bound(),
+        3,
+        "the stallable VSM drains in three bubble cycles"
+    );
+    let start = Instant::now();
+    let mut flush3_seq = flush3.clone().with_threads(1).verify();
+    for _ in 1..FLUSH3_REPEATS {
+        flush3_seq = flush3.clone().with_threads(1).verify();
+    }
+    let flush3_wall = start.elapsed().as_secs_f64();
+    assert!(
+        flush3_seq.valid(),
+        "the stallable VSM must verify: {flush3_seq}"
+    );
+    let flush3_par = flush3.clone().with_threads(SWEEP_THREADS).verify();
+    println!(
+        "flush3        : {FLUSH3_REPEATS} runs in {flush3_wall:.3} s ({} terms, {} splits over {} blocks, flush bound {})",
+        flush3_seq.terms,
+        flush3_seq.splits,
+        flush3_seq.cubes,
+        flush3.desc().flush_bound(),
+    );
+    if flush3_seq.splits != flush3_par.splits
+        || flush3_seq.closure_checks != flush3_par.closure_checks
+        || flush3_seq.terms != flush3_par.terms
+        || flush3_seq.cubes_checked != flush3_par.cubes_checked
+        || flush3_seq.counterexample != flush3_par.counterexample
+    {
+        failures.push(format!(
+            "flush3 parallel report diverges from sequential: {}/{} splits, {}/{} closure checks, {}/{} blocks",
+            flush3_par.splits, flush3_seq.splits,
+            flush3_par.closure_checks, flush3_seq.closure_checks,
+            flush3_par.cubes_checked, flush3_seq.cubes_checked,
+        ));
+    }
+    measurements.push(Measurement {
+        key: "flush3_wall_s",
+        value: flush3_wall,
+    });
+    measurements.push(Measurement {
+        key: "flush3_splits",
+        value: flush3_seq.splits as f64,
+    });
+
+    // 7. Parallel EUF case split on a deep pipeline: sequential vs 4-worker
+    //    twin, with the same >=2-core skip-with-notice rule as case 5.
+    let deep = PipelineDesc::with_depth(FLUSH_PAR_DEPTH);
+    let start = Instant::now();
+    let deep_seq = FlushVerifier::new(deep.clone()).with_threads(1).verify();
+    let deep_seq_wall = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let deep_par = FlushVerifier::new(deep)
+        .with_threads(SWEEP_THREADS)
+        .verify();
+    let deep_par_wall = start.elapsed().as_secs_f64();
+    assert!(deep_seq.valid(), "the deep pipeline must verify");
+    println!(
+        "flush_par     : depth {FLUSH_PAR_DEPTH} sequential {deep_seq_wall:.3} s; {} workers {deep_par_wall:.3} s ({:.2}x) on {cores} core(s), {} splits",
+        deep_par.threads_used,
+        deep_seq_wall / deep_par_wall.max(1e-9),
+        deep_seq.splits,
+    );
+    if deep_seq.splits != deep_par.splits
+        || deep_seq.closure_checks != deep_par.closure_checks
+        || deep_seq.counterexample != deep_par.counterexample
+    {
+        failures.push(format!(
+            "flush_par parallel report diverges from sequential: {}/{} splits, {}/{} closure checks",
+            deep_par.splits, deep_seq.splits, deep_par.closure_checks, deep_seq.closure_checks,
+        ));
+    }
+    measurements.push(Measurement {
+        key: "flush_par_seq_wall_s",
+        value: deep_seq_wall,
+    });
+    measurements.push(Measurement {
+        key: "flush_par_par_wall_s",
+        value: deep_par_wall,
+    });
+    if cores >= 2 {
+        if deep_par_wall >= deep_seq_wall {
+            failures.push(format!(
+                "flush_par {deep_par_wall:.3} s did not beat the sequential twin {deep_seq_wall:.3} s on {cores} cores — the parallel case split must win"
+            ));
+        }
+    } else {
+        println!(
+            "flush_par     : NOTICE — single-core runner, skipping the parallel-beats-sequential gate"
+        );
+    }
+
     // Compare against the checked-in baseline (order-of-magnitude gate; the
     // absolute limits above are the hard acceptance criteria).
     let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/BENCH_bdd.json");
@@ -291,6 +409,21 @@ fn main() {
                     }
                     Some(_) => {}
                     None => failures.push(format!("baseline file lacks key `{}`", m.key)),
+                }
+            }
+            // `flush3_splits` is a determinism canary, not a timing: the
+            // committed value is exact, and any drift — up *or* down — means
+            // the case-split decomposition or the verification condition
+            // changed, so it is gated by equality rather than the 10× rule.
+            if let (Some(base), Some(m)) = (
+                json_number(&baseline, "flush3_splits"),
+                measurements.iter().find(|m| m.key == "flush3_splits"),
+            ) {
+                if m.value != base {
+                    failures.push(format!(
+                        "flush3_splits = {} differs from the committed exact baseline {} — the case-split decomposition changed",
+                        m.value, base
+                    ));
                 }
             }
         }

@@ -274,6 +274,10 @@ where
                 .irq_port
                 .as_ref()
                 .is_some_and(|p| netlist.input_width(p).is_some());
+            let has_stall = spec
+                .stall_port
+                .as_ref()
+                .is_some_and(|p| netlist.input_width(p).is_some());
             let mut per_cycle: Vec<HashMap<String, u64>> = Vec::with_capacity(inputs.len());
             for (cycle, input) in inputs.iter().enumerate() {
                 let (instr, reset) = match input {
@@ -288,6 +292,11 @@ where
                 if has_irq {
                     let irq = u64::from(irq_cycles.contains(&cycle));
                     drive.push((spec.irq_port.as_deref().expect("checked"), irq));
+                }
+                if has_stall {
+                    // Like the symbolic flow, the baseline replays the
+                    // un-stalled behaviour.
+                    drive.push((spec.stall_port.as_deref().expect("checked"), 0));
                 }
                 per_cycle.push(sim.step(&drive));
             }

@@ -1,0 +1,247 @@
+//! The unified front-end over the repository's two verification flows.
+//!
+//! The β-relation methodology ([`Verifier`]) and the Burch–Dill flushing
+//! method (`pv-flush`'s `FlushVerifier`) answer the same question — *does the
+//! pipelined netlist realise its specification?* — through very different
+//! machinery: bit-level symbolic simulation over ROBDDs on one side, EUF
+//! validity of a commuting diagram over an uninterpreted datapath on the
+//! other. The [`VerificationFlow`] trait gives them one call shape and one
+//! report shape, so a *single* stallable netlist (see
+//! `Netlist::pipeline_hints`) can be pushed through both flows and the
+//! verdicts compared directly:
+//!
+//! ```no_run
+//! use pipeverify_core::{MachineSpec, VerificationFlow, Verifier};
+//! use pv_proc::vsm::{self, VsmConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let pipelined = vsm::pipelined(VsmConfig::reduced(2).stallable())?;
+//! let unpipelined = vsm::unpipelined(VsmConfig::reduced(2))?;
+//! let beta = Verifier::new(MachineSpec::vsm_reduced(2).with_stall_port("stall"));
+//! let report = beta.verify_flow(&pipelined, &unpipelined)?;
+//! assert!(report.equivalent);
+//! // pv_flush::FlushVerifier::from_netlist(&pipelined)? answers through the
+//! // same trait — see the `both_flows` example.
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Both implementations also share their work-distribution substrate: batches
+//! of independent units (simulation plans here, EUF case-split blocks in
+//! `pv-flush`) run on [`crate::pool`] with the same deterministic
+//! lowest-index-counterexample merge rule, so either flow's report is
+//! field-by-field identical for any worker count.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use pv_netlist::Netlist;
+
+use crate::verify::{VerificationReport, Verifier};
+
+/// A verification flow: anything that can check a pipelined netlist against
+/// an unpipelined specification netlist and answer with the shared
+/// [`FlowReport`] shape.
+///
+/// Implemented by the β-relation [`Verifier`] (which simulates both netlists
+/// bit-level) and by `pv_flush::FlushVerifier` (which derives a term-level
+/// pipeline description from the *pipelined* netlist's
+/// `pv_netlist::PipelineHints` and decides the flushing commuting diagram —
+/// the specification netlist is not consulted, because flushing's
+/// specification is the uninterpreted single-step ISA semantics).
+pub trait VerificationFlow {
+    /// Short stable name of the flow (`"beta-relation"`, `"flushing"`).
+    fn flow_name(&self) -> &'static str;
+
+    /// Verifies the design pair and reports through the shared shape.
+    ///
+    /// # Errors
+    /// Returns [`FlowError`] when the netlists do not fit the flow (missing
+    /// ports, no stall input / pipeline hints, …).
+    fn verify_flow(
+        &self,
+        pipelined: &Netlist,
+        unpipelined: &Netlist,
+    ) -> Result<FlowReport, FlowError>;
+}
+
+/// A flow-agnostic verification error: which flow rejected the inputs, and
+/// why.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FlowError {
+    /// Name of the flow that failed.
+    pub flow: &'static str,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} flow: {}", self.flow, self.message)
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// A flow-agnostic counterexample: which unit of work found it, and its
+/// rendering. The flow-specific structured counterexample (instruction words
+/// for the β-relation, atom assignments for flushing) stays available on the
+/// flow's own report type.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FlowCounterexample {
+    /// Index of the failing unit of work (simulation plan / case-split
+    /// block) — deterministic for any worker count.
+    pub unit: usize,
+    /// Human-readable rendering of the counterexample.
+    pub description: String,
+}
+
+/// The report shape shared by every [`VerificationFlow`]: verdict,
+/// counterexample, cost statistics and a wall-time breakdown over the units
+/// of work the flow distributed.
+#[derive(Clone, Debug)]
+pub struct FlowReport {
+    /// Name of the flow that produced this report.
+    pub flow: &'static str,
+    /// Name of the verified design (pair).
+    pub design: String,
+    /// `true` iff the flow found no counterexample.
+    pub equivalent: bool,
+    /// The first counterexample, from the lowest-indexed failing unit.
+    pub counterexample: Option<FlowCounterexample>,
+    /// Units of work checked (simulation plans / EUF case-split blocks) —
+    /// truncated where the sequential loop would have stopped.
+    pub units_checked: usize,
+    /// What a unit of work is, for rendering (`"plan"`, `"case-split
+    /// block"`).
+    pub unit_label: &'static str,
+    /// Elementary comparisons/consistency checks the flow performed
+    /// (sampled-formula comparisons / congruence-closure checks).
+    pub checks: usize,
+    /// Size of the symbolic representation the flow built (ROBDD nodes
+    /// allocated / distinct EUF terms).
+    pub space: usize,
+    /// What [`space`](Self::space) counts, for rendering.
+    pub space_label: &'static str,
+    /// Worker threads the flow ran on (1 = sequential).
+    pub threads_used: usize,
+    /// Total wall-clock time of the flow run (the only nondeterministic
+    /// fields of the report are this and [`unit_walls`](Self::unit_walls)).
+    pub wall_time: Duration,
+    /// Per-unit wall-clock breakdown, in unit order, truncated like
+    /// [`units_checked`](Self::units_checked).
+    pub unit_walls: Vec<Duration>,
+}
+
+impl FlowReport {
+    /// The slowest unit of work, as `(index, wall time)` — the figure any
+    /// parallel speedup of the flow is bounded by.
+    pub fn slowest_unit(&self) -> Option<(usize, Duration)> {
+        self.unit_walls
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(_, w)| w)
+    }
+}
+
+impl fmt::Display for FlowReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "flow              : {}", self.flow)?;
+        writeln!(f, "design            : {}", self.design)?;
+        writeln!(
+            f,
+            "work              : {} {}{} on {} worker thread{}",
+            self.units_checked,
+            self.unit_label,
+            if self.units_checked == 1 { "" } else { "s" },
+            self.threads_used,
+            if self.threads_used == 1 { "" } else { "s" },
+        )?;
+        writeln!(
+            f,
+            "cost              : {} checks over {} {}",
+            self.checks, self.space, self.space_label
+        )?;
+        write!(
+            f,
+            "wall clock        : {:.3} s total",
+            self.wall_time.as_secs_f64()
+        )?;
+        if let Some((unit, wall)) = self.slowest_unit() {
+            write!(
+                f,
+                ", slowest {} #{unit} at {:.3} s",
+                self.unit_label,
+                wall.as_secs_f64()
+            )?;
+        }
+        writeln!(f)?;
+        match &self.counterexample {
+            None => writeln!(f, "verdict           : PASS (no counterexample)"),
+            Some(cex) => writeln!(
+                f,
+                "verdict           : FAIL at {} #{} — {}",
+                self.unit_label, cex.unit, cex.description
+            ),
+        }
+    }
+}
+
+impl VerificationReport {
+    /// Renders this β-relation report in the shared [`FlowReport`] shape
+    /// (`wall_time` is the caller's measurement: the report itself only
+    /// carries per-plan walls).
+    pub fn to_flow_report(&self, wall_time: Duration) -> FlowReport {
+        FlowReport {
+            flow: "beta-relation",
+            design: self.machine.clone(),
+            equivalent: self.equivalent(),
+            counterexample: self.counterexample.as_ref().map(|cex| FlowCounterexample {
+                unit: self
+                    .plan_reports
+                    .last()
+                    .map(|p| p.plan_index)
+                    .unwrap_or_default(),
+                description: cex.to_string(),
+            }),
+            units_checked: self.plans_checked,
+            unit_label: "plan",
+            checks: self.samples_compared,
+            space: self.bdd_nodes,
+            space_label: "BDD nodes",
+            threads_used: self.threads_used,
+            wall_time,
+            unit_walls: self.plan_reports.iter().map(|p| p.wall_time).collect(),
+        }
+    }
+}
+
+impl VerificationFlow for Verifier {
+    fn flow_name(&self) -> &'static str {
+        "beta-relation"
+    }
+
+    /// Runs the default Section 5.3 plan sweep ([`Verifier::verify`]) and
+    /// reports through the shared shape.
+    fn verify_flow(
+        &self,
+        pipelined: &Netlist,
+        unpipelined: &Netlist,
+    ) -> Result<FlowReport, FlowError> {
+        let started = Instant::now();
+        let report = self.verify(pipelined, unpipelined).map_err(|e| FlowError {
+            flow: self.flow_name(),
+            message: e.to_string(),
+        })?;
+        Ok(report.to_flow_report(started.elapsed()))
+    }
+}
+
+// Flow reports cross worker threads like the flow-specific reports do.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<FlowReport>();
+    assert_send_sync::<FlowCounterexample>();
+    assert_send_sync::<FlowError>();
+};

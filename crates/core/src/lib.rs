@@ -26,11 +26,14 @@
 //! parallel report is field-by-field identical to the sequential one (see
 //! `DESIGN.md` § "Parallel verification").
 //!
-//! The crate also contains the baselines the evaluation compares against:
-//! the product-machine reachability equivalence procedure of Section 3.4 and
-//! a conventional random-simulation checker. (A Burch–Dill-style flushing
-//! check is discussed as future work in `DESIGN.md`; the pipelines modelled
-//! here have no stall input, which flushing requires.)
+//! The crate also contains the baselines the evaluation compares against
+//! (the product-machine reachability equivalence procedure of Section 3.4 and
+//! a conventional random-simulation checker) and the [`VerificationFlow`]
+//! front-end, which gives this flow and the Burch–Dill flushing flow of
+//! `pv-flush` one call shape and one report shape — a stallable netlist
+//! (`VsmConfig::stallable`, `MachineSpec::with_stall_port`) runs through
+//! both, and the verdicts are directly comparable (see `DESIGN.md` § "Where
+//! they meet").
 //!
 //! # Quick start
 //!
@@ -53,12 +56,14 @@
 #![warn(missing_docs)]
 
 mod baseline;
+mod flow;
 mod plan;
 pub mod pool;
 mod spec;
 mod verify;
 
 pub use baseline::{product_equivalence, random_simulation, ProductReport, RandomSimReport};
+pub use flow::{FlowCounterexample, FlowError, FlowReport, VerificationFlow};
 pub use plan::{CycleInput, ParsePlanError, SimulationPlan, SimulationSchedule, Slot};
 pub use spec::MachineSpec;
 pub use verify::{Counterexample, PlanReport, VerificationReport, Verifier, VerifyError};

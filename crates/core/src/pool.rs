@@ -17,15 +17,38 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 /// The default worker count: the `PV_THREADS` environment variable when it is
-/// set to a positive integer, otherwise (or when it is `0` or unparsable) the
-/// machine's available parallelism, and `1` when even that is unknown.
+/// set to a positive integer, otherwise the machine's available parallelism,
+/// and `1` when even that is unknown.
+///
+/// A set-but-invalid `PV_THREADS` (unparsable, or `0`) is **rejected with a
+/// warning** on stderr — once per process — instead of being silently
+/// swallowed: this is the single parsing point every verification flow
+/// (the β-relation [`crate::Verifier`] and `pv-flush`'s `FlushVerifier`)
+/// resolves its default worker count through.
 pub fn default_threads() -> usize {
-    match std::env::var("PV_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-    {
-        Some(n) if n > 0 => n,
-        _ => thread::available_parallelism().map_or(1, |n| n.get()),
+    use std::sync::Once;
+    static WARN_ONCE: Once = Once::new();
+    if let Ok(raw) = std::env::var("PV_THREADS") {
+        match parse_pv_threads(&raw) {
+            Some(n) => return n,
+            None => WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "pipeverify: ignoring invalid PV_THREADS=`{raw}` \
+                     (expected a positive integer); using available parallelism"
+                );
+            }),
+        }
+    }
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The `PV_THREADS` validation rule, separated from the environment so it is
+/// testable without mutating process-global state: a positive integer parses,
+/// anything else (unparsable, or `0`) is rejected.
+fn parse_pv_threads(raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => None,
     }
 }
 
@@ -187,5 +210,16 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn pv_threads_validation_rejects_unparsable_and_zero_values() {
+        // The rule is tested through the pure helper — mutating the real
+        // environment variable would race the other tests in this binary.
+        for bad in ["zero", "0", "-3", "4.5", ""] {
+            assert_eq!(parse_pv_threads(bad), None, "PV_THREADS={bad}");
+        }
+        assert_eq!(parse_pv_threads("3"), Some(3));
+        assert_eq!(parse_pv_threads(" 8 "), Some(8));
     }
 }

@@ -28,6 +28,13 @@ pub struct MachineSpec {
     pub reset_port: String,
     /// Name of the interrupt-request port, if the designs have one.
     pub irq_port: Option<String>,
+    /// Name of the stall (bubble-injection) input, if the pipelined design
+    /// has one. The β-relation flow verifies the un-stalled behaviour — the
+    /// port is driven with constant 0 throughout the symbolic simulation —
+    /// while the flushing flow (`pv-flush`) uses the same input to drain the
+    /// pipeline; declaring it here lets one stallable netlist run through
+    /// both flows.
+    pub stall_port: Option<String>,
     /// Observed variables compared at every sampling point (Section 5.4).
     pub observed: Vec<String>,
     /// Offset (in cycles) applied to every sampling point. `0` samples the
@@ -53,6 +60,7 @@ impl MachineSpec {
             instr_port: "instr".to_owned(),
             reset_port: "reset".to_owned(),
             irq_port: None,
+            stall_port: None,
             observed: (0..vsm::NUM_REGS)
                 .map(|i| format!("r{i}"))
                 .chain(std::iter::once("pc".to_owned()))
@@ -119,6 +127,7 @@ impl MachineSpec {
             instr_port: "instr".to_owned(),
             reset_port: "reset".to_owned(),
             irq_port: None,
+            stall_port: None,
             observed: (0..config.num_regs)
                 .map(|i| format!("r{i}"))
                 .chain((0..config.mem_words).map(|i| format!("m{i}")))
@@ -147,6 +156,17 @@ impl MachineSpec {
             normal_class: alpha0_condensed_normal_class,
             ..Self::alpha0(config)
         }
+    }
+
+    /// Declares the stall (bubble-injection) input port of the pipelined
+    /// design (builder style). The verifier then accepts — and drives with
+    /// constant 0 — a `stall` input on either netlist, so the stallable
+    /// design variants (`VsmConfig::stallable`, Alpha0's
+    /// `PipelineConfig::stallable`) verify against the same specification as
+    /// their un-stallable twins.
+    pub fn with_stall_port<S: Into<String>>(mut self, name: S) -> Self {
+        self.stall_port = Some(name.into());
+        self
     }
 
     /// Replaces the observed-variable list (builder style).

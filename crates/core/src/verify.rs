@@ -532,6 +532,7 @@ impl Verifier {
             Some(spec.instr_port.as_str()),
             Some(spec.reset_port.as_str()),
             spec.irq_port.as_deref(),
+            spec.stall_port.as_deref(),
         ]
         .into_iter()
         .flatten()
@@ -765,6 +766,13 @@ impl Verifier {
             .irq_port
             .as_ref()
             .is_some_and(|p| netlist.input_width(p).is_some());
+        // The β-relation compares the *un-stalled* behaviour: a declared
+        // stall input is held at 0 for the whole simulation (the flushing
+        // flow is the one that drives it — see `MachineSpec::stall_port`).
+        let has_stall = spec
+            .stall_port
+            .as_ref()
+            .is_some_and(|p| netlist.input_width(p).is_some());
         // Don't-care cycles of the *implementation* that lie before the last
         // instruction slot are annulled delay slots: they receive fresh
         // symbolic variables so annulment is checked for every possible
@@ -799,6 +807,12 @@ impl Verifier {
                 inputs.insert(
                     spec.irq_port.clone().expect("checked above"),
                     BddVec::constant(manager, u64::from(irq), 1),
+                );
+            }
+            if has_stall {
+                inputs.insert(
+                    spec.stall_port.clone().expect("checked above"),
+                    BddVec::constant(manager, 0, 1),
                 );
             }
             let (mut next_state, outputs) = sym.step(manager, &state, &inputs);

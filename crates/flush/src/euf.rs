@@ -19,6 +19,7 @@
 //! a counterexample; if none exists the formula is valid.
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use crate::term::{Term, TermManager, TermNode};
 
@@ -115,6 +116,107 @@ pub fn check_sat(terms: &mut TermManager, formula: Term) -> Option<EufCounterexa
         closure_checks: 0,
     };
     search.find_model(formula, &mut Vec::new())
+}
+
+// ------------------------------------------------------------------- cubes --
+//
+// The deterministic case-split decomposition the parallel flushing verifier
+// fans out: the first (up to) `max_atoms` *pure* atoms of the formula — atoms
+// that contain no other atom as a subterm, so deciding them never pushes an
+// equality with an undecided `ite` condition onto the trail — are expanded
+// into every truth assignment. Cube 0 assigns them all `true` and the cubes
+// are ordered exactly as the sequential depth-first search (true branch
+// first) visits those assignments, so "the lowest-indexed failing cube" is a
+// deterministic notion independent of worker count.
+
+/// A fixed assignment to the leading pure atoms of a formula: one unit of
+/// parallel work.
+pub(crate) type Cube = Vec<(Term, bool)>;
+
+/// Splits `formula` into `2^j` cubes over its first `j ≤ max_atoms` pure
+/// atoms, in depth-first (true-branch-first) order. With no pure atoms the
+/// result is the single empty cube.
+pub(crate) fn split_cubes(terms: &TermManager, formula: Term, max_atoms: usize) -> Vec<Cube> {
+    let atoms = terms.atoms(formula);
+    let pure: Vec<Term> = atoms
+        .iter()
+        .copied()
+        .filter(|&a| atoms.iter().all(|&b| b == a || !terms.contains(a, b)))
+        .take(max_atoms)
+        .collect();
+    let j = pure.len();
+    (0..1usize << j)
+        .map(|c| {
+            pure.iter()
+                .enumerate()
+                // Atom 0 is the outermost decision: the true branch comes
+                // first, so it owns the lower half of the cube indices.
+                .map(|(i, &a)| (a, c >> (j - 1 - i) & 1 == 0))
+                .collect()
+        })
+        .collect()
+}
+
+/// Outcome of searching one cube: the per-cube statistics the flushing
+/// verifier merges deterministically in cube order.
+#[derive(Clone, Debug)]
+pub(crate) struct CubeReport {
+    /// Model of `formula ∧ cube` (its trail includes the cube literals), if
+    /// any.
+    pub counterexample: Option<EufCounterexample>,
+    /// Case splits explored (the cube's own literals count as one each).
+    pub splits: usize,
+    /// Congruence-closure consistency checks performed.
+    pub closure_checks: usize,
+    /// Wall-clock time of this cube's search (the only nondeterministic
+    /// field).
+    pub wall: Duration,
+}
+
+/// Searches one cube of `formula` for an EUF-consistent model. Pure: clones
+/// the term manager, so cube searches run concurrently over a shared
+/// `&TermManager`.
+///
+/// The per-cube clone is what makes the report thread-count-invariant, not
+/// just a convenience: term ids depend on interning order, [`TermManager::eq`]
+/// orients equalities by id, and the search's atom choice follows the
+/// resulting structure — so a manager reused across cubes would make one
+/// cube's statistics depend on which cubes (on which worker) ran before it.
+/// Starting every cube from the pristine base manager removes that coupling;
+/// the clone itself is a fraction of a percent of a cube's search cost.
+pub(crate) fn check_cube(base: &TermManager, formula: Term, cube: &[(Term, bool)]) -> CubeReport {
+    let started = Instant::now();
+    let mut terms = base.clone();
+    let mut search = Search {
+        terms: &mut terms,
+        splits: 0,
+        closure_checks: 0,
+    };
+    let mut trail: Vec<(Term, bool)> = Vec::with_capacity(cube.len());
+    let mut simplified = formula;
+    let mut consistent = true;
+    for &(atom, value) in cube {
+        search.splits += 1;
+        simplified = search.terms.assign(simplified, atom, value);
+        trail.push((atom, value));
+        if !search.consistent(&trail) {
+            // The cube's own literals are contradictory: no model here. The
+            // sequential search prunes this branch the same way.
+            consistent = false;
+            break;
+        }
+    }
+    let counterexample = if consistent {
+        search.find_model(simplified, &mut trail)
+    } else {
+        None
+    };
+    CubeReport {
+        counterexample,
+        splits: search.splits,
+        closure_checks: search.closure_checks,
+        wall: started.elapsed(),
+    }
 }
 
 struct Search<'a> {
@@ -473,6 +575,45 @@ mod tests {
         assert!(check_sat(&mut t, nab).is_some());
         let contradiction = t.and(ab, nab);
         assert!(check_sat(&mut t, contradiction).is_none());
+    }
+
+    #[test]
+    fn cube_decomposition_covers_the_search_space() {
+        let mut t = manager();
+        let a = t.var("a", Sort::Data);
+        let b = t.var("b", Sort::Data);
+        let c = t.var("c", Sort::Data);
+        let ab = t.eq(a, b);
+        let bc = t.eq(b, c);
+        let ac = t.eq(a, c);
+        // Transitivity is valid: the negation has no model in any cube.
+        let pre = t.and(ab, bc);
+        let trans = t.implies(pre, ac);
+        let neg = t.not(trans);
+        let cubes = split_cubes(&t, neg, 2);
+        assert_eq!(cubes.len(), 4, "two pure atoms expand to four cubes");
+        for cube in &cubes {
+            let report = check_cube(&t, neg, cube);
+            assert!(report.counterexample.is_none());
+            assert!(report.splits >= cube.len());
+        }
+        // A satisfiable conjunction has a model in its all-true cube 0 (the
+        // branch the sequential depth-first search visits first), and the
+        // model's trail leads with the cube literals.
+        let sat = t.and(ab, bc);
+        let cubes = split_cubes(&t, sat, 2);
+        let first = check_cube(&t, sat, &cubes[0]);
+        let cex = first.counterexample.expect("cube 0 holds the DFS model");
+        assert!(cex.assignments.iter().all(|asg| asg.value));
+        // Contradictory cube literals are pruned without a search.
+        let contradiction = {
+            let nab = t.not(ab);
+            t.and(ab, nab)
+        };
+        let cubes = split_cubes(&t, contradiction, 3);
+        for cube in &cubes {
+            assert!(check_cube(&t, contradiction, cube).counterexample.is_none());
+        }
     }
 
     #[test]

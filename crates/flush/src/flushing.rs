@@ -1,9 +1,10 @@
 //! The Burch–Dill commuting-diagram verification condition and its checker.
 //!
-//! For an arbitrary (symbolic) implementation state `s` and an arbitrary
-//! fetched instruction `i`, the pipeline is correct if flushing after one
-//! implementation step reaches the same architectural state as one
-//! specification step from the flushed starting state:
+//! For an arbitrary (symbolic) implementation state `s` of the pipeline
+//! described by a [`PipelineDesc`] and an arbitrary fetched instruction `i`,
+//! the pipeline is correct if flushing after one implementation step reaches
+//! the same architectural state as one specification step from the flushed
+//! starting state:
 //!
 //! ```text
 //! flush(impl_step(s, i)) = spec_step(flush(s), i)
@@ -12,29 +13,69 @@
 //! Register files are compared at a fresh symbolic index (arrays are equal iff
 //! they agree on an arbitrary index), PCs are compared directly, and the
 //! resulting formula is decided by the EUF checker of [`crate::euf`].
+//!
+//! # Parallel case splitting
+//!
+//! The EUF decision is a case split over the formula's Boolean atoms, and the
+//! branches are independent. [`FlushVerifier`] therefore decomposes the
+//! search into a fixed set of **cubes** (every assignment of the leading pure
+//! atoms, in depth-first order) and fans them out over the same
+//! `pipeverify_core::pool` worker pool the β-relation verifier uses, with the
+//! same deterministic merge rule: per-cube results are consumed in cube
+//! order, statistics are summed, the counterexample is the lowest-indexed
+//! failing cube's, and nothing past it is merged — so the [`FlushReport`] is
+//! field-by-field identical for any worker count (only the wall-time fields
+//! and [`FlushReport::threads_used`] vary).
 
 use std::fmt;
+use std::time::{Duration, Instant};
 
-use crate::euf::{check_valid, EufCounterexample};
+use pipeverify_core::{pool, FlowCounterexample, FlowError, FlowReport, VerificationFlow};
+use pv_netlist::Netlist;
+
+use crate::euf::{self, EufCounterexample};
 use crate::pipeline::{
-    flush, impl_step, spec_step, ArchState, Instruction, PipelineModel, PipelineState,
+    flush, impl_step, spec_step, ArchState, DeriveError, Instruction, PipelineDesc, PipelineState,
 };
 use crate::term::{Sort, Term, TermManager};
+
+/// Number of leading pure atoms the case-split decomposition expands: a fixed
+/// constant (never a function of the worker count), so the cube set — and
+/// with it every deterministic report field — is identical for any thread
+/// count. `2^6 = 64` cubes give a pool enough grain to balance.
+const SPLIT_ATOMS: usize = 6;
 
 /// Outcome of a flushing verification run.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FlushReport {
-    /// The pipeline configuration that was checked.
-    pub model: PipelineModel,
-    /// Counterexample to the commuting diagram, if any.
+    /// The pipeline description that was checked.
+    pub desc: PipelineDesc,
+    /// Counterexample to the commuting diagram, if any (from the
+    /// lowest-indexed failing cube — identical for any worker count).
     pub counterexample: Option<EufCounterexample>,
-    /// Number of case splits explored by the EUF checker.
+    /// Index of the failing case-split block, if any.
+    pub failing_cube: Option<usize>,
+    /// Number of case splits explored by the EUF checker, summed in cube
+    /// order over the checked prefix.
     pub splits: usize,
-    /// Number of congruence-closure consistency checks.
+    /// Number of congruence-closure consistency checks, summed likewise.
     pub closure_checks: usize,
-    /// Number of distinct terms created while building and checking the
-    /// verification condition.
+    /// Number of distinct terms in the verification condition.
     pub terms: usize,
+    /// Total case-split blocks (cubes) of the decomposition.
+    pub cubes: usize,
+    /// Cubes actually checked: all of them on a valid design, the failing
+    /// prefix otherwise (exactly where a sequential search would stop).
+    pub cubes_checked: usize,
+    /// Worker threads the case split ran on (1 = sequential).
+    pub threads_used: usize,
+    /// Total wall-clock time (nondeterministic, like
+    /// [`cube_walls`](Self::cube_walls); every other field is a pure function
+    /// of the description).
+    pub wall_time: Duration,
+    /// Per-cube wall-clock breakdown, in cube order, truncated like
+    /// [`cubes_checked`](Self::cubes_checked).
+    pub cube_walls: Vec<Duration>,
 }
 
 impl FlushReport {
@@ -42,13 +83,46 @@ impl FlushReport {
     pub fn valid(&self) -> bool {
         self.counterexample.is_none()
     }
+
+    /// Renders this report in the shared [`FlowReport`] shape.
+    pub fn to_flow_report(&self) -> FlowReport {
+        FlowReport {
+            flow: "flushing",
+            design: self.desc.name.clone(),
+            equivalent: self.valid(),
+            counterexample: self.counterexample.as_ref().map(|cex| FlowCounterexample {
+                unit: self.failing_cube.unwrap_or_default(),
+                description: cex.to_string(),
+            }),
+            units_checked: self.cubes_checked,
+            unit_label: "case-split block",
+            checks: self.closure_checks,
+            space: self.terms,
+            space_label: "EUF terms",
+            threads_used: self.threads_used,
+            wall_time: self.wall_time,
+            unit_walls: self.cube_walls.clone(),
+        }
+    }
 }
 
 impl fmt::Display for FlushReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "pipeline model : {:?}", self.model)?;
+        writeln!(
+            f,
+            "pipeline model : {} ({:?})",
+            self.desc.name, self.desc.bug
+        )?;
         writeln!(f, "terms created  : {}", self.terms)?;
-        writeln!(f, "case splits    : {}", self.splits)?;
+        writeln!(
+            f,
+            "case splits    : {} over {}/{} blocks on {} worker thread{}",
+            self.splits,
+            self.cubes_checked,
+            self.cubes,
+            self.threads_used,
+            if self.threads_used == 1 { "" } else { "s" }
+        )?;
         writeln!(f, "closure checks : {}", self.closure_checks)?;
         match &self.counterexample {
             None => writeln!(f, "result         : VALID (commuting diagram holds)"),
@@ -57,41 +131,96 @@ impl fmt::Display for FlushReport {
     }
 }
 
-/// The flushing-method verifier for the term-level pipeline of
-/// [`crate::pipeline`].
-#[derive(Clone, Copy, Debug, Default)]
+/// The flushing-method verifier for the depth-parametric term-level pipeline
+/// of [`crate::pipeline`].
+#[derive(Clone, Debug)]
 pub struct FlushVerifier {
-    model: PipelineModel,
+    desc: PipelineDesc,
+    threads: Option<usize>,
+    /// Whether `desc` came from [`PipelineDesc::from_netlist`]. A
+    /// netlist-derived verifier follows whatever netlist the
+    /// [`VerificationFlow`] front-end hands it; an explicitly configured one
+    /// refuses a netlist that derives a different description (see
+    /// [`FlushVerifier::verify_flow`]).
+    netlist_derived: bool,
 }
 
+// Cube checks run on pool workers holding `&FlushVerifier` and the shared
+// base `&TermManager`; keep everything a worker touches `Send + Sync`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<FlushVerifier>();
+    assert_send_sync::<TermManager>();
+    assert_send_sync::<FlushReport>();
+    assert_send_sync::<PipelineDesc>();
+};
+
 impl FlushVerifier {
-    /// Creates a verifier for the given pipeline configuration.
-    pub fn new(model: PipelineModel) -> Self {
-        FlushVerifier { model }
+    /// Creates a verifier for the given pipeline description. The worker
+    /// count defaults to the `PV_THREADS` environment variable — resolved
+    /// through the same `pipeverify_core::pool::default_threads` the
+    /// β-relation flow uses (see [`with_threads`](Self::with_threads)).
+    pub fn new(desc: PipelineDesc) -> Self {
+        FlushVerifier {
+            desc,
+            threads: None,
+            netlist_derived: false,
+        }
     }
 
-    /// The pipeline configuration this verifier checks.
-    pub fn model(&self) -> PipelineModel {
-        self.model
+    /// Derives the verifier for a stallable bit-level design: the pipeline
+    /// description comes from the netlist's recorded stage/stall/forwarding
+    /// structure ([`PipelineDesc::from_netlist`]) — the bridge that lets one
+    /// netlist run through this flow and the β-relation flow.
+    ///
+    /// # Errors
+    /// Returns [`DeriveError`] when the netlist records no pipeline
+    /// structure or has no stall input.
+    pub fn from_netlist(netlist: &Netlist) -> Result<Self, DeriveError> {
+        Ok(FlushVerifier {
+            netlist_derived: true,
+            ..FlushVerifier::new(PipelineDesc::from_netlist(netlist)?)
+        })
+    }
+
+    /// Sets the worker count for the EUF case split: `1` checks the cubes
+    /// sequentially on the calling thread and `0` restores the default
+    /// (`PV_THREADS` / available parallelism). The worker count never changes
+    /// the report — cubes are merged in cube order with the counterexample
+    /// taken from the lowest-indexed failing cube, exactly like the
+    /// β-relation verifier's plan merge.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = (threads > 0).then_some(threads);
+        self
+    }
+
+    /// The resolved worker count for an unbounded batch of cubes.
+    pub fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(pool::default_threads).max(1)
+    }
+
+    /// The pipeline description this verifier checks.
+    pub fn desc(&self) -> &PipelineDesc {
+        &self.desc
     }
 
     /// Builds the commuting-diagram verification condition in `terms` and
     /// returns it (exposed so the benchmarks can measure construction and
     /// checking separately).
     pub fn verification_condition(&self, terms: &mut TermManager) -> Term {
-        let s = PipelineState::symbolic(terms, "s");
+        let s = PipelineState::symbolic(terms, self.desc.depth, "s");
         let fetched = Instruction::symbolic(terms, "i");
         let accept = terms.fls();
 
         // Left leg: one implementation step, then flush.
-        let stepped = impl_step(terms, self.model, s, fetched, accept);
-        let lhs = flush(terms, self.model, stepped);
+        let stepped = impl_step(terms, &self.desc, &s, fetched, accept);
+        let lhs = flush(terms, &self.desc, &stepped);
 
         // Right leg: flush first, then one specification step. As in Burch and
         // Dill's formulation, the abstraction function is computed by running
         // the implementation itself with bubbles, so the same (possibly buggy)
         // model is used on both legs.
-        let start = flush(terms, self.model, s);
+        let start = flush(terms, &self.desc, &s);
         let rhs = spec_step(terms, start, fetched);
 
         self.equal_arch(terms, lhs, rhs)
@@ -108,17 +237,108 @@ impl FlushVerifier {
     }
 
     /// Checks the commuting diagram and returns a report.
+    ///
+    /// The negated condition is split into a fixed set of cubes
+    /// (assignments of its leading pure atoms, in depth-first order) and the
+    /// cubes are searched on the worker pool; a cube finding a model is
+    /// *terminal* — racing workers stop, and the merge consumes cube results
+    /// in order up to the lowest-indexed failing cube, so the report is
+    /// identical for any thread count.
     pub fn verify(&self) -> FlushReport {
+        let started = Instant::now();
         let mut terms = TermManager::new();
         let vc = self.verification_condition(&mut terms);
-        let euf = check_valid(&mut terms, vc);
-        FlushReport {
-            model: self.model,
-            counterexample: euf.counterexample,
-            splits: euf.splits,
-            closure_checks: euf.closure_checks,
-            terms: terms.len(),
+        let negated = terms.not(vc);
+        let term_count = terms.len();
+        let cubes = euf::split_cubes(&terms, negated, SPLIT_ATOMS);
+        let threads = self.threads().min(cubes.len().max(1));
+        let results = pool::par_map_prefix(threads, &cubes, |_, cube| {
+            let report = euf::check_cube(&terms, negated, cube);
+            let terminal = report.counterexample.is_some();
+            (report, terminal)
+        });
+
+        // Consume the sequential prefix: everything up to (and including) the
+        // first failing cube, exactly as a sequential search would.
+        let mut report = FlushReport {
+            desc: self.desc.clone(),
+            counterexample: None,
+            failing_cube: None,
+            splits: 0,
+            closure_checks: 0,
+            terms: term_count,
+            cubes: cubes.len(),
+            cubes_checked: 0,
+            threads_used: threads,
+            wall_time: Duration::ZERO,
+            cube_walls: Vec::new(),
+        };
+        for (index, slot) in results.into_iter().enumerate() {
+            let Some(cube_report) = slot else {
+                // Past the lowest terminal index: a sequential search would
+                // never have reached this cube.
+                break;
+            };
+            report.splits += cube_report.splits;
+            report.closure_checks += cube_report.closure_checks;
+            report.cube_walls.push(cube_report.wall);
+            report.cubes_checked += 1;
+            if let Some(cex) = cube_report.counterexample {
+                report.counterexample = Some(cex);
+                report.failing_cube = Some(index);
+                break;
+            }
         }
+        report.wall_time = started.elapsed();
+        report
+    }
+}
+
+impl VerificationFlow for FlushVerifier {
+    fn flow_name(&self) -> &'static str {
+        "flushing"
+    }
+
+    /// Derives the pipeline description from the **pipelined** netlist and
+    /// checks the commuting diagram. The unpipelined netlist is not
+    /// consulted: flushing's specification side is the uninterpreted
+    /// single-step ISA semantics ([`spec_step`]), which is exactly what makes
+    /// the flow independent of the datapath width.
+    ///
+    /// A verifier built with [`FlushVerifier::from_netlist`] follows whatever
+    /// netlist it is handed (the front-end contract: the netlist is the
+    /// source of truth — a design pair seeded with a bug re-derives the
+    /// buggy model). A verifier built with an **explicit** description
+    /// ([`FlushVerifier::new`]) is *checked* against the derivation instead:
+    /// handing it a netlist that derives a different description is an
+    /// error, never a silent substitution.
+    fn verify_flow(
+        &self,
+        pipelined: &Netlist,
+        _unpipelined: &Netlist,
+    ) -> Result<FlowReport, FlowError> {
+        let derived = FlushVerifier::from_netlist(pipelined)
+            .map_err(|e| FlowError {
+                flow: self.flow_name(),
+                message: e.to_string(),
+            })?
+            .with_threads(self.threads.unwrap_or(0));
+        let matches =
+            self.desc.depth == derived.desc().depth && self.desc.bug == derived.desc().bug;
+        if !self.netlist_derived && !matches {
+            return Err(FlowError {
+                flow: self.flow_name(),
+                message: format!(
+                    "this verifier was configured with `{}` but netlist `{}` derives `{}`; \
+                     use FlushVerifier::from_netlist for the netlist-backed front-end \
+                     (or FlushVerifier::verify to check the configured description directly)",
+                    self.desc.name,
+                    pipelined.name(),
+                    derived.desc().name
+                ),
+            });
+        }
+        Ok(derived.verify().to_flow_report())
     }
 }
 
@@ -129,9 +349,13 @@ mod tests {
 
     #[test]
     fn the_correct_pipeline_satisfies_the_commuting_diagram() {
-        let report = FlushVerifier::new(PipelineModel::correct()).verify();
+        let report = FlushVerifier::new(PipelineDesc::three_stage()).verify();
         assert!(report.valid(), "{report}");
         assert!(report.terms > 0 && report.splits > 0);
+        assert_eq!(
+            report.cubes_checked, report.cubes,
+            "a valid design checks every cube"
+        );
     }
 
     #[test]
@@ -142,20 +366,22 @@ mod tests {
             PipelineBug::WriteBackBubbles,
             PipelineBug::StuckPc,
         ] {
-            let report = FlushVerifier::new(PipelineModel::with_bug(bug)).verify();
+            let desc = PipelineDesc::three_stage().with_bug(bug);
+            let report = FlushVerifier::new(desc).verify();
             assert!(!report.valid(), "{bug:?} must break the commuting diagram");
             let cex = report.counterexample.expect("counterexample");
             assert!(
                 !cex.assignments.is_empty(),
                 "{bug:?} counterexample should name atoms"
             );
+            assert_eq!(report.failing_cube, Some(report.cubes_checked - 1));
         }
     }
 
     #[test]
     fn the_verification_condition_is_a_boolean_term() {
         let mut terms = TermManager::new();
-        let vc = FlushVerifier::new(PipelineModel::correct()).verification_condition(&mut terms);
+        let vc = FlushVerifier::new(PipelineDesc::three_stage()).verification_condition(&mut terms);
         // It must mention the ALU, the register file and the observed index
         // used for register-file comparison. (The PC leg folds away
         // syntactically — both legs construct `succ(s.pc)` — so only the
@@ -164,5 +390,30 @@ mod tests {
         assert!(rendered.contains("alu"), "{rendered}");
         assert!(rendered.contains("select"), "{rendered}");
         assert!(rendered.contains("observed_index"), "{rendered}");
+    }
+
+    #[test]
+    fn parallel_case_split_reports_are_identical_to_sequential() {
+        for desc in [
+            PipelineDesc::three_stage(),
+            PipelineDesc::with_depth(2),
+            PipelineDesc::three_stage().with_bug(PipelineBug::NoForwarding),
+            PipelineDesc::three_stage().with_bug(PipelineBug::StuckPc),
+        ] {
+            let seq = FlushVerifier::new(desc.clone()).with_threads(1).verify();
+            for threads in [2, 4, 16] {
+                let par = FlushVerifier::new(desc.clone())
+                    .with_threads(threads)
+                    .verify();
+                assert_eq!(par.counterexample, seq.counterexample, "{desc:?}");
+                assert_eq!(par.failing_cube, seq.failing_cube, "{desc:?}");
+                assert_eq!(par.splits, seq.splits, "{desc:?}");
+                assert_eq!(par.closure_checks, seq.closure_checks, "{desc:?}");
+                assert_eq!(par.terms, seq.terms, "{desc:?}");
+                assert_eq!(par.cubes, seq.cubes, "{desc:?}");
+                assert_eq!(par.cubes_checked, seq.cubes_checked, "{desc:?}");
+                assert_eq!(par.cube_walls.len(), seq.cube_walls.len(), "{desc:?}");
+            }
+        }
     }
 }

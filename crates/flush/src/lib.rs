@@ -26,22 +26,35 @@
 //!   Boolean structure and read/write arrays;
 //! * [`euf`] — the validity checker (atom case-splitting + congruence
 //!   closure), returning counterexample assignments;
-//! * [`pipeline`] — a term-level three-stage pipeline with forwarding and its
-//!   ISA-level specification, plus injectable control bugs;
-//! * [`flushing`] — the flushing abstraction function and the commuting
-//!   diagram verification condition.
+//! * [`pipeline`] — a **depth-parametric** term-level pipeline family with
+//!   forwarding and its ISA-level specification, plus injectable control
+//!   bugs; the classic three-stage model is the depth-3 instantiation, and
+//!   [`PipelineDesc::from_netlist`] derives a description from a stallable
+//!   bit-level design (`pv_netlist::PipelineHints`);
+//! * [`flushing`] — the flushing abstraction function, the commuting-diagram
+//!   verification condition, and its checker, which fans the independent EUF
+//!   case-split blocks out over `pipeverify_core::pool` with the same
+//!   deterministic lowest-index-counterexample merge the β-relation verifier
+//!   uses.
+//!
+//! [`FlushVerifier`] implements `pipeverify_core::VerificationFlow` — the
+//! same front-end trait as the β-relation `Verifier` — so one stallable
+//! netlist can be pushed through both flows and the shared reports compared
+//! (see the `both_flows` example and `DESIGN.md` § "Where they meet").
 //!
 //! # Example
 //!
 //! ```
-//! use pv_flush::{FlushVerifier, PipelineBug, PipelineModel};
+//! use pv_flush::{FlushVerifier, PipelineBug, PipelineDesc};
 //!
 //! // The correct three-stage pipeline satisfies the commuting diagram …
-//! let report = FlushVerifier::new(PipelineModel::correct()).verify();
+//! let report = FlushVerifier::new(PipelineDesc::three_stage()).verify();
 //! assert!(report.valid());
 //! // … and dropping the forwarding path is caught with a counterexample.
-//! let buggy = FlushVerifier::new(PipelineModel::with_bug(PipelineBug::NoForwarding)).verify();
-//! assert!(!buggy.valid());
+//! let buggy = PipelineDesc::three_stage().with_bug(PipelineBug::NoForwarding);
+//! assert!(!FlushVerifier::new(buggy).verify().valid());
+//! // Deeper pipelines verify too; the flush bound follows the depth.
+//! assert_eq!(PipelineDesc::with_depth(5).flush_bound(), 4);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -54,5 +67,8 @@ pub mod term;
 
 pub use euf::{check_sat, check_valid, AtomAssignment, EufCounterexample, EufReport};
 pub use flushing::{FlushReport, FlushVerifier};
-pub use pipeline::{ArchState, PipelineBug, PipelineModel, PipelineState};
+pub use pipeline::{
+    ArchState, DeriveError, ExStage, Instruction, PipelineBug, PipelineDesc, PipelineState,
+    ResultStage,
+};
 pub use term::{Sort, Term, TermManager, TermNode};

@@ -1,57 +1,194 @@
-//! A term-level, three-stage in-order pipeline and its ISA specification.
+//! A **depth-parametric**, term-level in-order pipeline and its ISA
+//! specification.
 //!
 //! The datapath is entirely uninterpreted: register values are EUF terms, the
 //! ALU is the uninterpreted function `alu(op, a, b)`, the next sequential PC
 //! is `succ(pc)` and the register file is a read/write array. Only the
-//! *control* is concrete — operand fetch, the EX→RD forwarding path,
-//! write-back, and bubble insertion — which is exactly the part of a pipeline
-//! the Burch–Dill flushing method verifies.
+//! *control* is concrete — operand fetch, the forwarding network, write-back
+//! and bubble insertion — which is exactly the part of a pipeline the
+//! Burch–Dill flushing method verifies.
 //!
-//! The pipeline has three stages:
+//! A pipeline of depth `k ≥ 2` (described by a [`PipelineDesc`]) has `k − 1`
+//! in-flight latches:
 //!
-//! 1. **RD** — the incoming instruction reads its operands (with forwarding
-//!    from the instruction currently in EX) and is latched;
-//! 2. **EX** — the ALU result is computed and latched;
-//! 3. **WB** — the result is written to the register file.
+//! 1. **RD/EX** — the fetched instruction reads its operands combinationally
+//!    (with forwarding from every younger in-flight result) and is latched;
+//!    its ALU result is computed while it sits in this latch;
+//! 2. `k − 2` **result latches** — the computed result travels toward
+//!    write-back; the oldest latch writes the register file each cycle.
 //!
-//! A `bubble` input inserts a pipeline bubble instead of accepting the fetched
-//! instruction, which is what the flushing abstraction function uses to drain
-//! the machine.
+//! Depth 3 is the classic three-stage RD → EX → WB pipeline (the model this
+//! crate originally hardcoded); depth 2 retires the EX result directly, and
+//! deeper pipelines lengthen the in-flight window the forwarding network must
+//! cover. The flush bound — how many bubble cycles drain the machine — is
+//! `depth − 1` ([`PipelineDesc::flush_bound`]).
+//!
+//! A `bubble` input inserts a pipeline bubble instead of accepting the
+//! fetched instruction, which is what the flushing abstraction function uses
+//! to drain the machine.
+//!
+//! # Deriving a description from a netlist
+//!
+//! [`PipelineDesc::from_netlist`] maps a *bit-level* design
+//! (`pv_netlist::Netlist`) onto this term-level family through the pipeline
+//! metadata its builder recorded (`pv_netlist::PipelineHints`): the stall
+//! port becomes the bubble input, the stage-valid registers give the number
+//! of in-flight instructions (and therefore the depth and the flush bound),
+//! and the forwarding-path count says whether the operand reads bypass from
+//! in-flight results — a netlist whose bypass network was dropped derives a
+//! description carrying [`PipelineBug::NoForwarding`], so the seeded bit-level
+//! bug is visible to this flow too. The mapping assumes the in-order,
+//! stall-free static pipelines this repository builds (operands read with
+//! bypassing, one write-back port, PC retired with the oldest instruction);
+//! it abstracts the datapath away entirely, which is the point of the method.
 
 use crate::term::{Sort, Term, TermManager};
+use pv_netlist::Netlist;
 
 /// Deliberate control bugs that can be injected into the pipeline step
-/// function, each of which breaks the commuting diagram.
+/// function, each of which breaks the commuting diagram at the depths stated
+/// on its variant (`crates/flush/tests/depths.rs` pins the full matrix).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum PipelineBug {
-    /// Drop the EX→RD forwarding path: back-to-back dependent instructions
-    /// read a stale register value.
+    /// Drop the forwarding network: back-to-back dependent instructions read
+    /// a stale register value. Needs an in-flight window, i.e. depth ≥ 3
+    /// (a depth-2 pipeline has written back before the next read).
     NoForwarding,
     /// Forward unconditionally, even when the producing instruction writes a
-    /// different register.
+    /// different register. Depth ≥ 3, like [`PipelineBug::NoForwarding`].
     ForwardAlways,
-    /// Write back results even for bubbles.
+    /// Write back results even for bubbles. Breaks the diagram at depth ≥ 3:
+    /// at depth 2 the spurious write of the single in-flight latch lands
+    /// identically on both legs of the diagram (Burch–Dill's abstraction
+    /// function runs the same buggy implementation on each), so the depth-2
+    /// check accepts it.
     WriteBackBubbles,
-    /// Do not advance the PC when an instruction is accepted.
+    /// Do not advance the PC when an instruction is accepted (any depth).
     StuckPc,
 }
 
-/// Configuration of the term-level pipeline.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
-pub struct PipelineModel {
+/// Description of a term-level pipeline: its depth and an optional injected
+/// control bug. The depth-3 instantiation is the classic three-stage model;
+/// [`PipelineDesc::from_netlist`] derives a description from a stallable
+/// bit-level design.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PipelineDesc {
+    /// Human-readable name (used in reports).
+    pub name: String,
+    /// Pipeline depth `k ≥ 2`: the number of stages, one more than the
+    /// number of in-flight latches.
+    pub depth: usize,
     /// Injected control bug (`None` = correct design).
     pub bug: Option<PipelineBug>,
 }
 
-impl PipelineModel {
-    /// The correct pipeline.
-    pub fn correct() -> Self {
-        PipelineModel { bug: None }
+/// Errors deriving a [`PipelineDesc`] from a netlist.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DeriveError {
+    /// The netlist records no stage-valid registers, so the pipeline depth is
+    /// unknown (the design was built without
+    /// `pv_netlist::NetlistBuilder::mark_stage_valid`).
+    NoStageRegisters {
+        /// Name of the offending netlist.
+        netlist: String,
+    },
+    /// The netlist has no stall/bubble-injection input, which flushing needs
+    /// to drain the machine (build the design with
+    /// `pv_netlist::NetlistBuilder::stall_input` — e.g.
+    /// `VsmConfig::stallable`).
+    NoStallInput {
+        /// Name of the offending netlist.
+        netlist: String,
+    },
+}
+
+impl std::fmt::Display for DeriveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeriveError::NoStageRegisters { netlist } => write!(
+                f,
+                "netlist `{netlist}` records no pipeline stage registers — cannot derive a term-level pipeline"
+            ),
+            DeriveError::NoStallInput { netlist } => write!(
+                f,
+                "netlist `{netlist}` has no stall input — flushing cannot drain it (build the stallable design variant)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeriveError {}
+
+impl PipelineDesc {
+    /// A correct pipeline of the given depth (`k ≥ 2`).
+    ///
+    /// # Panics
+    /// Panics if `depth < 2`.
+    pub fn with_depth(depth: usize) -> Self {
+        assert!(depth >= 2, "a pipeline needs at least two stages");
+        PipelineDesc {
+            name: format!("depth-{depth} term pipeline"),
+            depth,
+            bug: None,
+        }
     }
 
-    /// A pipeline with the given control bug.
-    pub fn with_bug(bug: PipelineBug) -> Self {
-        PipelineModel { bug: Some(bug) }
+    /// The classic three-stage (RD → EX → WB) pipeline — the model this
+    /// crate originally hardcoded, now the depth-3 instantiation.
+    pub fn three_stage() -> Self {
+        PipelineDesc {
+            name: "three-stage term pipeline".to_owned(),
+            ..PipelineDesc::with_depth(3)
+        }
+    }
+
+    /// Injects a control bug (builder style).
+    pub fn with_bug(mut self, bug: PipelineBug) -> Self {
+        self.bug = Some(bug);
+        self
+    }
+
+    /// Number of bubble cycles the flushing abstraction needs to drain the
+    /// machine: one per in-flight latch, `depth − 1`.
+    pub fn flush_bound(&self) -> usize {
+        self.depth - 1
+    }
+
+    /// Derives the term-level description of a stallable bit-level design
+    /// from the pipeline metadata recorded while it was built (see the
+    /// [module documentation](self) for the mapping and its assumptions).
+    ///
+    /// # Errors
+    /// Returns [`DeriveError`] when the netlist records no stage registers or
+    /// has no stall input.
+    pub fn from_netlist(netlist: &Netlist) -> Result<Self, DeriveError> {
+        let hints = netlist.pipeline_hints();
+        if hints.stage_valids.is_empty() {
+            return Err(DeriveError::NoStageRegisters {
+                netlist: netlist.name().to_owned(),
+            });
+        }
+        if hints.stall_port.is_none() {
+            return Err(DeriveError::NoStallInput {
+                netlist: netlist.name().to_owned(),
+            });
+        }
+        // One stage per in-flight valid bit, plus the fetch/read stage.
+        let depth = hints.stage_valids.len() + 1;
+        // A correct in-order static pipeline needs one bypass source per
+        // non-retiring in-flight latch — `depth − 2` of them (the VSM's
+        // depth-4 model forwards from EX and WB, Alpha0's depth-5 from EX,
+        // MEM and WB). Anything less reads stale operands on some hazard
+        // distance, so the derived model carries the forwarding bug — whether
+        // the netlist dropped the whole network or only part of it — and a
+        // seeded netlist bug fails this flow exactly like the bit-level one.
+        let bug =
+            (depth >= 3 && hints.forward_paths < depth - 2).then_some(PipelineBug::NoForwarding);
+        Ok(PipelineDesc {
+            name: format!("{} (derived, depth {depth})", netlist.name()),
+            depth,
+            bug,
+        })
     }
 }
 
@@ -91,67 +228,102 @@ impl Instruction {
     }
 }
 
-/// The pipeline (implementation) state: the architectural state plus the
-/// contents of the two pipeline latches.
+/// The RD/EX latch: an instruction whose operands have been read (possibly
+/// forwarded) and whose ALU result is being computed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ExStage {
+    /// Instruction valid?
+    pub valid: Term,
+    /// Operation selector.
+    pub op: Term,
+    /// Operand a.
+    pub a: Term,
+    /// Operand b.
+    pub b: Term,
+    /// Destination register.
+    pub dest: Term,
+}
+
+/// A result latch: a computed value travelling toward write-back.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ResultStage {
+    /// Result valid?
+    pub valid: Term,
+    /// Destination register.
+    pub dest: Term,
+    /// Result value.
+    pub value: Term,
+}
+
+/// The pipeline (implementation) state: the architectural state plus the
+/// `depth − 1` in-flight latches.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct PipelineState {
     /// Register file array term.
     pub rf: Term,
-    /// Fetch program counter.
+    /// Program counter.
     pub pc: Term,
-    /// EX-stage latch: instruction valid?
-    pub ex_valid: Term,
-    /// EX-stage latch: operation.
-    pub ex_op: Term,
-    /// EX-stage latch: operand a (already read, possibly forwarded).
-    pub ex_a: Term,
-    /// EX-stage latch: operand b.
-    pub ex_b: Term,
-    /// EX-stage latch: destination register.
-    pub ex_dest: Term,
-    /// WB-stage latch: result valid?
-    pub wb_valid: Term,
-    /// WB-stage latch: destination register.
-    pub wb_dest: Term,
-    /// WB-stage latch: result value.
-    pub wb_value: Term,
+    /// The RD/EX latch.
+    pub ex: ExStage,
+    /// The result latches, youngest first; the last one retires each cycle.
+    /// `depth − 2` entries (empty at depth 2, one WB latch at depth 3, …).
+    pub results: Vec<ResultStage>,
 }
 
 impl PipelineState {
-    /// A fully symbolic (arbitrary) pipeline state — the starting point of the
-    /// Burch–Dill commuting diagram, which quantifies over every reachable and
-    /// unreachable implementation state.
-    pub fn symbolic(t: &mut TermManager, prefix: &str) -> Self {
+    /// A fully symbolic (arbitrary) pipeline state of the given depth — the
+    /// starting point of the Burch–Dill commuting diagram, which quantifies
+    /// over every reachable and unreachable implementation state.
+    pub fn symbolic(t: &mut TermManager, depth: usize, prefix: &str) -> Self {
+        assert!(depth >= 2, "a pipeline needs at least two stages");
         PipelineState {
             rf: t.var(&format!("{prefix}.rf"), Sort::Array),
             pc: t.var(&format!("{prefix}.pc"), Sort::Data),
-            ex_valid: t.var(&format!("{prefix}.ex_valid"), Sort::Bool),
-            ex_op: t.var(&format!("{prefix}.ex_op"), Sort::Data),
-            ex_a: t.var(&format!("{prefix}.ex_a"), Sort::Data),
-            ex_b: t.var(&format!("{prefix}.ex_b"), Sort::Data),
-            ex_dest: t.var(&format!("{prefix}.ex_dest"), Sort::Data),
-            wb_valid: t.var(&format!("{prefix}.wb_valid"), Sort::Bool),
-            wb_dest: t.var(&format!("{prefix}.wb_dest"), Sort::Data),
-            wb_value: t.var(&format!("{prefix}.wb_value"), Sort::Data),
+            ex: ExStage {
+                valid: t.var(&format!("{prefix}.ex_valid"), Sort::Bool),
+                op: t.var(&format!("{prefix}.ex_op"), Sort::Data),
+                a: t.var(&format!("{prefix}.ex_a"), Sort::Data),
+                b: t.var(&format!("{prefix}.ex_b"), Sort::Data),
+                dest: t.var(&format!("{prefix}.ex_dest"), Sort::Data),
+            },
+            results: (0..depth - 2)
+                .map(|i| ResultStage {
+                    valid: t.var(&format!("{prefix}.res{i}_valid"), Sort::Bool),
+                    dest: t.var(&format!("{prefix}.res{i}_dest"), Sort::Data),
+                    value: t.var(&format!("{prefix}.res{i}_value"), Sort::Data),
+                })
+                .collect(),
         }
     }
 
-    /// The flushed-pipeline state reached after reset: both latches empty.
-    pub fn reset(t: &mut TermManager, rf: Term, pc: Term) -> Self {
+    /// The flushed-pipeline state reached after reset: every latch empty.
+    pub fn reset(t: &mut TermManager, depth: usize, rf: Term, pc: Term) -> Self {
+        assert!(depth >= 2, "a pipeline needs at least two stages");
         let fls = t.fls();
-        let dontcare = |t: &mut TermManager, n: &str| t.var(n, Sort::Data);
+        let dontcare = |t: &mut TermManager, n: String| t.var(&n, Sort::Data);
         PipelineState {
             rf,
             pc,
-            ex_valid: fls,
-            ex_op: dontcare(t, "reset.ex_op"),
-            ex_a: dontcare(t, "reset.ex_a"),
-            ex_b: dontcare(t, "reset.ex_b"),
-            ex_dest: dontcare(t, "reset.ex_dest"),
-            wb_valid: fls,
-            wb_dest: dontcare(t, "reset.wb_dest"),
-            wb_value: dontcare(t, "reset.wb_value"),
+            ex: ExStage {
+                valid: fls,
+                op: dontcare(t, "reset.ex_op".to_owned()),
+                a: dontcare(t, "reset.ex_a".to_owned()),
+                b: dontcare(t, "reset.ex_b".to_owned()),
+                dest: dontcare(t, "reset.ex_dest".to_owned()),
+            },
+            results: (0..depth - 2)
+                .map(|i| ResultStage {
+                    valid: fls,
+                    dest: dontcare(t, format!("reset.res{i}_dest")),
+                    value: dontcare(t, format!("reset.res{i}_value")),
+                })
+                .collect(),
         }
+    }
+
+    /// The depth of the pipeline this state belongs to.
+    pub fn depth(&self) -> usize {
+        self.results.len() + 2
     }
 }
 
@@ -165,56 +337,77 @@ pub fn spec_step(t: &mut TermManager, arch: ArchState, instr: Instruction) -> Ar
     ArchState { rf, pc }
 }
 
-/// One clock cycle of the pipelined implementation.
+/// One clock cycle of the pipelined implementation described by `desc`.
 ///
 /// `fetched` is the instruction presented at the fetch input this cycle;
 /// `bubble` chooses whether it is accepted (`false`) or a pipeline bubble is
 /// inserted instead (`true`, used for stalling and for flushing).
+///
+/// # Panics
+/// Panics if `s` does not have `desc.depth` stages.
 pub fn impl_step(
     t: &mut TermManager,
-    model: PipelineModel,
-    s: PipelineState,
+    desc: &PipelineDesc,
+    s: &PipelineState,
     fetched: Instruction,
     bubble: Term,
 ) -> PipelineState {
-    let bug = model.bug;
+    assert_eq!(s.depth(), desc.depth, "state depth mismatch");
+    let bug = desc.bug;
+
+    // ------------------------------------------------------------------ EX --
+    // The RD/EX-stage instruction computes its result.
+    let ex_result = t.app("alu", &[s.ex.op, s.ex.a, s.ex.b]);
 
     // ------------------------------------------------------------------ WB --
-    // The WB-stage result is written into the register file this cycle.
+    // The oldest in-flight latch retires into the register file this cycle.
+    // At depth 2 that is the RD/EX latch itself (its freshly computed
+    // result); deeper pipelines retire the last result latch.
+    let (wb_valid, wb_dest, wb_value) = match s.results.last() {
+        Some(r) => (r.valid, r.dest, r.value),
+        None => (s.ex.valid, s.ex.dest, ex_result),
+    };
     let wb_write = if bug == Some(PipelineBug::WriteBackBubbles) {
         t.tru()
     } else {
-        s.wb_valid
+        wb_valid
     };
-    let written = t.store(s.rf, s.wb_dest, s.wb_value);
+    let written = t.store(s.rf, wb_dest, wb_value);
     let rf_after_wb = t.ite(wb_write, written, s.rf);
-
-    // ------------------------------------------------------------------ EX --
-    // The EX-stage instruction computes its result, which moves to WB.
-    let ex_result = t.app("alu", &[s.ex_op, s.ex_a, s.ex_b]);
-    let wb_valid_next = s.ex_valid;
-    let wb_dest_next = s.ex_dest;
-    let wb_value_next = ex_result;
 
     // ------------------------------------------------------------------ RD --
     // The fetched instruction reads its operands from the register file as it
-    // stands after this cycle's write-back, with forwarding from the
-    // instruction currently in EX (whose result is being computed right now).
+    // stands after this cycle's write-back, with forwarding from every
+    // younger in-flight result: the RD/EX instruction (whose result is being
+    // computed right now) and the result latches that have not retired yet.
+    // Sources are listed youngest first; the youngest match wins.
+    let mut sources: Vec<(Term, Term, Term)> = Vec::new();
+    if !s.results.is_empty() {
+        sources.push((s.ex.valid, s.ex.dest, ex_result));
+        for r in &s.results[..s.results.len() - 1] {
+            sources.push((r.valid, r.dest, r.value));
+        }
+    }
     let read = |t: &mut TermManager, src: Term| {
-        let plain = t.select(rf_after_wb, src);
-        let dest_matches = t.eq(s.ex_dest, src);
-        let forward = match bug {
-            Some(PipelineBug::NoForwarding) => t.fls(),
-            Some(PipelineBug::ForwardAlways) => s.ex_valid,
-            _ => t.and(s.ex_valid, dest_matches),
-        };
-        t.ite(forward, ex_result, plain)
+        let mut value = t.select(rf_after_wb, src);
+        // Apply in reverse so the youngest source has the highest priority.
+        for &(valid, dest, data) in sources.iter().rev() {
+            let forward = match bug {
+                Some(PipelineBug::NoForwarding) => t.fls(),
+                Some(PipelineBug::ForwardAlways) => valid,
+                _ => {
+                    let dest_matches = t.eq(dest, src);
+                    t.and(valid, dest_matches)
+                }
+            };
+            value = t.ite(forward, data, value);
+        }
+        value
     };
     let a = read(t, fetched.src1);
     let b = read(t, fetched.src2);
 
     let accept = t.not(bubble);
-    let ex_valid_next = accept;
     let pc_next = if bug == Some(PipelineBug::StuckPc) {
         s.pc
     } else {
@@ -222,32 +415,42 @@ pub fn impl_step(
         t.ite(accept, advanced, s.pc)
     };
 
+    // --------------------------------------------------------- latch shift --
+    let mut results = Vec::with_capacity(s.results.len());
+    if !s.results.is_empty() {
+        results.push(ResultStage {
+            valid: s.ex.valid,
+            dest: s.ex.dest,
+            value: ex_result,
+        });
+        results.extend(s.results[..s.results.len() - 1].iter().copied());
+    }
     PipelineState {
         rf: rf_after_wb,
         pc: pc_next,
-        ex_valid: ex_valid_next,
-        ex_op: fetched.op,
-        ex_a: a,
-        ex_b: b,
-        ex_dest: fetched.dest,
-        wb_valid: wb_valid_next,
-        wb_dest: wb_dest_next,
-        wb_value: wb_value_next,
+        ex: ExStage {
+            valid: accept,
+            op: fetched.op,
+            a,
+            b,
+            dest: fetched.dest,
+        },
+        results,
     }
 }
 
 /// The flushing abstraction function of Burch and Dill: run the pipeline with
 /// bubbles until every in-flight instruction has written back, then project
-/// the architectural state. For this three-stage pipeline two bubble cycles
-/// drain the EX and WB latches.
-pub fn flush(t: &mut TermManager, model: PipelineModel, s: PipelineState) -> ArchState {
-    let mut state = s;
+/// the architectural state. A depth-`k` pipeline drains in `k − 1` bubble
+/// cycles ([`PipelineDesc::flush_bound`]).
+pub fn flush(t: &mut TermManager, desc: &PipelineDesc, s: &PipelineState) -> ArchState {
+    let mut state = s.clone();
     let bubble = t.tru();
     // A bubble carries arbitrary instruction fields; they are never used
-    // because the bubble's ex_valid is false.
-    for i in 0..2 {
+    // because the bubble's ex.valid is false.
+    for i in 0..desc.flush_bound() {
         let dontcare = Instruction::symbolic(t, &format!("flushbubble{i}"));
-        state = impl_step(t, model, state, dontcare, bubble);
+        state = impl_step(t, desc, &state, dontcare, bubble);
     }
     ArchState {
         rf: state.rf,
@@ -278,33 +481,42 @@ mod tests {
     }
 
     #[test]
-    fn flushing_a_reset_pipeline_is_the_identity() {
-        let mut t = TermManager::new();
-        let rf = t.var("rf", Sort::Array);
-        let pc = t.var("pc", Sort::Data);
-        let reset = PipelineState::reset(&mut t, rf, pc);
-        let arch = flush(&mut t, PipelineModel::correct(), reset);
-        assert_eq!(
-            arch.rf, rf,
-            "no in-flight instruction may write the register file"
-        );
-        assert_eq!(arch.pc, pc, "bubbles must not advance the PC");
+    fn flushing_a_reset_pipeline_is_the_identity_at_every_depth() {
+        for depth in 2..=6 {
+            let mut t = TermManager::new();
+            let rf = t.var("rf", Sort::Array);
+            let pc = t.var("pc", Sort::Data);
+            let reset = PipelineState::reset(&mut t, depth, rf, pc);
+            let desc = PipelineDesc::with_depth(depth);
+            let arch = flush(&mut t, &desc, &reset);
+            assert_eq!(
+                arch.rf, rf,
+                "depth {depth}: no in-flight instruction may write the register file"
+            );
+            assert_eq!(
+                arch.pc, pc,
+                "depth {depth}: bubbles must not advance the PC"
+            );
+        }
     }
 
     #[test]
     fn bubbles_do_not_change_the_flushed_state() {
-        let mut t = TermManager::new();
-        let s = PipelineState::symbolic(&mut t, "s");
-        let model = PipelineModel::correct();
-        let fetched = Instruction::symbolic(&mut t, "i");
-        let bubble = t.tru();
-        let stalled = impl_step(&mut t, model, s, fetched, bubble);
-        let before = flush(&mut t, model, s);
-        let after = flush(&mut t, model, stalled);
-        // Syntactic equality is enough here because the terms are built the
-        // same way; the full semantic statement is checked by the verifier.
-        assert_eq!(before.rf, after.rf);
-        assert_eq!(before.pc, after.pc);
+        for depth in [2, 3, 5] {
+            let mut t = TermManager::new();
+            let s = PipelineState::symbolic(&mut t, depth, "s");
+            let desc = PipelineDesc::with_depth(depth);
+            let fetched = Instruction::symbolic(&mut t, "i");
+            let bubble = t.tru();
+            let stalled = impl_step(&mut t, &desc, &s, fetched, bubble);
+            let before = flush(&mut t, &desc, &s);
+            let after = flush(&mut t, &desc, &stalled);
+            // Syntactic equality is enough here because the terms are built
+            // the same way; the full semantic statement is checked by the
+            // verifier.
+            assert_eq!(before.rf, after.rf, "depth {depth}");
+            assert_eq!(before.pc, after.pc, "depth {depth}");
+        }
     }
 
     #[test]
@@ -312,12 +524,12 @@ mod tests {
         let mut t = TermManager::new();
         let rf = t.var("rf", Sort::Array);
         let pc = t.var("pc", Sort::Data);
-        let reset = PipelineState::reset(&mut t, rf, pc);
+        let reset = PipelineState::reset(&mut t, 3, rf, pc);
         let fetched = Instruction::symbolic(&mut t, "i");
         let fls = t.fls();
-        let next = impl_step(&mut t, PipelineModel::correct(), reset, fetched, fls);
+        let next = impl_step(&mut t, &PipelineDesc::three_stage(), &reset, fetched, fls);
         assert_eq!(next.pc, t.app("succ", &[pc]));
-        assert!(t.is_true(next.ex_valid));
+        assert!(t.is_true(next.ex.valid));
     }
 
     #[test]
@@ -325,16 +537,94 @@ mod tests {
         let mut t = TermManager::new();
         let rf = t.var("rf", Sort::Array);
         let pc = t.var("pc", Sort::Data);
-        let reset = PipelineState::reset(&mut t, rf, pc);
+        let reset = PipelineState::reset(&mut t, 3, rf, pc);
         let fetched = Instruction::symbolic(&mut t, "i");
         let fls = t.fls();
-        let next = impl_step(
-            &mut t,
-            PipelineModel::with_bug(PipelineBug::StuckPc),
-            reset,
-            fetched,
-            fls,
-        );
+        let desc = PipelineDesc::three_stage().with_bug(PipelineBug::StuckPc);
+        let next = impl_step(&mut t, &desc, &reset, fetched, fls);
         assert_eq!(next.pc, pc);
+    }
+
+    #[test]
+    fn depth_and_flush_bound_are_consistent() {
+        for depth in 2..=6 {
+            let desc = PipelineDesc::with_depth(depth);
+            assert_eq!(desc.flush_bound(), depth - 1);
+            let mut t = TermManager::new();
+            let s = PipelineState::symbolic(&mut t, depth, "s");
+            assert_eq!(s.depth(), depth);
+            assert_eq!(s.results.len(), depth - 2);
+        }
+        assert_eq!(PipelineDesc::three_stage().depth, 3);
+    }
+
+    #[test]
+    fn derivation_requires_stall_and_stage_hints() {
+        use pv_netlist::NetlistBuilder;
+        // A design with stages but no stall input is rejected.
+        let mut b = NetlistBuilder::new("no-stall");
+        let v1 = b.register("v1", 1, 0);
+        b.mark_stage_valid(&v1);
+        let x = b.input("x", 1);
+        b.set_next(&v1, &x);
+        let n = b.finish().expect("build");
+        assert!(matches!(
+            PipelineDesc::from_netlist(&n),
+            Err(DeriveError::NoStallInput { .. })
+        ));
+        // A design without stage registers is rejected.
+        let mut b = NetlistBuilder::new("no-stages");
+        b.stall_input("stall");
+        let r = b.register("r", 1, 0);
+        let rv = r.value();
+        b.set_next(&r, &rv);
+        let n = b.finish().expect("build");
+        assert!(matches!(
+            PipelineDesc::from_netlist(&n),
+            Err(DeriveError::NoStageRegisters { .. })
+        ));
+        // Three stage-valid registers + a stall input derive a depth-4
+        // pipeline; no forwarding hints means the derived model carries the
+        // forwarding bug.
+        let mut b = NetlistBuilder::new("three-latch");
+        b.stall_input("stall");
+        let x = b.input("x", 1);
+        for name in ["v1", "v2", "v3"] {
+            let v = b.register(name, 1, 0);
+            b.mark_stage_valid(&v);
+            b.set_next(&v, &x);
+        }
+        let n = b.finish().expect("build");
+        let desc = PipelineDesc::from_netlist(&n).expect("derive");
+        assert_eq!(desc.depth, 4);
+        assert_eq!(desc.flush_bound(), 3);
+        assert_eq!(desc.bug, Some(PipelineBug::NoForwarding));
+    }
+
+    #[test]
+    fn a_partially_dropped_bypass_network_still_derives_the_forwarding_bug() {
+        use pv_netlist::NetlistBuilder;
+        // Depth 4 needs two bypass sources; recording only one must not pass
+        // for a correct network.
+        let build = |paths: usize| {
+            let mut b = NetlistBuilder::new("partial");
+            b.stall_input("stall");
+            let x = b.input("x", 1);
+            for name in ["v1", "v2", "v3"] {
+                let v = b.register(name, 1, 0);
+                b.mark_stage_valid(&v);
+                b.set_next(&v, &x);
+            }
+            b.note_forward_paths(paths);
+            b.finish().expect("build")
+        };
+        assert_eq!(
+            PipelineDesc::from_netlist(&build(1)).expect("derive").bug,
+            Some(PipelineBug::NoForwarding)
+        );
+        assert_eq!(
+            PipelineDesc::from_netlist(&build(2)).expect("derive").bug,
+            None
+        );
     }
 }

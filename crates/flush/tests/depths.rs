@@ -1,0 +1,119 @@
+//! Depth-parametric properties of the flushing flow: the commuting diagram
+//! holds at every modelled depth, the injected control bugs break it wherever
+//! the logic they corrupt exists, and the parallel EUF case split is
+//! report-identical to the sequential one for any thread count.
+//!
+//! Depths 2–5 are exercised property-style in every build; the deeper sweep
+//! rides `--release`-only per the test-budget rule (the case-split cost grows
+//! roughly 5× per two stages of depth — see the `flushing_depth` bench).
+
+use proptest::prelude::*;
+use pv_flush::{FlushVerifier, PipelineBug, PipelineDesc};
+
+const BUGS: [PipelineBug; 4] = [
+    PipelineBug::NoForwarding,
+    PipelineBug::ForwardAlways,
+    PipelineBug::WriteBackBubbles,
+    PipelineBug::StuckPc,
+];
+
+/// Whether `bug` is expected to break the commuting diagram at `depth`.
+///
+/// * The forwarding bugs corrupt the bypass network, which only exists once
+///   there is an in-flight window (depth ≥ 3): a depth-2 pipeline has
+///   retired every older instruction before the next operand read.
+/// * `WriteBackBubbles` also needs depth ≥ 3: Burch–Dill's abstraction
+///   function runs the *same* (buggy) implementation on both legs, and at
+///   depth 2 the spurious write of the single in-flight latch lands
+///   identically on each leg — the asymmetry only appears once flushing's
+///   injected bubbles occupy latches at different offsets on the two legs.
+/// * `StuckPc` breaks at every depth: the specification step advances the PC
+///   unconditionally.
+fn breaks_at(bug: PipelineBug, depth: usize) -> bool {
+    match bug {
+        PipelineBug::NoForwarding | PipelineBug::ForwardAlways | PipelineBug::WriteBackBubbles => {
+            depth >= 3
+        }
+        PipelineBug::StuckPc => true,
+    }
+}
+
+proptest! {
+    #[test]
+    fn the_commuting_diagram_holds_at_depths_2_to_5(depth in 2usize..6, threads in 1usize..5) {
+        let report = FlushVerifier::new(PipelineDesc::with_depth(depth))
+            .with_threads(threads)
+            .verify();
+        prop_assert!(report.valid());
+        prop_assert_eq!(report.cubes_checked, report.cubes);
+    }
+
+    #[test]
+    fn injected_bugs_break_the_diagram_wherever_their_logic_exists(
+        depth in 2usize..6,
+        bug_index in 0usize..4,
+    ) {
+        let bug = BUGS[bug_index];
+        let desc = PipelineDesc::with_depth(depth).with_bug(bug);
+        let report = FlushVerifier::new(desc).verify();
+        prop_assert_eq!(!report.valid(), breaks_at(bug, depth));
+        if breaks_at(bug, depth) {
+            let cex = report.counterexample.expect("counterexample");
+            prop_assert!(!cex.assignments.is_empty());
+        }
+    }
+
+    /// The deterministic-merge guarantee, property-style: every report field
+    /// except the wall times and `threads_used` is identical between the
+    /// sequential run and a pool of any size, correct or bugged.
+    #[test]
+    fn parallel_case_splits_are_report_identical_to_sequential(
+        depth in 2usize..6,
+        threads in 2usize..9,
+        bug_index in 0usize..5,
+    ) {
+        let mut desc = PipelineDesc::with_depth(depth);
+        if bug_index < 4 {
+            desc = desc.with_bug(BUGS[bug_index]);
+        }
+        let seq = FlushVerifier::new(desc.clone()).with_threads(1).verify();
+        let par = FlushVerifier::new(desc).with_threads(threads).verify();
+        prop_assert_eq!(&par.counterexample, &seq.counterexample);
+        prop_assert_eq!(par.failing_cube, seq.failing_cube);
+        prop_assert_eq!(par.splits, seq.splits);
+        prop_assert_eq!(par.closure_checks, seq.closure_checks);
+        prop_assert_eq!(par.terms, seq.terms);
+        prop_assert_eq!(par.cubes, seq.cubes);
+        prop_assert_eq!(par.cubes_checked, seq.cubes_checked);
+        prop_assert_eq!(par.cube_walls.len(), seq.cube_walls.len());
+    }
+}
+
+/// The deeper sweep: the case-split cost grows steeply with depth, so this
+/// rides `--release`-only (CI runs it optimised in a dedicated step).
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-only: deep-pipeline case splits are too slow unoptimised"
+)]
+#[test]
+fn deep_pipelines_verify_and_stay_deterministic() {
+    for depth in [6, 8, 10] {
+        let seq = FlushVerifier::new(PipelineDesc::with_depth(depth))
+            .with_threads(1)
+            .verify();
+        assert!(seq.valid(), "depth {depth}: {seq}");
+        let par = FlushVerifier::new(PipelineDesc::with_depth(depth))
+            .with_threads(4)
+            .verify();
+        assert_eq!(par.splits, seq.splits, "depth {depth}");
+        assert_eq!(par.closure_checks, seq.closure_checks, "depth {depth}");
+        assert_eq!(par.counterexample, seq.counterexample, "depth {depth}");
+        // The bug sweep deepens with the design: a dropped bypass network is
+        // caught however long the in-flight window it should have covered.
+        let bugged = PipelineDesc::with_depth(depth).with_bug(PipelineBug::NoForwarding);
+        assert!(
+            !FlushVerifier::new(bugged).verify().valid(),
+            "depth {depth}"
+        );
+    }
+}

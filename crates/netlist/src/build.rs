@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use crate::net::{BuildError, NetId, NetNode, Netlist, PortInfo, RegInfo};
+use crate::net::{BuildError, NetId, NetNode, Netlist, PipelineHints, PortInfo, RegInfo};
 
 /// A little-endian vector of nets forming a multi-bit signal.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -137,6 +137,8 @@ pub struct NetlistBuilder {
     inputs: Vec<PortInfo>,
     outputs: Vec<(String, Vec<NetId>)>,
     assigned: Vec<bool>,
+    hints: PipelineHints,
+    stall_net: Option<NetId>,
 }
 
 impl NetlistBuilder {
@@ -150,6 +152,8 @@ impl NetlistBuilder {
             inputs: Vec::new(),
             outputs: Vec::new(),
             assigned: Vec::new(),
+            hints: PipelineHints::default(),
+            stall_net: None,
         };
         // Nets 0 and 1 are the constants.
         b.push(NetNode::Const(false));
@@ -318,6 +322,70 @@ impl NetlistBuilder {
         self.outputs.push((name.to_owned(), word.bits.clone()));
     }
 
+    // ----------------------------------------------- stall/bubble primitives --
+
+    /// Declares the 1-bit **stall/bubble-injection** input and records it in
+    /// the design's [`PipelineHints`]. Asserting the input must make the
+    /// design insert a pipeline bubble instead of accepting the fetched
+    /// instruction (use [`stall_gate`](Self::stall_gate) on the fetch-accept
+    /// signal) while instructions already in flight drain normally — exactly
+    /// the knob the Burch–Dill flushing abstraction drives.
+    ///
+    /// # Panics
+    /// Panics if a stall input was already declared.
+    pub fn stall_input(&mut self, name: &str) -> NetId {
+        assert!(
+            self.hints.stall_port.is_none(),
+            "a stall input was already declared"
+        );
+        self.hints.stall_port = Some(name.to_owned());
+        let bit = self.input(name, 1).bit(0);
+        self.stall_net = Some(bit);
+        bit
+    }
+
+    /// Gates a fetch-accept signal with the declared stall input:
+    /// `accept ∧ ¬stall`. When no stall input has been declared this is the
+    /// identity, so a design can apply the gate unconditionally and stay
+    /// bit-identical to its un-stallable twin.
+    pub fn stall_gate(&mut self, accept: NetId) -> NetId {
+        match self.stall_net {
+            None => accept,
+            Some(stall) => {
+                let not_stall = self.not(stall);
+                self.and(accept, not_stall)
+            }
+        }
+    }
+
+    /// The net of the declared stall input, if any.
+    pub fn stall_net(&self) -> Option<NetId> {
+        self.stall_net
+    }
+
+    /// Records `reg` as a per-stage valid-bit register in the design's
+    /// [`PipelineHints`]. Call once per pipeline stage, in pipeline order
+    /// (fetch side first): the number of marked stages is the number of
+    /// instructions the design can hold in flight, which determines the flush
+    /// bound of the derived term-level pipeline.
+    ///
+    /// # Panics
+    /// Panics if `reg` is not a 1-bit register.
+    pub fn mark_stage_valid(&mut self, reg: &RegWord) {
+        assert_eq!(reg.width(), 1, "a stage valid bit must be 1 bit wide");
+        self.hints.stage_valids.push(reg.name.clone());
+    }
+
+    /// Records the number of operand-bypass (forwarding) paths feeding the
+    /// register-read stage in the design's [`PipelineHints`]. Call it at the
+    /// point the bypass network is instantiated, passing the number of
+    /// in-flight sources the reads actually consult — a bug that drops the
+    /// bypass network then drops it from the hints too, and the term-level
+    /// flow derived from the netlist inherits the bug.
+    pub fn note_forward_paths(&mut self, paths: usize) {
+        self.hints.forward_paths = self.hints.forward_paths.max(paths);
+    }
+
     /// Exposes a single bit as a named observable output.
     pub fn expose_bit(&mut self, name: &str, bit: NetId) {
         self.outputs.push((name.to_owned(), vec![bit]));
@@ -427,6 +495,32 @@ impl NetlistBuilder {
             }
             self.set_next(entry, &next);
         }
+    }
+
+    /// Combinationally reads `array[addr]` with bypassing from a priority
+    /// list of younger in-flight write sources `(forward_enable, dest_addr,
+    /// data)` — earlier sources win. With an empty source list this is a
+    /// plain [`reg_array_read`](Self::reg_array_read).
+    ///
+    /// This is the circuit both pipelined processor models build their
+    /// operand reads from; record the source count with
+    /// [`note_forward_paths`](Self::note_forward_paths) when the read is an
+    /// operand fetch, so the bypass network's presence is visible to the
+    /// netlist-derived term-level flow.
+    pub fn bypassed_read(
+        &mut self,
+        array: &RegArray,
+        addr: &Word,
+        sources: &[(NetId, Word, Word)],
+    ) -> Word {
+        let mut value = self.reg_array_read(array, addr);
+        // Apply in reverse so the first source has the highest priority.
+        for (enable, dest, data) in sources.iter().rev() {
+            let same = self.weq(addr, dest);
+            let hit = self.and(*enable, same);
+            value = self.wmux(hit, data, &value);
+        }
+        value
     }
 
     fn addr_is(&mut self, addr: &Word, value: u64) -> NetId {
@@ -694,6 +788,7 @@ impl NetlistBuilder {
             regs: self.regs,
             inputs: self.inputs,
             outputs: self.outputs,
+            hints: self.hints,
         })
     }
 }
@@ -751,6 +846,62 @@ mod tests {
             b.finish(),
             Err(BuildError::DoubleAssignedRegister { .. })
         ));
+    }
+
+    #[test]
+    fn stall_primitives_record_pipeline_hints() {
+        let mut b = NetlistBuilder::new("t");
+        let _instr = b.input("instr", 4);
+        // Without a stall input the gate is the identity.
+        let x = b.input("x", 1).bit(0);
+        assert_eq!(b.stall_gate(x), x);
+        let stall = b.stall_input("stall");
+        let gated = b.stall_gate(x);
+        let not_stall = b.not(stall);
+        assert_eq!(gated, b.and(x, not_stall));
+        let v1 = b.register("v1", 1, 0);
+        let v2 = b.register("v2", 1, 0);
+        b.mark_stage_valid(&v1);
+        b.mark_stage_valid(&v2);
+        b.note_forward_paths(2);
+        b.note_forward_paths(1); // the max is kept
+        let g = Word::from_bit(gated);
+        b.set_next(&v1, &g);
+        let v1v = v1.value();
+        b.set_next(&v2, &v1v);
+        let n = b.finish().expect("build");
+        let hints = n.pipeline_hints();
+        assert_eq!(hints.stall_port.as_deref(), Some("stall"));
+        assert_eq!(hints.stage_valids, vec!["v1".to_owned(), "v2".to_owned()]);
+        assert_eq!(hints.forward_paths, 2);
+        assert_eq!(n.input_width("stall"), Some(1));
+    }
+
+    #[test]
+    fn bypassed_read_prioritises_younger_sources() {
+        let mut b = NetlistBuilder::new("t");
+        let regs = b.reg_array("r", 2, 4, 0);
+        let addr = b.input("addr", 1);
+        let en0 = b.input("en0", 1).bit(0);
+        let en1 = b.input("en1", 1).bit(0);
+        let d0 = b.input("d0", 4);
+        let d1 = b.input("d1", 4);
+        let a = addr.clone();
+        let sources = [(en0, a.clone(), d0.clone()), (en1, a.clone(), d1.clone())];
+        let read = b.bypassed_read(&regs, &addr, &sources);
+        b.expose("read", &read);
+        for w in regs.words.clone() {
+            let v = w.value();
+            b.set_next(&w, &v);
+        }
+        let n = b.finish().expect("build");
+        let mut sim = crate::ConcreteSim::new(&n);
+        let out = sim.step(&[("addr", 0), ("en0", 1), ("en1", 1), ("d0", 5), ("d1", 9)]);
+        assert_eq!(out["read"], 5, "the first source wins");
+        let out = sim.step(&[("addr", 0), ("en0", 0), ("en1", 1), ("d0", 5), ("d1", 9)]);
+        assert_eq!(out["read"], 9);
+        let out = sim.step(&[("addr", 0), ("en0", 0), ("en1", 0), ("d0", 5), ("d1", 9)]);
+        assert_eq!(out["read"], 0, "no source: the register file value");
     }
 
     #[test]

@@ -51,5 +51,5 @@ mod sym;
 
 pub use build::{NetlistBuilder, RegArray, RegWord, Word};
 pub use eval::ConcreteSim;
-pub use net::{BuildError, NetId, Netlist, PortInfo};
+pub use net::{BuildError, NetId, Netlist, PipelineHints, PortInfo};
 pub use sym::{SymState, SymbolicMachine, SymbolicSim};

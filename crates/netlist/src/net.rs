@@ -55,6 +55,36 @@ pub struct PortInfo {
     pub width: usize,
 }
 
+/// Structural pipeline metadata recorded by the builder's stall/bubble
+/// primitives while a pipelined design is constructed.
+///
+/// The hints are what lets a *term-level* verification flow (Burch–Dill
+/// flushing, `pv-flush`) be derived from the same netlist the bit-level
+/// β-relation flow simulates: the stall port is the bubble-injection input
+/// flushing drives, the stage-valid registers give the pipeline depth (and
+/// therefore the flush bound), and the forwarding-path count says whether the
+/// design's operand reads bypass from in-flight results. They are recorded at
+/// the point the corresponding gates are built
+/// ([`crate::NetlistBuilder::stall_input`],
+/// [`crate::NetlistBuilder::mark_stage_valid`],
+/// [`crate::NetlistBuilder::note_forward_paths`]), so a design bug that
+/// removes the bypass network also removes it from the hints.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct PipelineHints {
+    /// Name of the 1-bit stall/bubble-injection input, if the design has one.
+    /// Asserting it must insert a pipeline bubble instead of accepting the
+    /// fetched instruction, while instructions already in flight drain
+    /// normally.
+    pub stall_port: Option<String>,
+    /// Names of the per-stage valid-bit registers, in pipeline order (fetch
+    /// side first). The number of in-flight instructions — and hence the
+    /// flush bound — is the length of this list.
+    pub stage_valids: Vec<String>,
+    /// Number of operand-bypass (forwarding) paths feeding the register-read
+    /// stage. `0` on a design whose reads go straight to the register file.
+    pub forward_paths: usize,
+}
+
 /// Errors produced when finalising a [`crate::NetlistBuilder`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum BuildError {
@@ -104,6 +134,7 @@ pub struct Netlist {
     pub(crate) regs: Vec<RegInfo>,
     pub(crate) inputs: Vec<PortInfo>,
     pub(crate) outputs: Vec<(String, Vec<NetId>)>,
+    pub(crate) hints: PipelineHints,
 }
 
 // A finished netlist is shared by reference across the parallel verifier's
@@ -113,6 +144,7 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Netlist>();
     assert_send_sync::<PortInfo>();
+    assert_send_sync::<PipelineHints>();
 };
 
 impl Netlist {
@@ -148,6 +180,12 @@ impl Netlist {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, nets)| nets.len())
+    }
+
+    /// The pipeline metadata recorded while this design was built (empty for
+    /// designs built without the stall/stage primitives).
+    pub fn pipeline_hints(&self) -> &PipelineHints {
+        &self.hints
     }
 
     /// Number of register bits (the state-variable count that drives BDD cost).

@@ -65,6 +65,12 @@ pub struct PipelineConfig {
     pub alu: AluModel,
     /// Bug injected into the pipelined implementation (`None` = correct).
     pub bug: Option<Alpha0Bug>,
+    /// Add a 1-bit `stall` input to the pipelined machine: asserting it
+    /// inserts a pipeline bubble instead of accepting the fetched instruction
+    /// while the instructions in flight drain normally (the flushing drain
+    /// knob; with the input held at 0 the machine is bit-identical to the
+    /// un-stallable design).
+    pub with_stall: bool,
 }
 
 impl Default for PipelineConfig {
@@ -73,6 +79,7 @@ impl Default for PipelineConfig {
             isa: Alpha0Config::default(),
             alu: AluModel::Full,
             bug: None,
+            with_stall: false,
         }
     }
 }
@@ -87,8 +94,7 @@ impl PipelineConfig {
     pub fn with_isa(isa: Alpha0Config) -> Self {
         PipelineConfig {
             isa,
-            alu: AluModel::Full,
-            bug: None,
+            ..PipelineConfig::default()
         }
     }
 
@@ -98,16 +104,24 @@ impl PipelineConfig {
         PipelineConfig {
             isa,
             alu: AluModel::Condensed,
-            bug: None,
+            ..PipelineConfig::default()
         }
     }
 
     /// A configuration with the given bug injected.
     pub fn with_bug(bug: Alpha0Bug) -> Self {
         PipelineConfig {
-            isa: Alpha0Config::default(),
-            alu: AluModel::Full,
             bug: Some(bug),
+            ..PipelineConfig::default()
+        }
+    }
+
+    /// Adds the `stall` (bubble-injection) input to the pipelined machine
+    /// (builder style).
+    pub fn stallable(self) -> Self {
+        PipelineConfig {
+            with_stall: true,
+            ..self
         }
     }
 
@@ -278,22 +292,6 @@ fn alu(
     result
 }
 
-/// Reads a register with bypassing from younger in-flight writers.
-fn bypassed_read(
-    b: &mut NetlistBuilder,
-    regs: &RegArray,
-    addr: &Word,
-    sources: &[(NetId, Word, Word)],
-) -> Word {
-    let mut value = b.reg_array_read(regs, addr);
-    for (enable, dest, data) in sources.iter().rev() {
-        let same = b.weq(addr, dest);
-        let hit = b.and(*enable, same);
-        value = b.wmux(hit, data, &value);
-    }
-    value
-}
-
 /// Per-instruction derived values shared by both machines: everything the
 /// write-back of one instruction needs, computed from the instruction word,
 /// the (bypassed) operand values and the instruction's architectural PC.
@@ -399,6 +397,9 @@ pub fn pipelined(config: PipelineConfig) -> Result<Netlist, BuildError> {
     let mut b = NetlistBuilder::new("alpha0-pipelined");
     let instr = b.input("instr", INSTR_WIDTH);
     let reset = b.input("reset", 1).bit(0);
+    if config.with_stall {
+        b.stall_input("stall");
+    }
     let not_reset = b.not(reset);
 
     let regs = b.reg_array("r", cfg.num_regs, w, 0);
@@ -444,6 +445,14 @@ pub fn pipelined(config: PipelineConfig) -> Result<Netlist, BuildError> {
     let ea4 = b.register("ea4", mem_w, 0);
     let st_data4 = b.register("st_data4", w, 0);
 
+    // The pipeline structure, recorded for the netlist-derived term-level
+    // flow: four in-flight instructions (RD, EX, MEM, WB stages), so flushing
+    // drains the machine in four bubble cycles.
+    b.mark_stage_valid(&v1);
+    b.mark_stage_valid(&v2);
+    b.mark_stage_valid(&v3);
+    b.mark_stage_valid(&v4);
+
     // ----------------------------------------------------- MEM / WB stages --
     let mem_valid = v3.value().bit(0);
     let mem_forwards = b.and(mem_valid, wen3.value().bit(0));
@@ -463,8 +472,7 @@ pub fn pipelined(config: PipelineConfig) -> Result<Netlist, BuildError> {
         let v = b.and(wb_valid, is_st4.value().bit(0));
         b.and(v, not_reset)
     };
-    let mem_rdata = bypassed_read(
-        &mut b,
+    let mem_rdata = b.bypassed_read(
         &mem,
         &ea2.value(),
         &[
@@ -489,8 +497,9 @@ pub fn pipelined(config: PipelineConfig) -> Result<Netlist, BuildError> {
             (wb_forwards, dest4.value(), result4.value()),
         ]
     };
-    let ra_val = bypassed_read(&mut b, &regs, &dec.ra_addr, &bypass_sources);
-    let rb_val = bypassed_read(&mut b, &regs, &dec.rb_addr, &bypass_sources);
+    b.note_forward_paths(bypass_sources.len());
+    let ra_val = b.bypassed_read(&regs, &dec.ra_addr, &bypass_sources);
+    let rb_val = b.bypassed_read(&regs, &dec.rb_addr, &bypass_sources);
     let pc1w = pc1.value();
     let exec = execute(&mut b, &dec, &ra_val, &rb_val, &pc1w, cfg, config.alu, bug);
 
@@ -502,9 +511,18 @@ pub fn pipelined(config: PipelineConfig) -> Result<Netlist, BuildError> {
         ct_in_rd
     };
     let not_annul = b.not(annul);
-    let v1_next = b.and(not_reset, not_annul);
+    // Stalling inserts a bubble instead of the fetched instruction (and holds
+    // the fetch PC); instructions already in flight drain normally. Without a
+    // stall input `stall_gate` is the identity, so the un-stallable design is
+    // bit-identical.
+    let accept = b.stall_gate(not_annul);
+    let v1_next = b.and(not_reset, accept);
     let fetch_plus_1 = b.winc(&fetch_pc.value());
-    let redirected = b.wmux(ct_in_rd, &exec.next_pc, &fetch_plus_1);
+    let advanced = match b.stall_net() {
+        Some(stall) => b.wmux(stall, &fetch_pc.value(), &fetch_plus_1),
+        None => fetch_plus_1,
+    };
+    let redirected = b.wmux(ct_in_rd, &exec.next_pc, &advanced);
     let zero_pc = b.wconst(0, PC_WIDTH);
     let fetch_next = b.wmux(reset, &zero_pc, &redirected);
 
@@ -799,6 +817,84 @@ mod tests {
             assert_eq!(good, isa_state(cfg, prog), "{bug:?}");
             assert_ne!(good, bad, "{bug:?} must diverge");
         }
+    }
+
+    #[test]
+    fn stallable_unstalled_behaviour_is_bit_identical() {
+        let cfg = Alpha0Config::default();
+        let base = pipelined(PipelineConfig::with_isa(cfg)).expect("build");
+        let stallable = pipelined(PipelineConfig::with_isa(cfg).stallable()).expect("build");
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..5 {
+            let prog = random_program(&mut rng, cfg, 8);
+            let mut a = ConcreteSim::new(&base);
+            let mut s = ConcreteSim::new(&stallable);
+            let oa = a.step(&[("reset", 1), ("instr", 0)]);
+            let os = s.step(&[("reset", 1), ("instr", 0), ("stall", 0)]);
+            assert_eq!(oa, os);
+            for instr in &prog {
+                let w = u64::from(instr.encode());
+                let oa = a.step(&[("reset", 0), ("instr", w)]);
+                let os = s.step(&[("reset", 0), ("instr", w), ("stall", 0)]);
+                assert_eq!(oa, os, "outputs diverge under stall = 0: {prog:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stalling_drains_the_pipeline_to_the_architectural_state() {
+        let cfg = Alpha0Config::default();
+        let prog = [
+            Alpha0Instr::operate_lit(Alpha0Op::Add, 1, 0, 9),
+            Alpha0Instr::st(1, 0, 2),
+            Alpha0Instr::operate(Alpha0Op::Add, 2, 1, 1),
+        ];
+        let junk = u64::from(Alpha0Instr::operate_lit(Alpha0Op::Add, 3, 3, 7).encode());
+        let n = pipelined(PipelineConfig::with_isa(cfg).stallable()).expect("build");
+        let mut sim = ConcreteSim::new(&n);
+        sim.step(&[("reset", 1), ("instr", 0), ("stall", 0)]);
+        for instr in &prog {
+            sim.step(&[
+                ("reset", 0),
+                ("instr", u64::from(instr.encode())),
+                ("stall", 0),
+            ]);
+        }
+        // Four stalled cycles drain the four pipeline stages; the junk word
+        // presented at the instruction port must never retire.
+        for _ in 0..4 {
+            sim.step(&[("reset", 0), ("instr", junk), ("stall", 1)]);
+        }
+        let drained = arch_state(
+            cfg,
+            &sim.outputs(&[("instr", junk), ("reset", 0), ("stall", 1)]),
+        );
+        assert_eq!(drained, isa_state(cfg, &prog));
+        // Further stalled cycles are a fixed point.
+        for _ in 0..3 {
+            sim.step(&[("reset", 0), ("instr", junk), ("stall", 1)]);
+        }
+        let still = arch_state(
+            cfg,
+            &sim.outputs(&[("instr", junk), ("reset", 0), ("stall", 1)]),
+        );
+        assert_eq!(drained, still);
+    }
+
+    #[test]
+    fn pipeline_hints_reflect_the_design() {
+        let n = pipelined(PipelineConfig::correct().stallable()).expect("build");
+        let hints = n.pipeline_hints();
+        assert_eq!(hints.stall_port.as_deref(), Some("stall"));
+        assert_eq!(hints.stage_valids, vec!["v1", "v2", "v3", "v4"]);
+        assert_eq!(hints.forward_paths, 3);
+        let buggy = pipelined(
+            PipelineConfig::correct()
+                .stallable()
+                .bug(Alpha0Bug::NoBypass),
+        )
+        .expect("build");
+        assert_eq!(buggy.pipeline_hints().forward_paths, 0);
     }
 
     #[test]

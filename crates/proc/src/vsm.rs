@@ -47,6 +47,13 @@ pub struct VsmConfig {
     pub bug: Option<VsmBug>,
     /// Add an `irq` input and trap logic (interrupt extension, Section 5.5).
     pub with_interrupt: bool,
+    /// Add a 1-bit `stall` input to the pipelined machine: asserting it
+    /// inserts a pipeline bubble instead of accepting the fetched instruction
+    /// while the instructions in flight drain normally. With the input held
+    /// at 0 the machine is bit-identical to the un-stallable design; holding
+    /// it at 1 is the Burch–Dill flushing abstraction's drain knob (see
+    /// `pv-flush`).
+    pub with_stall: bool,
     /// Number of general-purpose registers modelled (a power of two ≤ 8).
     ///
     /// The full VSM has eight registers; Section 6.2 reduces the machine to a
@@ -61,6 +68,7 @@ impl Default for VsmConfig {
         VsmConfig {
             bug: None,
             with_interrupt: false,
+            with_stall: false,
             num_regs: NUM_REGS,
         }
     }
@@ -94,6 +102,16 @@ impl VsmConfig {
         VsmConfig {
             num_regs,
             ..VsmConfig::default()
+        }
+    }
+
+    /// Adds the `stall` (bubble-injection) input to the pipelined machine
+    /// (builder style) — the variant one netlist needs to run through both
+    /// the β-relation flow and the flushing flow.
+    pub fn stallable(self) -> Self {
+        VsmConfig {
+            with_stall: true,
+            ..self
         }
     }
 
@@ -155,24 +173,6 @@ fn sext_disp(b: &mut NetlistBuilder, disp: &Word) -> Word {
     b.wsext(disp, PC_WIDTH)
 }
 
-/// Reads a register with bypassing from two younger write-back sources.
-/// Each source is `(forward_enable, dest_addr, data)`.
-fn bypassed_read(
-    b: &mut NetlistBuilder,
-    regs: &RegArray,
-    addr: &Word,
-    sources: &[(NetId, Word, Word)],
-) -> Word {
-    let mut value = b.reg_array_read(regs, addr);
-    // Apply in reverse so the first source has the highest priority.
-    for (enable, dest, data) in sources.iter().rev() {
-        let same = b.weq(addr, dest);
-        let hit = b.and(*enable, same);
-        value = b.wmux(hit, data, &value);
-    }
-    value
-}
-
 fn expose_architectural_state(
     b: &mut NetlistBuilder,
     num_regs: usize,
@@ -209,6 +209,9 @@ pub fn pipelined(config: VsmConfig) -> Result<Netlist, BuildError> {
     } else {
         None
     };
+    if config.with_stall {
+        b.stall_input("stall");
+    }
     let not_reset = b.not(reset);
 
     // Architectural and pipeline registers (declared first so that any stage
@@ -235,6 +238,12 @@ pub fn pipelined(config: VsmConfig) -> Result<Netlist, BuildError> {
     let rc3 = b.register("rc3", aw, 0);
     let result3 = b.register("result3", DATA_WIDTH, 0);
     let next_pc3 = b.register("next_pc3", PC_WIDTH, 0);
+    // The pipeline structure, recorded for the netlist-derived term-level
+    // flow: three in-flight instructions (RF, EX, WB stages), so flushing
+    // drains the machine in three bubble cycles.
+    b.mark_stage_valid(&v1);
+    b.mark_stage_valid(&v2);
+    b.mark_stage_valid(&v3);
 
     // ------------------------------------------------------------ EX stage --
     let a2w = a2.value();
@@ -259,10 +268,11 @@ pub fn pipelined(config: VsmConfig) -> Result<Netlist, BuildError> {
             (wb_valid, rc3.value(), result3.value()),
         ]
     };
+    b.note_forward_paths(bypass_sources.len());
     let ra_addr = dec.ra.slice(0, aw);
     let rb_addr = dec.rb.slice(0, aw);
-    let a_val = bypassed_read(&mut b, &regs, &ra_addr, &bypass_sources);
-    let b_reg = bypassed_read(&mut b, &regs, &rb_addr, &bypass_sources);
+    let a_val = b.bypassed_read(&regs, &ra_addr, &bypass_sources);
+    let b_reg = b.bypassed_read(&regs, &rb_addr, &bypass_sources);
     let b_val = b.wmux(dec.literal, &dec.rb, &b_reg);
     let pc1w = pc1.value();
     let pc_plus_1 = b.winc(&pc1w);
@@ -297,9 +307,18 @@ pub fn pipelined(config: VsmConfig) -> Result<Netlist, BuildError> {
         ct_in_rf
     };
     let not_annul = b.not(annul);
-    let v1_next_bit = b.and(not_reset, not_annul);
+    // Stalling inserts a bubble instead of the fetched instruction (and holds
+    // the fetch PC); instructions already in flight drain normally. Without a
+    // stall input `stall_gate` is the identity, so the un-stallable design is
+    // bit-identical.
+    let accept = b.stall_gate(not_annul);
+    let v1_next_bit = b.and(not_reset, accept);
     let fetch_plus_1 = b.winc(&fetch_pc.value());
-    let redirected = b.wmux(ct_in_rf, &next_pc1, &fetch_plus_1);
+    let advanced = match b.stall_net() {
+        Some(stall) => b.wmux(stall, &fetch_pc.value(), &fetch_plus_1),
+        None => fetch_plus_1,
+    };
+    let redirected = b.wmux(ct_in_rf, &next_pc1, &advanced);
     let zero_pc = b.wconst(0, PC_WIDTH);
     let fetch_next = b.wmux(reset, &zero_pc, &redirected);
     let trap_fetch = match irq {
@@ -619,6 +638,86 @@ mod tests {
         assert_eq!(p.input_width("instr"), Some(INSTR_WIDTH));
         assert_eq!(u.input_width("instr"), Some(INSTR_WIDTH));
         assert!(p.register_bits() > u.register_bits());
+    }
+
+    #[test]
+    fn stallable_unstalled_behaviour_is_bit_identical() {
+        let base = pipelined(VsmConfig::correct()).expect("build");
+        let stallable = pipelined(VsmConfig::correct().stallable()).expect("build");
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..8 {
+            let prog = random_program(&mut rng, 8, true);
+            let mut a = ConcreteSim::new(&base);
+            let mut s = ConcreteSim::new(&stallable);
+            let oa = a.step(&[("reset", 1), ("instr", 0)]);
+            let os = s.step(&[("reset", 1), ("instr", 0), ("stall", 0)]);
+            assert_eq!(oa, os);
+            for instr in &prog {
+                let w = u64::from(instr.encode());
+                let oa = a.step(&[("reset", 0), ("instr", w)]);
+                let os = s.step(&[("reset", 0), ("instr", w), ("stall", 0)]);
+                assert_eq!(oa, os, "outputs diverge under stall = 0: {prog:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stalling_drains_the_pipeline_to_the_architectural_state() {
+        // r1 = 3; r2 = r1 + r1; r3 = r2 ^ r1 — then hold `stall` high. The
+        // instructions in flight must retire (bubbles drain the pipe), the
+        // junk word presented at the instruction port must never be accepted,
+        // and further stalled cycles must not change the architectural state.
+        let prog = [
+            VsmInstr::add_lit(1, 0, 3),
+            VsmInstr::add_reg(2, 1, 1),
+            VsmInstr::alu_reg(VsmOp::Xor, 3, 2, 1),
+        ];
+        let junk = u64::from(VsmInstr::add_lit(6, 6, 7).encode());
+        let n = pipelined(VsmConfig::correct().stallable()).expect("build");
+        let mut sim = ConcreteSim::new(&n);
+        sim.step(&[("reset", 1), ("instr", 0), ("stall", 0)]);
+        for instr in &prog {
+            sim.step(&[
+                ("reset", 0),
+                ("instr", u64::from(instr.encode())),
+                ("stall", 0),
+            ]);
+        }
+        // Three stalled cycles drain the three pipeline stages.
+        for _ in 0..3 {
+            sim.step(&[("reset", 0), ("instr", junk), ("stall", 1)]);
+        }
+        let drained = sim.outputs(&[("instr", junk), ("reset", 0), ("stall", 1)]);
+        let (expect_regs, expect_pc) = isa_state(&prog);
+        let regs: Vec<u64> = (0..NUM_REGS).map(|i| drained[&format!("r{i}")]).collect();
+        assert_eq!((regs, drained["pc"]), (expect_regs, expect_pc));
+        // Stalled bubbles never retire: the state is a fixed point.
+        for _ in 0..3 {
+            sim.step(&[("reset", 0), ("instr", junk), ("stall", 1)]);
+        }
+        let still = sim.outputs(&[("instr", junk), ("reset", 0), ("stall", 1)]);
+        assert_eq!(drained, still);
+    }
+
+    #[test]
+    fn pipeline_hints_reflect_the_design() {
+        let n = pipelined(VsmConfig::correct().stallable()).expect("build");
+        let hints = n.pipeline_hints();
+        assert_eq!(hints.stall_port.as_deref(), Some("stall"));
+        assert_eq!(hints.stage_valids, vec!["v1", "v2", "v3"]);
+        assert_eq!(hints.forward_paths, 2);
+        // The seeded forwarding bug removes the bypass network from the gates
+        // *and therefore* from the hints.
+        let buggy = pipelined(VsmConfig {
+            bug: Some(VsmBug::NoBypass),
+            ..VsmConfig::correct().stallable()
+        })
+        .expect("build");
+        assert_eq!(buggy.pipeline_hints().forward_paths, 0);
+        // The un-stallable design records its stages but no stall port.
+        let base = pipelined(VsmConfig::correct()).expect("build");
+        assert!(base.pipeline_hints().stall_port.is_none());
+        assert_eq!(base.pipeline_hints().stage_valids.len(), 3);
     }
 
     #[test]

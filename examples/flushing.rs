@@ -1,23 +1,45 @@
-//! The Burch–Dill flushing method on the term-level three-stage pipeline:
-//! the companion verification flow to the β-relation methodology (see
-//! `DESIGN.md`).
+//! The Burch–Dill flushing method, driven through the unified
+//! `VerificationFlow` front-end (see `DESIGN.md`): the pipeline description
+//! is **derived from the stallable VSM netlist** — the same netlist the
+//! β-relation flow simulates bit-level — and the commuting diagram is decided
+//! in EUF, with the independent case-split blocks fanned out over the shared
+//! worker pool.
 //!
-//! The example checks the commuting diagram for the correct pipeline, then
-//! for every injectable control bug, printing the counterexample assignments
-//! the EUF checker returns.
+//! The example then drops to the term level: the classic three-stage model
+//! (the depth-3 instantiation of the depth-parametric pipeline) is checked
+//! for the correct design and for every injectable control bug, printing the
+//! counterexample assignments the EUF checker returns.
 //!
 //! Run with `cargo run --release --example flushing`.
 
-use pipeverify::flush::{FlushVerifier, PipelineBug, PipelineModel, TermManager};
+use pipeverify::core::VerificationFlow;
+use pipeverify::flush::{FlushVerifier, PipelineBug, PipelineDesc, TermManager};
+use pipeverify::proc::vsm::{self, VsmConfig};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Burch–Dill flushing verification (term level, uninterpreted ALU) ===\n");
 
-    let correct = FlushVerifier::new(PipelineModel::correct());
+    // ---- the netlist-backed front-end --------------------------------------
+    let config = VsmConfig::reduced(2).stallable();
+    let pipelined = vsm::pipelined(config)?;
+    let unpipelined = vsm::unpipelined(config)?;
+    let derived = FlushVerifier::from_netlist(&pipelined)?;
+    println!(
+        "derived from `{}`: {:?} (flush bound {})\n",
+        pipelined.name(),
+        derived.desc(),
+        derived.desc().flush_bound()
+    );
+    let flow_report = derived.verify_flow(&pipelined, &unpipelined)?;
+    print!("{flow_report}");
+    assert!(flow_report.equivalent);
+
+    // ---- the depth-3 term model, checked directly --------------------------
+    let correct = FlushVerifier::new(PipelineDesc::three_stage());
     let mut terms = TermManager::new();
     let vc = correct.verification_condition(&mut terms);
     println!(
-        "verification condition: {} distinct terms, {} Boolean atoms\n",
+        "\nthree-stage verification condition: {} distinct terms, {} Boolean atoms\n",
         terms.len(),
         terms.atoms(vc).len()
     );
@@ -33,7 +55,7 @@ fn main() {
         PipelineBug::WriteBackBubbles,
         PipelineBug::StuckPc,
     ] {
-        let report = FlushVerifier::new(PipelineModel::with_bug(bug)).verify();
+        let report = FlushVerifier::new(PipelineDesc::three_stage().with_bug(bug)).verify();
         assert!(!report.valid(), "{bug:?} must be rejected");
         let cex = report.counterexample.expect("counterexample");
         println!("\n{bug:?}: commuting diagram violated under");
@@ -45,4 +67,5 @@ fn main() {
     }
 
     println!("\nAll four control bugs were rejected; the correct design was accepted.");
+    Ok(())
 }

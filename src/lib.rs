@@ -12,7 +12,12 @@
 //! * [`isa`] — the VSM and Alpha0 instruction sets and reference interpreters
 //!   (Tables 1 and 2),
 //! * [`proc`] — pipelined and unpipelined processor netlists (Figures 12–15),
-//! * [`core`] — the verification methodology itself (Chapter 5, Figure 8).
+//!   including the stallable variants both verification flows share,
+//! * [`core`] — the verification methodology itself (Chapter 5, Figure 8)
+//!   and the `VerificationFlow` front-end,
+//! * [`flush`] — the Burch–Dill flushing flow: depth-parametric term-level
+//!   pipelines (derivable from a stallable netlist) and the EUF
+//!   commuting-diagram check.
 //!
 //! # Quick start
 //!

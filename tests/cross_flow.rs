@@ -1,0 +1,125 @@
+//! Cross-flow agreement: **one stallable netlist, two verification flows,
+//! matching verdicts** — the bridge the `VerificationFlow` front-end exists
+//! for.
+//!
+//! The stallable reduced VSM runs through the β-relation flow (bit-level
+//! symbolic simulation of the netlist pair) and through the flushing flow
+//! (term-level commuting diagram over the pipeline description derived from
+//! the *same* pipelined netlist). Both must pass on the correct design and
+//! both must fail — with a counterexample — on the design seeded with the
+//! forwarding bug, which the bit-level flow sees as stale operand values and
+//! the term-level flow inherits through the netlist's recorded forwarding
+//! hints.
+
+use pipeverify::core::{MachineSpec, VerificationFlow, Verifier};
+use pipeverify::flush::{FlushVerifier, PipelineDesc};
+use pipeverify::proc::vsm::{self, VsmBug, VsmConfig};
+
+/// Register count of the reduced verification model (Section 6.2).
+const REGS: usize = 2;
+
+fn stallable(bug: Option<VsmBug>) -> VsmConfig {
+    VsmConfig {
+        bug,
+        ..VsmConfig::reduced(REGS).stallable()
+    }
+}
+
+/// The two flows behind the one front-end: the β-relation verifier and a
+/// flushing verifier (whose description is re-derived from whatever netlist
+/// the front-end hands it).
+fn flows<'a>(
+    beta: &'a Verifier,
+    flushing: &'a FlushVerifier,
+) -> [(&'static str, &'a dyn VerificationFlow); 2] {
+    [("beta-relation", beta), ("flushing", flushing)]
+}
+
+#[test]
+fn both_flows_accept_the_correct_stallable_vsm() {
+    let pipelined = vsm::pipelined(stallable(None)).expect("build");
+    let unpipelined = vsm::unpipelined(stallable(None)).expect("build");
+    let beta = Verifier::new(MachineSpec::vsm_reduced(REGS).with_stall_port("stall"));
+    let flushing = FlushVerifier::from_netlist(&pipelined).expect("derive");
+    for (name, flow) in flows(&beta, &flushing) {
+        assert_eq!(flow.flow_name(), name);
+        let report = flow.verify_flow(&pipelined, &unpipelined).expect(name);
+        assert!(report.equivalent, "{name} must accept: {report}");
+        assert!(report.counterexample.is_none(), "{name}");
+        assert!(report.units_checked > 0 && report.checks > 0, "{name}");
+        assert_eq!(report.unit_walls.len(), report.units_checked, "{name}");
+    }
+}
+
+#[test]
+fn both_flows_reject_the_seeded_forwarding_bug_with_counterexamples() {
+    let pipelined = vsm::pipelined(stallable(Some(VsmBug::NoBypass))).expect("build");
+    let unpipelined = vsm::unpipelined(stallable(None)).expect("build");
+    let beta = Verifier::new(MachineSpec::vsm_reduced(REGS).with_stall_port("stall"));
+    // Netlist-derived verifiers follow the netlist the front-end hands them:
+    // deriving from the bugged design carries `NoForwarding` into the model.
+    let flushing = FlushVerifier::from_netlist(&pipelined).expect("derive");
+    for (name, flow) in flows(&beta, &flushing) {
+        let report = flow.verify_flow(&pipelined, &unpipelined).expect(name);
+        assert!(!report.equivalent, "{name} must reject the bug: {report}");
+        let cex = report
+            .counterexample
+            .unwrap_or_else(|| panic!("{name}: a failing flow must carry a counterexample"));
+        assert!(!cex.description.is_empty(), "{name}");
+        // The failing unit index is deterministic for any worker count.
+        assert_eq!(cex.unit + 1, report.units_checked, "{name}");
+    }
+}
+
+#[test]
+fn the_flushing_flow_requires_the_stallable_design() {
+    // The un-stallable Figure 12 netlist still verifies under the β-relation
+    // flow but is *rejected* by the flushing front-end: without a stall
+    // input there is nothing to drain the pipeline with.
+    let pipelined = vsm::pipelined(VsmConfig::reduced(REGS)).expect("build");
+    let unpipelined = vsm::unpipelined(VsmConfig::reduced(REGS)).expect("build");
+    let flushing = FlushVerifier::new(PipelineDesc::three_stage());
+    let err = flushing
+        .verify_flow(&pipelined, &unpipelined)
+        .expect_err("no stall input");
+    assert_eq!(err.flow, "flushing");
+    assert!(err.message.contains("stall"), "{err}");
+}
+
+#[test]
+fn an_explicitly_configured_description_is_never_silently_replaced() {
+    // A verifier configured with its own description (rather than derived
+    // from a netlist) refuses a netlist that derives a different model: the
+    // front-end substitutes nothing behind the caller's back.
+    let pipelined = vsm::pipelined(stallable(None)).expect("build");
+    let unpipelined = vsm::unpipelined(stallable(None)).expect("build");
+    let configured = FlushVerifier::new(PipelineDesc::three_stage());
+    let err = configured
+        .verify_flow(&pipelined, &unpipelined)
+        .expect_err("the stallable VSM derives depth 4, not the configured depth 3");
+    assert!(err.message.contains("derives"), "{err}");
+    // A matching explicit description is accepted.
+    let matching = FlushVerifier::new(PipelineDesc::with_depth(4));
+    let report = matching
+        .verify_flow(&pipelined, &unpipelined)
+        .expect("matching description");
+    assert!(report.equivalent);
+}
+
+#[test]
+fn the_derived_description_matches_the_netlist_structure() {
+    // The stallable VSM has three in-flight latches (RF, EX, WB), so the
+    // derived term pipeline has depth 4 and drains in three bubble cycles —
+    // exactly the drain count the concrete pv-proc tests use.
+    let pipelined = vsm::pipelined(stallable(None)).expect("build");
+    let desc = PipelineDesc::from_netlist(&pipelined).expect("derive");
+    assert_eq!(desc.depth, 4);
+    assert_eq!(desc.flush_bound(), 3);
+    assert_eq!(desc.bug, None);
+    let buggy = vsm::pipelined(stallable(Some(VsmBug::NoBypass))).expect("build");
+    let desc = PipelineDesc::from_netlist(&buggy).expect("derive");
+    assert!(
+        desc.bug.is_some(),
+        "the dropped bypass network must surface"
+    );
+}

@@ -1,15 +1,14 @@
 //! Integration test for the Burch–Dill flushing extension (`pv-flush`) and
 //! its relationship to the β-relation flow: both methods accept the correct
 //! designs and both reject control bugs, but they work at different levels of
-//! abstraction (uninterpreted terms vs. bit-level netlists).
+//! abstraction (uninterpreted terms vs. bit-level netlists). The cross-flow
+//! agreement on one shared netlist is asserted by `tests/cross_flow.rs`.
 
-use pipeverify::flush::{
-    check_valid, FlushVerifier, PipelineBug, PipelineModel, Sort, TermManager,
-};
+use pipeverify::flush::{check_valid, FlushVerifier, PipelineBug, PipelineDesc, Sort, TermManager};
 
 #[test]
 fn the_commuting_diagram_holds_for_the_correct_pipeline() {
-    let report = FlushVerifier::new(PipelineModel::correct()).verify();
+    let report = FlushVerifier::new(PipelineDesc::three_stage()).verify();
     assert!(report.valid(), "{report}");
     // The check is a single EUF validity query over a few dozen atoms, not a
     // cycle-by-cycle simulation.
@@ -28,7 +27,7 @@ fn control_bugs_break_the_commuting_diagram_with_counterexamples() {
         PipelineBug::WriteBackBubbles,
         PipelineBug::StuckPc,
     ] {
-        let report = FlushVerifier::new(PipelineModel::with_bug(bug)).verify();
+        let report = FlushVerifier::new(PipelineDesc::three_stage().with_bug(bug)).verify();
         assert!(!report.valid(), "{bug:?} must be rejected");
         let cex = report.counterexample.expect("counterexample");
         assert!(!cex.assignments.is_empty());
@@ -41,6 +40,18 @@ fn control_bugs_break_the_commuting_diagram_with_counterexamples() {
             "{bug:?}: {cex}"
         );
     }
+}
+
+#[test]
+fn the_flush_bound_follows_the_depth() {
+    // The commuting diagram holds at every modelled depth (the per-depth
+    // sweep including the injected bugs is `crates/flush/tests/depths.rs`);
+    // here we pin the depth → flush-bound law the schedule derives from.
+    for depth in 2..=5 {
+        assert_eq!(PipelineDesc::with_depth(depth).flush_bound(), depth - 1);
+    }
+    let report = FlushVerifier::new(PipelineDesc::with_depth(4)).verify();
+    assert!(report.valid(), "{report}");
 }
 
 #[test]
