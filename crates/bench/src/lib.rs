@@ -12,6 +12,8 @@ use pipeverify_core::{
 use pv_bdd::{Bdd, BddManager, BddVec, TransitionSystem, Var};
 use pv_netlist::{Netlist, SymbolicSim};
 
+pub mod matrix;
+
 /// Prints the per-plan breakdown and wall-clock summary of a pooled sweep
 /// run — shared by the `probe` and `probe_alpha0` `PROBE_SWEEP=1` modes.
 /// `label` maps a plan index to the caller's display label (`plan 3`,

@@ -1,0 +1,219 @@
+//! The family **cross-flow agreement matrix**: every generated processor
+//! configuration × every applicable injected hazard bug, each cell pushed
+//! through *both* verification flows.
+//!
+//! The standing property the matrix checks (see `tests/family_matrix.rs` at
+//! the workspace root and the `family_campaign` binary):
+//!
+//! * a **correct** design must PASS the β-relation flow *and* the flushing
+//!   flow;
+//! * a **bug-injected** design must FAIL both flows, each with a
+//!   counterexample — and the β-relation counterexample must replay through
+//!   the concrete netlist interpreter to a *real* divergence that reproduces
+//!   the reported values exactly.
+//!
+//! Disagreement in either direction is a defect: a flow that accepts a
+//! seeded bug has a soundness hole, a flow that rejects a correct design has
+//! a completeness hole, and a counterexample that does not replay concretely
+//! is an artefact of the symbolic machinery rather than a real divergence.
+
+use std::fmt;
+use std::time::Duration;
+
+use pipeverify_core::{MachineSpec, ReplayOutcome, VerificationFlow, Verifier};
+use pv_flush::FlushVerifier;
+use pv_proc::family::{self, FamilyBug, FamilyConfig};
+
+/// The campaign's configuration axis: thirteen stallable family members
+/// spanning depths 2–8, two word widths, two register-file sizes and both
+/// delay-slot disciplines.
+pub fn matrix_configs() -> Vec<FamilyConfig> {
+    let mut configs = Vec::new();
+    // Zero delay slots: branches resolve at fetch.
+    for (depth, w, regs) in [
+        (2, 4, 2),
+        (3, 4, 2),
+        (4, 4, 2),
+        (5, 3, 2),
+        (6, 3, 2),
+        (3, 4, 4),
+    ] {
+        configs.push(FamilyConfig::new(depth, w, regs, 0).stallable());
+    }
+    // One delay slot: branches resolve in execute and annul the next slot.
+    for (depth, w, regs) in [
+        (2, 4, 2),
+        (3, 4, 2),
+        (4, 4, 2),
+        (5, 3, 2),
+        (6, 3, 2),
+        (4, 4, 4),
+        (8, 3, 2),
+    ] {
+        configs.push(FamilyConfig::new(depth, w, regs, 1).stallable());
+    }
+    configs
+}
+
+/// The small always-on subset of the matrix that runs in every debug
+/// `cargo test` (the full matrix rides `--release`-only).
+pub fn smoke_configs() -> Vec<FamilyConfig> {
+    vec![
+        FamilyConfig::new(2, 4, 2, 0).stallable(),
+        FamilyConfig::new(3, 4, 2, 1).stallable(),
+    ]
+}
+
+/// The bug axis of one configuration: every injectable bug that applies to
+/// it (see [`FamilyBug::applies_to`]).
+pub fn cell_bugs(config: &FamilyConfig) -> Vec<FamilyBug> {
+    FamilyBug::ALL
+        .into_iter()
+        .filter(|bug| bug.applies_to(config))
+        .collect()
+}
+
+/// The outcome of one matrix cell: a `(configuration, optional bug)` pair
+/// pushed through both flows.
+#[derive(Clone, Debug)]
+pub struct CellReport {
+    /// The (correct) base configuration of the cell.
+    pub config: FamilyConfig,
+    /// The injected bug (`None` for the correct-design cell).
+    pub bug: Option<FamilyBug>,
+    /// Verdict of the β-relation flow (`true` = no counterexample).
+    pub beta_equivalent: bool,
+    /// Verdict of the flushing flow.
+    pub flush_equivalent: bool,
+    /// The β-relation counterexample's concrete replay, when one was found.
+    pub replay: Option<ReplayOutcome>,
+    /// Wall time of the β-relation flow.
+    pub beta_wall: Duration,
+    /// Wall time of the flushing flow.
+    pub flush_wall: Duration,
+}
+
+impl CellReport {
+    /// Whether this cell upholds the standing cross-flow agreement property:
+    /// correct designs pass both flows; injected bugs fail both flows *and*
+    /// the β counterexample replays to a real divergence with exactly the
+    /// reported values.
+    pub fn ok(&self) -> bool {
+        match self.bug {
+            None => self.beta_equivalent && self.flush_equivalent,
+            Some(_) => {
+                !self.beta_equivalent
+                    && !self.flush_equivalent
+                    && self
+                        .replay
+                        .as_ref()
+                        .is_some_and(|r| r.diverged && r.matches_report)
+            }
+        }
+    }
+
+    /// The cell's label: the configuration tag, with the injected bug baked
+    /// in when there is one.
+    pub fn label(&self) -> String {
+        match self.bug {
+            Some(bug) => self.config.with_bug(bug).tag(),
+            None => self.config.tag(),
+        }
+    }
+}
+
+impl fmt::Display for CellReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verdict = |equivalent: bool| if equivalent { "PASS" } else { "FAIL" };
+        let replay = match (&self.bug, &self.replay) {
+            (None, _) => "-",
+            (Some(_), Some(r)) if r.diverged && r.matches_report => "replayed",
+            (Some(_), Some(_)) => "REPLAY-MISMATCH",
+            (Some(_), None) => "NO-REPLAY",
+        };
+        write!(
+            f,
+            "{:<24} beta={} ({:>7.3}s)  flushing={} ({:>7.3}s)  replay={:<15} {}",
+            self.label(),
+            verdict(self.beta_equivalent),
+            self.beta_wall.as_secs_f64(),
+            verdict(self.flush_equivalent),
+            self.flush_wall.as_secs_f64(),
+            replay,
+            if self.ok() { "ok" } else { "** VIOLATION **" },
+        )
+    }
+}
+
+/// Runs one matrix cell: elaborates the (possibly bug-injected) pipelined
+/// design and its correct serial specification, pushes the pair through both
+/// flows, and concretely replays the β counterexample if there is one.
+///
+/// # Errors
+/// Returns the flow's own error rendering when either flow rejects the
+/// generated pair outright (missing ports, underivable hints, …) — which the
+/// matrix also counts as a violation, since every generated design must be
+/// *verifiable*.
+pub fn run_cell(config: FamilyConfig, bug: Option<FamilyBug>) -> Result<CellReport, String> {
+    let implementation = match bug {
+        Some(bug) => config.with_bug(bug),
+        None => config,
+    };
+    let pipelined = family::pipelined(implementation).map_err(|e| e.to_string())?;
+    let unpipelined = family::unpipelined(config).map_err(|e| e.to_string())?;
+    let beta = Verifier::new(MachineSpec::family(
+        config.depth,
+        config.word_width,
+        config.num_regs,
+        config.delay_slots,
+    ));
+    let beta_report = beta
+        .verify_flow(&pipelined, &unpipelined)
+        .map_err(|e| e.to_string())?;
+    let flushing = FlushVerifier::from_netlist(&pipelined).map_err(|e| e.to_string())?;
+    let flush_report = flushing
+        .verify_flow(&pipelined, &unpipelined)
+        .map_err(|e| e.to_string())?;
+    let replay = beta_report.replay(&pipelined, &unpipelined);
+    Ok(CellReport {
+        config,
+        bug,
+        beta_equivalent: beta_report.equivalent,
+        flush_equivalent: flush_report.equivalent,
+        replay,
+        beta_wall: beta_report.wall_time,
+        flush_wall: flush_report.wall_time,
+    })
+}
+
+/// Runs the whole campaign over `configs`: the correct cell plus every
+/// applicable bug cell per configuration, in a stable order. Flow-level
+/// errors are folded into failing cells (`beta_equivalent`/`flush_equivalent`
+/// both `false`, no replay) so the campaign always produces a full table;
+/// the error text is returned alongside.
+pub fn run_campaign(configs: &[FamilyConfig]) -> Vec<(CellReport, Option<String>)> {
+    let mut rows = Vec::new();
+    for &config in configs {
+        let mut cells: Vec<Option<FamilyBug>> = vec![None];
+        cells.extend(cell_bugs(&config).into_iter().map(Some));
+        for bug in cells {
+            let row = match run_cell(config, bug) {
+                Ok(report) => (report, None),
+                Err(message) => (
+                    CellReport {
+                        config,
+                        bug,
+                        beta_equivalent: false,
+                        flush_equivalent: false,
+                        replay: None,
+                        beta_wall: Duration::ZERO,
+                        flush_wall: Duration::ZERO,
+                    },
+                    Some(message),
+                ),
+            };
+            rows.push(row);
+        }
+    }
+    rows
+}

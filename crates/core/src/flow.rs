@@ -35,7 +35,7 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use pv_netlist::Netlist;
+use pv_netlist::{ConcreteSim, Netlist};
 
 use crate::verify::{VerificationReport, Verifier};
 
@@ -83,6 +83,117 @@ impl fmt::Display for FlowError {
 
 impl std::error::Error for FlowError {}
 
+/// A complete, self-contained recipe for replaying a counterexample on the
+/// concrete [`ConcreteSim`] interpreter: every input of both machines in
+/// every cycle, and the cycle/variable at which the divergence was observed.
+///
+/// The β-relation verifier fills the recipe from the SAT witness of the
+/// violated comparison (unconstrained variables take the same default —
+/// `false` — the witness evaluation used, so the concrete run reproduces the
+/// reported values exactly). The flushing flow works at the term level, above
+/// any bit-level netlist, and reports no recipe.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReplayRecipe {
+    /// Per-cycle input rows of the pipelined implementation, from reset:
+    /// `(input port, value)` pairs for every port the netlist declares.
+    pub pipelined_inputs: Vec<Vec<(String, u64)>>,
+    /// Per-cycle input rows of the unpipelined specification, from reset.
+    pub unpipelined_inputs: Vec<Vec<(String, u64)>>,
+    /// Cycle of the pipelined run at which [`variable`](Self::variable) is
+    /// sampled (outputs of that cycle, before the clock edge).
+    pub pipelined_sample_cycle: usize,
+    /// Cycle of the unpipelined run at which the variable is sampled.
+    pub unpipelined_sample_cycle: usize,
+    /// The observed output on which the machines disagree.
+    pub variable: String,
+    /// The value the symbolic flow reported for the implementation.
+    pub pipelined_value: u64,
+    /// The value the symbolic flow reported for the specification.
+    pub unpipelined_value: u64,
+}
+
+impl ReplayRecipe {
+    /// Replays the recipe on both netlists through the concrete cycle-level
+    /// interpreter and reports whether the divergence reproduces.
+    ///
+    /// # Panics
+    /// Panics if a recorded input port does not exist on the corresponding
+    /// netlist or the sampled variable is not one of its outputs — the recipe
+    /// must be replayed against the same design pair it was produced from.
+    pub fn replay(&self, pipelined: &Netlist, unpipelined: &Netlist) -> ReplayOutcome {
+        let p = Self::run(
+            pipelined,
+            &self.pipelined_inputs,
+            self.pipelined_sample_cycle,
+            &self.variable,
+        );
+        let u = Self::run(
+            unpipelined,
+            &self.unpipelined_inputs,
+            self.unpipelined_sample_cycle,
+            &self.variable,
+        );
+        ReplayOutcome {
+            variable: self.variable.clone(),
+            pipelined_value: p,
+            unpipelined_value: u,
+            diverged: p != u,
+            matches_report: p == self.pipelined_value && u == self.unpipelined_value,
+        }
+    }
+
+    fn run(
+        netlist: &Netlist,
+        rows: &[Vec<(String, u64)>],
+        sample_cycle: usize,
+        variable: &str,
+    ) -> u64 {
+        let mut sim = ConcreteSim::new(netlist);
+        let mut value = None;
+        for (cycle, row) in rows.iter().enumerate() {
+            let inputs: Vec<(&str, u64)> = row.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+            let outputs = sim.step(&inputs);
+            if cycle == sample_cycle {
+                value = Some(*outputs.get(variable).unwrap_or_else(|| {
+                    panic!("netlist `{}` has no output `{variable}`", netlist.name())
+                }));
+            }
+        }
+        value.expect("the sample cycle lies within the recorded input rows")
+    }
+}
+
+/// The result of replaying a [`ReplayRecipe`] concretely.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReplayOutcome {
+    /// The observed output that was sampled.
+    pub variable: String,
+    /// Its concrete value in the pipelined implementation.
+    pub pipelined_value: u64,
+    /// Its concrete value in the unpipelined specification.
+    pub unpipelined_value: u64,
+    /// `true` iff the two concrete runs disagree — a real, bit-level
+    /// divergence, independent of any symbolic machinery.
+    pub diverged: bool,
+    /// `true` iff both concrete values equal the ones the symbolic flow
+    /// reported — the counterexample reproduces *exactly*.
+    pub matches_report: bool,
+}
+
+impl fmt::Display for ReplayOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "concrete replay: `{}` = {:#x} in the implementation, {:#x} in the specification ({}{})",
+            self.variable,
+            self.pipelined_value,
+            self.unpipelined_value,
+            if self.diverged { "diverged" } else { "agreed" },
+            if self.matches_report { ", matching the report" } else { ", NOT matching the report" },
+        )
+    }
+}
+
 /// A flow-agnostic counterexample: which unit of work found it, and its
 /// rendering. The flow-specific structured counterexample (instruction words
 /// for the β-relation, atom assignments for flushing) stays available on the
@@ -94,6 +205,9 @@ pub struct FlowCounterexample {
     pub unit: usize,
     /// Human-readable rendering of the counterexample.
     pub description: String,
+    /// A concrete replay recipe, when the flow works at the bit level (the
+    /// β-relation fills this; the term-level flushing flow reports `None`).
+    pub replay: Option<ReplayRecipe>,
 }
 
 /// The report shape shared by every [`VerificationFlow`]: verdict,
@@ -142,6 +256,18 @@ impl FlowReport {
             .copied()
             .enumerate()
             .max_by_key(|&(_, w)| w)
+    }
+
+    /// Replays the counterexample's [`ReplayRecipe`] on the concrete
+    /// interpreter, if the report carries one (see
+    /// [`FlowCounterexample::replay`]). Returns `None` when the design pair
+    /// verified or the flow works above the bit level.
+    pub fn replay(&self, pipelined: &Netlist, unpipelined: &Netlist) -> Option<ReplayOutcome> {
+        self.counterexample
+            .as_ref()?
+            .replay
+            .as_ref()
+            .map(|r| r.replay(pipelined, unpipelined))
     }
 }
 
@@ -204,6 +330,7 @@ impl VerificationReport {
                     .map(|p| p.plan_index)
                     .unwrap_or_default(),
                 description: cex.to_string(),
+                replay: Some(cex.replay.clone()),
             }),
             units_checked: self.plans_checked,
             unit_label: "plan",
@@ -244,4 +371,6 @@ const _: () = {
     assert_send_sync::<FlowReport>();
     assert_send_sync::<FlowCounterexample>();
     assert_send_sync::<FlowError>();
+    assert_send_sync::<ReplayRecipe>();
+    assert_send_sync::<ReplayOutcome>();
 };

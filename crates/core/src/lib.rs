@@ -63,7 +63,9 @@ mod spec;
 mod verify;
 
 pub use baseline::{product_equivalence, random_simulation, ProductReport, RandomSimReport};
-pub use flow::{FlowCounterexample, FlowError, FlowReport, VerificationFlow};
+pub use flow::{
+    FlowCounterexample, FlowError, FlowReport, ReplayOutcome, ReplayRecipe, VerificationFlow,
+};
 pub use plan::{CycleInput, ParsePlanError, SimulationPlan, SimulationSchedule, Slot};
 pub use spec::MachineSpec;
 pub use verify::{Counterexample, PlanReport, VerificationReport, Verifier, VerifyError};

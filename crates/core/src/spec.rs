@@ -158,6 +158,38 @@ impl MachineSpec {
         }
     }
 
+    /// A member of the generated processor family (`pv_proc::family`): depth
+    /// `k = depth`, `delay_slots` delay slots (0 or 1), a register file of
+    /// `num_regs` registers of `word_width` bits, observing every register
+    /// plus the retired PC. Instructions are `3·aw + 3` bits (three register
+    /// fields of `aw = log2(num_regs)` bits under a 3-bit opcode); opcodes
+    /// `0xx` are the ALU class and `100` is the unconditional branch, so the
+    /// class constraints are computed relative to the word width rather than
+    /// at fixed bit positions. The family's pipelined designs are always
+    /// stallable (`stall` port).
+    pub fn family(depth: usize, word_width: usize, num_regs: usize, delay_slots: usize) -> Self {
+        let aw = usize::max(num_regs.trailing_zeros() as usize, 1);
+        MachineSpec {
+            name: format!(
+                "family (depth {depth}, {word_width}-bit, {num_regs} regs, d={delay_slots})"
+            ),
+            k: depth,
+            delay_slots,
+            instr_width: 3 * aw + 3,
+            instr_port: "instr".to_owned(),
+            reset_port: "reset".to_owned(),
+            irq_port: None,
+            stall_port: Some("stall".to_owned()),
+            observed: (0..num_regs)
+                .map(|i| format!("r{i}"))
+                .chain(std::iter::once("pc".to_owned()))
+                .collect(),
+            sample_offset: 0,
+            normal_class: family_normal_class,
+            control_class: family_control_class,
+        }
+    }
+
     /// Declares the stall (bubble-injection) input port of the pipelined
     /// design (builder style). The verifier then accepts — and drives with
     /// constant 0 — a `stall` input on either netlist, so the stallable
@@ -189,6 +221,24 @@ fn vsm_normal_class(m: &mut BddManager, instr: &[Var]) -> Bdd {
 /// VSM control-transfer instructions: opcode `100` exactly.
 fn vsm_control_class(m: &mut BddManager, instr: &[Var]) -> Bdd {
     m.cube(&[(instr[12], true), (instr[11], false), (instr[10], false)])
+}
+
+/// Family instructions that are not control transfers: the top opcode bit
+/// (the instruction word's most significant bit, wherever the word width puts
+/// it) is 0 — the four ALU operations.
+fn family_normal_class(m: &mut BddManager, instr: &[Var]) -> Bdd {
+    m.nvar(instr[instr.len() - 1])
+}
+
+/// Family control-transfer instructions: opcode `100` exactly (the
+/// unconditional branch), located at the top three bits of the word.
+fn family_control_class(m: &mut BddManager, instr: &[Var]) -> Bdd {
+    let n = instr.len();
+    m.cube(&[
+        (instr[n - 1], true),
+        (instr[n - 2], false),
+        (instr[n - 3], false),
+    ])
 }
 
 fn opcode_equals(m: &mut BddManager, instr: &[Var], opcode: u64) -> Bdd {
@@ -329,6 +379,33 @@ mod tests {
         let junk = assignment_for(0x3Fu64 << 26, &vars);
         assert!(!m.eval(normal, &junk));
         assert!(!m.eval(control, &junk));
+    }
+
+    #[test]
+    fn family_classes_are_width_relative() {
+        let mut m = BddManager::new();
+        for aw in [1usize, 2] {
+            let width = 3 * aw + 3;
+            let vars = m.new_vars(width);
+            let normal = family_normal_class(&mut m, &vars);
+            let control = family_control_class(&mut m, &vars);
+            for op in 0..8u64 {
+                let word = op << (3 * aw);
+                let a = assignment_for(word, &vars);
+                assert_eq!(m.eval(normal, &a), op < 4, "aw {aw} op {op}");
+                assert_eq!(m.eval(control, &a), op == 4, "aw {aw} op {op}");
+            }
+            assert!(m.and(normal, control).is_false());
+        }
+        let spec = MachineSpec::family(4, 4, 2, 1);
+        assert_eq!(spec.k, 4);
+        assert_eq!(spec.instr_width, 6);
+        assert_eq!(spec.delay_slots, 1);
+        assert_eq!(spec.stall_port.as_deref(), Some("stall"));
+        assert_eq!(
+            spec.observed,
+            vec!["r0".to_owned(), "r1".to_owned(), "pc".to_owned()]
+        );
     }
 
     #[test]

@@ -100,6 +100,9 @@ pub struct Counterexample {
     pub pipelined_value: u64,
     /// Its value in the unpipelined specification.
     pub unpipelined_value: u64,
+    /// A complete concrete input schedule reproducing the divergence on
+    /// [`pv_netlist::ConcreteSim`] (see [`crate::ReplayRecipe::replay`]).
+    pub replay: crate::ReplayRecipe,
 }
 
 impl fmt::Display for Counterexample {
@@ -646,7 +649,7 @@ impl Verifier {
             }
         }
 
-        let pipelined_samples = self.simulate(
+        let (pipelined_samples, pipelined_dontcare_vars) = self.simulate(
             &mut manager,
             pipelined,
             &schedule.pipelined_inputs,
@@ -660,7 +663,7 @@ impl Verifier {
             true,
             assumption,
         );
-        let unpipelined_samples = self.simulate(
+        let (unpipelined_samples, _) = self.simulate(
             &mut manager,
             unpipelined,
             &schedule.unpipelined_inputs,
@@ -677,10 +680,10 @@ impl Verifier {
 
         let mut samples_compared = 0usize;
         let mut counterexample = None;
-        'outer: for (slot, _, _) in &schedule.samples {
+        'outer: for &(slot, pipelined_cycle, unpipelined_cycle) in &schedule.samples {
             for name in &spec.observed {
-                let p = &pipelined_samples[slot][name];
-                let u = &unpipelined_samples[slot][name];
+                let p = &pipelined_samples[&slot][name];
+                let u = &unpipelined_samples[&slot][name];
                 if p.width() != u.width() {
                     return Err(VerifyError::WidthMismatch {
                         name: name.clone(),
@@ -701,7 +704,7 @@ impl Verifier {
                             .map(|&(_, val)| val)
                             .unwrap_or(false)
                     };
-                    let slot_instructions = slot_vars
+                    let slot_instructions: Vec<u64> = slot_vars
                         .iter()
                         .map(|vars| {
                             vars.iter()
@@ -709,13 +712,43 @@ impl Verifier {
                                 .fold(0u64, |acc, (i, &v)| acc | (u64::from(assignment(v)) << i))
                         })
                         .collect();
+                    let pipelined_value = p.eval(&manager, assignment);
+                    let unpipelined_value = u.eval(&manager, assignment);
+                    // The recipe evaluates every input word of both machines
+                    // under the same witness (unassigned variables default to
+                    // `false`, exactly as `eval` above does), so the concrete
+                    // replay reproduces the reported values bit for bit.
+                    let replay = crate::ReplayRecipe {
+                        pipelined_inputs: self.replay_rows(
+                            pipelined,
+                            &schedule.pipelined_inputs,
+                            &schedule.pipelined_irq_cycles,
+                            &slot_instructions,
+                            &pipelined_dontcare_vars,
+                            &assignment,
+                        ),
+                        unpipelined_inputs: self.replay_rows(
+                            unpipelined,
+                            &schedule.unpipelined_inputs,
+                            &schedule.unpipelined_irq_cycles,
+                            &slot_instructions,
+                            &[],
+                            &assignment,
+                        ),
+                        pipelined_sample_cycle: pipelined_cycle,
+                        unpipelined_sample_cycle: unpipelined_cycle,
+                        variable: name.clone(),
+                        pipelined_value,
+                        unpipelined_value,
+                    };
                     counterexample = Some(Counterexample {
                         plan: plan.clone(),
                         slot_instructions,
-                        slot: *slot,
+                        slot,
                         variable: name.clone(),
-                        pipelined_value: p.eval(&manager, assignment),
-                        unpipelined_value: u.eval(&manager, assignment),
+                        pipelined_value,
+                        unpipelined_value,
+                        replay,
                     });
                     break 'outer;
                 }
@@ -744,9 +777,74 @@ impl Verifier {
         })
     }
 
+    /// Assembles one machine's concrete per-cycle input rows for a
+    /// counterexample's [`crate::ReplayRecipe`]: slot cycles carry the
+    /// witness instruction words, don't-care cycles that were simulated with
+    /// fresh symbolic variables carry their witness evaluation, and every
+    /// other input is the constant the symbolic simulation drove.
+    fn replay_rows(
+        &self,
+        netlist: &Netlist,
+        cycle_inputs: &[CycleInput],
+        irq_cycles: &[usize],
+        slot_instructions: &[u64],
+        dontcare_vars: &[(usize, Vec<Var>)],
+        assignment: &impl Fn(Var) -> bool,
+    ) -> Vec<Vec<(String, u64)>> {
+        let spec = &self.spec;
+        let has_irq = spec
+            .irq_port
+            .as_ref()
+            .is_some_and(|p| netlist.input_width(p).is_some());
+        let has_stall = spec
+            .stall_port
+            .as_ref()
+            .is_some_and(|p| netlist.input_width(p).is_some());
+        cycle_inputs
+            .iter()
+            .enumerate()
+            .map(|(cycle, input)| {
+                let (instr, reset) = match input {
+                    CycleInput::Reset => (0, 1),
+                    CycleInput::Slot(j) => (slot_instructions[*j], 0),
+                    CycleInput::DontCare => {
+                        let word = dontcare_vars
+                            .iter()
+                            .find(|&&(c, _)| c == cycle)
+                            .map(|(_, vars)| {
+                                vars.iter().enumerate().fold(0u64, |acc, (i, &v)| {
+                                    acc | (u64::from(assignment(v)) << i)
+                                })
+                            })
+                            .unwrap_or(0);
+                        (word, 0)
+                    }
+                };
+                let mut row = vec![
+                    (spec.instr_port.clone(), instr),
+                    (spec.reset_port.clone(), reset),
+                ];
+                if has_irq {
+                    row.push((
+                        spec.irq_port.clone().expect("checked above"),
+                        u64::from(irq_cycles.contains(&cycle)),
+                    ));
+                }
+                if has_stall {
+                    row.push((spec.stall_port.clone().expect("checked above"), 0));
+                }
+                row
+            })
+            .collect()
+    }
+
     /// Symbolically simulates one machine over the expanded cycle plan and
-    /// samples the observed variables at the requested cycles.
+    /// samples the observed variables at the requested cycles. Also returns,
+    /// per don't-care cycle that received fresh symbolic instruction
+    /// variables, `(cycle, variables)` — the witness evaluation of these
+    /// words completes a counterexample's concrete replay schedule.
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::type_complexity)]
     fn simulate(
         &self,
         manager: &mut BddManager,
@@ -757,11 +855,15 @@ impl Verifier {
         sample_cycles: &[(usize, usize)],
         is_implementation: bool,
         assumption: Bdd,
-    ) -> BTreeMap<usize, BTreeMap<String, BddVec>> {
+    ) -> (
+        BTreeMap<usize, BTreeMap<String, BddVec>>,
+        Vec<(usize, Vec<Var>)>,
+    ) {
         let spec = &self.spec;
         let sym = SymbolicSim::new(netlist);
         let mut state = sym.initial_state(manager);
         let mut samples: BTreeMap<usize, BTreeMap<String, BddVec>> = BTreeMap::new();
+        let mut dontcare_vars: Vec<(usize, Vec<Var>)> = Vec::new();
         let has_irq = spec
             .irq_port
             .as_ref()
@@ -792,6 +894,7 @@ impl Verifier {
                 CycleInput::DontCare if is_implementation && cycle <= last_slot_cycle => {
                     let vars = manager.new_vars(spec.instr_width);
                     manager.group_vars(&vars);
+                    dontcare_vars.push((cycle, vars.clone()));
                     (BddVec::from_vars(manager, &vars), false)
                 }
                 CycleInput::DontCare => (BddVec::constant(manager, 0, spec.instr_width), false),
@@ -863,6 +966,6 @@ impl Verifier {
             manager.maybe_reorder(&state.regs);
             manager.maybe_gc(&state.regs);
         }
-        samples
+        (samples, dontcare_vars)
     }
 }

@@ -35,7 +35,8 @@ use pv_netlist::Netlist;
 
 use crate::euf::{self, EufCounterexample};
 use crate::pipeline::{
-    flush, impl_step, spec_step, ArchState, DeriveError, Instruction, PipelineDesc, PipelineState,
+    flush, impl_step, spec_step_for, ArchState, DeriveError, Instruction, PipelineDesc,
+    PipelineState,
 };
 use crate::term::{Sort, Term, TermManager};
 
@@ -93,6 +94,9 @@ impl FlushReport {
             counterexample: self.counterexample.as_ref().map(|cex| FlowCounterexample {
                 unit: self.failing_cube.unwrap_or_default(),
                 description: cex.to_string(),
+                // Flushing works at the term level, above any bit-level
+                // netlist — there is no concrete simulator to replay on.
+                replay: None,
             }),
             units_checked: self.cubes_checked,
             unit_label: "case-split block",
@@ -210,10 +214,10 @@ impl FlushVerifier {
     pub fn verification_condition(&self, terms: &mut TermManager) -> Term {
         let s = PipelineState::symbolic(terms, self.desc.depth, "s");
         let fetched = Instruction::symbolic(terms, "i");
-        let accept = terms.fls();
+        let bubble = terms.fls();
 
         // Left leg: one implementation step, then flush.
-        let stepped = impl_step(terms, &self.desc, &s, fetched, accept);
+        let stepped = impl_step(terms, &self.desc, &s, fetched, bubble);
         let lhs = flush(terms, &self.desc, &stepped);
 
         // Right leg: flush first, then one specification step. As in Burch and
@@ -221,7 +225,26 @@ impl FlushVerifier {
         // the implementation itself with bubbles, so the same (possibly buggy)
         // model is used on both legs.
         let start = flush(terms, &self.desc, &s);
-        let rhs = spec_step(terms, start, fetched);
+        let spec = spec_step_for(terms, &self.desc, start, fetched);
+
+        // In an annulling description the step consumes the fetched
+        // instruction only when the branch in RD/EX does not squash it, so
+        // the right leg is conditional: the spec executes `i` exactly when
+        // the design is *supposed* to accept it. The acceptance claim is part
+        // of the correctness statement — it is computed from the pre-state,
+        // never from the (possibly buggy) implementation — and for a
+        // non-annulling description it is constant true, folding the
+        // condition away and leaving the original unconditional diagram.
+        let rhs = if self.desc.annulling {
+            let annul = terms.and(s.ex.valid, s.ex.is_br);
+            let accepted = terms.not(annul);
+            ArchState {
+                rf: terms.ite(accepted, spec.rf, start.rf),
+                pc: terms.ite(accepted, spec.pc, start.pc),
+            }
+        } else {
+            spec
+        };
 
         self.equal_arch(terms, lhs, rhs)
     }
@@ -302,7 +325,7 @@ impl VerificationFlow for FlushVerifier {
     /// Derives the pipeline description from the **pipelined** netlist and
     /// checks the commuting diagram. The unpipelined netlist is not
     /// consulted: flushing's specification side is the uninterpreted
-    /// single-step ISA semantics ([`spec_step`]), which is exactly what makes
+    /// single-step ISA semantics ([`spec_step_for`]), which is exactly what makes
     /// the flow independent of the datapath width.
     ///
     /// A verifier built with [`FlushVerifier::from_netlist`] follows whatever
@@ -323,8 +346,10 @@ impl VerificationFlow for FlushVerifier {
                 message: e.to_string(),
             })?
             .with_threads(self.threads.unwrap_or(0));
-        let matches =
-            self.desc.depth == derived.desc().depth && self.desc.bug == derived.desc().bug;
+        let matches = self.desc.depth == derived.desc().depth
+            && self.desc.bug == derived.desc().bug
+            && self.desc.branching == derived.desc().branching
+            && self.desc.annulling == derived.desc().annulling;
         if !self.netlist_derived && !matches {
             return Err(FlowError {
                 flow: self.flow_name(),
@@ -375,6 +400,58 @@ mod tests {
                 "{bug:?} counterexample should name atoms"
             );
             assert_eq!(report.failing_cube, Some(report.cubes_checked - 1));
+        }
+    }
+
+    #[test]
+    fn correct_branching_and_annulling_pipelines_satisfy_the_diagram() {
+        for desc in [
+            PipelineDesc::with_depth(2).with_branching(),
+            PipelineDesc::three_stage().with_branching(),
+            PipelineDesc::with_depth(2).with_annulment(),
+            PipelineDesc::three_stage().with_annulment(),
+        ] {
+            let report = FlushVerifier::new(desc.clone()).verify();
+            assert!(report.valid(), "{}: {report}", desc.name);
+        }
+    }
+
+    #[test]
+    fn every_injected_hazard_bug_is_caught_on_branching_pipelines() {
+        // The wrong-stall-condition bug needs no branch semantics at all;
+        // the branch-target and lost-annulment bugs need them by definition.
+        let cases = [
+            (PipelineDesc::three_stage(), PipelineBug::StallInverted),
+            (
+                PipelineDesc::with_depth(2).with_branching(),
+                PipelineBug::BranchTargetOffByOne,
+            ),
+            (
+                PipelineDesc::three_stage().with_annulment(),
+                PipelineBug::BranchTargetOffByOne,
+            ),
+            (
+                PipelineDesc::with_depth(2).with_annulment(),
+                PipelineBug::LostAnnul,
+            ),
+            (
+                PipelineDesc::three_stage().with_annulment(),
+                PipelineBug::LostAnnul,
+            ),
+            (
+                PipelineDesc::three_stage().with_annulment(),
+                PipelineBug::NoForwarding,
+            ),
+        ];
+        for (desc, bug) in cases {
+            let desc = desc.with_bug(bug);
+            let report = FlushVerifier::new(desc.clone()).verify();
+            assert!(
+                !report.valid(),
+                "{}: {bug:?} must break the commuting diagram",
+                desc.name
+            );
+            assert!(report.counterexample.is_some(), "{}", desc.name);
         }
     }
 

@@ -68,7 +68,7 @@ pub mod term;
 pub use euf::{check_sat, check_valid, AtomAssignment, EufCounterexample, EufReport};
 pub use flushing::{FlushReport, FlushVerifier};
 pub use pipeline::{
-    ArchState, DeriveError, ExStage, Instruction, PipelineBug, PipelineDesc, PipelineState,
-    ResultStage,
+    flush, impl_step, spec_step, spec_step_for, ArchState, DeriveError, ExStage, Instruction,
+    PipelineBug, PipelineDesc, PipelineState, ResultStage,
 };
 pub use term::{Sort, Term, TermManager, TermNode};

@@ -65,6 +65,20 @@ pub enum PipelineBug {
     WriteBackBubbles,
     /// Do not advance the PC when an instruction is accepted (any depth).
     StuckPc,
+    /// Wrong stall condition: the bubble input's polarity is inverted, so the
+    /// pipeline accepts the fetched instruction exactly when it is told to
+    /// stall. Flushing can no longer drain the machine, which breaks the
+    /// diagram at any depth.
+    StallInverted,
+    /// Branch targets are computed from the branch's own address instead of
+    /// the architectural `pc + 1` base (any depth; needs a *branching*
+    /// description, [`PipelineDesc::with_branching`]).
+    BranchTargetOffByOne,
+    /// Lost annulment: a branch resolved in RD/EX still redirects the PC but
+    /// no longer squashes the instruction fetched alongside it, so the delay
+    /// slot executes (any depth; needs an *annulling* description,
+    /// [`PipelineDesc::with_annulment`]).
+    LostAnnul,
 }
 
 /// Description of a term-level pipeline: its depth and an optional injected
@@ -80,6 +94,16 @@ pub struct PipelineDesc {
     pub depth: usize,
     /// Injected control bug (`None` = correct design).
     pub bug: Option<PipelineBug>,
+    /// `true` if the ISA has a control-transfer instruction: the
+    /// uninterpreted branch op `opbr`, which writes the link value `succ(pc)`
+    /// to its destination and redirects the PC to `btgt(succ(pc), src1)`.
+    /// `false` keeps the original straight-line model (and its exact terms).
+    pub branching: bool,
+    /// `true` if branches resolve in the RD/EX stage and annul the
+    /// concurrently fetched instruction (one delay slot, `d = 1`); `false`
+    /// resolves them combinationally at fetch (`d = 0`). Implies
+    /// [`branching`](Self::branching).
+    pub annulling: bool,
 }
 
 /// Errors deriving a [`PipelineDesc`] from a netlist.
@@ -100,6 +124,25 @@ pub enum DeriveError {
         /// Name of the offending netlist.
         netlist: String,
     },
+    /// The netlist declares a stall input but never gates a fetch-accept
+    /// signal with it (`pv_netlist::NetlistBuilder::stall_gate` was never
+    /// applied), so asserting the port cannot actually insert bubbles and the
+    /// flushing abstraction would drain nothing.
+    StallGatesNothing {
+        /// Name of the offending netlist.
+        netlist: String,
+    },
+    /// The forwarding-path count the design *noted* disagrees with the bypass
+    /// network that was actually *built*, so the derived description would
+    /// mis-state the forwarding semantics.
+    ForwardPathMismatch {
+        /// Name of the offending netlist.
+        netlist: String,
+        /// Paths recorded with `note_forward_paths`.
+        noted: usize,
+        /// Largest bypass source list actually wired through `bypassed_read`.
+        built: usize,
+    },
 }
 
 impl std::fmt::Display for DeriveError {
@@ -112,6 +155,14 @@ impl std::fmt::Display for DeriveError {
             DeriveError::NoStallInput { netlist } => write!(
                 f,
                 "netlist `{netlist}` has no stall input — flushing cannot drain it (build the stallable design variant)"
+            ),
+            DeriveError::StallGatesNothing { netlist } => write!(
+                f,
+                "netlist `{netlist}` declares a stall input that gates nothing — asserting it cannot insert bubbles"
+            ),
+            DeriveError::ForwardPathMismatch { netlist, noted, built } => write!(
+                f,
+                "netlist `{netlist}` noted {noted} forwarding path(s) but built {built} — the recorded hints do not match the circuit"
             ),
         }
     }
@@ -130,6 +181,8 @@ impl PipelineDesc {
             name: format!("depth-{depth} term pipeline"),
             depth,
             bug: None,
+            branching: false,
+            annulling: false,
         }
     }
 
@@ -148,6 +201,22 @@ impl PipelineDesc {
         self
     }
 
+    /// Enables control transfers resolved combinationally at fetch — no delay
+    /// slot (builder style). See [`PipelineDesc::branching`].
+    pub fn with_branching(mut self) -> Self {
+        self.branching = true;
+        self
+    }
+
+    /// Enables control transfers resolved in the RD/EX stage with one
+    /// annulled delay slot (builder style; implies branching). See
+    /// [`PipelineDesc::annulling`].
+    pub fn with_annulment(mut self) -> Self {
+        self.branching = true;
+        self.annulling = true;
+        self
+    }
+
     /// Number of bubble cycles the flushing abstraction needs to drain the
     /// machine: one per in-flight latch, `depth − 1`.
     pub fn flush_bound(&self) -> usize {
@@ -159,8 +228,10 @@ impl PipelineDesc {
     /// [module documentation](self) for the mapping and its assumptions).
     ///
     /// # Errors
-    /// Returns [`DeriveError`] when the netlist records no stage registers or
-    /// has no stall input.
+    /// Returns [`DeriveError`] when the netlist records no stage registers,
+    /// has no stall input, declares a stall input that gates nothing, or
+    /// recorded a forwarding-path count that disagrees with the bypass
+    /// network it actually built.
     pub fn from_netlist(netlist: &Netlist) -> Result<Self, DeriveError> {
         let hints = netlist.pipeline_hints();
         if hints.stage_valids.is_empty() {
@@ -173,8 +244,31 @@ impl PipelineDesc {
                 netlist: netlist.name().to_owned(),
             });
         }
+        // The recorded hints must describe the circuit that was really built:
+        // a stall port that gates nothing cannot inject bubbles, and a noted
+        // forwarding count that differs from the wired bypass network would
+        // derive a model with the wrong hazard semantics. Refusing here (the
+        // `VerificationFlow` front-end maps this to a `FlowError`) beats
+        // silently verifying the wrong model.
+        if hints.stall_gates == 0 {
+            return Err(DeriveError::StallGatesNothing {
+                netlist: netlist.name().to_owned(),
+            });
+        }
+        if hints.forward_paths != hints.built_forward_paths {
+            return Err(DeriveError::ForwardPathMismatch {
+                netlist: netlist.name().to_owned(),
+                noted: hints.forward_paths,
+                built: hints.built_forward_paths,
+            });
+        }
         // One stage per in-flight valid bit, plus the fetch/read stage.
         let depth = hints.stage_valids.len() + 1;
+        // Designs that recorded control-transfer semantics derive a branching
+        // model; a noted delay slot means branches resolve in RD/EX and annul
+        // their delay slot.
+        let branching = hints.branch_base_offset.is_some() || hints.delay_slots.is_some();
+        let annulling = hints.delay_slots.unwrap_or(0) > 0;
         // A correct in-order static pipeline needs one bypass source per
         // non-retiring in-flight latch — `depth − 2` of them (the VSM's
         // depth-4 model forwards from EX and WB, Alpha0's depth-5 from EX,
@@ -182,12 +276,25 @@ impl PipelineDesc {
         // distance, so the derived model carries the forwarding bug — whether
         // the netlist dropped the whole network or only part of it — and a
         // seeded netlist bug fails this flow exactly like the bit-level one.
-        let bug =
-            (depth >= 3 && hints.forward_paths < depth - 2).then_some(PipelineBug::NoForwarding);
+        // The same reasoning maps the other recorded structural defects onto
+        // their term-level counterparts.
+        let bug = if hints.stall_inverted {
+            Some(PipelineBug::StallInverted)
+        } else if depth >= 3 && hints.forward_paths < depth - 2 {
+            Some(PipelineBug::NoForwarding)
+        } else if matches!(hints.branch_base_offset, Some(o) if o != 1) {
+            Some(PipelineBug::BranchTargetOffByOne)
+        } else if annulling && hints.annul_gates == 0 {
+            Some(PipelineBug::LostAnnul)
+        } else {
+            None
+        };
         Ok(PipelineDesc {
             name: format!("{} (derived, depth {depth})", netlist.name()),
             depth,
             bug,
+            branching,
+            annulling,
         })
     }
 }
@@ -242,6 +349,15 @@ pub struct ExStage {
     pub b: Term,
     /// Destination register.
     pub dest: Term,
+    /// `true` if the instruction is a control transfer (`eq(op, opbr)`).
+    /// Constant false — and unused — in a non-branching description.
+    pub is_br: Term,
+    /// The link value captured at accept time, `succ(pc)`. Unused in a
+    /// non-branching description.
+    pub link: Term,
+    /// The branch target captured at accept time, `btgt(base, src1)`. Unused
+    /// in a non-branching description.
+    pub tgt: Term,
 }
 
 /// A result latch: a computed value travelling toward write-back.
@@ -285,6 +401,9 @@ impl PipelineState {
                 a: t.var(&format!("{prefix}.ex_a"), Sort::Data),
                 b: t.var(&format!("{prefix}.ex_b"), Sort::Data),
                 dest: t.var(&format!("{prefix}.ex_dest"), Sort::Data),
+                is_br: t.var(&format!("{prefix}.ex_is_br"), Sort::Bool),
+                link: t.var(&format!("{prefix}.ex_link"), Sort::Data),
+                tgt: t.var(&format!("{prefix}.ex_tgt"), Sort::Data),
             },
             results: (0..depth - 2)
                 .map(|i| ResultStage {
@@ -310,6 +429,9 @@ impl PipelineState {
                 a: dontcare(t, "reset.ex_a".to_owned()),
                 b: dontcare(t, "reset.ex_b".to_owned()),
                 dest: dontcare(t, "reset.ex_dest".to_owned()),
+                is_br: fls,
+                link: dontcare(t, "reset.ex_link".to_owned()),
+                tgt: dontcare(t, "reset.ex_tgt".to_owned()),
             },
             results: (0..depth - 2)
                 .map(|i| ResultStage {
@@ -328,12 +450,41 @@ impl PipelineState {
 }
 
 /// The ISA-level specification step: execute one instruction atomically.
+/// This is the original straight-line (non-branching) semantics; use
+/// [`spec_step_for`] for a description with control transfers.
 pub fn spec_step(t: &mut TermManager, arch: ArchState, instr: Instruction) -> ArchState {
     let a = t.select(arch.rf, instr.src1);
     let b = t.select(arch.rf, instr.src2);
     let result = t.app("alu", &[instr.op, a, b]);
     let rf = t.store(arch.rf, instr.dest, result);
     let pc = t.app("succ", &[arch.pc]);
+    ArchState { rf, pc }
+}
+
+/// The ISA-level specification step for `desc`'s instruction set. For a
+/// non-branching description this is exactly [`spec_step`]; for a branching
+/// one the branch op `opbr` writes the link value `succ(pc)` to its
+/// destination and redirects the PC to `btgt(succ(pc), src1)` (every other op
+/// behaves as before).
+pub fn spec_step_for(
+    t: &mut TermManager,
+    desc: &PipelineDesc,
+    arch: ArchState,
+    instr: Instruction,
+) -> ArchState {
+    if !desc.branching {
+        return spec_step(t, arch, instr);
+    }
+    let a = t.select(arch.rf, instr.src1);
+    let b = t.select(arch.rf, instr.src2);
+    let alu = t.app("alu", &[instr.op, a, b]);
+    let opbr = t.var("opbr", Sort::Data);
+    let is_br = t.eq(instr.op, opbr);
+    let link = t.app("succ", &[arch.pc]);
+    let result = t.ite(is_br, link, alu);
+    let rf = t.store(arch.rf, instr.dest, result);
+    let tgt = t.app("btgt", &[link, instr.src1]);
+    let pc = t.ite(is_br, tgt, link);
     ArchState { rf, pc }
 }
 
@@ -356,8 +507,15 @@ pub fn impl_step(
     let bug = desc.bug;
 
     // ------------------------------------------------------------------ EX --
-    // The RD/EX-stage instruction computes its result.
-    let ex_result = t.app("alu", &[s.ex.op, s.ex.a, s.ex.b]);
+    // The RD/EX-stage instruction computes its result: the ALU application,
+    // or — for a branch in a branching description — the link value captured
+    // when it was accepted.
+    let alu_result = t.app("alu", &[s.ex.op, s.ex.a, s.ex.b]);
+    let ex_result = if desc.branching {
+        t.ite(s.ex.is_br, s.ex.link, alu_result)
+    } else {
+        alu_result
+    };
 
     // ------------------------------------------------------------------ WB --
     // The oldest in-flight latch retires into the register file this cycle.
@@ -407,12 +565,71 @@ pub fn impl_step(
     let a = read(t, fetched.src1);
     let b = read(t, fetched.src2);
 
-    let accept = t.not(bubble);
+    // -------------------------------------------------------- accept/annul --
+    // The fetched instruction is accepted unless a bubble is inserted — or,
+    // in an annulling description, unless the branch currently in RD/EX
+    // squashes its delay slot. The wrong-stall-condition bug inverts the
+    // bubble input's polarity; the lost-annulment bug drops only the `¬annul`
+    // conjunct from the new latch's valid bit (the redirect below survives).
+    let accept = if bug == Some(PipelineBug::StallInverted) {
+        bubble
+    } else {
+        t.not(bubble)
+    };
+    let annul = if desc.annulling {
+        t.and(s.ex.valid, s.ex.is_br)
+    } else {
+        t.fls()
+    };
+    let not_annul = t.not(annul);
+    let accepted = t.and(accept, not_annul);
+    let ex_valid_next = if bug == Some(PipelineBug::LostAnnul) {
+        accept
+    } else {
+        accepted
+    };
+
+    // Branch decode of the fetched instruction (branching descriptions only):
+    // its link value and target are captured now, while the architectural PC
+    // still points at it.
+    let (fetched_is_br, fetched_link, fetched_tgt) = if desc.branching {
+        // `opbr` is an uninterpreted *constant* (a 0-ary symbol, interned as
+        // a named variable): the branch opcode every decode compares against.
+        let opbr = t.var("opbr", Sort::Data);
+        let is_br = t.eq(fetched.op, opbr);
+        let link = t.app("succ", &[s.pc]);
+        let base = if bug == Some(PipelineBug::BranchTargetOffByOne) {
+            s.pc
+        } else {
+            link
+        };
+        let tgt = t.app("btgt", &[base, fetched.src1]);
+        (is_br, link, tgt)
+    } else {
+        // Unused in a non-branching description; a shared interned constant
+        // keeps the formula free of stray fresh variables.
+        let undef = t.var("undef", Sort::Data);
+        (t.fls(), undef, undef)
+    };
+
     let pc_next = if bug == Some(PipelineBug::StuckPc) {
         s.pc
     } else {
-        let advanced = t.app("succ", &[s.pc]);
-        t.ite(accept, advanced, s.pc)
+        let seq = t.app("succ", &[s.pc]);
+        let advanced = if desc.branching && !desc.annulling {
+            // d = 0: a branch redirects the PC the cycle it is accepted.
+            t.ite(fetched_is_br, fetched_tgt, seq)
+        } else {
+            seq
+        };
+        let moved = t.ite(accepted, advanced, s.pc);
+        if desc.annulling {
+            // d = 1: the branch resolved in RD/EX redirects the PC as it
+            // annuls its delay slot (redirect wins over the fetch advance).
+            t.ite(annul, s.ex.tgt, moved)
+        } else {
+            moved
+        }
     };
 
     // --------------------------------------------------------- latch shift --
@@ -429,11 +646,14 @@ pub fn impl_step(
         rf: rf_after_wb,
         pc: pc_next,
         ex: ExStage {
-            valid: accept,
+            valid: ex_valid_next,
             op: fetched.op,
             a,
             b,
             dest: fetched.dest,
+            is_br: fetched_is_br,
+            link: fetched_link,
+            tgt: fetched_tgt,
         },
         results,
     }
@@ -583,48 +803,160 @@ mod tests {
             PipelineDesc::from_netlist(&n),
             Err(DeriveError::NoStageRegisters { .. })
         ));
-        // Three stage-valid registers + a stall input derive a depth-4
+        // Three stage-valid registers + a wired stall input derive a depth-4
         // pipeline; no forwarding hints means the derived model carries the
         // forwarding bug.
-        let mut b = NetlistBuilder::new("three-latch");
-        b.stall_input("stall");
-        let x = b.input("x", 1);
-        for name in ["v1", "v2", "v3"] {
-            let v = b.register(name, 1, 0);
-            b.mark_stage_valid(&v);
-            b.set_next(&v, &x);
-        }
-        let n = b.finish().expect("build");
+        let n = three_latch_netlist(0, 0);
         let desc = PipelineDesc::from_netlist(&n).expect("derive");
         assert_eq!(desc.depth, 4);
         assert_eq!(desc.flush_bound(), 3);
         assert_eq!(desc.bug, Some(PipelineBug::NoForwarding));
+        assert!(!desc.branching && !desc.annulling);
+    }
+
+    /// A minimal three-latch netlist whose stall input really gates the first
+    /// valid bit and whose operand read really bypasses from `built` sources,
+    /// while `noted` extra paths are claimed on top of the built ones.
+    fn three_latch_netlist(built: usize, extra_noted: usize) -> pv_netlist::Netlist {
+        use pv_netlist::NetlistBuilder;
+        let mut b = NetlistBuilder::new("three-latch");
+        b.stall_input("stall");
+        let x = b.input("x", 1);
+        let xb = x.bit(0);
+        let accept = b.stall_gate(xb);
+        let regs = b.reg_array("r", 2, 4, 0);
+        let addr = b.input("addr", 1);
+        let sources: Vec<_> = (0..built)
+            .map(|_| (xb, addr.clone(), regs.entry(0)))
+            .collect();
+        b.note_forward_paths(built + extra_noted);
+        let read = b.bypassed_read(&regs, &addr, &sources);
+        b.expose("read", &read);
+        b.reg_array_write(&regs, &[]);
+        let gated = pv_netlist::Word::from_bit(accept);
+        for name in ["v1", "v2", "v3"] {
+            let v = b.register(name, 1, 0);
+            b.mark_stage_valid(&v);
+            b.set_next(&v, &gated);
+        }
+        b.finish().expect("build")
     }
 
     #[test]
     fn a_partially_dropped_bypass_network_still_derives_the_forwarding_bug() {
-        use pv_netlist::NetlistBuilder;
-        // Depth 4 needs two bypass sources; recording only one must not pass
+        // Depth 4 needs two bypass sources; building only one must not pass
         // for a correct network.
-        let build = |paths: usize| {
-            let mut b = NetlistBuilder::new("partial");
-            b.stall_input("stall");
-            let x = b.input("x", 1);
-            for name in ["v1", "v2", "v3"] {
-                let v = b.register(name, 1, 0);
-                b.mark_stage_valid(&v);
-                b.set_next(&v, &x);
-            }
-            b.note_forward_paths(paths);
-            b.finish().expect("build")
-        };
         assert_eq!(
-            PipelineDesc::from_netlist(&build(1)).expect("derive").bug,
+            PipelineDesc::from_netlist(&three_latch_netlist(1, 0))
+                .expect("derive")
+                .bug,
             Some(PipelineBug::NoForwarding)
         );
         assert_eq!(
-            PipelineDesc::from_netlist(&build(2)).expect("derive").bug,
+            PipelineDesc::from_netlist(&three_latch_netlist(2, 0))
+                .expect("derive")
+                .bug,
             None
         );
+    }
+
+    #[test]
+    fn hints_that_disagree_with_the_circuit_are_rejected() {
+        use pv_netlist::NetlistBuilder;
+        // Claiming more forwarding paths than were wired is a derive error,
+        // not a silently-correct description.
+        assert!(matches!(
+            PipelineDesc::from_netlist(&three_latch_netlist(1, 1)),
+            Err(DeriveError::ForwardPathMismatch {
+                noted: 2,
+                built: 1,
+                ..
+            })
+        ));
+        // A declared stall input that never gates anything is rejected too.
+        let mut b = NetlistBuilder::new("unwired-stall");
+        b.stall_input("stall");
+        let x = b.input("x", 1);
+        let v = b.register("v1", 1, 0);
+        b.mark_stage_valid(&v);
+        b.set_next(&v, &x);
+        let n = b.finish().expect("build");
+        let err = PipelineDesc::from_netlist(&n).expect_err("must reject");
+        assert!(matches!(err, DeriveError::StallGatesNothing { .. }));
+        assert!(err.to_string().contains("gates nothing"), "{err}");
+    }
+
+    #[test]
+    fn spec_step_for_executes_branches_atomically() {
+        let mut t = TermManager::new();
+        let arch = ArchState {
+            rf: t.var("rf", Sort::Array),
+            pc: t.var("pc", Sort::Data),
+        };
+        let i = Instruction::symbolic(&mut t, "i0");
+        let desc = PipelineDesc::with_depth(3).with_branching();
+        let next = spec_step_for(&mut t, &desc, arch, i);
+        let opbr = t.var("opbr", Sort::Data);
+        let is_br = t.eq(i.op, opbr);
+        let link = t.app("succ", &[arch.pc]);
+        let tgt = t.app("btgt", &[link, i.src1]);
+        assert_eq!(next.pc, t.ite(is_br, tgt, link));
+        let got = t.select(next.rf, i.dest);
+        let a = t.select(arch.rf, i.src1);
+        let b = t.select(arch.rf, i.src2);
+        let alu = t.app("alu", &[i.op, a, b]);
+        assert_eq!(got, t.ite(is_br, link, alu));
+        // A non-branching description keeps the original semantics exactly.
+        let plain = PipelineDesc::with_depth(3);
+        let next = spec_step_for(&mut t, &plain, arch, i);
+        assert_eq!(next, spec_step(&mut t, arch, i));
+    }
+
+    #[test]
+    fn branching_flush_identity_and_bubble_invariance_still_hold() {
+        for desc in [
+            PipelineDesc::with_depth(2).with_annulment(),
+            PipelineDesc::with_depth(3).with_branching(),
+            PipelineDesc::with_depth(4).with_annulment(),
+        ] {
+            let mut t = TermManager::new();
+            let rf = t.var("rf", Sort::Array);
+            let pc = t.var("pc", Sort::Data);
+            let reset = PipelineState::reset(&mut t, desc.depth, rf, pc);
+            let arch = flush(&mut t, &desc, &reset);
+            assert_eq!(arch.rf, rf, "{}", desc.name);
+            assert_eq!(arch.pc, pc, "{}", desc.name);
+            let s = PipelineState::symbolic(&mut t, desc.depth, "s");
+            let fetched = Instruction::symbolic(&mut t, "i");
+            let bubble = t.tru();
+            let stalled = impl_step(&mut t, &desc, &s, fetched, bubble);
+            let before = flush(&mut t, &desc, &s);
+            let after = flush(&mut t, &desc, &stalled);
+            assert_eq!(before.rf, after.rf, "{}", desc.name);
+            assert_eq!(before.pc, after.pc, "{}", desc.name);
+        }
+    }
+
+    #[test]
+    fn an_annulling_pipeline_redirects_and_squashes_the_delay_slot() {
+        let mut t = TermManager::new();
+        let desc = PipelineDesc::with_depth(3).with_annulment();
+        let s = PipelineState::symbolic(&mut t, 3, "s");
+        let fetched = Instruction::symbolic(&mut t, "i");
+        let fls = t.fls();
+        let next = impl_step(&mut t, &desc, &s, fetched, fls);
+        let annul = t.and(s.ex.valid, s.ex.is_br);
+        // The delay slot's valid bit carries the ¬annul conjunct …
+        let not_annul = t.not(annul);
+        assert_eq!(next.ex.valid, not_annul);
+        // … and the PC redirect comes from the branch's captured target.
+        let seq = t.app("succ", &[s.pc]);
+        let moved = t.ite(not_annul, seq, s.pc);
+        assert_eq!(next.pc, t.ite(annul, s.ex.tgt, moved));
+        // The lost-annulment bug keeps the redirect but drops the squash.
+        let buggy = desc.clone().with_bug(PipelineBug::LostAnnul);
+        let next = impl_step(&mut t, &buggy, &s, fetched, fls);
+        assert!(t.is_true(next.ex.valid));
+        assert_eq!(next.pc, t.ite(annul, s.ex.tgt, moved));
     }
 }

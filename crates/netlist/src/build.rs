@@ -352,10 +352,56 @@ impl NetlistBuilder {
         match self.stall_net {
             None => accept,
             Some(stall) => {
+                self.hints.stall_gates += 1;
                 let not_stall = self.not(stall);
                 self.and(accept, not_stall)
             }
         }
+    }
+
+    /// A [`stall_gate`](Self::stall_gate) with **inverted** polarity:
+    /// `accept ∧ stall`. This is a deliberately seeded wrong-stall-condition
+    /// bug — the design stalls when it should accept and accepts when it
+    /// should stall — and it is recorded as such in the [`PipelineHints`] so
+    /// a netlist-derived term-level flow inherits the bug. Identity when no
+    /// stall input has been declared.
+    pub fn stall_gate_inverted(&mut self, accept: NetId) -> NetId {
+        match self.stall_net {
+            None => accept,
+            Some(stall) => {
+                self.hints.stall_gates += 1;
+                self.hints.stall_inverted = true;
+                self.and(accept, stall)
+            }
+        }
+    }
+
+    /// Gates a fetch-accept signal with an annulment condition:
+    /// `accept ∧ ¬annul`. Use this — rather than a bare `and`/`not` pair —
+    /// where a resolved control transfer squashes its delay slot, so the
+    /// annulment logic's presence is recorded in the [`PipelineHints`] (a
+    /// lost-annulment bug simply never builds the gate).
+    pub fn annul_gate(&mut self, accept: NetId, annul: NetId) -> NetId {
+        self.hints.annul_gates += 1;
+        let not_annul = self.not(annul);
+        self.and(accept, not_annul)
+    }
+
+    /// Records the design's branch delay-slot count in the
+    /// [`PipelineHints`]. Generators of designs with control transfers call
+    /// this so a netlist-derived term-level flow knows whether the fetched
+    /// instruction after a taken branch is annulled (`d = 1`) or the branch
+    /// resolves at fetch (`d = 0`).
+    pub fn note_delay_slots(&mut self, d: usize) {
+        self.hints.delay_slots = Some(d);
+    }
+
+    /// Records the offset added to a branch's own address to form its target
+    /// base in the [`PipelineHints`]: `1` is the architectural `pc + 1` base,
+    /// `0` the classic off-by-one bug. Call it at the point the target adder
+    /// is built so the hint always reflects the circuit.
+    pub fn note_branch_base_offset(&mut self, offset: u64) {
+        self.hints.branch_base_offset = Some(offset);
     }
 
     /// The net of the declared stall input, if any.
@@ -513,6 +559,7 @@ impl NetlistBuilder {
         addr: &Word,
         sources: &[(NetId, Word, Word)],
     ) -> Word {
+        self.hints.built_forward_paths = self.hints.built_forward_paths.max(sources.len());
         let mut value = self.reg_array_read(array, addr);
         // Apply in reverse so the first source has the highest priority.
         for (enable, dest, data) in sources.iter().rev() {
@@ -874,7 +921,47 @@ mod tests {
         assert_eq!(hints.stall_port.as_deref(), Some("stall"));
         assert_eq!(hints.stage_valids, vec!["v1".to_owned(), "v2".to_owned()]);
         assert_eq!(hints.forward_paths, 2);
+        // Only the gate built *after* the stall input was declared counts.
+        assert_eq!(hints.stall_gates, 1);
+        assert!(!hints.stall_inverted);
+        assert_eq!(hints.annul_gates, 0);
+        assert_eq!(hints.delay_slots, None);
+        assert_eq!(hints.branch_base_offset, None);
         assert_eq!(n.input_width("stall"), Some(1));
+    }
+
+    #[test]
+    fn generator_primitives_record_pipeline_hints() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input("x", 1).bit(0);
+        let y = b.input("y", 1).bit(0);
+        // Without a stall input the inverted gate is also the identity.
+        assert_eq!(b.stall_gate_inverted(x), x);
+        let stall = b.stall_input("stall");
+        let inv = b.stall_gate_inverted(x);
+        assert_eq!(inv, b.and(x, stall));
+        let annulled = b.annul_gate(x, y);
+        let not_y = b.not(y);
+        assert_eq!(annulled, b.and(x, not_y));
+        b.note_delay_slots(1);
+        b.note_branch_base_offset(1);
+        let regs = b.reg_array("r", 2, 4, 0);
+        let addr = b.input("addr", 1);
+        let read = b.bypassed_read(&regs, &addr, &[(x, addr.clone(), read_data(&regs))]);
+        b.expose("read", &read);
+        b.reg_array_write(&regs, &[]);
+        let n = b.finish().expect("build");
+        let hints = n.pipeline_hints();
+        assert_eq!(hints.stall_gates, 1);
+        assert!(hints.stall_inverted);
+        assert_eq!(hints.annul_gates, 1);
+        assert_eq!(hints.delay_slots, Some(1));
+        assert_eq!(hints.branch_base_offset, Some(1));
+        assert_eq!(hints.built_forward_paths, 1);
+    }
+
+    fn read_data(regs: &RegArray) -> Word {
+        regs.words[0].value()
     }
 
     #[test]

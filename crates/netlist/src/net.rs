@@ -83,6 +83,32 @@ pub struct PipelineHints {
     /// Number of operand-bypass (forwarding) paths feeding the register-read
     /// stage. `0` on a design whose reads go straight to the register file.
     pub forward_paths: usize,
+    /// Number of bypass sources actually wired through
+    /// [`crate::NetlistBuilder::bypassed_read`] (the largest source list any
+    /// read used). Lets a derivation cross-check the *noted* forwarding count
+    /// against the network that was really built.
+    pub built_forward_paths: usize,
+    /// Number of fetch-accept gates wired to the stall input with
+    /// [`crate::NetlistBuilder::stall_gate`] (or its inverted variant). A
+    /// design that declares a stall port but never gates anything with it
+    /// cannot actually be flushed.
+    pub stall_gates: usize,
+    /// `true` if a stall gate was built with *inverted* polarity
+    /// ([`crate::NetlistBuilder::stall_gate_inverted`]) — a seeded
+    /// wrong-stall-condition bug.
+    pub stall_inverted: bool,
+    /// Number of annulment gates on the fetch-accept path
+    /// ([`crate::NetlistBuilder::annul_gate`]).
+    pub annul_gates: usize,
+    /// Branch delay-slot count noted by a generator for designs with control
+    /// transfers ([`crate::NetlistBuilder::note_delay_slots`]); `None` when
+    /// the design recorded no control-transfer semantics.
+    pub delay_slots: Option<usize>,
+    /// Offset added to a branch's own address to form the branch-target base
+    /// ([`crate::NetlistBuilder::note_branch_base_offset`]): `1` is the
+    /// architectural `pc + 1` base, `0` is the classic off-by-one bug. `None`
+    /// when the design recorded no control-transfer semantics.
+    pub branch_base_offset: Option<u64>,
 }
 
 /// Errors produced when finalising a [`crate::NetlistBuilder`].

@@ -10,7 +10,14 @@
 //!   plus the serial unpipelined specification machine;
 //! * [`interrupt`] — a VSM variant with an external interrupt input and trap
 //!   handling logic, used to exercise the *dynamic* β-relation of
-//!   Section 5.5.
+//!   Section 5.5;
+//! * [`family`] — a **parametric processor family**: generators elaborating
+//!   any depth-2–8 in-order pipeline (configurable word width, register
+//!   count, forwarding subset, optional stall input, 0 or 1 branch delay
+//!   slots) and its serial specification twin, plus a hazard-bug injector
+//!   whose mutations are recorded in the generated netlist's
+//!   `PipelineHints` — the design space behind the cross-flow agreement
+//!   matrix (`tests/family_matrix.rs` at the workspace root).
 //!
 //! All designs receive their instruction stream through a primary input port
 //! (`instr`) — exactly as in the thesis, where the verifier controls the
@@ -36,5 +43,6 @@
 #![warn(missing_docs)]
 
 pub mod alpha0;
+pub mod family;
 pub mod interrupt;
 pub mod vsm;
