@@ -19,7 +19,10 @@
 //!   var↔level indirection ([`BddManager::reorder`],
 //!   [`BddManager::maybe_reorder`], [`AutoReorderPolicy`]) with reorder
 //!   groups ([`BddManager::group_vars`]) that keep interleaved words and
-//!   present/next pairs adjacent while their blocks move.
+//!   present/next pairs adjacent while their blocks move, and
+//! * a DDDMP-style persistent [`store`]: deterministic text export of named
+//!   roots and an importer that rebuilds them in a fresh manager, used by the
+//!   verification service's artifact cache.
 //!
 //! # Example
 //!
@@ -49,6 +52,7 @@ mod manager;
 mod node;
 mod relation;
 mod reorder;
+pub mod store;
 mod vec;
 
 pub use manager::{BddManager, BddStats, GcStats};

@@ -35,6 +35,13 @@
 //!    and on a four-worker pool. Report identity is gated always; on a
 //!    runner with at least two cores the parallel wall clock must beat the
 //!    sequential twin (skip-with-notice on one core, as in case 5).
+//! 8. **Warm artifact-cache replay** (`cache_warm`) — the family-matrix
+//!    smoke sweep (both flows per cell) run twice through the verification
+//!    service's job runner against one scratch cache: cold (every flow run
+//!    hits the engines and stores its artifacts), then warm (every flow run
+//!    is a file read). The gate requires the warm sweep to finish in at most
+//!    one fifth of the cold wall clock, with zero cache misses and
+//!    byte-identical reports.
 //!
 //! Exit status is non-zero when a hard limit (the acceptance criteria) is
 //! exceeded or any measurement regresses by more than an order of magnitude
@@ -42,13 +49,19 @@
 
 use std::time::{Duration, Instant};
 
+use pipeverify_core::cache::ArtifactCache;
 use pipeverify_core::{MachineSpec, SimulationPlan, Verifier};
 use pv_bdd::{AutoReorderPolicy, BddManager, BddVec};
+use pv_bench::matrix::{cell_bugs, smoke_configs};
 use pv_bench::{counter_system, counter_system_blocked};
 use pv_flush::{FlushVerifier, PipelineDesc};
 use pv_isa::alpha0::Alpha0Config;
 use pv_proc::alpha0::{self, PipelineConfig};
+use pv_proc::family::FamilyBug;
 use pv_proc::vsm::{self, VsmConfig};
+use pv_server::job::JobRunner;
+use pv_server::protocol::{self, DesignSpec, FlowKind, JobRequest, PlanSet};
+use pv_server::sched;
 
 /// Hard wall-time limit on the 10-sample 12-bit reachability sweep (s).
 const REACH12_WALL_LIMIT_S: f64 = 60.0;
@@ -85,6 +98,15 @@ const FLUSH3_REPEATS: usize = 20;
 /// (the cube walls are balanced — no block dominates — so a ≥2-core pool has
 /// real parallelism to win with).
 const FLUSH_PAR_DEPTH: usize = 12;
+/// Ceiling on the warm artifact-cache sweep's wall clock, as a fraction of
+/// its cold twin (acceptance criterion: warm ≤ 0.2× cold).
+const CACHE_WARM_FACTOR: f64 = 0.2;
+/// Absolute grace for the warm sweep: below this wall the ratio gate is
+/// satisfied outright. On a fast machine the whole cold smoke sweep is
+/// ~15 ms, so 0.2× of it sits inside scheduler noise — a warm sweep that
+/// finishes in a few milliseconds *is* the file-read path the ratio gate
+/// exists to enforce.
+const CACHE_WARM_GRACE_S: f64 = 0.005;
 
 struct Measurement {
     key: &'static str,
@@ -393,6 +415,82 @@ fn main() {
             "flush_par     : NOTICE — single-core runner, skipping the parallel-beats-sequential gate"
         );
     }
+
+    // 8. Warm artifact-cache replay: the family-matrix smoke sweep through
+    //    the verification service's job runner, cold then warm against one
+    //    scratch cache. The warm sweep must cost at most CACHE_WARM_FACTOR
+    //    of the cold wall clock, miss nothing, and reproduce the cold
+    //    reports byte-for-byte.
+    let scratch = std::env::temp_dir().join(format!("pv-perf-smoke-cache-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+    let mut jobs: Vec<JobRequest> = Vec::new();
+    for config in smoke_configs() {
+        let mut cells: Vec<Option<FamilyBug>> = vec![None];
+        cells.extend(cell_bugs(&config).into_iter().map(Some));
+        for bug in cells {
+            let design = match bug {
+                Some(bug) => config.with_bug(bug),
+                None => config,
+            };
+            jobs.push(JobRequest {
+                id: jobs.len() as u64,
+                design: DesignSpec::Family(design),
+                flows: vec![FlowKind::Beta, FlowKind::Flushing],
+                plans: PlanSet::Default,
+            });
+        }
+    }
+    let render_sweep = |runner: &JobRunner| -> (f64, Vec<String>) {
+        let start = Instant::now();
+        let outcomes = sched::run_jobs(runner, &jobs, SWEEP_THREADS, |_, _| {});
+        let wall = start.elapsed().as_secs_f64();
+        let lines = outcomes
+            .into_iter()
+            .map(|o| {
+                let response = o.expect("every smoke cell is verifiable");
+                // The cached flag is the one field allowed to differ between
+                // the cold and warm renderings.
+                protocol::response_to_json(&response)
+                    .render()
+                    .replace("\"cached\":true", "\"cached\":false")
+            })
+            .collect();
+        (wall, lines)
+    };
+    let cold_runner = JobRunner::new(Some(ArtifactCache::at(scratch.join("cache"))));
+    let (cache_cold_wall, cold_lines) = render_sweep(&cold_runner);
+    let warm_runner = JobRunner::new(Some(ArtifactCache::at(scratch.join("cache"))));
+    let (cache_warm_wall, warm_lines) = render_sweep(&warm_runner);
+    println!(
+        "cache_warm    : {} jobs cold {cache_cold_wall:.3} s ({} engine runs); warm {cache_warm_wall:.3} s ({} hits, {} misses)",
+        jobs.len(),
+        cold_runner.cache_misses(),
+        warm_runner.cache_hits(),
+        warm_runner.cache_misses(),
+    );
+    if warm_runner.cache_misses() != 0 {
+        failures.push(format!(
+            "cache_warm re-ran {} flow(s) the cache should have answered",
+            warm_runner.cache_misses()
+        ));
+    }
+    if warm_lines != cold_lines {
+        failures.push("cache_warm reports differ from the cold reports".to_owned());
+    }
+    if cache_warm_wall > (cache_cold_wall * CACHE_WARM_FACTOR).max(CACHE_WARM_GRACE_S) {
+        failures.push(format!(
+            "cache_warm {cache_warm_wall:.3} s exceeds {CACHE_WARM_FACTOR} x the cold sweep's {cache_cold_wall:.3} s — the warm path must be a file read, not a re-verification"
+        ));
+    }
+    measurements.push(Measurement {
+        key: "cache_cold_wall_s",
+        value: cache_cold_wall,
+    });
+    measurements.push(Measurement {
+        key: "cache_warm_wall_s",
+        value: cache_warm_wall,
+    });
+    std::fs::remove_dir_all(&scratch).ok();
 
     // Compare against the checked-in baseline (order-of-magnitude gate; the
     // absolute limits above are the hard acceptance criteria).

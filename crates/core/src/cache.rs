@@ -1,0 +1,225 @@
+//! The **content-addressed artifact cache** of the verification service:
+//! verification results (and the artifacts behind them) stored on disk under
+//! a key derived from everything that determines them, so a warm re-run of an
+//! unchanged job is a file read instead of a symbolic-simulation campaign.
+//!
+//! # Key derivation
+//!
+//! A [`CacheKey`] is the 64-bit FNV-1a hash (the same primitive as
+//! [`pv_netlist::export::fnv1a64`]) over a `\0`-separated sequence of key
+//! *parts*, prefixed with the cache's [`ENGINE_EPOCH`]. The caller feeds in
+//! every input that can change the result — for a verification job that is:
+//!
+//! * the flow name (`"beta-relation"` / `"flushing"`),
+//! * the deterministic netlist exports of both designs
+//!   ([`pv_netlist::export::export`]) — any gate, port or pipeline-hint
+//!   change changes the bytes,
+//! * the text rendering of every simulation plan in the sweep, and
+//! * the engine-relevant specification fields (depth, delay slots, ports,
+//!   observed variables, sample offset).
+//!
+//! Deliberately **excluded**: the worker-thread count — the pool's
+//! deterministic lowest-index merge makes reports field-identical for any
+//! thread count, so threads are not result-relevant (`DESIGN.md` § "Parallel
+//! verification"). [`ENGINE_EPOCH`] is bumped whenever engine semantics
+//! change in a way that alters reports, invalidating every old entry at once.
+//!
+//! # On-disk layout
+//!
+//! One artifact per file, named `<16-hex-key>.<kind extension>` inside the
+//! cache directory (`--cache-dir`, else `PV_CACHE_DIR`, else `.pv-cache`).
+//! Writes go through a temporary file and an atomic rename, so a crashed or
+//! concurrent writer never leaves a torn artifact behind.
+//!
+//! ```
+//! use pipeverify_core::cache::{content_key, ArtifactCache, ArtifactKind};
+//!
+//! let dir = std::env::temp_dir().join(format!("pv-cache-doc-{}", std::process::id()));
+//! let cache = ArtifactCache::at(&dir);
+//!
+//! let key = content_key(["beta-relation", "<netlist export>", "r 0 0"]);
+//! assert_eq!(cache.load(ArtifactKind::Report, key), None); // cold
+//!
+//! cache.store(ArtifactKind::Report, key, "{\"equivalent\":true}").unwrap();
+//! let warm = cache.load(ArtifactKind::Report, key); // warm: a file read
+//! assert_eq!(warm.as_deref(), Some("{\"equivalent\":true}"));
+//!
+//! // A different part sequence — say, one seeded bug changing a netlist
+//! // export — is a different key, so only changed cells miss.
+//! assert_ne!(key, content_key(["beta-relation", "<other export>", "r 0 0"]));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use pv_netlist::export::fnv1a64;
+
+/// Engine epoch folded into every [`content_key`]. Bump when a change to the
+/// verification engines alters report contents for identical inputs — every
+/// cached artifact from earlier epochs then misses, instead of serving stale
+/// results.
+pub const ENGINE_EPOCH: u32 = 1;
+
+/// Environment variable overriding the default cache directory.
+pub const PV_CACHE_DIR: &str = "PV_CACHE_DIR";
+
+/// Default cache directory, relative to the working directory.
+pub const DEFAULT_CACHE_DIR: &str = ".pv-cache";
+
+/// A 64-bit content hash identifying one cached artifact.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey(pub u64);
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Derives a [`CacheKey`] from the given key parts (see the [module
+/// docs](self) for what a verification job feeds in). The parts are hashed
+/// as a `\0`-separated sequence prefixed by [`ENGINE_EPOCH`], so both
+/// content changes and part-boundary shifts change the key.
+pub fn content_key<I, S>(parts: I) -> CacheKey
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut material = format!("pv-cache-epoch-{ENGINE_EPOCH}");
+    for part in parts {
+        material.push('\0');
+        material.push_str(part.as_ref());
+    }
+    CacheKey(fnv1a64(material.as_bytes()))
+}
+
+/// What kind of artifact a cache entry holds (determines the file extension).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArtifactKind {
+    /// A [`crate::FlowReport`] in the JSON shape of [`crate::report_io`].
+    Report,
+    /// A netlist in the text format of [`pv_netlist::export`].
+    Netlist,
+    /// A BDD store (reached-state sets and friends) in the text format of
+    /// `pv_bdd::store`.
+    BddStore,
+}
+
+impl ArtifactKind {
+    fn extension(self) -> &'static str {
+        match self {
+            ArtifactKind::Report => "report.json",
+            ArtifactKind::Netlist => "netlist",
+            ArtifactKind::BddStore => "bdd",
+        }
+    }
+}
+
+/// A directory of content-addressed artifacts.
+///
+/// Cheap to construct — the directory is created lazily on the first
+/// [`store`](Self::store) — and safe to share across threads by cloning (it
+/// is only a path).
+#[derive(Clone, Debug)]
+pub struct ArtifactCache {
+    dir: PathBuf,
+}
+
+impl ArtifactCache {
+    /// A cache rooted at `dir`.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        ArtifactCache { dir: dir.into() }
+    }
+
+    /// A cache rooted at `$PV_CACHE_DIR`, or [`DEFAULT_CACHE_DIR`] when the
+    /// variable is unset or empty.
+    pub fn from_env() -> Self {
+        let dir = std::env::var(PV_CACHE_DIR)
+            .ok()
+            .filter(|v| !v.is_empty())
+            .unwrap_or_else(|| DEFAULT_CACHE_DIR.to_owned());
+        ArtifactCache::at(dir)
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, kind: ArtifactKind, key: CacheKey) -> PathBuf {
+        self.dir.join(format!("{key}.{}", kind.extension()))
+    }
+
+    /// Loads the artifact stored under `key`, or `None` on a cache miss.
+    /// I/O errors other than "not found" also read as misses — a cache must
+    /// never turn an unreadable file into a failed verification.
+    pub fn load(&self, kind: ArtifactKind, key: CacheKey) -> Option<String> {
+        fs::read_to_string(self.path(kind, key)).ok()
+    }
+
+    /// Stores `text` under `key`, atomically (write to a temporary file in
+    /// the same directory, then rename). Returns the final path.
+    ///
+    /// # Errors
+    /// Propagates I/O errors (unwritable directory, disk full, …) — callers
+    /// typically log and continue, since a failed store only costs future
+    /// warmth.
+    pub fn store(&self, kind: ArtifactKind, key: CacheKey, text: &str) -> io::Result<PathBuf> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.path(kind, key);
+        let tmp = self.dir.join(format!(
+            ".{key}.{}.tmp-{}",
+            kind.extension(),
+            std::process::id()
+        ));
+        fs::write(&tmp, text)?;
+        fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pv-cache-test-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn keys_are_stable_and_boundary_sensitive() {
+        let a = content_key(["x", "y"]);
+        assert_eq!(a, content_key(["x", "y"]), "same parts, same key");
+        assert_ne!(a, content_key(["xy"]), "part boundaries matter");
+        assert_ne!(a, content_key(["x", "y", ""]), "part count matters");
+        assert_eq!(format!("{a}").len(), 16, "keys render as 16 hex digits");
+    }
+
+    #[test]
+    fn store_then_load_round_trips_per_kind() {
+        let dir = scratch("kinds");
+        let cache = ArtifactCache::at(&dir);
+        let key = content_key(["k"]);
+        for kind in [
+            ArtifactKind::Report,
+            ArtifactKind::Netlist,
+            ArtifactKind::BddStore,
+        ] {
+            assert_eq!(cache.load(kind, key), None, "{kind:?} starts cold");
+            cache.store(kind, key, "payload").expect("store");
+            assert_eq!(cache.load(kind, key).as_deref(), Some("payload"));
+        }
+        // The three kinds do not collide even under one key.
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_reads_as_cold() {
+        let cache = ArtifactCache::at(scratch("never-created"));
+        assert_eq!(cache.load(ArtifactKind::Report, content_key(["k"])), None);
+    }
+}

@@ -31,6 +31,13 @@
 //! `pv-flush`) run on [`crate::pool`] with the same deterministic
 //! lowest-index-counterexample merge rule, so either flow's report is
 //! field-by-field identical for any worker count.
+//!
+//! That determinism is what makes [`FlowReport`] *cacheable*: the
+//! verification service (`pv-server`) serializes reports through
+//! [`crate::report_io`], stores them in the content-addressed
+//! [`crate::cache`] under a key that deliberately excludes the thread count,
+//! and answers a warm re-run with the stored report — field-identical to
+//! what a cold run would recompute (`docs/PROTOCOL.md` § "Caching").
 
 use std::fmt;
 use std::time::{Duration, Instant};

@@ -56,9 +56,12 @@
 #![warn(missing_docs)]
 
 mod baseline;
+pub mod cache;
 mod flow;
+pub mod json;
 mod plan;
 pub mod pool;
+pub mod report_io;
 mod spec;
 mod verify;
 

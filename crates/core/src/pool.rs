@@ -12,6 +12,20 @@
 //! or, by default, from the `PV_THREADS` environment variable
 //! ([`default_threads`]); `1` bypasses the pool entirely and runs today's
 //! in-place sequential loop.
+//!
+//! The same pool carries every fan-out in the workspace: β-relation plan
+//! sweeps, `pv-flush`'s EUF case-split blocks, and the verification
+//! service's job scheduler (`pv-server`'s LPT batches — jobs sorted by cost
+//! and claimed longest-first, which is exactly "claim indices in order" over
+//! a cost-sorted index array). Results always come back in item order:
+//!
+//! ```
+//! use pipeverify_core::pool;
+//!
+//! // Four workers, nondeterministic claim order — deterministic output.
+//! let squares = pool::par_map(4, &[1u64, 2, 3, 4, 5], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;

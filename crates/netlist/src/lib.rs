@@ -46,6 +46,7 @@
 
 mod build;
 mod eval;
+pub mod export;
 mod net;
 mod sym;
 

@@ -1,0 +1,492 @@
+//! The `pv` command: the verification service's front door.
+//!
+//! * `pv serve --listen unix:/tmp/pv.sock` — serve jobs over a socket.
+//! * `pv batch jobs.jsonl` — run a JSONL job file in-process; responses to
+//!   stdout (one line per input line, in input order), progress to stderr.
+//! * `pv soak --jobs 200` — flood an in-process server and assert zero
+//!   dropped responses and bounded peak RSS.
+//!
+//! See `docs/PROTOCOL.md` for the wire format and `README.md` for a
+//! quickstart.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown as TcpShutdown, TcpStream};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use pipeverify_core::cache::ArtifactCache;
+use pipeverify_core::json::Json;
+use pipeverify_core::pool;
+use pv_proc::family::{FamilyBug, FamilyConfig};
+use pv_server::{
+    job::JobRunner,
+    protocol::{self, DesignSpec, FlowKind, JobRequest, PlanSet},
+    sched,
+    server::{self, BindAddr},
+};
+
+const USAGE: &str = "\
+pv — the pipeline-verification service
+
+USAGE:
+    pv serve --listen <unix:PATH|tcp:HOST:PORT> [--threads N] [--cache-dir DIR | --no-cache]
+    pv batch [FILE] [--threads N] [--cache-dir DIR | --no-cache]
+    pv soak  [--jobs N] [--rss-limit-mb MB] [--summary PATH] [--threads N] [--listen ADDR]
+
+    serve    Answer line-delimited JSON jobs over a socket (docs/PROTOCOL.md).
+    batch    Run a JSONL job file (or stdin when FILE is `-` or omitted)
+             in-process; one response line per input line, in input order, on
+             stdout. Progress and cache statistics go to stderr.
+    soak     Start an in-process server on a scratch socket, flood it with
+             --jobs jobs, and fail unless every job is answered and peak RSS
+             stays under --rss-limit-mb. Writes a JSON summary line to stdout
+             (and to --summary, when given).
+
+OPTIONS:
+    --threads N       Worker threads (default: PV_THREADS, else all cores).
+    --cache-dir DIR   Artifact cache directory (default: PV_CACHE_DIR, else
+                      .pv-cache). The soak uses a scratch directory.
+    --no-cache        Disable the artifact cache (every job runs cold).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "serve" => cmd_serve(&args[1..]),
+        "batch" => cmd_batch(&args[1..]),
+        "soak" => cmd_soak(&args[1..]),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("pv: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Shared flags of every subcommand.
+struct CommonOpts {
+    threads: usize,
+    cache: Option<ArtifactCache>,
+    /// Flags the parser did not consume, in order.
+    rest: Vec<String>,
+}
+
+fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
+    let mut threads = None;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut no_cache = false;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let value = it.next().ok_or("--threads needs a value")?;
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("--threads `{value}` is not a number"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_owned());
+                }
+                threads = Some(n);
+            }
+            "--cache-dir" => {
+                let value = it.next().ok_or("--cache-dir needs a value")?;
+                cache_dir = Some(PathBuf::from(value));
+            }
+            "--no-cache" => no_cache = true,
+            other => rest.push(other.to_owned()),
+        }
+    }
+    if no_cache && cache_dir.is_some() {
+        return Err("--no-cache and --cache-dir are mutually exclusive".to_owned());
+    }
+    let cache = if no_cache {
+        None
+    } else {
+        Some(match cache_dir {
+            Some(dir) => ArtifactCache::at(dir),
+            None => ArtifactCache::from_env(),
+        })
+    };
+    Ok(CommonOpts {
+        threads: threads.unwrap_or_else(pool::default_threads),
+        cache,
+        rest,
+    })
+}
+
+fn take_flag(rest: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    if let Some(pos) = rest.iter().position(|a| a == name) {
+        if pos + 1 >= rest.len() {
+            return Err(format!("{name} needs a value"));
+        }
+        rest.remove(pos);
+        Ok(Some(rest.remove(pos)))
+    } else {
+        Ok(None)
+    }
+}
+
+fn cache_label(cache: &Option<ArtifactCache>) -> String {
+    match cache {
+        Some(cache) => format!("cache at {}", cache.dir().display()),
+        None => "cache disabled".to_owned(),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut opts = parse_common(args)?;
+    let listen = take_flag(&mut opts.rest, "--listen")?
+        .ok_or("serve needs --listen <unix:PATH|tcp:HOST:PORT>")?;
+    if let Some(extra) = opts.rest.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+    let addr: BindAddr = listen.parse()?;
+    let runner = JobRunner::new(opts.cache.clone());
+    eprintln!(
+        "pv: serving at {addr} on {} worker threads ({})",
+        opts.threads,
+        cache_label(&opts.cache),
+    );
+    let shutdown = AtomicBool::new(false); // runs until the process is killed
+    server::serve(&addr, &runner, opts.threads, &shutdown).map_err(|e| e.to_string())?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// One input line of a batch: a job (by index into the job list) or a
+/// pre-rendered error response.
+enum BatchLine {
+    Job(usize),
+    Bad(String),
+}
+
+fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
+    let mut opts = parse_common(args)?;
+    let file = match opts.rest.len() {
+        0 => "-".to_owned(),
+        1 => opts.rest.remove(0),
+        _ => return Err(format!("unexpected argument `{}`", opts.rest[1])),
+    };
+    let input = if file == "-" {
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        text
+    } else {
+        std::fs::read_to_string(&file).map_err(|e| format!("reading {file}: {e}"))?
+    };
+
+    let mut jobs: Vec<JobRequest> = Vec::new();
+    let mut lines: Vec<BatchLine> = Vec::new();
+    for line in input.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match Json::parse(line) {
+            Err(e) => lines.push(BatchLine::Bad(
+                protocol::error_to_json(None, &e.to_string()).render(),
+            )),
+            Ok(value) => match protocol::request_from_json(&value) {
+                Ok(job) => {
+                    jobs.push(job);
+                    lines.push(BatchLine::Job(jobs.len() - 1));
+                }
+                Err(e) => {
+                    let id = value.get("id").and_then(Json::as_u64);
+                    lines.push(BatchLine::Bad(
+                        protocol::error_to_json(id, &e.to_string()).render(),
+                    ));
+                }
+            },
+        }
+    }
+
+    let runner = JobRunner::new(opts.cache.clone());
+    eprintln!(
+        "pv: batch of {} jobs on {} worker threads ({})",
+        jobs.len(),
+        opts.threads,
+        cache_label(&opts.cache),
+    );
+    let started = Instant::now();
+    let total = jobs.len();
+    let outcomes = sched::run_jobs(
+        &runner,
+        &jobs,
+        opts.threads,
+        |index, outcome| match outcome {
+            Ok(response) => eprintln!("pv: job {} done ({} of {total})", response.id, index + 1,),
+            Err(error) => eprintln!("pv: job {} failed: {error}", jobs[index].id),
+        },
+    );
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut failures = 0usize;
+    for line in &lines {
+        let rendered = match line {
+            BatchLine::Job(index) => match &outcomes[*index] {
+                Ok(response) => protocol::response_to_json(response).render(),
+                Err(error) => {
+                    failures += 1;
+                    protocol::error_to_json(Some(jobs[*index].id), error).render()
+                }
+            },
+            BatchLine::Bad(rendered) => {
+                failures += 1;
+                rendered.clone()
+            }
+        };
+        writeln!(out, "{rendered}").map_err(|e| format!("writing stdout: {e}"))?;
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "pv: batch finished in {:.3}s — {} responses, {} errors, {} cache hits, {} misses",
+        started.elapsed().as_secs_f64(),
+        lines.len(),
+        failures,
+        runner.cache_hits(),
+        runner.cache_misses(),
+    );
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// A soak client connection with a closeable write half (half-closing the
+/// stream is how the client signals end-of-jobs and triggers the server's
+/// graceful drain).
+enum SoakClient {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl SoakClient {
+    fn connect(addr: &BindAddr) -> std::io::Result<Self> {
+        match addr {
+            BindAddr::Unix(path) => UnixStream::connect(path).map(SoakClient::Unix),
+            BindAddr::Tcp(tcp) => TcpStream::connect(tcp.as_str()).map(SoakClient::Tcp),
+        }
+    }
+
+    fn reader(&self) -> std::io::Result<Box<dyn Read + Send>> {
+        Ok(match self {
+            SoakClient::Unix(s) => Box::new(s.try_clone()?),
+            SoakClient::Tcp(s) => Box::new(s.try_clone()?),
+        })
+    }
+
+    fn write_all(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        match self {
+            SoakClient::Unix(s) => s.write_all(bytes),
+            SoakClient::Tcp(s) => s.write_all(bytes),
+        }
+    }
+
+    fn shutdown_write(&self) -> std::io::Result<()> {
+        match self {
+            SoakClient::Unix(s) => s.shutdown(TcpShutdown::Write),
+            SoakClient::Tcp(s) => s.shutdown(TcpShutdown::Write),
+        }
+    }
+}
+
+/// The soak's rotating design menu: tiny family members (correct and
+/// bug-seeded) plus the one-register VSM — cheap enough to flood by the
+/// hundreds, varied enough that the cache sees several distinct keys.
+fn soak_design(index: usize) -> DesignSpec {
+    let base = FamilyConfig::new(2, 4, 2, 0).stallable();
+    match index % 4 {
+        0 => DesignSpec::Family(base),
+        1 => DesignSpec::Family(base.with_bug(FamilyBug::WrongStallCondition)),
+        2 => DesignSpec::Family(base.with_bug(FamilyBug::BranchTargetOffByOne)),
+        _ => DesignSpec::Vsm {
+            num_regs: 2,
+            stallable: false,
+        },
+    }
+}
+
+fn cmd_soak(args: &[String]) -> Result<ExitCode, String> {
+    let mut opts = parse_common(args)?;
+    let jobs: usize = match take_flag(&mut opts.rest, "--jobs")? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--jobs `{v}` is not a number"))?,
+        None => 200,
+    };
+    let rss_limit_mb: u64 = match take_flag(&mut opts.rest, "--rss-limit-mb")? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--rss-limit-mb `{v}` is not a number"))?,
+        None => 1024,
+    };
+    let summary_path = take_flag(&mut opts.rest, "--summary")?;
+    let listen = take_flag(&mut opts.rest, "--listen")?;
+    if let Some(extra) = opts.rest.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+
+    let scratch = std::env::temp_dir().join(format!("pv-soak-{}", std::process::id()));
+    let addr: BindAddr = match listen {
+        Some(spec) => spec.parse()?,
+        None => BindAddr::Unix(scratch.join("pv.sock")),
+    };
+    if let BindAddr::Unix(path) = &addr {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+    }
+    // The soak always uses a scratch cache unless one was pinned explicitly:
+    // the run must be reproducible, not warmed by yesterday's entries.
+    let cache = match args.iter().any(|a| a == "--cache-dir" || a == "--no-cache") {
+        true => opts.cache.clone(),
+        false => Some(ArtifactCache::at(scratch.join("cache"))),
+    };
+    let runner = JobRunner::new(cache.clone());
+    eprintln!(
+        "pv: soaking {jobs} jobs at {addr} on {} worker threads ({})",
+        opts.threads,
+        cache_label(&cache),
+    );
+
+    let shutdown = AtomicBool::new(false);
+    let started = Instant::now();
+    let received = std::thread::scope(|scope| -> Result<Vec<u64>, String> {
+        let server = scope.spawn(|| server::serve(&addr, &runner, opts.threads, &shutdown));
+
+        // Wait for the listener to come up.
+        let mut client = loop {
+            match SoakClient::connect(&addr) {
+                Ok(client) => break client,
+                Err(_) if started.elapsed().as_secs() < 10 && !server.is_finished() => {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                Err(e) => {
+                    shutdown.store(true, Ordering::Relaxed);
+                    return Err(format!("connecting to {addr}: {e}"));
+                }
+            }
+        };
+
+        let reader = client.reader().map_err(|e| e.to_string())?;
+        let writer = scope.spawn(move || -> std::io::Result<()> {
+            for id in 0..jobs as u64 {
+                let job = JobRequest {
+                    id,
+                    design: soak_design(id as usize),
+                    flows: vec![FlowKind::Beta],
+                    plans: PlanSet::Default,
+                };
+                let line = protocol::request_to_json(&job).render();
+                client.write_all(line.as_bytes())?;
+                client.write_all(b"\n")?;
+            }
+            client.shutdown_write()
+        });
+
+        let mut ids = Vec::with_capacity(jobs);
+        for line in BufReader::new(reader).lines() {
+            let line = line.map_err(|e| format!("reading responses: {e}"))?;
+            let value = Json::parse(&line).map_err(|e| format!("bad response line: {e}"))?;
+            if value.get("ok").and_then(Json::as_bool) != Some(true) {
+                return Err(format!("server answered an error: {line}"));
+            }
+            ids.push(
+                value
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or("response without an id")?,
+            );
+        }
+        writer
+            .join()
+            .expect("writer thread does not panic")
+            .map_err(|e| format!("sending jobs: {e}"))?;
+        shutdown.store(true, Ordering::Relaxed);
+        server
+            .join()
+            .expect("server thread does not panic")
+            .map_err(|e| format!("server: {e}"))?;
+        Ok(ids)
+    })?;
+
+    let wall = started.elapsed();
+    let mut ids = received.clone();
+    ids.sort_unstable();
+    ids.dedup();
+    let dropped = jobs.saturating_sub(ids.len());
+    let peak_rss = pv_server::peak_rss_bytes();
+    let rss_ok = peak_rss.is_none_or(|b| b <= rss_limit_mb * 1024 * 1024);
+    let ok = dropped == 0 && received.len() == jobs && rss_ok;
+
+    let summary = Json::Obj(vec![
+        ("jobs".to_owned(), Json::from_u64(jobs as u64)),
+        (
+            "responses".to_owned(),
+            Json::from_u64(received.len() as u64),
+        ),
+        ("dropped".to_owned(), Json::from_u64(dropped as u64)),
+        (
+            "cache_hits".to_owned(),
+            Json::from_u64(runner.cache_hits() as u64),
+        ),
+        (
+            "cache_misses".to_owned(),
+            Json::from_u64(runner.cache_misses() as u64),
+        ),
+        (
+            "peak_rss_bytes".to_owned(),
+            peak_rss.map_or(Json::Null, Json::from_u64),
+        ),
+        (
+            "rss_limit_bytes".to_owned(),
+            Json::from_u64(rss_limit_mb * 1024 * 1024),
+        ),
+        ("wall_ns".to_owned(), Json::from_u64(wall.as_nanos() as u64)),
+        ("ok".to_owned(), Json::Bool(ok)),
+    ])
+    .render();
+    println!("{summary}");
+    if let Some(path) = summary_path {
+        std::fs::write(&path, format!("{summary}\n"))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+
+    if ok {
+        eprintln!(
+            "pv: soak passed — {jobs} jobs answered in {:.3}s, peak RSS {}",
+            wall.as_secs_f64(),
+            peak_rss.map_or("unknown".to_owned(), |b| format!(
+                "{} MiB",
+                b / (1024 * 1024)
+            )),
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "pv: soak FAILED — {} of {jobs} answered ({dropped} dropped), RSS within limit: {rss_ok}",
+            received.len(),
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}

@@ -1,0 +1,135 @@
+//! The `pv batch` driver end-to-end, including the **stdout-purity
+//! contract**: stdout carries exactly one JSON response line per input job
+//! line and nothing else. Diagnostics — including the worker pool's warning
+//! about an invalid `PV_THREADS` value (routed to stderr in
+//! `pipeverify_core::pool::default_threads` since the pool landed) — must
+//! never interleave with the report stream.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use pipeverify_core::json::Json;
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pv-batch-cli-test-{tag}-{}", std::process::id()))
+}
+
+const JOBS: &str = concat!(
+    "# comment lines and blanks are skipped\n",
+    "\n",
+    r#"{"id":1,"design":{"vsm":{"num_regs":1}},"plans":["r 0"]}"#,
+    "\n",
+    r#"{"id":2,"design":{"family":{"depth":2,"word_width":4,"num_regs":2,"delay_slots":0}},"plans":["r 0"]}"#,
+    "\n",
+);
+
+#[test]
+fn batch_stdout_stays_pure_jsonl_under_invalid_pv_threads() {
+    let dir = scratch("purity");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let jobs_path = dir.join("jobs.jsonl");
+    std::fs::write(&jobs_path, JOBS).expect("write jobs");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_pv"))
+        .arg("batch")
+        .arg(&jobs_path)
+        .arg("--no-cache")
+        .env("PV_THREADS", "not-a-number")
+        .output()
+        .expect("run pv batch");
+
+    let stdout = String::from_utf8(output.stdout).expect("stdout is UTF-8");
+    let stderr = String::from_utf8(output.stderr).expect("stderr is UTF-8");
+    assert!(
+        output.status.success(),
+        "batch succeeds despite the bad env\nstderr:\n{stderr}"
+    );
+
+    // Every stdout line is a JSON response — nothing else may appear there.
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "one response per job line:\n{stdout}");
+    for (line, id) in lines.iter().zip([1u64, 2]) {
+        let value = Json::parse(line)
+            .unwrap_or_else(|e| panic!("stdout line is not pure JSON ({e}): {line}"));
+        assert_eq!(value.get("id").and_then(Json::as_u64), Some(id));
+        assert_eq!(value.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    // The pool's warning fired — on stderr, where diagnostics belong.
+    assert!(
+        stderr.contains("ignoring invalid PV_THREADS"),
+        "the PV_THREADS warning must be visible on stderr:\n{stderr}"
+    );
+    assert!(
+        !stdout.contains("PV_THREADS"),
+        "the warning must not leak into the report stream"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_reports_cache_warmth_and_preserves_input_order() {
+    let dir = scratch("warmth");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let jobs_path = dir.join("jobs.jsonl");
+    // The same design twice: within one batch the second run is answered by
+    // the cache the first one filled.
+    std::fs::write(
+        &jobs_path,
+        concat!(
+            r#"{"id":7,"design":{"vsm":{"num_regs":1}},"plans":["r 0"]}"#,
+            "\n",
+            r#"{"id":8,"design":{"vsm":{"num_regs":1}},"plans":["r 0"]}"#,
+            "\n",
+        ),
+    )
+    .expect("write jobs");
+
+    let run = |threads: &str| {
+        Command::new(env!("CARGO_BIN_EXE_pv"))
+            .arg("batch")
+            .arg(&jobs_path)
+            .arg("--cache-dir")
+            .arg(dir.join("cache"))
+            .args(["--threads", threads])
+            .output()
+            .expect("run pv batch")
+    };
+
+    // Sequential so the duplicate can't race its twin to the cache.
+    let cold = run("1");
+    assert!(cold.status.success());
+    let cold_stdout = String::from_utf8(cold.stdout).unwrap();
+    let ids: Vec<Option<u64>> = cold_stdout
+        .lines()
+        .map(|l| {
+            Json::parse(l)
+                .expect("JSON line")
+                .get("id")
+                .and_then(Json::as_u64)
+        })
+        .collect();
+    assert_eq!(ids, vec![Some(7), Some(8)], "responses in input order");
+    assert!(
+        cold_stdout.contains("\"cached\":true"),
+        "the duplicate job in the batch is answered warm"
+    );
+
+    let warm = run("2");
+    assert!(warm.status.success());
+    let warm_stdout = String::from_utf8(warm.stdout).unwrap();
+    assert!(
+        !warm_stdout.contains("\"cached\":false"),
+        "a re-run of the same batch is entirely warm:\n{warm_stdout}"
+    );
+    let stderr = String::from_utf8(warm.stderr).unwrap();
+    assert!(
+        stderr.contains("2 cache hits"),
+        "cache statistics are reported on stderr:\n{stderr}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,136 @@
+//! Cache **correctness**: a warm run must be *indistinguishable* from the
+//! cold run it replays — byte-identical report JSON, including the recorded
+//! wall times — and a sweep with one changed bug-config must recompute only
+//! the changed cell.
+//!
+//! The job set is the family-matrix smoke subset (`pv_bench::matrix`), the
+//! same designs the cross-flow agreement test pins down, so "cached and cold
+//! runs produce field-identical reports" is checked on reports whose verdicts
+//! are themselves already under test.
+
+use std::path::PathBuf;
+
+use pipeverify_core::cache::ArtifactCache;
+use pv_bench::matrix::{cell_bugs, smoke_configs};
+use pv_proc::family::{FamilyBug, FamilyConfig};
+use pv_server::job::JobRunner;
+use pv_server::protocol::{self, DesignSpec, FlowKind, JobRequest, PlanSet};
+use pv_server::sched;
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pv-server-cache-test-{tag}-{}", std::process::id()))
+}
+
+/// The smoke subset of the PR-6 family matrix as a job list: every smoke
+/// configuration, correct and with each applicable seeded bug, through both
+/// flows.
+fn smoke_jobs() -> Vec<JobRequest> {
+    let mut jobs = Vec::new();
+    for config in smoke_configs() {
+        let mut cells: Vec<Option<FamilyBug>> = vec![None];
+        cells.extend(cell_bugs(&config).into_iter().map(Some));
+        for bug in cells {
+            let design = match bug {
+                Some(bug) => config.with_bug(bug),
+                None => config,
+            };
+            jobs.push(JobRequest {
+                id: jobs.len() as u64,
+                design: DesignSpec::Family(design),
+                flows: vec![FlowKind::Beta, FlowKind::Flushing],
+                plans: PlanSet::Default,
+            });
+        }
+    }
+    jobs
+}
+
+fn run_all(runner: &JobRunner, jobs: &[JobRequest]) -> Vec<String> {
+    sched::run_jobs(runner, jobs, 2, |_, _| {})
+        .into_iter()
+        .map(|outcome| {
+            let response = outcome.expect("every smoke job is verifiable");
+            protocol::response_to_json(&response).render()
+        })
+        .collect()
+}
+
+#[test]
+fn warm_runs_replay_cold_reports_field_identically() {
+    let dir = scratch("warm");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let jobs = smoke_jobs();
+    assert!(jobs.len() >= 6, "the smoke matrix has correct + bug cells");
+
+    let cold_runner = JobRunner::new(Some(ArtifactCache::at(&dir)));
+    let cold = run_all(&cold_runner, &jobs);
+    assert_eq!(cold_runner.cache_hits(), 0, "first run is entirely cold");
+    assert_eq!(cold_runner.cache_misses(), 2 * jobs.len());
+
+    let warm_runner = JobRunner::new(Some(ArtifactCache::at(&dir)));
+    let warm = run_all(&warm_runner, &jobs);
+    assert_eq!(warm_runner.cache_misses(), 0, "second run is entirely warm");
+    assert_eq!(warm_runner.cache_hits(), 2 * jobs.len());
+
+    // Byte-identical response lines — except the `cached` flags, which are
+    // the one field that *must* differ. Strip them and compare.
+    for (cold_line, warm_line) in cold.iter().zip(&warm) {
+        let strip = |line: &str| line.replace("\"cached\":true", "\"cached\":false");
+        assert_eq!(
+            strip(cold_line),
+            strip(warm_line),
+            "warm reports must be field-identical to cold ones"
+        );
+        assert!(warm_line.contains("\"cached\":true"));
+        assert!(!cold_line.contains("\"cached\":true"));
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn changing_one_bug_config_recomputes_only_that_cell() {
+    let dir = scratch("delta");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let jobs = smoke_jobs();
+    let cold_runner = JobRunner::new(Some(ArtifactCache::at(&dir)));
+    run_all(&cold_runner, &jobs);
+
+    // The changed sweep: one bug cell's configuration is edited (a wider
+    // word), as when a bug-injection matrix entry is changed between runs.
+    // Every *other* cell is untouched and must stay warm.
+    let mut changed = jobs.clone();
+    let victim = changed
+        .iter_mut()
+        .find(|job| {
+            matches!(
+                job.design,
+                DesignSpec::Family(FamilyConfig {
+                    bug: Some(FamilyBug::WrongStallCondition),
+                    delay_slots: 0,
+                    ..
+                })
+            )
+        })
+        .expect("the smoke matrix has a stall-bug zero-delay-slot cell");
+    let DesignSpec::Family(config) = victim.design else {
+        unreachable!()
+    };
+    victim.design = DesignSpec::Family(FamilyConfig {
+        word_width: config.word_width + 1,
+        ..config
+    });
+
+    let warm_runner = JobRunner::new(Some(ArtifactCache::at(&dir)));
+    run_all(&warm_runner, &changed);
+    assert_eq!(
+        warm_runner.cache_misses(),
+        2,
+        "only the changed cell's two flow runs recompute"
+    );
+    assert_eq!(warm_runner.cache_hits(), 2 * (changed.len() - 1));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -289,6 +289,35 @@ pub mod bool {
     pub const ANY: FnStrategy<bool> = FnStrategy(|rng: &mut TestRng| rng.next_u64() & 1 == 1);
 }
 
+/// Strategies over `Option` (`proptest::option::of`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// The strategy returned by [`of`].
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.new_value(rng))
+            }
+        }
+    }
+
+    /// `Option` values over `inner`: `None` about a quarter of the time
+    /// (mirroring real proptest's default `None` weight), `Some` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
 /// Collection strategies (`proptest::collection::vec`).
 pub mod collection {
     use super::{Strategy, TestRng};
