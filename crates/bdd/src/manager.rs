@@ -3,10 +3,24 @@
 use std::collections::{BTreeSet, HashMap};
 use std::time::Duration;
 
+use pv_obs::{Counter, Gauge};
+
 use crate::node::{Bdd, Node, Var, FREE_VAR, TERMINAL_VAR};
 
 /// Sentinel terminating the free-list chain threaded through reclaimed slots.
 pub(crate) const FREE_NIL: u32 = u32::MAX;
+
+// Process-global engine metrics (see DESIGN.md § "Observability"). The hot
+// counters (ITE cache traffic, store growth) are accumulated in plain
+// per-manager fields — `ite` runs tens of millions of times per simulation,
+// and an atomic op per call would be measurable — and flushed here in
+// batches at every garbage collection and on manager drop.
+static M_ITE_HIT: Counter = Counter::new("bdd.ite.cache_hit");
+static M_ITE_MISS: Counter = Counter::new("bdd.ite.cache_miss");
+static M_UNIQUE_GROW: Counter = Counter::new("bdd.unique.grow");
+static M_GC_RUNS: Counter = Counter::new("bdd.gc.runs");
+static M_GC_COLLECTED: Counter = Counter::new("bdd.gc.collected");
+static M_PEAK_LIVE: Gauge = Gauge::new("bdd.unique.peak_live");
 
 /// Default live-node count above which [`BddManager::maybe_gc`] collects.
 const DEFAULT_GC_THRESHOLD: usize = 1 << 20;
@@ -28,6 +42,15 @@ pub struct BddStats {
     pub vars: usize,
     /// Number of entries in the if-then-else memo table.
     pub ite_cache_entries: usize,
+    /// [`ite`](BddManager::ite) calls answered from the memo table.
+    pub ite_hits: usize,
+    /// [`ite`](BddManager::ite) calls (top-level or recursive) that had to
+    /// compute their result. `ite_hits / (ite_hits + ite_misses)` is the
+    /// cache hit-rate the perf-smoke gate records per workload.
+    pub ite_misses: usize,
+    /// Times the node store grew its backing allocation (a doubling of the
+    /// `Vec`), the `bdd.unique.grow` metric.
+    pub unique_grows: usize,
     /// Number of dynamic-reordering passes performed
     /// ([`reorder`](BddManager::reorder) and automatic triggers).
     pub reorder_runs: usize,
@@ -125,6 +148,15 @@ pub struct BddManager {
     pub(crate) allocated: usize,
     pub(crate) peak_live: usize,
     gc_runs: usize,
+    /// ITE memo-table traffic and store growth (see the module-level metric
+    /// statics); `flushed_*` are the portions already pushed to the global
+    /// registry, so a flush only adds the delta.
+    ite_hits: usize,
+    ite_misses: usize,
+    unique_grows: usize,
+    flushed_ite_hits: usize,
+    flushed_ite_misses: usize,
+    flushed_unique_grows: usize,
     pub(crate) reorder_runs: usize,
     pub(crate) reorder_swaps: usize,
     pub(crate) reorder_time: Duration,
@@ -181,6 +213,12 @@ impl BddManager {
             allocated: 2,
             peak_live: 2,
             gc_runs: 0,
+            ite_hits: 0,
+            ite_misses: 0,
+            unique_grows: 0,
+            flushed_ite_hits: 0,
+            flushed_ite_misses: 0,
+            flushed_unique_grows: 0,
             reorder_runs: 0,
             reorder_swaps: 0,
             reorder_time: Duration::ZERO,
@@ -386,6 +424,9 @@ impl BddManager {
             self.nodes[idx as usize] = node;
             idx
         } else {
+            if self.nodes.len() == self.nodes.capacity() {
+                self.unique_grows += 1;
+            }
             let idx = self.nodes.len() as u32;
             self.nodes.push(node);
             idx
@@ -453,8 +494,10 @@ impl BddManager {
         }
         let key = (f, g, h);
         if let Some(&r) = self.ite_cache.get(&key) {
+            self.ite_hits += 1;
             return r;
         }
+        self.ite_misses += 1;
         let vf = self.node(f).var;
         let vg = if g.is_const() {
             TERMINAL_VAR
@@ -944,6 +987,7 @@ impl BddManager {
     /// Handles not covered by the roots are invalidated — see the type-level
     /// documentation.
     pub fn gc_with_roots(&mut self, extra_roots: &[Bdd]) -> GcStats {
+        let _span = pv_obs::span("gc.pass");
         // Mark.
         let mut marked = vec![false; self.nodes.len()];
         marked[0] = true;
@@ -1008,7 +1052,26 @@ impl BddManager {
         // is gone.
         self.gc_threshold = self.gc_floor.max(live.saturating_mul(2));
         self.gc_runs += 1;
+        M_GC_RUNS.incr();
+        M_GC_COLLECTED.add(collected as u64);
+        // A collection is the natural (and rare) safe point to push the
+        // batched hot counters out to the global registry.
+        self.flush_metrics();
         GcStats { collected, live }
+    }
+
+    /// Pushes the per-manager deltas of the batched hot counters (ITE cache
+    /// traffic, store growth, peak live) to the process-global metrics
+    /// registry. Runs after every collection and on drop, so short-lived
+    /// per-plan managers still report.
+    fn flush_metrics(&mut self) {
+        M_ITE_HIT.add((self.ite_hits - self.flushed_ite_hits) as u64);
+        M_ITE_MISS.add((self.ite_misses - self.flushed_ite_misses) as u64);
+        M_UNIQUE_GROW.add((self.unique_grows - self.flushed_unique_grows) as u64);
+        M_PEAK_LIVE.set_max(self.peak_live as u64);
+        self.flushed_ite_hits = self.ite_hits;
+        self.flushed_ite_misses = self.ite_misses;
+        self.flushed_unique_grows = self.unique_grows;
     }
 
     /// Number of live nodes (allocated minus reclaimed, including terminals).
@@ -1195,6 +1258,9 @@ impl BddManager {
             gc_runs: self.gc_runs,
             vars: self.num_vars as usize,
             ite_cache_entries: self.ite_cache.len(),
+            ite_hits: self.ite_hits,
+            ite_misses: self.ite_misses,
+            unique_grows: self.unique_grows,
             reorder_runs: self.reorder_runs,
             reorder_swaps: self.reorder_swaps,
             reorder_time: self.reorder_time,
@@ -1206,6 +1272,14 @@ impl BddManager {
     /// experiments; monotone across garbage collections).
     pub fn total_nodes(&self) -> usize {
         self.allocated
+    }
+}
+
+impl Drop for BddManager {
+    fn drop(&mut self) {
+        // Deliver whatever the batched counters accumulated since the last
+        // collection; per-plan managers often never collect at all.
+        self.flush_metrics();
     }
 }
 

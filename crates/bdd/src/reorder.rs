@@ -31,8 +31,16 @@
 
 use std::time::{Duration, Instant};
 
+use pv_obs::Counter;
+
 use crate::manager::BddManager;
 use crate::node::{Bdd, Node, FREE_VAR};
+
+/// Sifting passes and total adjacent-level swaps, mirrored to the global
+/// metrics registry (the per-manager figures stay in
+/// [`crate::BddStats::reorder_runs`] / [`crate::BddStats::reorder_swaps`]).
+static M_REORDER_RUNS: Counter = Counter::new("bdd.reorder.runs");
+static M_REORDER_SWAPS: Counter = Counter::new("bdd.reorder.swaps");
 
 /// Sifting abandons a direction once the live-node count exceeds
 /// `best × MAX_GROWTH_NUM / MAX_GROWTH_DEN` (the classic 1.2× bound).
@@ -163,6 +171,7 @@ impl BddManager {
         extra_roots: &[Bdd],
         budget_floor: usize,
     ) -> ReorderStats {
+        let _span = pv_obs::span("reorder.sift");
         let start = Instant::now();
         // Collect first: sifting minimises the *live* node count, so garbage
         // must not distort the metric (and dead nodes must not be dragged
@@ -207,6 +216,8 @@ impl BddManager {
         self.reorder_runs += 1;
         self.reorder_swaps += swaps;
         self.reorder_time += elapsed;
+        M_REORDER_RUNS.incr();
+        M_REORDER_SWAPS.add(swaps as u64);
         ReorderStats {
             swaps,
             nodes_before,

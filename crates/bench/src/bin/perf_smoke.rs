@@ -35,13 +35,26 @@
 //!    and on a four-worker pool. Report identity is gated always; on a
 //!    runner with at least two cores the parallel wall clock must beat the
 //!    sequential twin (skip-with-notice on one core, as in case 5).
-//! 8. **Warm artifact-cache replay** (`cache_warm`) — the family-matrix
+//! 8. **Traced-overhead twin** (`alpha0_sweep_traced`) — the case-5
+//!    sequential sweep re-run with span tracing live. Tracing must never
+//!    perturb verification (the traced report must match the untraced one
+//!    field for field), the emitted spans must bracket correctly, and the
+//!    traced wall clock may exceed the untraced twin by at most 10% (plus a
+//!    small absolute grace for timer noise) — the tentpole's overhead
+//!    budget, enforced.
+//! 9. **Warm artifact-cache replay** (`cache_warm`) — the family-matrix
 //!    smoke sweep (both flows per cell) run twice through the verification
 //!    service's job runner against one scratch cache: cold (every flow run
 //!    hits the engines and stores its artifacts), then warm (every flow run
 //!    is a file read). The gate requires the warm sweep to finish in at most
 //!    one fifth of the cold wall clock, with zero cache misses and
 //!    byte-identical reports.
+//!
+//! Every BDD-backed case also records its peak-live node count and its ITE
+//! cache hit-rate (`*_peak_live`, `*_ite_hit_rate`), and the cache replay
+//! records its warm hit-rate — so a wall-time regression in the JSON
+//! artifact comes with a cause attached (nodes blew up / the memo table
+//! stopped hitting / the cache stopped answering).
 //!
 //! Exit status is non-zero when a hard limit (the acceptance criteria) is
 //! exceeded or any measurement regresses by more than an order of magnitude
@@ -107,10 +120,31 @@ const CACHE_WARM_FACTOR: f64 = 0.2;
 /// finishes in a few milliseconds *is* the file-read path the ratio gate
 /// exists to enforce.
 const CACHE_WARM_GRACE_S: f64 = 0.005;
+/// Ceiling on the traced sequential Alpha0 sweep, as a factor of its
+/// untraced twin (acceptance criterion: `PV_TRACE=1` regresses ≤ 10% wall).
+const TRACE_OVERHEAD_FACTOR: f64 = 1.10;
+/// Absolute grace for the traced sweep: on a fast machine 10% of the
+/// sequential wall sits inside scheduler noise, so the gate takes the max
+/// of the relative and `untraced + grace` ceilings.
+const TRACE_OVERHEAD_GRACE_S: f64 = 0.5;
 
 struct Measurement {
     key: &'static str,
     value: f64,
+}
+
+/// Hit-rate `hits / (hits + misses)`; 0 when nothing was looked up.
+fn hit_rate(hits: usize, misses: usize) -> f64 {
+    if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
+}
+
+/// Pulls a named counter out of a report's deterministic `metrics` snapshot.
+fn report_metric(metrics: &std::collections::BTreeMap<String, u64>, key: &str) -> u64 {
+    metrics.get(key).copied().unwrap_or(0)
 }
 
 fn main() {
@@ -121,6 +155,8 @@ fn main() {
     let samples = 10usize;
     let mut peak_live = 0usize;
     let mut allocated = 0usize;
+    let mut ite_hits = 0usize;
+    let mut ite_misses = 0usize;
     let start = Instant::now();
     for _ in 0..samples {
         let mut m = BddManager::new();
@@ -133,10 +169,14 @@ fn main() {
         let stats = m.stats();
         peak_live = peak_live.max(stats.peak_live);
         allocated = allocated.max(stats.allocated);
+        ite_hits += stats.ite_hits;
+        ite_misses += stats.ite_misses;
     }
     let reach_wall = start.elapsed().as_secs_f64();
+    let reach_hit_rate = hit_rate(ite_hits, ite_misses);
     println!(
-        "reach12       : {samples} samples in {reach_wall:.3} s, peak live {peak_live}, allocated {allocated}"
+        "reach12       : {samples} samples in {reach_wall:.3} s, peak live {peak_live}, allocated {allocated}, ITE hit-rate {:.3}",
+        reach_hit_rate
     );
     measurements.push(Measurement {
         key: "reach12_wall_s",
@@ -145,6 +185,10 @@ fn main() {
     measurements.push(Measurement {
         key: "reach12_peak_live",
         value: peak_live as f64,
+    });
+    measurements.push(Measurement {
+        key: "reach12_ite_hit_rate",
+        value: reach_hit_rate,
     });
     if reach_wall > REACH12_WALL_LIMIT_S {
         failures.push(format!(
@@ -187,8 +231,12 @@ fn main() {
         .expect("verify VSM");
     assert!(report.equivalent(), "quickstart VSM must verify");
     let vsm_wall = start.elapsed().as_secs_f64();
+    let vsm_hit_rate = hit_rate(
+        report_metric(&report.metrics, "bdd.ite.cache_hit") as usize,
+        report_metric(&report.metrics, "bdd.ite.cache_miss") as usize,
+    );
     println!(
-        "vsm quickstart: {vsm_wall:.3} s, allocated {} nodes, peak live {}",
+        "vsm quickstart: {vsm_wall:.3} s, allocated {} nodes, peak live {}, ITE hit-rate {vsm_hit_rate:.3}",
         report.bdd_nodes, report.bdd_peak_live
     );
     measurements.push(Measurement {
@@ -202,6 +250,10 @@ fn main() {
     measurements.push(Measurement {
         key: "vsm_peak_live",
         value: report.bdd_peak_live as f64,
+    });
+    measurements.push(Measurement {
+        key: "vsm_ite_hit_rate",
+        value: vsm_hit_rate,
     });
 
     // 4. Reordered vs static counter reachability on the pessimal blocked
@@ -241,6 +293,14 @@ fn main() {
         value: reorder_stats.allocated as f64,
     });
     measurements.push(Measurement {
+        key: "reorder12_peak_live",
+        value: reorder_stats.peak_live as f64,
+    });
+    measurements.push(Measurement {
+        key: "reorder12_ite_hit_rate",
+        value: hit_rate(reorder_stats.ite_hits, reorder_stats.ite_misses),
+    });
+    measurements.push(Measurement {
         key: "reorder12_static_twin_allocated",
         value: static_stats.allocated as f64,
     });
@@ -271,6 +331,7 @@ fn main() {
     let seq_wall = start.elapsed().as_secs_f64();
     let start = Instant::now();
     let par = verifier
+        .clone()
         .with_threads(SWEEP_THREADS)
         .verify_plans(&pipelined, &unpipelined, &sweep)
         .expect("parallel sweep");
@@ -306,6 +367,17 @@ fn main() {
         key: "alpha0_sweep_par_wall_s",
         value: par_wall,
     });
+    measurements.push(Measurement {
+        key: "alpha0_sweep_peak_live",
+        value: seq.bdd_peak_live as f64,
+    });
+    measurements.push(Measurement {
+        key: "alpha0_sweep_ite_hit_rate",
+        value: hit_rate(
+            report_metric(&seq.metrics, "bdd.ite.cache_hit") as usize,
+            report_metric(&seq.metrics, "bdd.ite.cache_miss") as usize,
+        ),
+    });
     if cores >= 2 {
         if par_wall >= seq_wall {
             failures.push(format!(
@@ -316,6 +388,56 @@ fn main() {
         println!(
             "alpha0_sweep  : NOTICE — single-core runner, skipping the parallel-beats-sequential gate"
         );
+    }
+
+    // 5b. Traced-overhead twin: the same sequential sweep with span tracing
+    //     live. Tracing must not perturb the report, the emitted events must
+    //     bracket correctly, and the wall-clock overhead is the tentpole's
+    //     ≤ 10% budget.
+    pv_obs::take_events(); // drop anything earlier cases buffered
+    pv_obs::set_trace_enabled(true);
+    let start = Instant::now();
+    let traced = verifier
+        .with_threads(1)
+        .verify_plans(&pipelined, &unpipelined, &sweep)
+        .expect("traced sweep");
+    let traced_wall = start.elapsed().as_secs_f64();
+    pv_obs::set_trace_enabled(false);
+    let events = pv_obs::take_events();
+    println!(
+        "alpha0_traced : sequential {traced_wall:.3} s with tracing on ({:.1}% over untraced, {} events)",
+        100.0 * (traced_wall / seq_wall.max(1e-9) - 1.0),
+        events.len(),
+    );
+    if traced.bdd_nodes != seq.bdd_nodes
+        || traced.bdd_peak_live != seq.bdd_peak_live
+        || traced.samples_compared != seq.samples_compared
+        || traced.bdd_vars != seq.bdd_vars
+        || traced.plans_checked != seq.plans_checked
+        || traced.filters != seq.filters
+        || traced.metrics != seq.metrics
+    {
+        failures.push(format!(
+            "alpha0_sweep traced report diverges from untraced: {} vs {} nodes, {} vs {} peak live — tracing perturbed verification",
+            traced.bdd_nodes, seq.bdd_nodes, traced.bdd_peak_live, seq.bdd_peak_live,
+        ));
+    }
+    if events.is_empty() {
+        failures.push("alpha0_sweep traced run emitted no span events".to_owned());
+    }
+    if let Err(e) = pv_obs::fold::check_nesting(&events) {
+        failures.push(format!(
+            "alpha0_sweep traced events violate span nesting: {e}"
+        ));
+    }
+    measurements.push(Measurement {
+        key: "alpha0_sweep_traced_wall_s",
+        value: traced_wall,
+    });
+    if traced_wall > (seq_wall * TRACE_OVERHEAD_FACTOR).max(seq_wall + TRACE_OVERHEAD_GRACE_S) {
+        failures.push(format!(
+            "alpha0_sweep traced wall {traced_wall:.3} s exceeds the {TRACE_OVERHEAD_FACTOR}x overhead budget over the untraced {seq_wall:.3} s"
+        ));
     }
 
     // 6. Flushing of the stallable VSM: derive the term-level pipeline from
@@ -489,6 +611,13 @@ fn main() {
     measurements.push(Measurement {
         key: "cache_warm_wall_s",
         value: cache_warm_wall,
+    });
+    measurements.push(Measurement {
+        key: "cache_warm_hit_rate",
+        value: hit_rate(
+            warm_runner.cache_hits() as usize,
+            warm_runner.cache_misses() as usize,
+        ),
     });
     std::fs::remove_dir_all(&scratch).ok();
 

@@ -1,0 +1,125 @@
+//! **Profile explainer**: folds a `pv trace` / `PV_TRACE=1` JSONL trace into
+//! a per-span self-time table and checks instrumentation coverage.
+//!
+//! ```text
+//! trace_report <trace.jsonl> [--root NAME] [--min-coverage FRACTION]
+//! ```
+//!
+//! The fold is the classic flame-graph reduction (see `pv_obs::fold`): each
+//! span's *self* time is its duration minus its direct children's durations,
+//! so summing self time over every span except the root yields the wall time
+//! the instrumentation actually explains. The report prints one row per span
+//! name sorted by descending self time, then the coverage ratio
+//! `attributed / root`, and exits nonzero when:
+//!
+//! * the trace violates span-nesting discipline (an exit without a matching
+//!   innermost enter, or a span left open),
+//! * the root span (default `trace.run`, the bracket `pv trace` puts around
+//!   the whole sweep) is absent, or
+//! * coverage falls below `--min-coverage` (default 0.9) — meaning a hot
+//!   path is running uninstrumented. Pass `--min-coverage 0` to make the
+//!   report purely informational.
+//!
+//! The CI `trace-smoke` job runs `pv trace` followed by this tool, so a
+//! regression that moves significant wall time outside the instrumented
+//! spans fails the build rather than silently degrading the traces.
+
+use std::process::ExitCode;
+
+use pipeverify_core::trace_io;
+use pv_obs::fold;
+
+/// Default root span name: the bracket `pv trace` emits around the sweep.
+const DEFAULT_ROOT: &str = "trace.run";
+
+/// Default coverage gate, matching the `trace-smoke` CI contract.
+const DEFAULT_MIN_COVERAGE: f64 = 0.9;
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut path = None;
+    let mut root = DEFAULT_ROOT.to_owned();
+    let mut min_coverage = DEFAULT_MIN_COVERAGE;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = it.next().ok_or("--root needs a span name")?.clone();
+            }
+            "--min-coverage" => {
+                let raw = it.next().ok_or("--min-coverage needs a fraction")?;
+                min_coverage = raw
+                    .parse()
+                    .map_err(|_| format!("--min-coverage: `{raw}` is not a number"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: trace_report <trace.jsonl> [--root NAME] [--min-coverage FRACTION]"
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(other.to_owned());
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let path =
+        path.ok_or("usage: trace_report <trace.jsonl> [--root NAME] [--min-coverage FRACTION]")?;
+
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let events = trace_io::parse_jsonl(&text).map_err(|e| format!("`{path}`: {e}"))?;
+    println!("trace: {path} — {} events", events.len());
+
+    // A malformed bracket sequence makes every self-time figure suspect, so
+    // nesting failures are hard errors, not table footnotes.
+    let spans = fold::check_nesting(&events).map_err(|e| format!("span nesting violated: {e}"))?;
+    let report = fold::fold(&events, &root);
+
+    println!();
+    println!(
+        "{:<28} {:>8} {:>12} {:>12} {:>6}",
+        "span", "count", "total", "self", "self%"
+    );
+    let denom = report.root_total_us.max(1) as f64;
+    for row in &report.rows {
+        println!(
+            "{:<28} {:>8} {:>9.3} ms {:>9.3} ms {:>5.1}%",
+            row.name,
+            row.count,
+            row.total_us as f64 / 1e3,
+            row.self_us as f64 / 1e3,
+            100.0 * row.self_us as f64 / denom,
+        );
+    }
+    println!();
+    println!(
+        "{spans} completed spans; root `{}` {:.3} ms; attributed {:.3} ms; coverage {:.1}%",
+        report.root_name,
+        report.root_total_us as f64 / 1e3,
+        report.attributed_us as f64 / 1e3,
+        100.0 * report.coverage(),
+    );
+
+    if report.root_total_us == 0 {
+        return Err(format!("root span `{root}` not found in the trace"));
+    }
+    if report.coverage() < min_coverage {
+        return Err(format!(
+            "coverage {:.1}% is below the {:.1}% floor — a hot path is running uninstrumented",
+            100.0 * report.coverage(),
+            100.0 * min_coverage,
+        ));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("trace_report: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -56,12 +56,24 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use pv_netlist::export::fnv1a64;
+use pv_obs::Counter;
+
+/// Cache traffic metrics: artifact reads that were served (`cache.hit`),
+/// absent (`cache.miss`), and present-but-unreadable (`cache.corrupt` —
+/// which the caller must treat as a miss, never as a failure).
+static M_CACHE_HIT: Counter = Counter::new("cache.hit");
+static M_CACHE_MISS: Counter = Counter::new("cache.miss");
+static M_CACHE_CORRUPT: Counter = Counter::new("cache.corrupt");
 
 /// Engine epoch folded into every [`content_key`]. Bump when a change to the
 /// verification engines alters report contents for identical inputs — every
 /// cached artifact from earlier epochs then misses, instead of serving stale
 /// results.
-pub const ENGINE_EPOCH: u32 = 1;
+///
+/// Epoch 2: reports embed a deterministic `metrics` snapshot
+/// ([`crate::FlowReport::metrics`]), changing report bytes for identical
+/// inputs.
+pub const ENGINE_EPOCH: u32 = 2;
 
 /// Environment variable overriding the default cache directory.
 pub const PV_CACHE_DIR: &str = "PV_CACHE_DIR";
@@ -155,9 +167,23 @@ impl ArtifactCache {
 
     /// Loads the artifact stored under `key`, or `None` on a cache miss.
     /// I/O errors other than "not found" also read as misses — a cache must
-    /// never turn an unreadable file into a failed verification.
+    /// never turn an unreadable file into a failed verification — but they
+    /// are distinguished on the `cache.corrupt` counter.
     pub fn load(&self, kind: ArtifactKind, key: CacheKey) -> Option<String> {
-        fs::read_to_string(self.path(kind, key)).ok()
+        match fs::read_to_string(self.path(kind, key)) {
+            Ok(text) => {
+                M_CACHE_HIT.incr();
+                Some(text)
+            }
+            Err(e) => {
+                if e.kind() == io::ErrorKind::NotFound {
+                    M_CACHE_MISS.incr();
+                } else {
+                    M_CACHE_CORRUPT.incr();
+                }
+                None
+            }
+        }
     }
 
     /// Stores `text` under `key`, atomically (write to a temporary file in

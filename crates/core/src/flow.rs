@@ -39,6 +39,7 @@
 //! and answers a warm re-run with the stored report — field-identical to
 //! what a cold run would recompute (`docs/PROTOCOL.md` § "Caching").
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -252,6 +253,13 @@ pub struct FlowReport {
     /// Per-unit wall-clock breakdown, in unit order, truncated like
     /// [`units_checked`](Self::units_checked).
     pub unit_walls: Vec<Duration>,
+    /// Deterministic engine metrics summed over the units of work, keyed by
+    /// the dotted names the `pv-obs` registry uses (`bdd.ite.cache_hit`, …).
+    /// Built per unit from the flow's own counters — never from the
+    /// process-global registry — so the snapshot is identical for any worker
+    /// count, tracing on or off, cold or warm cache. Empty when a flow has
+    /// nothing to report; [`crate::report_io`] omits the field then.
+    pub metrics: BTreeMap<String, u64>,
 }
 
 impl FlowReport {
@@ -347,6 +355,7 @@ impl VerificationReport {
             threads_used: self.threads_used,
             wall_time,
             unit_walls: self.plan_reports.iter().map(|p| p.wall_time).collect(),
+            metrics: self.metrics.clone(),
         }
     }
 }

@@ -63,6 +63,7 @@ mod plan;
 pub mod pool;
 pub mod report_io;
 mod spec;
+pub mod trace_io;
 mod verify;
 
 pub use baseline::{product_equivalence, random_simulation, ProductReport, RandomSimReport};

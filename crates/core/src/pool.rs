@@ -29,28 +29,47 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
+use std::time::{Duration, Instant};
+
+use pv_obs::{Counter, Gauge, Histogram};
+
+/// Pool occupancy metrics: items claimed by pool workers, the widest pool
+/// seen, and per-worker busy time per fan-out (the occupancy evidence the
+/// intra-simulation sharding work will be sized with). The sequential
+/// `threads == 1` path stays uninstrumented — it spawns no workers.
+static M_POOL_CLAIM: Counter = Counter::new("pool.claim");
+static M_POOL_WORKERS: Gauge = Gauge::new("pool.workers");
+static M_POOL_BUSY: Histogram = Histogram::new("pool.worker.busy_us");
 
 /// The default worker count: the `PV_THREADS` environment variable when it is
 /// set to a positive integer, otherwise the machine's available parallelism,
 /// and `1` when even that is unknown.
 ///
 /// A set-but-invalid `PV_THREADS` (unparsable, or `0`) is **rejected with a
-/// warning** on stderr — once per process — instead of being silently
-/// swallowed: this is the single parsing point every verification flow
-/// (the β-relation [`crate::Verifier`] and `pv-flush`'s `FlushVerifier`)
-/// resolves its default worker count through.
+/// warning** — once per process, as a `pv-obs` warning event (a stderr line,
+/// a `warn.pv_threads` counter, and a `Warn` trace event when tracing is on)
+/// — instead of being silently swallowed: this is the single parsing point
+/// every verification flow (the β-relation [`crate::Verifier`] and
+/// `pv-flush`'s `FlushVerifier`) resolves its default worker count through.
 pub fn default_threads() -> usize {
-    use std::sync::Once;
-    static WARN_ONCE: Once = Once::new();
-    if let Ok(raw) = std::env::var("PV_THREADS") {
-        match parse_pv_threads(&raw) {
+    resolve_threads(std::env::var("PV_THREADS").ok().as_deref())
+}
+
+/// [`default_threads`] with the environment lookup factored out, so the
+/// warning path is testable without mutating process-global state.
+fn resolve_threads(raw: Option<&str>) -> usize {
+    if let Some(raw) = raw {
+        match parse_pv_threads(raw) {
             Some(n) => return n,
-            None => WARN_ONCE.call_once(|| {
-                eprintln!(
-                    "pipeverify: ignoring invalid PV_THREADS=`{raw}` \
-                     (expected a positive integer); using available parallelism"
+            None => {
+                pv_obs::warn_once(
+                    "pv_threads",
+                    &format!(
+                        "ignoring invalid PV_THREADS=`{raw}` \
+                         (expected a positive integer); using available parallelism"
+                    ),
                 );
-            }),
+            }
         }
     }
     thread::available_parallelism().map_or(1, |n| n.get())
@@ -123,12 +142,14 @@ where
     // below the final cutoff is never skipped, so the prefix is complete.
     let next = AtomicUsize::new(0);
     let cutoff = AtomicUsize::new(usize::MAX);
+    M_POOL_WORKERS.set_max(threads as u64);
     let computed = thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let (f, next, cutoff) = (&f, &next, &cutoff);
                 s.spawn(move || {
                     let mut out: Vec<(usize, R)> = Vec::new();
+                    let mut busy = Duration::ZERO;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
@@ -137,12 +158,19 @@ where
                         if i > cutoff.load(Ordering::Acquire) {
                             continue;
                         }
+                        M_POOL_CLAIM.incr();
+                        let claimed_at = Instant::now();
                         let (r, terminal) = f(i, &items[i]);
+                        busy += claimed_at.elapsed();
                         if terminal {
                             cutoff.fetch_min(i, Ordering::AcqRel);
                         }
                         out.push((i, r));
                     }
+                    M_POOL_BUSY.record(busy.as_micros() as u64);
+                    // Workers retire here; deliver their span buffers so an
+                    // export after the join sees the whole fan-out.
+                    pv_obs::flush_thread();
                     out
                 })
             })
@@ -224,6 +252,22 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn two_invalid_pv_threads_parses_emit_exactly_one_warning() {
+        // Through the env-free resolution path (mutating the real variable
+        // would race the other tests in this binary): both invalid parses
+        // fall back to available parallelism, and the pv-obs warning — a
+        // once-per-process event — fires for the first one only, observable
+        // as the `warn.pv_threads` counter.
+        assert!(resolve_threads(Some("bogus")) >= 1);
+        assert!(resolve_threads(Some("0")) >= 1);
+        assert_eq!(
+            pv_obs::metrics::value("warn.pv_threads"),
+            Some(1),
+            "exactly one warning for two invalid parses"
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //!     threads_used: 2,
 //!     wall_time: Duration::from_millis(5),
 //!     unit_walls: vec![Duration::from_millis(1); 4],
+//!     metrics: std::collections::BTreeMap::new(),
 //! };
 //! let json = report_io::flow_report_to_json(&report);
 //! let back = report_io::flow_report_from_json(&json).expect("well-formed");
@@ -42,6 +43,7 @@
 //! assert_eq!(json, report_io::flow_report_to_json(&back)); // field identity
 //! ```
 
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 use crate::flow::{FlowCounterexample, FlowReport, ReplayRecipe};
@@ -131,6 +133,39 @@ fn get_bool(v: &Json, field: &str) -> Result<bool, ReportIoError> {
 
 fn get_duration(v: &Json, field: &str) -> Result<Duration, ReportIoError> {
     Ok(Duration::from_nanos(get_u64(v, field)?))
+}
+
+/// Encodes a metrics map as a JSON object (name-sorted — `BTreeMap` iteration
+/// order — so encoded bytes are deterministic). An empty map encodes as
+/// "omit the field entirely": callers push nothing.
+fn metrics_to_json(metrics: &BTreeMap<String, u64>) -> Json {
+    Json::Obj(
+        metrics
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::from_u64(*v)))
+            .collect(),
+    )
+}
+
+/// Decodes the optional `metrics` field: absent (reports written before the
+/// field existed, or flows with nothing to report) reads as an empty map, so
+/// the schema change is backward-compatible.
+fn metrics_from_json(v: &Json, field: &str) -> Result<BTreeMap<String, u64>, ReportIoError> {
+    let Some(obj) = v.get(field) else {
+        return Ok(BTreeMap::new());
+    };
+    let entries = obj
+        .as_obj()
+        .ok_or_else(|| fail(field, "expected an object of counter values"))?;
+    entries
+        .iter()
+        .map(|(name, value)| {
+            let value = value
+                .as_u64()
+                .ok_or_else(|| fail(field, "expected non-negative integer values"))?;
+            Ok((name.clone(), value))
+        })
+        .collect()
 }
 
 fn input_rows_to_json(rows: &[Vec<(String, u64)>]) -> Json {
@@ -238,7 +273,7 @@ pub fn flow_report_to_json(r: &FlowReport) -> Json {
             ),
         ]),
     };
-    Json::Obj(vec![
+    let mut obj = Json::Obj(vec![
         ("flow".to_owned(), Json::Str(r.flow.to_owned())),
         ("design".to_owned(), Json::Str(r.design.clone())),
         ("equivalent".to_owned(), Json::Bool(r.equivalent)),
@@ -263,7 +298,13 @@ pub fn flow_report_to_json(r: &FlowReport) -> Json {
             "unit_walls_ns".to_owned(),
             Json::Arr(r.unit_walls.iter().map(|w| duration_to_json(*w)).collect()),
         ),
-    ])
+    ]);
+    if let Json::Obj(fields) = &mut obj {
+        if !r.metrics.is_empty() {
+            fields.push(("metrics".to_owned(), metrics_to_json(&r.metrics)));
+        }
+    }
+    obj
 }
 
 /// Decodes a [`FlowReport`] written by [`flow_report_to_json`].
@@ -307,6 +348,7 @@ pub fn flow_report_from_json(v: &Json) -> Result<FlowReport, ReportIoError> {
         threads_used: get_usize(v, "threads_used")?,
         wall_time: get_duration(v, "wall_time_ns")?,
         unit_walls: walls,
+        metrics: metrics_from_json(v, "metrics")?,
     })
 }
 
@@ -373,7 +415,7 @@ pub fn counterexample_from_json(v: &Json) -> Result<Counterexample, ReportIoErro
 
 /// Encodes a per-plan [`PlanReport`].
 pub fn plan_report_to_json(r: &PlanReport) -> Json {
-    Json::Obj(vec![
+    let mut obj = Json::Obj(vec![
         ("plan".to_owned(), Json::Str(r.plan.to_string())),
         ("plan_index".to_owned(), Json::from_u64(r.plan_index as u64)),
         (
@@ -420,7 +462,13 @@ pub fn plan_report_to_json(r: &PlanReport) -> Json {
                 .map_or(Json::Null, counterexample_to_json),
         ),
         ("wall_time_ns".to_owned(), duration_to_json(r.wall_time)),
-    ])
+    ]);
+    if let Json::Obj(fields) = &mut obj {
+        if !r.metrics.is_empty() {
+            fields.push(("metrics".to_owned(), metrics_to_json(&r.metrics)));
+        }
+    }
+    obj
 }
 
 /// Decodes a [`PlanReport`] written by [`plan_report_to_json`].
@@ -459,5 +507,6 @@ pub fn plan_report_from_json(v: &Json) -> Result<PlanReport, ReportIoError> {
             c => Some(counterexample_from_json(c)?),
         },
         wall_time: get_duration(v, "wall_time_ns")?,
+        metrics: metrics_from_json(v, "metrics")?,
     })
 }

@@ -153,6 +153,12 @@ pub struct PlanReport {
     /// Wall-clock time this plan check took (simulation of both machines plus
     /// the comparison). The only field that is not deterministic.
     pub wall_time: Duration,
+    /// Deterministic engine metrics of this plan's manager, keyed by the same
+    /// dotted names the `pv-obs` registry uses (`bdd.ite.cache_hit`, …).
+    /// Built from [`pv_bdd::BddStats`] — a pure function of the inputs, never
+    /// a process-global snapshot — so the field survives caching, thread-count
+    /// changes and tracing on/off without perturbing report identity.
+    pub metrics: BTreeMap<String, u64>,
 }
 
 impl PlanReport {
@@ -203,6 +209,10 @@ pub struct VerificationReport {
     /// The per-plan [`wall_time`](PlanReport::wall_time) exposes the parallel
     /// speedup and the slowest plan directly.
     pub plan_reports: Vec<PlanReport>,
+    /// Per-plan [`PlanReport::metrics`] summed key-wise in plan order —
+    /// summation commutes, so the parallel merge stays field-identical to the
+    /// sequential one.
+    pub metrics: BTreeMap<String, u64>,
 }
 
 impl VerificationReport {
@@ -236,6 +246,7 @@ impl VerificationReport {
             counterexample: None,
             threads_used,
             plan_reports: Vec::new(),
+            metrics: BTreeMap::new(),
         };
         for plan in &plan_reports {
             debug_assert!(
@@ -253,6 +264,9 @@ impl VerificationReport {
             report.bdd_reorder_time += plan.bdd_reorder_time;
             report.filters = plan.filters.clone();
             report.counterexample = plan.counterexample.clone();
+            for (key, value) in &plan.metrics {
+                *report.metrics.entry(key.clone()).or_insert(0) += value;
+            }
         }
         report.plan_reports = plan_reports;
         report
@@ -577,6 +591,7 @@ impl Verifier {
         plan: &SimulationPlan,
         plan_index: usize,
     ) -> Result<PlanReport, VerifyError> {
+        let _span = pv_obs::span("plan.check");
         let started = Instant::now();
         let spec = &self.spec;
         if plan.instruction_count() == 0 {
@@ -756,6 +771,11 @@ impl Verifier {
         }
 
         let stats = manager.stats();
+        let metrics = BTreeMap::from([
+            ("bdd.ite.cache_hit".to_owned(), stats.ite_hits as u64),
+            ("bdd.ite.cache_miss".to_owned(), stats.ite_misses as u64),
+            ("bdd.unique.grow".to_owned(), stats.unique_grows as u64),
+        ]);
         Ok(PlanReport {
             plan: plan.clone(),
             plan_index,
@@ -774,6 +794,7 @@ impl Verifier {
             ),
             counterexample,
             wall_time: started.elapsed(),
+            metrics,
         })
     }
 
@@ -888,6 +909,7 @@ impl Verifier {
             .rposition(|i| matches!(i, CycleInput::Slot(_)))
             .unwrap_or(0);
         for (cycle, input) in cycle_inputs.iter().enumerate() {
+            let _span = pv_obs::span("sim.cycle");
             let (instr, reset) = match input {
                 CycleInput::Reset => (BddVec::constant(manager, 0, spec.instr_width), true),
                 CycleInput::Slot(j) => (slot_words[*j].clone(), false),

@@ -8,6 +8,7 @@
 //! equal the original encoding byte-for-byte — plus spot checks on the fields
 //! where a codec bug could hide behind re-encoding symmetry.
 
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 use pipeverify_core::json::Json;
@@ -53,6 +54,17 @@ fn arb_recipe() -> impl Strategy<Value = ReplayRecipe> {
         })
 }
 
+const METRIC_NAMES: &[&str] = &["bdd.ite.cache_hit", "bdd.ite.cache_miss", "bdd.unique.grow"];
+
+fn arb_metrics() -> impl Strategy<Value = BTreeMap<String, u64>> {
+    proptest::collection::vec(((0..METRIC_NAMES.len()), any::<u64>()), 0..4).prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(|(m, v)| (METRIC_NAMES[m].to_owned(), v))
+            .collect()
+    })
+}
+
 fn arb_plan() -> impl Strategy<Value = SimulationPlan> {
     proptest::collection::vec(0..4usize, 1..6).prop_map(|tokens| {
         let text: Vec<&str> = tokens.iter().map(|&t| ["r", "0", "1", "i"][t]).collect();
@@ -74,26 +86,30 @@ fn arb_flow_report() -> impl Strategy<Value = FlowReport> {
             any::<u64>(),
             proptest::collection::vec(any::<u64>(), 0..4),
             (1usize..9),
+            arb_metrics(),
         ),
     )
         .prop_map(
-            |((beta, cex, units, equivalent), (checks, space, wall, walls, threads))| FlowReport {
-                flow: if beta { "beta-relation" } else { "flushing" },
-                design: "proptest-design".to_owned(),
-                equivalent,
-                counterexample: cex.map(|(unit, replay)| FlowCounterexample {
-                    unit,
-                    description: "observed `pc` mismatch\nwith a \"quoted\" detail".to_owned(),
-                    replay: if beta { Some(replay) } else { None },
-                }),
-                units_checked: units,
-                unit_label: if beta { "plan" } else { "case-split block" },
-                checks,
-                space,
-                space_label: if beta { "BDD nodes" } else { "EUF terms" },
-                threads_used: threads,
-                wall_time: Duration::from_nanos(wall),
-                unit_walls: walls.into_iter().map(Duration::from_nanos).collect(),
+            |((beta, cex, units, equivalent), (checks, space, wall, walls, threads, metrics))| {
+                FlowReport {
+                    flow: if beta { "beta-relation" } else { "flushing" },
+                    design: "proptest-design".to_owned(),
+                    equivalent,
+                    counterexample: cex.map(|(unit, replay)| FlowCounterexample {
+                        unit,
+                        description: "observed `pc` mismatch\nwith a \"quoted\" detail".to_owned(),
+                        replay: if beta { Some(replay) } else { None },
+                    }),
+                    units_checked: units,
+                    unit_label: if beta { "plan" } else { "case-split block" },
+                    checks,
+                    space,
+                    space_label: if beta { "BDD nodes" } else { "EUF terms" },
+                    threads_used: threads,
+                    wall_time: Duration::from_nanos(wall),
+                    unit_walls: walls.into_iter().map(Duration::from_nanos).collect(),
+                    metrics,
+                }
             },
         )
 }
@@ -110,10 +126,10 @@ fn arb_plan_report() -> impl Strategy<Value = PlanReport> {
             proptest::collection::vec(any::<u64>(), 1..5),
             arb_recipe(),
         )),
-        (any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), arb_metrics()),
     )
         .prop_map(
-            |((plan, index, stats), cex, (reorder_ns, wall_ns))| PlanReport {
+            |((plan, index, stats), cex, (reorder_ns, wall_ns, metrics))| PlanReport {
                 plan,
                 plan_index: index,
                 samples_compared: stats[0] % 1000,
@@ -139,6 +155,7 @@ fn arb_plan_report() -> impl Strategy<Value = PlanReport> {
                     }
                 }),
                 wall_time: Duration::from_nanos(wall_ns),
+                metrics,
             },
         )
 }
@@ -166,6 +183,7 @@ proptest! {
         prop_assert_eq!(decoded.threads_used, report.threads_used);
         prop_assert_eq!(decoded.wall_time, report.wall_time);
         prop_assert_eq!(decoded.unit_walls, report.unit_walls);
+        prop_assert_eq!(decoded.metrics, report.metrics);
     }
 
     /// PlanReport: same round trip, including the β-relation's structured
@@ -184,6 +202,7 @@ proptest! {
         prop_assert_eq!(decoded.bdd_reorder_time, report.bdd_reorder_time);
         prop_assert_eq!(decoded.wall_time, report.wall_time);
         prop_assert_eq!(decoded.filters, report.filters);
+        prop_assert_eq!(decoded.metrics, report.metrics);
     }
 }
 
@@ -204,6 +223,7 @@ fn unknown_labels_are_rejected() {
         threads_used: 1,
         wall_time: Duration::ZERO,
         unit_walls: vec![],
+        metrics: BTreeMap::new(),
     });
     if let Json::Obj(pairs) = &mut report {
         for (k, v) in pairs.iter_mut() {

@@ -106,6 +106,12 @@ impl FlushReport {
             threads_used: self.threads_used,
             wall_time: self.wall_time,
             unit_walls: self.cube_walls.clone(),
+            // Summed over the checked cube prefix in cube order, like every
+            // other deterministic field — identical for any worker count.
+            metrics: std::collections::BTreeMap::from([
+                ("euf.splits".to_owned(), self.splits as u64),
+                ("euf.closure_checks".to_owned(), self.closure_checks as u64),
+            ]),
         }
     }
 }
@@ -276,6 +282,7 @@ impl FlushVerifier {
         let cubes = euf::split_cubes(&terms, negated, SPLIT_ATOMS);
         let threads = self.threads().min(cubes.len().max(1));
         let results = pool::par_map_prefix(threads, &cubes, |_, cube| {
+            let _span = pv_obs::span("flow.flush.cube");
             let report = euf::check_cube(&terms, negated, cube);
             let terminal = report.counterexample.is_some();
             (report, terminal)

@@ -1,0 +1,250 @@
+//! **Trace folding**: from an event stream to a self-time profile, plus the
+//! span-nesting well-formedness check.
+//!
+//! Folding walks each thread's bracket sequence with a stack. When a span
+//! exits, its *total* time is `t_exit − t_enter` and its *self* time is the
+//! total minus the totals of its direct children — the classic flame-graph
+//! fold, so `Σ self(non-root spans)` is the wall time the instrumentation
+//! actually accounts for. The `trace_report` tool and the `trace-smoke` CI
+//! gate divide that sum by the root span's duration: a ratio under 0.9
+//! means a hot path is running uninstrumented.
+
+use std::collections::BTreeMap;
+
+use crate::trace::{TraceEvent, TraceKind};
+
+/// Aggregated figures for one span name.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpanRow {
+    /// The span name.
+    pub name: String,
+    /// Completed enter/exit pairs.
+    pub count: u64,
+    /// Sum of `t_exit − t_enter` over those pairs (µs).
+    pub total_us: u64,
+    /// Total minus the totals of direct children (µs).
+    pub self_us: u64,
+}
+
+/// The folded profile of one trace.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FoldReport {
+    /// One row per span name, sorted by descending self time (ties by
+    /// name), so `rows[..k]` is the top-K table.
+    pub rows: Vec<SpanRow>,
+    /// The designated root span name the fold was asked about.
+    pub root_name: String,
+    /// Summed duration of spans named `root_name` (the total wall time the
+    /// coverage ratio is taken against); 0 when the root never appears.
+    pub root_total_us: u64,
+    /// `Σ self_us` over every span *except* the root — the wall time
+    /// attributed to named instrumentation.
+    pub attributed_us: u64,
+    /// Events that broke the bracket discipline (mismatched exits, spans
+    /// left open); 0 on any trace produced by [`crate::span`] guards.
+    pub unmatched: usize,
+}
+
+impl FoldReport {
+    /// Attributed time as a fraction of the root span's duration. 0 when
+    /// the root is absent or empty.
+    pub fn coverage(&self) -> f64 {
+        if self.root_total_us == 0 {
+            return 0.0;
+        }
+        self.attributed_us as f64 / self.root_total_us as f64
+    }
+}
+
+/// Folds `events` into per-name totals and self times, attributing
+/// everything against the span named `root`. Events need not be sorted;
+/// the fold orders them canonically by `(tid, seq)` first.
+pub fn fold(events: &[TraceEvent], root: &str) -> FoldReport {
+    let mut ordered: Vec<&TraceEvent> = events.iter().collect();
+    ordered.sort_by_key(|a| (a.tid, a.seq));
+
+    // Per-thread stack of (name, t_enter, child_total_us).
+    let mut stacks: BTreeMap<u64, Vec<(&str, u64, u64)>> = BTreeMap::new();
+    let mut rows: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new(); // count, total, self
+    let mut unmatched = 0usize;
+
+    for e in &ordered {
+        match e.kind {
+            TraceKind::Warn => {}
+            TraceKind::Enter => {
+                stacks.entry(e.tid).or_default().push((&e.name, e.t_us, 0));
+            }
+            TraceKind::Exit => {
+                let stack = stacks.entry(e.tid).or_default();
+                match stack.pop() {
+                    Some((name, t_enter, child_us)) if name == e.name => {
+                        let total = e.t_us.saturating_sub(t_enter);
+                        let row = rows.entry(name).or_insert((0, 0, 0));
+                        row.0 += 1;
+                        row.1 += total;
+                        row.2 += total.saturating_sub(child_us);
+                        if let Some(parent) = stack.last_mut() {
+                            parent.2 += total;
+                        }
+                    }
+                    other => {
+                        // A mismatched exit poisons the thread's bracket
+                        // discipline; restore the popped frame (if any) so
+                        // later exits can still pair.
+                        unmatched += 1;
+                        if let Some(frame) = other {
+                            stack.push(frame);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    unmatched += stacks.values().map(Vec::len).sum::<usize>();
+
+    let mut out: Vec<SpanRow> = rows
+        .into_iter()
+        .map(|(name, (count, total_us, self_us))| SpanRow {
+            name: name.to_owned(),
+            count,
+            total_us,
+            self_us,
+        })
+        .collect();
+    out.sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.name.cmp(&b.name)));
+
+    let root_total_us = out
+        .iter()
+        .find(|r| r.name == root)
+        .map_or(0, |r| r.total_us);
+    let attributed_us = out
+        .iter()
+        .filter(|r| r.name != root)
+        .map(|r| r.self_us)
+        .sum();
+    FoldReport {
+        rows: out,
+        root_name: root.to_owned(),
+        root_total_us,
+        attributed_us,
+        unmatched,
+    }
+}
+
+/// Checks span-nesting well-formedness per thread: every `Exit` must match
+/// the innermost open `Enter` on its thread, and no span may be left open.
+/// Returns the number of completed spans, or a description of the first
+/// violation.
+///
+/// # Errors
+/// A mismatched exit, an exit with no open span, or a span still open at
+/// the end of the stream.
+pub fn check_nesting(events: &[TraceEvent]) -> Result<usize, String> {
+    let mut ordered: Vec<&TraceEvent> = events.iter().collect();
+    ordered.sort_by_key(|a| (a.tid, a.seq));
+    let mut stacks: BTreeMap<u64, Vec<&str>> = BTreeMap::new();
+    let mut complete = 0usize;
+    for e in &ordered {
+        match e.kind {
+            TraceKind::Warn => {}
+            TraceKind::Enter => stacks.entry(e.tid).or_default().push(&e.name),
+            TraceKind::Exit => match stacks.entry(e.tid).or_default().pop() {
+                Some(open) if open == e.name => complete += 1,
+                Some(open) => {
+                    return Err(format!(
+                        "thread {} seq {}: exit `{}` while `{open}` is innermost",
+                        e.tid, e.seq, e.name
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "thread {} seq {}: exit `{}` with no open span",
+                        e.tid, e.seq, e.name
+                    ))
+                }
+            },
+        }
+    }
+    for (tid, stack) in stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("thread {tid}: span `{open}` left open"));
+        }
+    }
+    Ok(complete)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::borrow::Cow;
+
+    use super::*;
+
+    fn ev(tid: u64, seq: u64, kind: TraceKind, name: &'static str, t_us: u64) -> TraceEvent {
+        TraceEvent {
+            tid,
+            seq,
+            kind,
+            name: Cow::Borrowed(name),
+            t_us,
+            msg: None,
+        }
+    }
+
+    /// root [0, 100] containing work [10, 90] containing gc [20, 30]:
+    /// self(root) = 20, self(work) = 70, self(gc) = 10.
+    fn nested() -> Vec<TraceEvent> {
+        vec![
+            ev(0, 0, TraceKind::Enter, "root", 0),
+            ev(0, 1, TraceKind::Enter, "work", 10),
+            ev(0, 2, TraceKind::Enter, "gc", 20),
+            ev(0, 3, TraceKind::Exit, "gc", 30),
+            ev(0, 4, TraceKind::Exit, "work", 90),
+            ev(0, 5, TraceKind::Exit, "root", 100),
+        ]
+    }
+
+    #[test]
+    fn fold_computes_self_times_and_coverage() {
+        let report = fold(&nested(), "root");
+        let get = |n: &str| report.rows.iter().find(|r| r.name == n).unwrap().clone();
+        assert_eq!(get("gc").total_us, 10);
+        assert_eq!(get("gc").self_us, 10);
+        assert_eq!(get("work").total_us, 80);
+        assert_eq!(get("work").self_us, 70);
+        assert_eq!(get("root").self_us, 20);
+        assert_eq!(report.root_total_us, 100);
+        assert_eq!(report.attributed_us, 80);
+        assert!((report.coverage() - 0.8).abs() < 1e-9);
+        assert_eq!(report.unmatched, 0);
+        assert_eq!(report.rows[0].name, "work", "rows sorted by self time");
+    }
+
+    #[test]
+    fn fold_sums_across_threads_and_repeated_spans() {
+        let mut events = nested();
+        events.push(ev(1, 0, TraceKind::Enter, "work", 200));
+        events.push(ev(1, 1, TraceKind::Exit, "work", 250));
+        let report = fold(&events, "root");
+        let work = report.rows.iter().find(|r| r.name == "work").unwrap();
+        assert_eq!(work.count, 2);
+        assert_eq!(work.total_us, 130);
+        assert_eq!(work.self_us, 120);
+        assert_eq!(report.attributed_us, 130);
+    }
+
+    #[test]
+    fn nesting_check_accepts_brackets_and_rejects_violations() {
+        assert_eq!(check_nesting(&nested()), Ok(3));
+        let mismatched = vec![
+            ev(0, 0, TraceKind::Enter, "a", 0),
+            ev(0, 1, TraceKind::Exit, "b", 1),
+        ];
+        assert!(check_nesting(&mismatched).unwrap_err().contains("exit `b`"));
+        let open = vec![ev(0, 0, TraceKind::Enter, "a", 0)];
+        assert!(check_nesting(&open).unwrap_err().contains("left open"));
+        let orphan = vec![ev(0, 0, TraceKind::Exit, "a", 0)];
+        assert!(check_nesting(&orphan).unwrap_err().contains("no open span"));
+        let report = fold(&mismatched, "a");
+        assert_eq!(report.unmatched, 2, "bad exit + span left open");
+    }
+}

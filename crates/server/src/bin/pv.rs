@@ -5,6 +5,9 @@
 //!   stdout (one line per input line, in input order), progress to stderr.
 //! * `pv soak --jobs 200` — flood an in-process server and assert zero
 //!   dropped responses and bounded peak RSS.
+//! * `pv trace --out trace.jsonl` — run a condensed-Alpha0 sweep with span
+//!   tracing force-enabled and write the trace as JSONL (fold it with the
+//!   `trace_report` tool from `pv-bench`).
 //!
 //! See `docs/PROTOCOL.md` for the wire format and `README.md` for a
 //! quickstart.
@@ -19,7 +22,9 @@ use std::time::Instant;
 
 use pipeverify_core::cache::ArtifactCache;
 use pipeverify_core::json::Json;
-use pipeverify_core::pool;
+use pipeverify_core::{pool, trace_io, MachineSpec, SimulationPlan, Verifier};
+use pv_isa::alpha0::Alpha0Config;
+use pv_proc::alpha0::{self, PipelineConfig};
 use pv_proc::family::{FamilyBug, FamilyConfig};
 use pv_server::{
     job::JobRunner,
@@ -35,6 +40,7 @@ USAGE:
     pv serve --listen <unix:PATH|tcp:HOST:PORT> [--threads N] [--cache-dir DIR | --no-cache]
     pv batch [FILE] [--threads N] [--cache-dir DIR | --no-cache]
     pv soak  [--jobs N] [--rss-limit-mb MB] [--summary PATH] [--threads N] [--listen ADDR]
+    pv trace [--out PATH] [--threads N]
 
     serve    Answer line-delimited JSON jobs over a socket (docs/PROTOCOL.md).
     batch    Run a JSONL job file (or stdin when FILE is `-` or omitted)
@@ -44,9 +50,15 @@ USAGE:
              --jobs jobs, and fail unless every job is answered and peak RSS
              stays under --rss-limit-mb. Writes a JSON summary line to stdout
              (and to --summary, when given).
+    trace    Run a condensed-Alpha0 control-transfer sweep with span tracing
+             force-enabled (no PV_TRACE needed) under a `trace.run` root span
+             and write the trace to --out (default: PV_TRACE_OUT, else
+             pv-trace.jsonl). Defaults to 1 worker thread so every span nests
+             under the root; fold the file with pv-bench's `trace_report`.
 
 OPTIONS:
-    --threads N       Worker threads (default: PV_THREADS, else all cores).
+    --threads N       Worker threads (default: PV_THREADS, else all cores;
+                      `pv trace` defaults to 1).
     --cache-dir DIR   Artifact cache directory (default: PV_CACHE_DIR, else
                       .pv-cache). The soak uses a scratch directory.
     --no-cache        Disable the artifact cache (every job runs cold).
@@ -62,6 +74,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
         "soak" => cmd_soak(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -434,7 +447,9 @@ fn cmd_soak(args: &[String]) -> Result<ExitCode, String> {
     ids.sort_unstable();
     ids.dedup();
     let dropped = jobs.saturating_sub(ids.len());
-    let peak_rss = pv_server::peak_rss_bytes();
+    // The probe also publishes the `server.rss_peak` gauge, so a metrics
+    // snapshot of a soaked process carries the memory high-water mark.
+    let peak_rss = pv_server::record_rss_peak();
     let rss_ok = peak_rss.is_none_or(|b| b <= rss_limit_mb * 1024 * 1024);
     let ok = dropped == 0 && received.len() == jobs && rss_ok;
 
@@ -489,4 +504,73 @@ fn cmd_soak(args: &[String]) -> Result<ExitCode, String> {
         );
         Ok(ExitCode::FAILURE)
     }
+}
+
+/// Slots and control-transfer positions of the traced sweep — the same
+/// condensed-Alpha0 shape as the `alpha0_sweep_par` perf-smoke case, big
+/// enough that the folded profile is dominated by real engine work.
+const TRACE_SWEEP_SLOTS: usize = 4;
+const TRACE_SWEEP_POSITIONS: usize = 3;
+
+fn cmd_trace(args: &[String]) -> Result<ExitCode, String> {
+    // `pv trace` defaults to ONE worker: the inline sequential path keeps
+    // every `plan.check`/`sim.cycle` span nested under the `trace.run` root,
+    // which is what makes the folded profile's coverage figure meaningful
+    // (root self-time = uninstrumented engine work).
+    let explicit_threads = args.iter().any(|a| a == "--threads");
+    let mut opts = parse_common(args)?;
+    if !explicit_threads {
+        opts.threads = 1;
+    }
+    let out = match take_flag(&mut opts.rest, "--out")? {
+        Some(path) => PathBuf::from(path),
+        None => std::env::var_os(pv_obs::TRACE_OUT_ENV)
+            .filter(|p| !p.is_empty())
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("pv-trace.jsonl")),
+    };
+    if let Some(extra) = opts.rest.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+
+    pv_obs::set_trace_enabled(true);
+    let started = Instant::now();
+    let report = {
+        let _root = pv_obs::span("trace.run");
+        let (pipelined, unpipelined, verifier, sweep) = {
+            let _setup = pv_obs::span("trace.setup");
+            let isa = Alpha0Config::condensed();
+            let pipelined = alpha0::pipelined(PipelineConfig::condensed(isa))
+                .map_err(|e| format!("elaborating pipelined Alpha0: {e}"))?;
+            let unpipelined = alpha0::unpipelined(PipelineConfig::condensed(isa))
+                .map_err(|e| format!("elaborating unpipelined Alpha0: {e}"))?;
+            let verifier =
+                Verifier::new(MachineSpec::alpha0_condensed(isa)).with_threads(opts.threads);
+            let sweep: Vec<SimulationPlan> = (0..TRACE_SWEEP_POSITIONS)
+                .map(|x| SimulationPlan::with_control_at(TRACE_SWEEP_SLOTS, x))
+                .collect();
+            (pipelined, unpipelined, verifier, sweep)
+        };
+        verifier
+            .verify_plans(&pipelined, &unpipelined, &sweep)
+            .map_err(|e| format!("traced sweep: {e}"))?
+    };
+    let wall = started.elapsed();
+    pv_obs::set_trace_enabled(false);
+
+    let events =
+        trace_io::export_to_path(&out).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    eprintln!(
+        "pv: traced a {TRACE_SWEEP_POSITIONS}-plan condensed-Alpha0 sweep in {:.3}s on {} worker thread{} — {} (equivalent: {}), {events} events to {}",
+        wall.as_secs_f64(),
+        opts.threads,
+        if opts.threads == 1 { "" } else { "s" },
+        report.machine,
+        report.equivalent(),
+        out.display(),
+    );
+    if !report.equivalent() {
+        return Err("the traced sweep found a counterexample on a correct design".to_owned());
+    }
+    Ok(ExitCode::SUCCESS)
 }

@@ -29,6 +29,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use pv_obs::Counter;
+
 use pipeverify_core::cache::{content_key, ArtifactCache, ArtifactKind, CacheKey};
 use pipeverify_core::json::Json;
 use pipeverify_core::report_io;
@@ -40,6 +42,13 @@ use pv_proc::vsm::VsmConfig;
 use pv_proc::{family, vsm};
 
 use crate::protocol::{DesignSpec, FlowKind, FlowResult, JobRequest, JobResponse, PlanSet};
+
+/// Flow-run cache traffic at the service level — the `JobRunner`'s own
+/// per-instance counters mirrored into the registry, where a profile sees
+/// them next to the file-level `cache.*` counters of
+/// [`pipeverify_core::cache`].
+static M_SERVER_CACHE_HIT: Counter = Counter::new("server.cache.hit");
+static M_SERVER_CACHE_MISS: Counter = Counter::new("server.cache.miss");
 
 /// Runs verification jobs against the engines, fronted by an optional
 /// artifact cache. Shared across worker threads by reference (the hit/miss
@@ -111,6 +120,7 @@ impl JobRunner {
 
             if let Some(report) = self.load_report(key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                M_SERVER_CACHE_HIT.incr();
                 eprintln!(
                     "pv: cache hit {key} ({} / job {} / {})",
                     flow.wire_name(),
@@ -126,6 +136,7 @@ impl JobRunner {
             }
 
             self.misses.fetch_add(1, Ordering::Relaxed);
+            M_SERVER_CACHE_MISS.incr();
             let report = match flow {
                 FlowKind::Beta => {
                     let started = std::time::Instant::now();

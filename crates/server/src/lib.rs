@@ -44,6 +44,21 @@ pub use protocol::{
 };
 pub use server::BindAddr;
 
+/// The `server.rss_peak` gauge: peak resident-set size in bytes, published to
+/// the `pv-obs` registry by [`record_rss_peak`].
+static M_RSS_PEAK: pv_obs::Gauge = pv_obs::Gauge::new("server.rss_peak");
+
+/// Probes [`peak_rss_bytes`] and surfaces it as the `server.rss_peak` gauge
+/// (monotone: the gauge keeps the largest value ever recorded). Returns the
+/// probed value. The soak harness calls this after each wave, so a metrics
+/// snapshot shows the memory high-water mark next to the cache and scheduler
+/// counters.
+pub fn record_rss_peak() -> Option<u64> {
+    let rss = peak_rss_bytes()?;
+    M_RSS_PEAK.set_max(rss);
+    Some(rss)
+}
+
 /// Peak resident-set size of this process in bytes (`VmHWM` from
 /// `/proc/self/status`), or `None` where the proc filesystem is unavailable.
 /// The soak harness uses this to assert that a long job stream runs in

@@ -13,10 +13,21 @@
 //! [`crate::job`]) — parallelism lives here, across jobs, so a sweep
 //! saturates the workers without oversubscribing the machine.
 
+use std::time::Instant;
+
 use pipeverify_core::pool;
+use pv_obs::Histogram;
 
 use crate::job::{cost_estimate, JobRunner};
 use crate::protocol::{JobRequest, JobResponse};
+
+/// Per-job latency decomposition of a wave: time from wave submission to the
+/// worker claiming the job (queue wait — grows when a wave is wider than the
+/// pool) and time actually running it. Together they explain a slow wave:
+/// high queue wait means not enough workers, high run wall means an
+/// expensive job.
+static M_JOB_QUEUE_WAIT: Histogram = Histogram::new("server.job.queue_wait_us");
+static M_JOB_RUN: Histogram = Histogram::new("server.job.run_us");
 
 /// The outcome of one job: a response, or the rendered job-level error.
 pub type JobOutcome = Result<JobResponse, String>;
@@ -42,8 +53,13 @@ where
     order.sort_by_key(|&i| (std::cmp::Reverse(cost_estimate(&jobs[i])), i));
 
     let threads = threads.min(jobs.len().max(1));
+    let submitted = Instant::now();
     let outcomes = pool::par_map(threads, &order, |_, &input_index| {
+        M_JOB_QUEUE_WAIT.record(submitted.elapsed().as_micros() as u64);
+        let _span = pv_obs::span("server.job");
+        let claimed = Instant::now();
         let outcome = runner.run(&jobs[input_index]);
+        M_JOB_RUN.record(claimed.elapsed().as_micros() as u64);
         on_done(input_index, &outcome);
         (input_index, outcome)
     });
