@@ -20,6 +20,10 @@
 //!   [`BddManager::maybe_reorder`], [`AutoReorderPolicy`]) with reorder
 //!   groups ([`BddManager::group_vars`]) that keep interleaved words and
 //!   present/next pairs adjacent while their blocks move, and
+//! * cooperative **resource budgets** ([`Budget`], [`BudgetExceeded`],
+//!   [`BddManager::set_budget`]): wall-clock deadlines, allocated-node
+//!   limits and cancellation, checked at the manager's safe points and
+//!   aborting with a typed unwind that leaves the manager reusable, and
 //! * a DDDMP-style persistent [`store`]: deterministic text export of named
 //!   roots and an importer that rebuilds them in a fresh manager, used by the
 //!   verification service's artifact cache.
@@ -48,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 mod manager;
 mod node;
 mod relation;
@@ -55,6 +60,7 @@ mod reorder;
 pub mod store;
 mod vec;
 
+pub use budget::{Budget, BudgetExceeded};
 pub use manager::{BddManager, BddStats, GcStats};
 pub use node::{Bdd, Var};
 pub use relation::{ReachableSet, TransitionSystem};

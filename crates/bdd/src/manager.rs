@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use pv_obs::{Counter, Gauge};
 
+use crate::budget::Budget;
 use crate::node::{Bdd, Node, Var, FREE_VAR, TERMINAL_VAR};
 
 /// Sentinel terminating the free-list chain threaded through reclaimed slots.
@@ -24,6 +25,15 @@ static M_PEAK_LIVE: Gauge = Gauge::new("bdd.unique.peak_live");
 
 /// Default live-node count above which [`BddManager::maybe_gc`] collects.
 const DEFAULT_GC_THRESHOLD: usize = 1 << 20;
+
+/// The budget is consulted on the ITE cache-miss path only once per this
+/// many misses (a power of two; the check is a tick-counter mask). A miss
+/// allocates at most one node, so the allocated-node overshoot past a node
+/// budget is bounded by this interval plus the handful of nodes the
+/// unwinding recursion had in flight — the "small multiple of the
+/// safe-point interval" contract gated by the `budget_abort` perf-smoke
+/// case.
+const BUDGET_CHECK_INTERVAL: u32 = 1 << 10;
 
 /// Summary statistics of a [`BddManager`], useful for reproducing the
 /// "limited by the computational power of BDDs" observations of Chapter 6.
@@ -160,6 +170,13 @@ pub struct BddManager {
     pub(crate) reorder_runs: usize,
     pub(crate) reorder_swaps: usize,
     pub(crate) reorder_time: Duration,
+    /// Optional resource budget (see [`set_budget`](Self::set_budget)):
+    /// checked unconditionally at the [`maybe_gc`](Self::maybe_gc) /
+    /// [`maybe_reorder`](Self::maybe_reorder) safe points and — amortized
+    /// over [`BUDGET_CHECK_INTERVAL`] misses — on the ITE cache-miss path.
+    budget: Option<Budget>,
+    /// ITE-miss tick counter driving the amortized budget check.
+    budget_tick: u32,
 }
 
 // The parallel plan verifier builds one manager per worker thread; keep the
@@ -222,6 +239,62 @@ impl BddManager {
             reorder_runs: 0,
             reorder_swaps: 0,
             reorder_time: Duration::ZERO,
+            budget: None,
+            budget_tick: 0,
+        }
+    }
+
+    /// Attaches a resource [`Budget`]: the manager checks it at its safe
+    /// points (every [`maybe_gc`](Self::maybe_gc) /
+    /// [`maybe_reorder`](Self::maybe_reorder) call, and the ITE cache-miss
+    /// path once per `BUDGET_CHECK_INTERVAL` (1024) misses) and aborts an
+    /// exceeded computation by unwinding with a [`crate::BudgetExceeded`]
+    /// panic payload.
+    ///
+    /// Every table mutation between two check points completes atomically,
+    /// so a caught abort leaves the manager allocation-consistent: it can be
+    /// collected, re-budgeted and reused (callers must treat handles that
+    /// were in flight during the abort as invalid, exactly as across a GC).
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = Some(budget);
+        self.budget_tick = 0;
+    }
+
+    /// Detaches the budget; subsequent operations run unbounded.
+    pub fn clear_budget(&mut self) {
+        self.budget = None;
+    }
+
+    /// The attached budget, if any.
+    pub fn budget(&self) -> Option<&Budget> {
+        self.budget.as_ref()
+    }
+
+    /// Checks the attached budget (if any) against the allocated-node
+    /// count, flushing the batched metrics and unwinding with the typed
+    /// [`crate::BudgetExceeded`] payload when a bound is exceeded. Called
+    /// only at safe points.
+    pub(crate) fn check_budget(&mut self) {
+        let Some(budget) = &self.budget else { return };
+        if let Err(exceeded) = budget.check(self.allocated) {
+            // Leave the global metrics registry consistent with the work
+            // actually performed before abandoning the computation.
+            self.flush_metrics();
+            std::panic::panic_any(exceeded);
+        }
+    }
+
+    /// The amortized flavour of [`check_budget`](Self::check_budget) for the
+    /// ITE cache-miss path: a no-op without a budget, and one tick plus a
+    /// mask test otherwise.
+    #[inline]
+    fn check_budget_amortized(&mut self) {
+        if self.budget.is_none() {
+            return;
+        }
+        self.budget_tick = self.budget_tick.wrapping_add(1);
+        if self.budget_tick & (BUDGET_CHECK_INTERVAL - 1) == 0 {
+            self.check_budget();
         }
     }
 
@@ -498,6 +571,7 @@ impl BddManager {
             return r;
         }
         self.ite_misses += 1;
+        self.check_budget_amortized();
         let vf = self.node(f).var;
         let vg = if g.is_const() {
             TERMINAL_VAR
@@ -972,6 +1046,9 @@ impl BddManager {
     /// nodes reachable from the registered roots or from `extra_roots`.
     /// Returns `None` when below the trigger.
     pub fn maybe_gc(&mut self, extra_roots: &[Bdd]) -> Option<GcStats> {
+        // The per-cycle safe point doubles as the budget check point: the
+        // caller holds no unrooted handles here, so unwinding is clean.
+        self.check_budget();
         if self.live_nodes() < self.gc_threshold {
             return None;
         }

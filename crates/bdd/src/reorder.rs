@@ -120,6 +120,10 @@ impl BddManager {
     /// while unrooted intermediate handles are in flight — passing the
     /// handles they hold across the call as `extra_roots`.
     pub fn maybe_reorder(&mut self, extra_roots: &[Bdd]) -> Option<ReorderStats> {
+        // A safe point like `maybe_gc`: check the budget even when the
+        // reordering policy is off, so verifiers running with the default
+        // static order still observe deadlines and cancellation per cycle.
+        self.check_budget();
         let AutoReorderPolicy::Sifting { floor } = self.auto_reorder else {
             return None;
         };

@@ -49,6 +49,11 @@
 //!    is a file read). The gate requires the warm sweep to finish in at most
 //!    one fifth of the cold wall clock, with zero cache misses and
 //!    byte-identical reports.
+//! 10. **Budget abort** (`budget_abort`) — the 12-bit reachability workload
+//!     under a 20k-node budget. The abort must trip within the amortized
+//!     check interval past the limit and within a second of wall clock; the
+//!     governance-off cost is gated implicitly, since every other case runs
+//!     unbudgeted against unchanged baselines.
 //!
 //! Every BDD-backed case also records its peak-live node count and its ITE
 //! cache hit-rate (`*_peak_live`, `*_ite_hit_rate`), and the cache replay
@@ -64,7 +69,7 @@ use std::time::{Duration, Instant};
 
 use pipeverify_core::cache::ArtifactCache;
 use pipeverify_core::{MachineSpec, SimulationPlan, Verifier};
-use pv_bdd::{AutoReorderPolicy, BddManager, BddVec};
+use pv_bdd::{AutoReorderPolicy, BddManager, BddVec, Budget, BudgetExceeded};
 use pv_bench::matrix::{cell_bugs, smoke_configs};
 use pv_bench::{counter_system, counter_system_blocked};
 use pv_flush::{FlushVerifier, PipelineDesc};
@@ -114,6 +119,16 @@ const FLUSH_PAR_DEPTH: usize = 12;
 /// Ceiling on the warm artifact-cache sweep's wall clock, as a fraction of
 /// its cold twin (acceptance criterion: warm ≤ 0.2× cold).
 const CACHE_WARM_FACTOR: f64 = 0.2;
+/// Node budget of the `budget_abort` case — a small fraction of what the
+/// 12-bit reachability fixpoint allocates, so the abort fires early.
+const BUDGET_ABORT_LIMIT: usize = 20_000;
+/// Bound on nodes allocated past the tripped limit: twice the manager's
+/// amortized check interval (1024 ITE misses), matching the contract the
+/// `pv-bdd` budget tests pin down.
+const BUDGET_ABORT_OVERSHOOT_LIMIT: usize = 2 * 1024;
+/// Hard wall ceiling for the budget abort — the full reach12 sweep takes
+/// seconds; an abort at 20k nodes must take a small fraction of one.
+const BUDGET_ABORT_WALL_LIMIT_S: f64 = 1.0;
 /// Absolute grace for the warm sweep: below this wall the ratio gate is
 /// satisfied outright. On a fast machine the whole cold smoke sweep is
 /// ~15 ms, so 0.2× of it sits inside scheduler noise — a warm sweep that
@@ -559,6 +574,8 @@ fn main() {
                 design: DesignSpec::Family(design),
                 flows: vec![FlowKind::Beta, FlowKind::Flushing],
                 plans: PlanSet::Default,
+                deadline_ms: None,
+                node_budget: None,
             });
         }
     }
@@ -620,6 +637,63 @@ fn main() {
         ),
     });
     std::fs::remove_dir_all(&scratch).ok();
+
+    // 10. Budget abort latency (`budget_abort`): the 12-bit counter
+    //     reachability workload under a node budget far below its full
+    //     allocation. The abort must land promptly — within the amortized
+    //     check interval past the limit, not after a multiple of the
+    //     workload — and the wall clock must reflect an *early* exit.
+    //     Governance-off overhead is gated by every other case: none of
+    //     them set a budget, and their baselines are unchanged.
+    let abort_start = Instant::now();
+    let mut m = BddManager::new();
+    m.set_budget(Budget::unlimited().with_node_limit(BUDGET_ABORT_LIMIT));
+    // The abort unwinds via panic_any; silence the default hook for the
+    // expected panic so the smoke log stays readable.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let aborted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let ts = counter_system(&mut m, 12);
+        let _ = ts.reachable(&mut m);
+    }));
+    std::panic::set_hook(default_hook);
+    let budget_abort_wall = abort_start.elapsed().as_secs_f64();
+    match aborted {
+        Err(payload) => {
+            let exceeded = payload.downcast_ref::<BudgetExceeded>().copied();
+            if exceeded != Some(BudgetExceeded::Nodes) {
+                failures.push(format!(
+                    "budget_abort unwound with {exceeded:?}, not the node-limit abort"
+                ));
+            }
+        }
+        Ok(()) => failures.push(format!(
+            "budget_abort: reachability finished under a {BUDGET_ABORT_LIMIT}-node budget — the limit never tripped"
+        )),
+    }
+    let overshoot = m.stats().allocated.saturating_sub(BUDGET_ABORT_LIMIT);
+    println!(
+        "budget_abort  : aborted in {budget_abort_wall:.4} s, allocated {} of {BUDGET_ABORT_LIMIT} + {overshoot} overshoot",
+        m.stats().allocated,
+    );
+    if overshoot > BUDGET_ABORT_OVERSHOOT_LIMIT {
+        failures.push(format!(
+            "budget_abort overshot the node limit by {overshoot} nodes (max {BUDGET_ABORT_OVERSHOOT_LIMIT}) — a budget check site is missing"
+        ));
+    }
+    if budget_abort_wall > BUDGET_ABORT_WALL_LIMIT_S {
+        failures.push(format!(
+            "budget_abort took {budget_abort_wall:.3} s to trip (max {BUDGET_ABORT_WALL_LIMIT_S} s) — the abort must be early, not after the workload"
+        ));
+    }
+    measurements.push(Measurement {
+        key: "budget_abort_wall_s",
+        value: budget_abort_wall,
+    });
+    measurements.push(Measurement {
+        key: "budget_abort_overshoot_nodes",
+        value: overshoot as f64,
+    });
 
     // Compare against the checked-in baseline (order-of-magnitude gate; the
     // absolute limits above are the hard acceptance criteria).

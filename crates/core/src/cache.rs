@@ -186,6 +186,18 @@ impl ArtifactCache {
         }
     }
 
+    /// Records that an entry loaded fine but failed to *decode* (truncated
+    /// JSON, an older schema) on the `cache.corrupt` counter. Callers that
+    /// parse what [`load`](Self::load) returns should call this when the
+    /// parse fails and then treat the entry as a miss.
+    pub fn note_corrupt(&self, kind: ArtifactKind, key: CacheKey) {
+        M_CACHE_CORRUPT.incr();
+        eprintln!(
+            "pv: cache entry {} unparseable, treating as a miss",
+            self.path(kind, key).display()
+        );
+    }
+
     /// Stores `text` under `key`, atomically (write to a temporary file in
     /// the same directory, then rename). Returns the final path.
     ///
@@ -194,10 +206,20 @@ impl ArtifactCache {
     /// typically log and continue, since a failed store only costs future
     /// warmth.
     pub fn store(&self, kind: ArtifactKind, key: CacheKey, text: &str) -> io::Result<PathBuf> {
+        // Chaos site: a failing store must degrade to "runs stay cold", never
+        // to a torn entry or a failed verification.
+        if pv_obs::fail::failpoint("cache.store") {
+            return Err(io::Error::other("injected cache-store failure"));
+        }
         fs::create_dir_all(&self.dir)?;
         let path = self.path(kind, key);
+        // The temporary name carries both the pid and a process-wide sequence
+        // number: two *threads* racing on one key must not share a tmp file,
+        // or their interleaved writes could be renamed into a torn entry.
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let tmp = self.dir.join(format!(
-            ".{key}.{}.tmp-{}",
+            ".{key}.{}.tmp-{}-{seq}",
             kind.extension(),
             std::process::id()
         ));
@@ -247,5 +269,52 @@ mod tests {
     fn missing_directory_reads_as_cold() {
         let cache = ArtifactCache::at(scratch("never-created"));
         assert_eq!(cache.load(ArtifactKind::Report, content_key(["k"])), None);
+    }
+
+    /// Crash consistency under contention: writers racing on one key must
+    /// never produce a torn entry — every concurrent load observes exactly
+    /// one writer's complete payload, and no temporary files survive.
+    #[test]
+    fn racing_writers_on_one_key_never_tear_an_entry() {
+        let dir = scratch("race");
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = ArtifactCache::at(&dir);
+        let key = content_key(["contended"]);
+        let payload = |writer: usize| format!("writer-{writer}-").repeat(512);
+
+        std::thread::scope(|scope| {
+            for writer in 0..4 {
+                let cache = cache.clone();
+                let text = payload(writer);
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        cache
+                            .store(ArtifactKind::Report, key, &text)
+                            .expect("store");
+                    }
+                });
+            }
+            let reader_cache = cache.clone();
+            scope.spawn(move || {
+                let complete: Vec<String> = (0..4).map(payload).collect();
+                for _ in 0..200 {
+                    if let Some(text) = reader_cache.load(ArtifactKind::Report, key) {
+                        assert!(
+                            complete.contains(&text),
+                            "a load observed a torn entry of {} bytes",
+                            text.len()
+                        );
+                    }
+                }
+            });
+        });
+
+        let stale_tmp = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .count();
+        assert_eq!(stale_tmp, 0, "every temporary file was renamed away");
+        fs::remove_dir_all(&dir).ok();
     }
 }

@@ -73,23 +73,165 @@ pub trait VerificationFlow {
     ) -> Result<FlowReport, FlowError>;
 }
 
-/// A flow-agnostic verification error: which flow rejected the inputs, and
-/// why.
+/// How a flow (or one of its units of work) failed — the structured taxonomy
+/// that lets callers distinguish "the design is wrong for this flow" from
+/// "the computation ran out of resources":
+///
+/// * [`Invalid`](Self::Invalid) — the inputs do not fit the flow (missing
+///   ports, out-of-range parameters, no pipeline hints). Deterministic and
+///   not retryable.
+/// * [`DeadlineExceeded`](Self::DeadlineExceeded) /
+///   [`NodeBudgetExceeded`](Self::NodeBudgetExceeded) — a
+///   [`pv_bdd::Budget`] bound fired at an engine safe point. The node
+///   variant is deterministic for a given plan; the deadline variant is
+///   typed identically but depends on the clock.
+/// * [`Cancelled`](Self::Cancelled) — the cooperative cancel flag was
+///   raised (a sibling hit a terminal result, or the caller gave up).
+/// * [`WorkerPanicked`](Self::WorkerPanicked) — a unit of work panicked for
+///   any other reason; treated as transient by the service's retry policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlowErrorKind {
+    /// The inputs do not fit the flow.
+    Invalid,
+    /// The wall-clock deadline of the attached budget passed.
+    DeadlineExceeded,
+    /// The allocated-node limit of the attached budget was exceeded.
+    NodeBudgetExceeded,
+    /// The computation was cooperatively cancelled.
+    Cancelled,
+    /// A worker panicked for a reason outside the budget taxonomy.
+    WorkerPanicked,
+}
+
+impl FlowErrorKind {
+    /// Stable lowercase wire name (`invalid`, `deadline_exceeded`,
+    /// `node_budget_exceeded`, `cancelled`, `worker_panicked`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FlowErrorKind::Invalid => "invalid",
+            FlowErrorKind::DeadlineExceeded => "deadline_exceeded",
+            FlowErrorKind::NodeBudgetExceeded => "node_budget_exceeded",
+            FlowErrorKind::Cancelled => "cancelled",
+            FlowErrorKind::WorkerPanicked => "worker_panicked",
+        }
+    }
+
+    /// Parses a wire name back (the inverse of [`as_str`](Self::as_str)).
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "invalid" => FlowErrorKind::Invalid,
+            "deadline_exceeded" => FlowErrorKind::DeadlineExceeded,
+            "node_budget_exceeded" => FlowErrorKind::NodeBudgetExceeded,
+            "cancelled" => FlowErrorKind::Cancelled,
+            "worker_panicked" => FlowErrorKind::WorkerPanicked,
+            _ => return None,
+        })
+    }
+
+    /// The kind a typed [`pv_bdd::BudgetExceeded`] abort maps to.
+    pub fn from_budget(exceeded: pv_bdd::BudgetExceeded) -> Self {
+        match exceeded {
+            pv_bdd::BudgetExceeded::Deadline => FlowErrorKind::DeadlineExceeded,
+            pv_bdd::BudgetExceeded::Nodes => FlowErrorKind::NodeBudgetExceeded,
+            pv_bdd::BudgetExceeded::Cancelled => FlowErrorKind::Cancelled,
+        }
+    }
+
+    /// Whether the service's bounded retry policy treats this failure as
+    /// transient (worth re-running) rather than deterministic.
+    pub fn is_transient(self) -> bool {
+        matches!(self, FlowErrorKind::WorkerPanicked)
+    }
+
+    /// Classifies a caught panic payload into `(kind, message)`: the typed
+    /// [`pv_bdd::BudgetExceeded`] aborts map to their budget kinds, an
+    /// injected [`pv_obs::InjectedFault`] and every other payload map to
+    /// [`WorkerPanicked`](Self::WorkerPanicked) with the best message
+    /// available.
+    pub fn classify_panic(payload: &(dyn std::any::Any + Send)) -> (Self, String) {
+        if let Some(exceeded) = payload.downcast_ref::<pv_bdd::BudgetExceeded>() {
+            (Self::from_budget(*exceeded), exceeded.to_string())
+        } else if let Some(fault) = payload.downcast_ref::<pv_obs::InjectedFault>() {
+            (FlowErrorKind::WorkerPanicked, fault.to_string())
+        } else if let Some(s) = payload.downcast_ref::<&str>() {
+            (FlowErrorKind::WorkerPanicked, (*s).to_owned())
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            (FlowErrorKind::WorkerPanicked, s.clone())
+        } else {
+            (
+                FlowErrorKind::WorkerPanicked,
+                "worker panicked with a non-string payload".to_owned(),
+            )
+        }
+    }
+}
+
+impl fmt::Display for FlowErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A flow-agnostic verification error: which flow failed, how
+/// ([`FlowErrorKind`]), and why.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FlowError {
     /// Name of the flow that failed.
     pub flow: &'static str,
+    /// The failure class.
+    pub kind: FlowErrorKind,
     /// Human-readable reason.
     pub message: String,
 }
 
+impl FlowError {
+    /// An [`FlowErrorKind::Invalid`] error — the historical "the inputs do
+    /// not fit this flow" case.
+    pub fn invalid(flow: &'static str, message: impl Into<String>) -> Self {
+        FlowError {
+            flow,
+            kind: FlowErrorKind::Invalid,
+            message: message.into(),
+        }
+    }
+
+    /// An error of the given kind.
+    pub fn new(flow: &'static str, kind: FlowErrorKind, message: impl Into<String>) -> Self {
+        FlowError {
+            flow,
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
 impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} flow: {}", self.flow, self.message)
+        match self.kind {
+            // The historical rendering for invalid inputs, which error
+            // messages and tests match on.
+            FlowErrorKind::Invalid => write!(f, "{} flow: {}", self.flow, self.message),
+            kind => write!(f, "{} flow: {kind}: {}", self.flow, self.message),
+        }
     }
 }
 
 impl std::error::Error for FlowError {}
+
+/// One unit of work (simulation plan / case-split block) that failed for a
+/// resource reason while the rest of its batch completed — the per-unit
+/// annotation of a gracefully-degraded [`FlowReport`]. The kind is never
+/// [`FlowErrorKind::Invalid`]: invalid inputs fail the whole flow.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnitFailure {
+    /// Index of the failed unit — deterministic for any worker count.
+    pub unit: usize,
+    /// The failure class.
+    pub kind: FlowErrorKind,
+    /// Human-readable reason (the typed abort's rendering, or the panic
+    /// message).
+    pub message: String,
+}
 
 /// A complete, self-contained recipe for replaying a counterexample on the
 /// concrete [`ConcreteSim`] interpreter: every input of both machines in
@@ -260,6 +402,12 @@ pub struct FlowReport {
     /// count, tracing on or off, cold or warm cache. Empty when a flow has
     /// nothing to report; [`crate::report_io`] omits the field then.
     pub metrics: BTreeMap<String, u64>,
+    /// Units of work that failed for a resource reason (budget exhaustion,
+    /// worker panic) while the rest of the batch completed, in unit order.
+    /// Empty for a complete run; [`crate::report_io`] omits the field then.
+    /// A report with unit failures is *degraded*: its verdict covers only
+    /// the units that ran.
+    pub unit_failures: Vec<UnitFailure>,
 }
 
 impl FlowReport {
@@ -283,6 +431,13 @@ impl FlowReport {
             .replay
             .as_ref()
             .map(|r| r.replay(pipelined, unpipelined))
+    }
+
+    /// `true` iff every unit of work completed — the verdict covers the
+    /// whole sweep. `false` marks a degraded report (see
+    /// [`unit_failures`](Self::unit_failures)).
+    pub fn complete(&self) -> bool {
+        self.unit_failures.is_empty()
     }
 }
 
@@ -318,8 +473,21 @@ impl fmt::Display for FlowReport {
             )?;
         }
         writeln!(f)?;
+        for failure in &self.unit_failures {
+            writeln!(
+                f,
+                "degraded          : {} #{} {} — {}",
+                self.unit_label, failure.unit, failure.kind, failure.message
+            )?;
+        }
         match &self.counterexample {
-            None => writeln!(f, "verdict           : PASS (no counterexample)"),
+            None if self.complete() => writeln!(f, "verdict           : PASS (no counterexample)"),
+            None => writeln!(
+                f,
+                "verdict           : PASS on the {} completed units ({} failed on resources)",
+                self.units_checked,
+                self.unit_failures.len()
+            ),
             Some(cex) => writeln!(
                 f,
                 "verdict           : FAIL at {} #{} — {}",
@@ -356,6 +524,15 @@ impl VerificationReport {
             wall_time,
             unit_walls: self.plan_reports.iter().map(|p| p.wall_time).collect(),
             metrics: self.metrics.clone(),
+            unit_failures: self
+                .plan_failures
+                .iter()
+                .map(|f| UnitFailure {
+                    unit: f.plan_index,
+                    kind: f.kind,
+                    message: f.message.clone(),
+                })
+                .collect(),
         }
     }
 }
@@ -373,10 +550,9 @@ impl VerificationFlow for Verifier {
         unpipelined: &Netlist,
     ) -> Result<FlowReport, FlowError> {
         let started = Instant::now();
-        let report = self.verify(pipelined, unpipelined).map_err(|e| FlowError {
-            flow: self.flow_name(),
-            message: e.to_string(),
-        })?;
+        let report = self
+            .verify(pipelined, unpipelined)
+            .map_err(|e| FlowError::invalid(self.flow_name(), e.to_string()))?;
         Ok(report.to_flow_report(started.elapsed()))
     }
 }
@@ -387,6 +563,8 @@ const _: () = {
     assert_send_sync::<FlowReport>();
     assert_send_sync::<FlowCounterexample>();
     assert_send_sync::<FlowError>();
+    assert_send_sync::<FlowErrorKind>();
+    assert_send_sync::<UnitFailure>();
     assert_send_sync::<ReplayRecipe>();
     assert_send_sync::<ReplayOutcome>();
 };

@@ -68,8 +68,15 @@ mod verify;
 
 pub use baseline::{product_equivalence, random_simulation, ProductReport, RandomSimReport};
 pub use flow::{
-    FlowCounterexample, FlowError, FlowReport, ReplayOutcome, ReplayRecipe, VerificationFlow,
+    FlowCounterexample, FlowError, FlowErrorKind, FlowReport, ReplayOutcome, ReplayRecipe,
+    UnitFailure, VerificationFlow,
 };
 pub use plan::{CycleInput, ParsePlanError, SimulationPlan, SimulationSchedule, Slot};
 pub use spec::MachineSpec;
-pub use verify::{Counterexample, PlanReport, VerificationReport, Verifier, VerifyError};
+// The budget handle is part of this crate's public verification API
+// (`Verifier::with_budget`), re-exported so flow and service callers need
+// no direct `pv-bdd` dependency to govern resources.
+pub use pv_bdd::{Budget, BudgetExceeded};
+pub use verify::{
+    Counterexample, PlanFailure, PlanReport, VerificationReport, Verifier, VerifyError,
+};

@@ -27,6 +27,9 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
 //! ```
 
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -40,6 +43,62 @@ use pv_obs::{Counter, Gauge, Histogram};
 static M_POOL_CLAIM: Counter = Counter::new("pool.claim");
 static M_POOL_WORKERS: Gauge = Gauge::new("pool.workers");
 static M_POOL_BUSY: Histogram = Histogram::new("pool.worker.busy_us");
+static M_POOL_UNIT_PANIC: Counter = Counter::new("pool.unit_panic");
+
+/// A panic caught at a pool unit boundary: the unit's index and the panic
+/// payload, preserved so callers can downcast it back to a typed abort
+/// (e.g. `pv_bdd::BudgetExceeded`) or re-raise it unchanged.
+pub struct UnitPanic {
+    index: usize,
+    payload: Box<dyn Any + Send>,
+}
+
+impl UnitPanic {
+    /// The index of the item whose unit panicked.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Downcasts the payload by reference (`panic_any` payloads keep their
+    /// concrete type; `panic!("...")` payloads are `&str` or `String`).
+    pub fn downcast_ref<T: 'static>(&self) -> Option<&T> {
+        self.payload.downcast_ref::<T>()
+    }
+
+    /// A human-readable rendering of the payload: the panic message for
+    /// string payloads, a generic marker otherwise.
+    pub fn message(&self) -> String {
+        if let Some(s) = self.payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = self.payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "worker panicked with a non-string payload".to_owned()
+        }
+    }
+
+    /// The raw payload by reference, for classification without consuming
+    /// the panic (see `FlowErrorKind::classify_panic` in `pipeverify-core`).
+    pub fn payload_ref(&self) -> &(dyn Any + Send) {
+        &*self.payload
+    }
+
+    /// The raw payload, for re-raising with [`std::panic::resume_unwind`].
+    pub fn into_payload(self) -> Box<dyn Any + Send> {
+        self.payload
+    }
+}
+
+impl fmt::Debug for UnitPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "UnitPanic {{ index: {}, {} }}",
+            self.index,
+            self.message()
+        )
+    }
+}
 
 /// The default worker count: the `PV_THREADS` environment variable when it is
 /// set to a positive integer, otherwise the machine's available parallelism,
@@ -115,21 +174,81 @@ where
 /// must therefore consume the results in index order and stop at the first
 /// terminal item — exactly what
 /// [`Verifier::verify_plans`](crate::Verifier::verify_plans) does.
+///
+/// A panicking unit no longer unwinds the pool (see
+/// [`par_map_prefix_caught`]): the remaining units complete first, then the
+/// **lowest-indexed** panic is re-raised on the caller's thread with its
+/// original payload.
 pub fn par_map_prefix<I, R, F>(threads: usize, items: &[I], f: F) -> Vec<Option<R>>
 where
     I: Sync,
     R: Send,
     F: Fn(usize, &I) -> (R, bool) + Sync,
 {
+    let mut first_panic: Option<UnitPanic> = None;
+    let results = par_map_prefix_caught(threads, items, |_| {}, f)
+        .into_iter()
+        .map(|slot| match slot {
+            Some(Ok(r)) => Some(r),
+            Some(Err(panic)) => {
+                // Slots come back in index order, so the first error seen
+                // is the lowest-indexed one.
+                first_panic.get_or_insert(panic);
+                None
+            }
+            None => None,
+        })
+        .collect();
+    if let Some(panic) = first_panic {
+        resume_unwind(panic.into_payload());
+    }
+    results
+}
+
+/// The panic-isolating primitive under [`par_map`] / [`par_map_prefix`]:
+/// every unit runs inside [`std::panic::catch_unwind`], so one poisoned item
+/// yields an `Err(`[`UnitPanic`]`)` in its slot while every sibling
+/// completes. A panicked unit is **not** terminal — the prefix guarantee is
+/// unchanged, and slots keep index order.
+///
+/// `on_cutoff(t)` fires (at most once per lowering) when a terminal item
+/// drops the cutoff to `t`: items with indices `> t` can never join the
+/// sequential prefix, so the callback is the pool's cooperative-cancellation
+/// hook — the plan verifier uses it to cancel the budgets of in-flight
+/// higher-indexed siblings, which then abort at their next safe point.
+///
+/// Unit closures are wrapped in [`AssertUnwindSafe`]: units are independent
+/// by contract (the pool's whole premise), so any state `f` shares across
+/// items must already tolerate an abandoned unit.
+pub fn par_map_prefix_caught<I, R, F, C>(
+    threads: usize,
+    items: &[I],
+    on_cutoff: C,
+    f: F,
+) -> Vec<Option<Result<R, UnitPanic>>>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(usize, &I) -> (R, bool) + Sync,
+    C: Fn(usize) + Sync,
+{
     let n = items.len();
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut results: Vec<Option<Result<R, UnitPanic>>> = (0..n).map(|_| None).collect();
     let threads = threads.clamp(1, n.max(1));
     if threads == 1 {
         for (i, item) in items.iter().enumerate() {
-            let (r, terminal) = f(i, item);
-            results[i] = Some(r);
-            if terminal {
-                break;
+            match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                Ok((r, terminal)) => {
+                    results[i] = Some(Ok(r));
+                    if terminal {
+                        on_cutoff(i);
+                        break;
+                    }
+                }
+                Err(payload) => {
+                    M_POOL_UNIT_PANIC.incr();
+                    results[i] = Some(Err(UnitPanic { index: i, payload }));
+                }
             }
         }
         return results;
@@ -143,12 +262,13 @@ where
     let next = AtomicUsize::new(0);
     let cutoff = AtomicUsize::new(usize::MAX);
     M_POOL_WORKERS.set_max(threads as u64);
+    type Computed<R> = Vec<(usize, Result<R, UnitPanic>)>;
     let computed = thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                let (f, next, cutoff) = (&f, &next, &cutoff);
+                let (f, on_cutoff, next, cutoff) = (&f, &on_cutoff, &next, &cutoff);
                 s.spawn(move || {
-                    let mut out: Vec<(usize, R)> = Vec::new();
+                    let mut out: Computed<R> = Vec::new();
                     let mut busy = Duration::ZERO;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -160,12 +280,23 @@ where
                         }
                         M_POOL_CLAIM.incr();
                         let claimed_at = Instant::now();
-                        let (r, terminal) = f(i, &items[i]);
-                        busy += claimed_at.elapsed();
-                        if terminal {
-                            cutoff.fetch_min(i, Ordering::AcqRel);
+                        match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                            Ok((r, terminal)) => {
+                                busy += claimed_at.elapsed();
+                                if terminal {
+                                    let prev = cutoff.fetch_min(i, Ordering::AcqRel);
+                                    if i < prev {
+                                        on_cutoff(i);
+                                    }
+                                }
+                                out.push((i, Ok(r)));
+                            }
+                            Err(payload) => {
+                                busy += claimed_at.elapsed();
+                                M_POOL_UNIT_PANIC.incr();
+                                out.push((i, Err(UnitPanic { index: i, payload })));
+                            }
                         }
-                        out.push((i, r));
                     }
                     M_POOL_BUSY.record(busy.as_micros() as u64);
                     // Workers retire here; deliver their span buffers so an
@@ -177,13 +308,29 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("pool worker panicked"))
-            .collect::<Vec<(usize, R)>>()
+            .flat_map(|h| h.join().expect("pool worker survives unit panics"))
+            .collect::<Computed<R>>()
     });
     for (i, r) in computed {
         results[i] = Some(r);
     }
     results
+}
+
+/// [`par_map`] with panics caught at the unit boundary: every item gets a
+/// slot, `Err(`[`UnitPanic`]`)` where its unit panicked. The fan-out shape
+/// of the job scheduler, where one poisoned job must not take down its
+/// batch.
+pub fn par_map_caught<I, R, F>(threads: usize, items: &[I], f: F) -> Vec<Result<R, UnitPanic>>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(usize, &I) -> R + Sync,
+{
+    par_map_prefix_caught(threads, items, |_| {}, |i, item| (f(i, item), false))
+        .into_iter()
+        .map(|slot| slot.expect("every item is computed when none is terminal"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -247,6 +394,128 @@ mod tests {
         assert_eq!(calls.load(Ordering::Relaxed), 4);
         assert_eq!(results[3], Some(3));
         assert!(results[4..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn a_panicking_unit_does_not_kill_its_siblings() {
+        // The bugfix contract: one poisoned unit used to unwind the whole
+        // thread scope mid-unit; now every sibling completes and the panic
+        // is re-raised afterwards with its original payload.
+        let items: Vec<usize> = (0..32).collect();
+        for threads in [1, 2, 4, 8] {
+            let completed = AtomicUsize::new(0);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                par_map(threads, &items, |_, &x| {
+                    if x == 5 {
+                        panic!("unit 5 poisoned");
+                    }
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    x
+                })
+            }));
+            let payload = result.expect_err("the panic is re-raised");
+            assert_eq!(payload.downcast_ref::<&str>(), Some(&"unit 5 poisoned"));
+            assert_eq!(
+                completed.load(Ordering::Relaxed),
+                items.len() - 1,
+                "every non-poisoned unit completed on {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn caught_panics_surface_per_unit_and_stay_non_terminal() {
+        let items: Vec<usize> = (0..16).collect();
+        for threads in [1, 2, 4] {
+            let slots = par_map_prefix_caught(
+                threads,
+                &items,
+                |_| {},
+                |_, &x| {
+                    if x % 7 == 3 {
+                        panic!("unit {x} poisoned");
+                    }
+                    (x * 2, false)
+                },
+            );
+            assert_eq!(slots.len(), items.len());
+            for (i, slot) in slots.iter().enumerate() {
+                let slot = slot.as_ref().expect("no terminal item: every slot is Some");
+                if i % 7 == 3 {
+                    let panic = slot.as_ref().expect_err("poisoned unit");
+                    assert_eq!(panic.index(), i);
+                    assert_eq!(panic.message(), format!("unit {i} poisoned"));
+                } else {
+                    assert_eq!(slot.as_ref().ok(), Some(&(i * 2)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn the_prefix_guarantee_holds_under_panics() {
+        // A panicked unit is non-terminal: the prefix up to the lowest
+        // *successful* terminal index must still be fully computed.
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 2, 4, 8] {
+            let slots = par_map_prefix_caught(
+                threads,
+                &items,
+                |_| {},
+                |_, &x| {
+                    if x == 9 {
+                        panic!("unit 9 poisoned");
+                    }
+                    (x, x == 20)
+                },
+            );
+            for (i, slot) in slots.iter().enumerate().take(21) {
+                let slot = slot.as_ref().expect("index {i} belongs to the prefix");
+                if i == 9 {
+                    assert!(slot.is_err(), "unit 9 panicked");
+                } else {
+                    assert_eq!(slot.as_ref().ok(), Some(&i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn on_cutoff_reports_terminal_indices_for_sibling_cancellation() {
+        let items: Vec<usize> = (0..48).collect();
+        for threads in [1, 2, 4] {
+            let lowest_seen = AtomicUsize::new(usize::MAX);
+            par_map_prefix_caught(
+                threads,
+                &items,
+                |t| {
+                    lowest_seen.fetch_min(t, Ordering::Relaxed);
+                },
+                |_, &x| (x, x == 11 || x == 30),
+            );
+            let lowest = lowest_seen.load(Ordering::Relaxed);
+            assert!(
+                lowest == 11 || lowest == 30,
+                "on_cutoff fired for a terminal index (got {lowest})"
+            );
+        }
+    }
+
+    #[test]
+    fn par_map_caught_returns_every_slot() {
+        let items: Vec<usize> = (0..12).collect();
+        let slots = par_map_caught(3, &items, |_, &x| {
+            if x == 0 {
+                panic!("zero");
+            }
+            x + 1
+        });
+        assert_eq!(slots.len(), 12);
+        assert!(slots[0].is_err());
+        assert!(slots[1..]
+            .iter()
+            .enumerate()
+            .all(|(i, s)| s.as_ref().ok() == Some(&(i + 2))));
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //!     wall_time: Duration::from_millis(5),
 //!     unit_walls: vec![Duration::from_millis(1); 4],
 //!     metrics: std::collections::BTreeMap::new(),
+//!     unit_failures: Vec::new(),
 //! };
 //! let json = report_io::flow_report_to_json(&report);
 //! let back = report_io::flow_report_from_json(&json).expect("well-formed");
@@ -46,7 +47,7 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use crate::flow::{FlowCounterexample, FlowReport, ReplayRecipe};
+use crate::flow::{FlowCounterexample, FlowErrorKind, FlowReport, ReplayRecipe, UnitFailure};
 use crate::json::Json;
 use crate::plan::SimulationPlan;
 use crate::verify::{Counterexample, PlanReport};
@@ -303,8 +304,49 @@ pub fn flow_report_to_json(r: &FlowReport) -> Json {
         if !r.metrics.is_empty() {
             fields.push(("metrics".to_owned(), metrics_to_json(&r.metrics)));
         }
+        if !r.unit_failures.is_empty() {
+            fields.push((
+                "unit_failures".to_owned(),
+                Json::Arr(r.unit_failures.iter().map(unit_failure_to_json).collect()),
+            ));
+        }
     }
     obj
+}
+
+/// Encodes one [`UnitFailure`] of a degraded report.
+fn unit_failure_to_json(f: &UnitFailure) -> Json {
+    Json::Obj(vec![
+        ("unit".to_owned(), Json::from_u64(f.unit as u64)),
+        ("kind".to_owned(), Json::Str(f.kind.as_str().to_owned())),
+        ("message".to_owned(), Json::Str(f.message.clone())),
+    ])
+}
+
+/// Decodes the optional `unit_failures` field: absent (reports written
+/// before resource governance existed, or complete runs — the field is
+/// omitted when empty) reads as no failures, so the schema change is
+/// backward-compatible.
+fn unit_failures_from_json(v: &Json, field: &str) -> Result<Vec<UnitFailure>, ReportIoError> {
+    let Some(arr) = v.get(field) else {
+        return Ok(Vec::new());
+    };
+    let entries = arr
+        .as_arr()
+        .ok_or_else(|| fail(field, "expected an array of unit failures"))?;
+    entries
+        .iter()
+        .map(|entry| {
+            let kind = get_str(entry, "kind")?;
+            let kind =
+                FlowErrorKind::parse(&kind).ok_or_else(|| fail(field, "unknown failure kind"))?;
+            Ok(UnitFailure {
+                unit: get_usize(entry, "unit")?,
+                kind,
+                message: get_str(entry, "message")?,
+            })
+        })
+        .collect()
 }
 
 /// Decodes a [`FlowReport`] written by [`flow_report_to_json`].
@@ -349,6 +391,7 @@ pub fn flow_report_from_json(v: &Json) -> Result<FlowReport, ReportIoError> {
         wall_time: get_duration(v, "wall_time_ns")?,
         unit_walls: walls,
         metrics: metrics_from_json(v, "metrics")?,
+        unit_failures: unit_failures_from_json(v, "unit_failures")?,
     })
 }
 

@@ -16,8 +16,10 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use pv_bdd::{AutoReorderPolicy, Bdd, BddManager, BddVec, Var};
+use pv_bdd::{AutoReorderPolicy, Bdd, BddManager, BddVec, Budget, Var};
 use pv_netlist::{Netlist, SymbolicSim};
+
+use crate::flow::FlowErrorKind;
 
 /// Live-node floor above which the verifier's per-plan managers start
 /// triggering dynamic variable reordering (grouped sifting) at the per-cycle
@@ -168,6 +170,36 @@ impl PlanReport {
     }
 }
 
+/// A plan that could not be checked: its worker aborted on a resource
+/// budget (deadline, node limit, cancellation) or panicked. Failed plans
+/// contribute **zero** statistics to the merged report — the outcome is a
+/// pure function of the budget decision, not of how far the worker got —
+/// so a degraded report stays field-identical at any thread count.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PlanFailure {
+    /// Position of the plan in the batch handed to
+    /// [`Verifier::verify_plans`].
+    pub plan_index: usize,
+    /// The plan that failed.
+    pub plan: SimulationPlan,
+    /// Why the plan failed (never [`FlowErrorKind::Invalid`] — invalid
+    /// inputs are [`VerifyError`]s, not failures).
+    pub kind: FlowErrorKind,
+    /// Human-readable detail (the budget that tripped, or the panic
+    /// message).
+    pub message: String,
+}
+
+impl fmt::Display for PlanFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "plan #{} {}: {}",
+            self.plan_index, self.kind, self.message
+        )
+    }
+}
+
 /// Outcome and cost statistics of a verification run.
 #[derive(Clone, Debug)]
 pub struct VerificationReport {
@@ -213,6 +245,12 @@ pub struct VerificationReport {
     /// summation commutes, so the parallel merge stays field-identical to the
     /// sequential one.
     pub metrics: BTreeMap<String, u64>,
+    /// Plans that could not be checked (budget aborts, worker panics), in
+    /// plan order. A non-empty list marks the report **degraded**: every
+    /// listed plan contributed zero statistics, and
+    /// [`equivalent`](Self::equivalent) speaks only for the plans that
+    /// completed — see [`complete`](Self::complete).
+    pub plan_failures: Vec<PlanFailure>,
 }
 
 impl VerificationReport {
@@ -222,6 +260,14 @@ impl VerificationReport {
         self.counterexample.is_none()
     }
 
+    /// `true` iff every plan in the batch actually completed — no budget
+    /// aborts, no worker panics. A verdict of
+    /// [`equivalent`](Self::equivalent) is only exhaustive when the report
+    /// is also complete.
+    pub fn complete(&self) -> bool {
+        self.plan_failures.is_empty()
+    }
+
     /// Deterministically merges per-plan reports (which must be the
     /// *sequential prefix*: in plan order, with only the last one allowed to
     /// carry a counterexample) into a batch report. Stats are summed in plan
@@ -229,7 +275,15 @@ impl VerificationReport {
     /// are those of the last plan checked, and the counterexample — if any —
     /// comes from the lowest-indexed failing plan, so the merged report is
     /// field-by-field identical to what the sequential loop produces.
-    pub fn merge(machine: String, threads_used: usize, plan_reports: Vec<PlanReport>) -> Self {
+    /// `plan_failures` lists the plans (inside the same prefix) whose
+    /// workers aborted on a budget or panicked; they contribute nothing to
+    /// the summed statistics and `plans_checked` counts only completions.
+    pub fn merge(
+        machine: String,
+        threads_used: usize,
+        plan_reports: Vec<PlanReport>,
+        plan_failures: Vec<PlanFailure>,
+    ) -> Self {
         let mut report = VerificationReport {
             machine,
             plans_checked: plan_reports.len(),
@@ -247,6 +301,7 @@ impl VerificationReport {
             threads_used,
             plan_reports: Vec::new(),
             metrics: BTreeMap::new(),
+            plan_failures,
         };
         for plan in &plan_reports {
             debug_assert!(
@@ -329,9 +384,18 @@ impl fmt::Display for VerificationReport {
         }
         writeln!(f, "PIPELINED filter  : {}", self.filters.0)?;
         writeln!(f, "UNPIPELINED filter: {}", self.filters.1)?;
-        match &self.counterexample {
-            None => writeln!(f, "result            : EQUIVALENT (β-relation holds)"),
-            Some(cex) => writeln!(f, "result            : NOT EQUIVALENT — {cex}"),
+        for failure in &self.plan_failures {
+            writeln!(f, "degraded          : {failure}")?;
+        }
+        match (&self.counterexample, self.complete()) {
+            (None, true) => writeln!(f, "result            : EQUIVALENT (β-relation holds)"),
+            (None, false) => writeln!(
+                f,
+                "result            : EQUIVALENT on {} completed plan(s) — {} plan(s) not checked",
+                self.plans_checked,
+                self.plan_failures.len()
+            ),
+            (Some(cex), _) => writeln!(f, "result            : NOT EQUIVALENT — {cex}"),
         }
     }
 }
@@ -343,6 +407,7 @@ pub struct Verifier {
     spec: MachineSpec,
     auto_reorder: bool,
     threads: Option<usize>,
+    budget: Option<Budget>,
 }
 
 // Plan checks run on pool workers holding `&Verifier` and `&Netlist`; keep
@@ -359,6 +424,7 @@ const _: () = {
     assert_send_sync::<VerificationReport>();
     assert_send_sync::<Counterexample>();
     assert_send_sync::<VerifyError>();
+    assert_send_sync::<PlanFailure>();
 };
 
 impl Verifier {
@@ -372,6 +438,7 @@ impl Verifier {
             spec,
             auto_reorder: false,
             threads: None,
+            budget: None,
         }
     }
 
@@ -418,6 +485,32 @@ impl Verifier {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = (threads > 0).then_some(threads);
         self
+    }
+
+    /// Attaches a resource [`Budget`] — wall-clock deadline, total-node
+    /// limit, cooperative cancel flag — governing every plan this verifier
+    /// checks. Each plan's manager observes a [`Budget::child`] of it at the
+    /// engine's safe points (per simulation cycle, and every ~1024 ITE cache
+    /// misses), so a trip aborts the plan within a bounded overshoot.
+    ///
+    /// A tripped plan does **not** fail the batch: it is recorded as a
+    /// [`PlanFailure`] with zero statistics and the remaining plans still
+    /// run, so the merged report is *degraded*, not absent — and because the
+    /// node limit gates on the monotone allocation total, a budget-aborted
+    /// plan yields the same typed outcome at any thread count.
+    ///
+    /// The budget is shared, not split: `n` parallel plans each see the full
+    /// node limit. Cancelling the handle (from any thread) stops all
+    /// in-flight plans at their next safe point.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The resource budget attached via [`with_budget`](Self::with_budget),
+    /// if any.
+    pub fn budget(&self) -> Option<&Budget> {
+        self.budget.as_ref()
     }
 
     /// The resolved worker count for an unbounded batch: the explicit
@@ -486,7 +579,8 @@ impl Verifier {
     ) -> Result<PlanReport, VerifyError> {
         self.validate(pipelined)?;
         self.validate(unpipelined)?;
-        self.check_plan_indexed(pipelined, unpipelined, plan, 0)
+        let budget = self.budget.as_ref().map(Budget::child);
+        self.check_plan_indexed(pipelined, unpipelined, plan, 0, budget)
     }
 
     /// Verifies a sequence of plans, stopping at the first counterexample.
@@ -510,29 +604,62 @@ impl Verifier {
         self.validate(pipelined)?;
         self.validate(unpipelined)?;
         let threads = self.threads().min(plans.len().max(1));
-        let results = pool::par_map_prefix(threads, plans, |index, plan| {
-            let result = self.check_plan_indexed(pipelined, unpipelined, plan, index);
-            let terminal = match &result {
-                Err(_) => true,
-                Ok(report) => report.counterexample.is_some(),
-            };
-            (result, terminal)
-        });
+        // One budget child per plan, created up front: every plan shares the
+        // batch's deadline and node limit but carries its own cancel flag, so
+        // a terminal cutoff can stop exactly the in-flight plans the
+        // sequential loop would never have reached (the ones *past* the
+        // cutoff — lower-indexed siblings must finish for prefix identity).
+        let children: Vec<Option<Budget>> = plans
+            .iter()
+            .map(|_| self.budget.as_ref().map(Budget::child))
+            .collect();
+        let results = pool::par_map_prefix_caught(
+            threads,
+            plans,
+            |cutoff| {
+                for child in children.iter().skip(cutoff + 1).flatten() {
+                    child.cancel();
+                }
+            },
+            |index, plan| {
+                let budget = children[index].clone();
+                let result = self.check_plan_indexed(pipelined, unpipelined, plan, index, budget);
+                let terminal = match &result {
+                    Err(_) => true,
+                    Ok(report) => report.counterexample.is_some(),
+                };
+                (result, terminal)
+            },
+        );
         // Consume the sequential prefix: everything up to (and including) the
-        // first failing plan, exactly as the sequential loop would have.
+        // first failing plan, exactly as the sequential loop would have. A
+        // unit that unwound — budget trip or panic — is *non-terminal*: it is
+        // recorded as a typed `PlanFailure` with zero statistics and the scan
+        // continues, so one exploding plan degrades the report instead of
+        // sinking the batch.
         let mut prefix: Vec<PlanReport> = Vec::with_capacity(plans.len());
-        for slot in results {
+        let mut failures: Vec<PlanFailure> = Vec::new();
+        for (index, slot) in results.into_iter().enumerate() {
             match slot {
                 // Past the lowest terminal index: the sequential loop would
                 // never have reached this plan.
                 None => break,
-                Some(Err(e)) => return Err(e),
-                Some(Ok(plan_report)) => {
+                Some(Ok(Err(e))) => return Err(e),
+                Some(Ok(Ok(plan_report))) => {
                     let stop = plan_report.counterexample.is_some();
                     prefix.push(plan_report);
                     if stop {
                         break;
                     }
+                }
+                Some(Err(panic)) => {
+                    let (kind, message) = FlowErrorKind::classify_panic(panic.payload_ref());
+                    failures.push(PlanFailure {
+                        plan_index: index,
+                        plan: plans[index].clone(),
+                        kind,
+                        message,
+                    });
                 }
             }
         }
@@ -540,6 +667,7 @@ impl Verifier {
             self.spec.name.clone(),
             threads,
             prefix,
+            failures,
         ))
     }
 
@@ -590,9 +718,17 @@ impl Verifier {
         unpipelined: &Netlist,
         plan: &SimulationPlan,
         plan_index: usize,
+        budget: Option<Budget>,
     ) -> Result<PlanReport, VerifyError> {
         let _span = pv_obs::span("plan.check");
         let started = Instant::now();
+        // Fault-injection sites (compiled out unless the `failpoints`
+        // feature is on): a worker panic mid-plan, and an artificial
+        // deadline trip — both must surface as typed `PlanFailure`s.
+        pv_obs::fail::inject_panic("plan.panic");
+        if pv_obs::fail::failpoint("plan.deadline") {
+            std::panic::panic_any(pv_bdd::BudgetExceeded::Deadline);
+        }
         let spec = &self.spec;
         if plan.instruction_count() == 0 {
             return Err(VerifyError::EmptyPlan);
@@ -602,6 +738,9 @@ impl Verifier {
         }
         let schedule = SimulationSchedule::expand(spec, plan);
         let mut manager = BddManager::new();
+        if let Some(budget) = budget {
+            manager.set_budget(budget);
+        }
         if self.auto_reorder {
             manager.set_auto_reorder(AutoReorderPolicy::Sifting {
                 floor: AUTO_REORDER_FLOOR,

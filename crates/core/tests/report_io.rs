@@ -16,7 +16,8 @@ use pipeverify_core::report_io::{
     flow_report_from_json, flow_report_to_json, plan_report_from_json, plan_report_to_json,
 };
 use pipeverify_core::{
-    Counterexample, FlowCounterexample, FlowReport, PlanReport, ReplayRecipe, SimulationPlan,
+    Counterexample, FlowCounterexample, FlowErrorKind, FlowReport, PlanReport, ReplayRecipe,
+    SimulationPlan, UnitFailure,
 };
 use proptest::prelude::*;
 
@@ -65,6 +66,25 @@ fn arb_metrics() -> impl Strategy<Value = BTreeMap<String, u64>> {
     })
 }
 
+fn arb_unit_failures() -> impl Strategy<Value = Vec<UnitFailure>> {
+    let kinds = [
+        FlowErrorKind::DeadlineExceeded,
+        FlowErrorKind::NodeBudgetExceeded,
+        FlowErrorKind::Cancelled,
+        FlowErrorKind::WorkerPanicked,
+    ];
+    proptest::collection::vec(((0usize..16), (0..kinds.len())), 0..4).prop_map(move |entries| {
+        entries
+            .into_iter()
+            .map(|(unit, k)| UnitFailure {
+                unit,
+                kind: kinds[k],
+                message: "budget exceeded: \"node\" limit".to_owned(),
+            })
+            .collect()
+    })
+}
+
 fn arb_plan() -> impl Strategy<Value = SimulationPlan> {
     proptest::collection::vec(0..4usize, 1..6).prop_map(|tokens| {
         let text: Vec<&str> = tokens.iter().map(|&t| ["r", "0", "1", "i"][t]).collect();
@@ -87,10 +107,14 @@ fn arb_flow_report() -> impl Strategy<Value = FlowReport> {
             proptest::collection::vec(any::<u64>(), 0..4),
             (1usize..9),
             arb_metrics(),
+            arb_unit_failures(),
         ),
     )
         .prop_map(
-            |((beta, cex, units, equivalent), (checks, space, wall, walls, threads, metrics))| {
+            |(
+                (beta, cex, units, equivalent),
+                (checks, space, wall, walls, threads, metrics, unit_failures),
+            )| {
                 FlowReport {
                     flow: if beta { "beta-relation" } else { "flushing" },
                     design: "proptest-design".to_owned(),
@@ -109,6 +133,7 @@ fn arb_flow_report() -> impl Strategy<Value = FlowReport> {
                     wall_time: Duration::from_nanos(wall),
                     unit_walls: walls.into_iter().map(Duration::from_nanos).collect(),
                     metrics,
+                    unit_failures,
                 }
             },
         )
@@ -184,6 +209,7 @@ proptest! {
         prop_assert_eq!(decoded.wall_time, report.wall_time);
         prop_assert_eq!(decoded.unit_walls, report.unit_walls);
         prop_assert_eq!(decoded.metrics, report.metrics);
+        prop_assert_eq!(decoded.unit_failures, report.unit_failures);
     }
 
     /// PlanReport: same round trip, including the β-relation's structured
@@ -224,6 +250,7 @@ fn unknown_labels_are_rejected() {
         wall_time: Duration::ZERO,
         unit_walls: vec![],
         metrics: BTreeMap::new(),
+        unit_failures: vec![],
     });
     if let Json::Obj(pairs) = &mut report {
         for (k, v) in pairs.iter_mut() {

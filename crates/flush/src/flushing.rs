@@ -112,6 +112,9 @@ impl FlushReport {
                 ("euf.splits".to_owned(), self.splits as u64),
                 ("euf.closure_checks".to_owned(), self.closure_checks as u64),
             ]),
+            // The term-level case split runs to completion or fails the
+            // whole flow — there is no per-cube budget degradation (yet).
+            unit_failures: Vec::new(),
         }
     }
 }
@@ -348,19 +351,16 @@ impl VerificationFlow for FlushVerifier {
         _unpipelined: &Netlist,
     ) -> Result<FlowReport, FlowError> {
         let derived = FlushVerifier::from_netlist(pipelined)
-            .map_err(|e| FlowError {
-                flow: self.flow_name(),
-                message: e.to_string(),
-            })?
+            .map_err(|e| FlowError::invalid(self.flow_name(), e.to_string()))?
             .with_threads(self.threads.unwrap_or(0));
         let matches = self.desc.depth == derived.desc().depth
             && self.desc.bug == derived.desc().bug
             && self.desc.branching == derived.desc().branching
             && self.desc.annulling == derived.desc().annulling;
         if !self.netlist_derived && !matches {
-            return Err(FlowError {
-                flow: self.flow_name(),
-                message: format!(
+            return Err(FlowError::invalid(
+                self.flow_name(),
+                format!(
                     "this verifier was configured with `{}` but netlist `{}` derives `{}`; \
                      use FlushVerifier::from_netlist for the netlist-backed front-end \
                      (or FlushVerifier::verify to check the configured description directly)",
@@ -368,7 +368,7 @@ impl VerificationFlow for FlushVerifier {
                     pipelined.name(),
                     derived.desc().name
                 ),
-            });
+            ));
         }
         Ok(derived.verify().to_flow_report())
     }

@@ -1,0 +1,176 @@
+//! Failpoints: deterministic fault injection at named sites, for chaos
+//! testing the robustness contract (typed budget aborts, per-unit panic
+//! isolation, crash-consistent caching).
+//!
+//! The facility is **compiled out by default**: without the `failpoints`
+//! feature every [`failpoint`] call is a constant-false inline function and
+//! the instrumented crates carry no injection code at all. With the feature
+//! on, sites are armed through the `PV_FAILPOINTS` environment variable:
+//!
+//! ```text
+//! PV_FAILPOINTS="job.run:0.05,plan.deadline:0.02,cache.store:0.10"
+//! ```
+//!
+//! — a comma-separated list of `site:probability` pairs. A probability of
+//! `1` (or anything ≥ 1) fires on every hit; `0` disarms the site without
+//! unsetting the variable.
+//!
+//! Firing is **deterministic**, not random: each armed site counts its hits
+//! and hashes `(site, hit index)` with FNV-1a, firing when the hash lands
+//! under the configured probability. Two runs with the same binary, the same
+//! `PV_FAILPOINTS` and the same per-site hit sequence inject exactly the
+//! same faults — which is what makes a chaos-soak failure replayable.
+//!
+//! Every firing is observable: a `failpoint.<site>` counter ticks in the
+//! metrics registry and one line goes to stderr (the fault log a soak run
+//! archives).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable naming the armed sites: `site:prob,site:prob,…`.
+pub const FAILPOINTS_ENV: &str = "PV_FAILPOINTS";
+
+/// The panic payload of [`inject_panic`]: a marker type carrying the site
+/// name, so catch sites can tell an injected fault from a genuine bug and
+/// panic hooks can keep chaos-soak stderr readable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InjectedFault(pub &'static str);
+
+impl InjectedFault {
+    /// The failpoint site that fired.
+    pub fn site(&self) -> &'static str {
+        self.0
+    }
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected fault at failpoint `{}`", self.0)
+    }
+}
+
+/// One armed site: its name, the firing threshold (probability scaled to
+/// `u64::MAX`), and the deterministic hit counter.
+struct Site {
+    name: String,
+    threshold: u64,
+    hits: AtomicU64,
+}
+
+fn sites() -> &'static [Site] {
+    static SITES: OnceLock<Vec<Site>> = OnceLock::new();
+    SITES.get_or_init(|| {
+        let Ok(spec) = std::env::var(FAILPOINTS_ENV) else {
+            return Vec::new();
+        };
+        let mut sites = Vec::new();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let Some((name, prob)) = entry.split_once(':') else {
+                eprintln!(
+                    "[pv-obs] ignoring malformed {FAILPOINTS_ENV} entry `{entry}` (want site:prob)"
+                );
+                continue;
+            };
+            let Ok(prob) = prob.trim().parse::<f64>() else {
+                eprintln!("[pv-obs] ignoring malformed {FAILPOINTS_ENV} probability in `{entry}`");
+                continue;
+            };
+            let threshold = if prob >= 1.0 {
+                u64::MAX
+            } else if prob <= 0.0 {
+                0
+            } else {
+                (prob * u64::MAX as f64) as u64
+            };
+            sites.push(Site {
+                name: name.trim().to_owned(),
+                threshold,
+                hits: AtomicU64::new(0),
+            });
+        }
+        sites
+    })
+}
+
+/// FNV-1a over the site name and the hit index — a cheap, dependency-free,
+/// platform-stable mix that makes the firing sequence deterministic.
+fn mix(name: &str, hit: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes().chain(hit.to_le_bytes()) {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Should the named site inject a fault on this hit? Always `false` (and
+/// fully compiled out) without the `failpoints` feature; with it, consults
+/// the `PV_FAILPOINTS` configuration and the site's deterministic hit
+/// counter. A firing ticks the `failpoint.<site>` counter and logs one
+/// stderr line.
+#[inline]
+pub fn failpoint(site: &str) -> bool {
+    if !cfg!(feature = "failpoints") {
+        return false;
+    }
+    let Some(armed) = sites().iter().find(|s| s.name == site) else {
+        return false;
+    };
+    if armed.threshold == 0 {
+        return false;
+    }
+    let hit = armed.hits.fetch_add(1, Ordering::Relaxed);
+    let fires = armed.threshold == u64::MAX || mix(site, hit) < armed.threshold;
+    if fires {
+        crate::metrics::counter_add(&format!("failpoint.{site}"), 1);
+        eprintln!("[pv-obs] failpoint `{site}` fired (hit #{hit})");
+    }
+    fires
+}
+
+/// Panics with an [`InjectedFault`] payload when the named site fires —
+/// the standard way to wire a "worker explodes here" site. A no-op without
+/// the `failpoints` feature.
+#[inline]
+pub fn inject_panic(site: &'static str) {
+    if failpoint(site) {
+        std::panic::panic_any(InjectedFault(site));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_sites_never_fire() {
+        // The test process does not set PV_FAILPOINTS, so everything is
+        // disarmed regardless of the feature flag.
+        for _ in 0..100 {
+            assert!(!failpoint("test.never"));
+        }
+        inject_panic("test.never"); // must not panic
+    }
+
+    #[test]
+    fn the_mix_is_deterministic_and_spread() {
+        let a: Vec<u64> = (0..64).map(|i| mix("cache.store", i)).collect();
+        let b: Vec<u64> = (0..64).map(|i| mix("cache.store", i)).collect();
+        assert_eq!(a, b);
+        // Different sites see different sequences.
+        assert_ne!(a, (0..64).map(|i| mix("job.run", i)).collect::<Vec<_>>());
+        // Roughly half the hashes land under the midpoint — the sequence is
+        // spread, not clustered (loose bound: 16..48 of 64).
+        let under = a.iter().filter(|&&h| h < u64::MAX / 2).count();
+        assert!(
+            (16..48).contains(&under),
+            "suspicious clustering: {under}/64"
+        );
+    }
+}

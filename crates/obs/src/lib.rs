@@ -21,6 +21,9 @@
 //!   ([`fold::fold`]) and checks span-nesting well-formedness
 //!   ([`fold::check_nesting`]) — every exit must match the open enter on its
 //!   thread.
+//! * [`fail`]: deterministic fault injection at named sites for chaos
+//!   testing, compiled out by default (opt in with the `failpoints` feature
+//!   and arm sites via `PV_FAILPOINTS=site:prob,…`).
 //!
 //! Events are plain values here; rendering them as JSONL lives in
 //! `pipeverify_core::trace_io`, next to the repository's JSON value model.
@@ -28,10 +31,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fail;
 pub mod fold;
 pub mod metrics;
 pub mod trace;
 
+pub use fail::{InjectedFault, FAILPOINTS_ENV};
 pub use fold::{check_nesting, fold, FoldReport, SpanRow};
 pub use metrics::{snapshot, Counter, Gauge, Histogram};
 pub use trace::{

@@ -22,7 +22,9 @@ use std::time::Instant;
 
 use pipeverify_core::cache::ArtifactCache;
 use pipeverify_core::json::Json;
-use pipeverify_core::{pool, trace_io, MachineSpec, SimulationPlan, Verifier};
+use pipeverify_core::{
+    pool, trace_io, BudgetExceeded, FlowErrorKind, MachineSpec, SimulationPlan, Verifier,
+};
 use pv_isa::alpha0::Alpha0Config;
 use pv_proc::alpha0::{self, PipelineConfig};
 use pv_proc::family::{FamilyBug, FamilyConfig};
@@ -40,6 +42,7 @@ USAGE:
     pv serve --listen <unix:PATH|tcp:HOST:PORT> [--threads N] [--cache-dir DIR | --no-cache]
     pv batch [FILE] [--threads N] [--cache-dir DIR | --no-cache]
     pv soak  [--jobs N] [--rss-limit-mb MB] [--summary PATH] [--threads N] [--listen ADDR]
+             [--allow-errors]
     pv trace [--out PATH] [--threads N]
 
     serve    Answer line-delimited JSON jobs over a socket (docs/PROTOCOL.md).
@@ -62,9 +65,35 @@ OPTIONS:
     --cache-dir DIR   Artifact cache directory (default: PV_CACHE_DIR, else
                       .pv-cache). The soak uses a scratch directory.
     --no-cache        Disable the artifact cache (every job runs cold).
+    --allow-errors    (soak) Count error responses as answered instead of
+                      failing the run — for chaos soaks under PV_FAILPOINTS.
+
+Jobs without explicit budget fields inherit PV_DEADLINE_MS / PV_NODE_BUDGET
+from the environment; budget-exhausted plans degrade the report (or fail the
+job with a typed error when no plan completes) instead of killing the batch.
 ";
 
+/// Budget aborts and injected faults unwind through `panic_any` and are
+/// caught at the pool boundary — they are control flow, not crashes. The
+/// default hook would still spam a full panic report for each one; replace
+/// it with a single concise line for those payloads and keep the default
+/// for everything genuinely unexpected.
+fn install_panic_hook() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        if let Some(exceeded) = payload.downcast_ref::<BudgetExceeded>() {
+            eprintln!("pv: worker aborted: {exceeded}");
+        } else if let Some(fault) = payload.downcast_ref::<pv_obs::InjectedFault>() {
+            eprintln!("pv: worker aborted: {fault}");
+        } else {
+            default(info);
+        }
+    }));
+}
+
 fn main() -> ExitCode {
+    install_panic_hook();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprint!("{USAGE}");
@@ -142,6 +171,17 @@ fn parse_common(args: &[String]) -> Result<CommonOpts, String> {
     })
 }
 
+/// Removes a valueless switch (e.g. `--allow-errors`) from `rest`, returning
+/// whether it was present.
+fn take_switch(rest: &mut Vec<String>, name: &str) -> bool {
+    if let Some(pos) = rest.iter().position(|a| a == name) {
+        rest.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
 fn take_flag(rest: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
     if let Some(pos) = rest.iter().position(|a| a == name) {
         if pos + 1 >= rest.len() {
@@ -187,6 +227,12 @@ enum BatchLine {
     Bad(String),
 }
 
+/// Upper bound on one batch input line (1 MiB). Real job requests are a few
+/// hundred bytes; a line past this is answered with an error instead of
+/// being fed to the JSON parser, so a runaway producer cannot balloon the
+/// batch's memory.
+const MAX_LINE_BYTES: usize = 1 << 20;
+
 fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     let mut opts = parse_common(args)?;
     let file = match opts.rest.len() {
@@ -211,9 +257,19 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        if line.len() > MAX_LINE_BYTES {
+            let message = format!(
+                "line of {} bytes exceeds the {MAX_LINE_BYTES}-byte limit",
+                line.len()
+            );
+            lines.push(BatchLine::Bad(
+                protocol::error_to_json(None, FlowErrorKind::Invalid, &message).render(),
+            ));
+            continue;
+        }
         match Json::parse(line) {
             Err(e) => lines.push(BatchLine::Bad(
-                protocol::error_to_json(None, &e.to_string()).render(),
+                protocol::error_to_json(None, FlowErrorKind::Invalid, &e.to_string()).render(),
             )),
             Ok(value) => match protocol::request_from_json(&value) {
                 Ok(job) => {
@@ -223,7 +279,8 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
                 Err(e) => {
                     let id = value.get("id").and_then(Json::as_u64);
                     lines.push(BatchLine::Bad(
-                        protocol::error_to_json(id, &e.to_string()).render(),
+                        protocol::error_to_json(id, FlowErrorKind::Invalid, &e.to_string())
+                            .render(),
                     ));
                 }
             },
@@ -258,7 +315,8 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
                 Ok(response) => protocol::response_to_json(response).render(),
                 Err(error) => {
                     failures += 1;
-                    protocol::error_to_json(Some(jobs[*index].id), error).render()
+                    protocol::error_to_json(Some(jobs[*index].id), error.kind, &error.message)
+                        .render()
                 }
             },
             BatchLine::Bad(rendered) => {
@@ -354,6 +412,7 @@ fn cmd_soak(args: &[String]) -> Result<ExitCode, String> {
     };
     let summary_path = take_flag(&mut opts.rest, "--summary")?;
     let listen = take_flag(&mut opts.rest, "--listen")?;
+    let allow_errors = take_switch(&mut opts.rest, "--allow-errors");
     if let Some(extra) = opts.rest.first() {
         return Err(format!("unexpected argument `{extra}`"));
     }
@@ -383,64 +442,75 @@ fn cmd_soak(args: &[String]) -> Result<ExitCode, String> {
 
     let shutdown = AtomicBool::new(false);
     let started = Instant::now();
-    let received = std::thread::scope(|scope| -> Result<Vec<u64>, String> {
-        let server = scope.spawn(|| server::serve(&addr, &runner, opts.threads, &shutdown));
+    let (received, error_lines) =
+        std::thread::scope(|scope| -> Result<(Vec<u64>, usize), String> {
+            let server = scope.spawn(|| server::serve(&addr, &runner, opts.threads, &shutdown));
 
-        // Wait for the listener to come up.
-        let mut client = loop {
-            match SoakClient::connect(&addr) {
-                Ok(client) => break client,
-                Err(_) if started.elapsed().as_secs() < 10 && !server.is_finished() => {
-                    std::thread::sleep(std::time::Duration::from_millis(20));
+            // Wait for the listener to come up.
+            let mut client = loop {
+                match SoakClient::connect(&addr) {
+                    Ok(client) => break client,
+                    Err(_) if started.elapsed().as_secs() < 10 && !server.is_finished() => {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                    Err(e) => {
+                        shutdown.store(true, Ordering::Relaxed);
+                        return Err(format!("connecting to {addr}: {e}"));
+                    }
                 }
-                Err(e) => {
-                    shutdown.store(true, Ordering::Relaxed);
-                    return Err(format!("connecting to {addr}: {e}"));
+            };
+
+            let reader = client.reader().map_err(|e| e.to_string())?;
+            let writer = scope.spawn(move || -> std::io::Result<()> {
+                for id in 0..jobs as u64 {
+                    let job = JobRequest {
+                        id,
+                        design: soak_design(id as usize),
+                        flows: vec![FlowKind::Beta],
+                        plans: PlanSet::Default,
+                        deadline_ms: None,
+                        node_budget: None,
+                    };
+                    let line = protocol::request_to_json(&job).render();
+                    client.write_all(line.as_bytes())?;
+                    client.write_all(b"\n")?;
                 }
-            }
-        };
+                client.shutdown_write()
+            });
 
-        let reader = client.reader().map_err(|e| e.to_string())?;
-        let writer = scope.spawn(move || -> std::io::Result<()> {
-            for id in 0..jobs as u64 {
-                let job = JobRequest {
-                    id,
-                    design: soak_design(id as usize),
-                    flows: vec![FlowKind::Beta],
-                    plans: PlanSet::Default,
-                };
-                let line = protocol::request_to_json(&job).render();
-                client.write_all(line.as_bytes())?;
-                client.write_all(b"\n")?;
+            let mut ids = Vec::with_capacity(jobs);
+            let mut error_lines = 0usize;
+            for line in BufReader::new(reader).lines() {
+                let line = line.map_err(|e| format!("reading responses: {e}"))?;
+                let value = Json::parse(&line).map_err(|e| format!("bad response line: {e}"))?;
+                if value.get("ok").and_then(Json::as_bool) != Some(true) {
+                    // Under fault injection (--allow-errors) an error response
+                    // still *answers* its job — it counts against drops, not
+                    // against the soak. Without the flag any error fails the run.
+                    if !allow_errors {
+                        return Err(format!("server answered an error: {line}"));
+                    }
+                    error_lines += 1;
+                    eprintln!("pv: soak error response: {line}");
+                }
+                ids.push(
+                    value
+                        .get("id")
+                        .and_then(Json::as_u64)
+                        .ok_or("response without an id")?,
+                );
             }
-            client.shutdown_write()
-        });
-
-        let mut ids = Vec::with_capacity(jobs);
-        for line in BufReader::new(reader).lines() {
-            let line = line.map_err(|e| format!("reading responses: {e}"))?;
-            let value = Json::parse(&line).map_err(|e| format!("bad response line: {e}"))?;
-            if value.get("ok").and_then(Json::as_bool) != Some(true) {
-                return Err(format!("server answered an error: {line}"));
-            }
-            ids.push(
-                value
-                    .get("id")
-                    .and_then(Json::as_u64)
-                    .ok_or("response without an id")?,
-            );
-        }
-        writer
-            .join()
-            .expect("writer thread does not panic")
-            .map_err(|e| format!("sending jobs: {e}"))?;
-        shutdown.store(true, Ordering::Relaxed);
-        server
-            .join()
-            .expect("server thread does not panic")
-            .map_err(|e| format!("server: {e}"))?;
-        Ok(ids)
-    })?;
+            writer
+                .join()
+                .expect("writer thread does not panic")
+                .map_err(|e| format!("sending jobs: {e}"))?;
+            shutdown.store(true, Ordering::Relaxed);
+            server
+                .join()
+                .expect("server thread does not panic")
+                .map_err(|e| format!("server: {e}"))?;
+            Ok((ids, error_lines))
+        })?;
 
     let wall = started.elapsed();
     let mut ids = received.clone();
@@ -451,7 +521,19 @@ fn cmd_soak(args: &[String]) -> Result<ExitCode, String> {
     // snapshot of a soaked process carries the memory high-water mark.
     let peak_rss = pv_server::record_rss_peak();
     let rss_ok = peak_rss.is_none_or(|b| b <= rss_limit_mb * 1024 * 1024);
-    let ok = dropped == 0 && received.len() == jobs && rss_ok;
+    // Crash consistency: whatever faults were injected, the cache directory
+    // must hold only committed entries — a leftover `.tmp-` file means a
+    // store path skipped its atomic rename.
+    let stale_tmp = cache
+        .as_ref()
+        .and_then(|cache| std::fs::read_dir(cache.dir()).ok())
+        .map_or(0usize, |entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+                .count()
+        });
+    let ok = dropped == 0 && received.len() == jobs && rss_ok && stale_tmp == 0;
 
     let summary = Json::Obj(vec![
         ("jobs".to_owned(), Json::from_u64(jobs as u64)),
@@ -460,6 +542,11 @@ fn cmd_soak(args: &[String]) -> Result<ExitCode, String> {
             Json::from_u64(received.len() as u64),
         ),
         ("dropped".to_owned(), Json::from_u64(dropped as u64)),
+        ("errors".to_owned(), Json::from_u64(error_lines as u64)),
+        (
+            "stale_tmp_files".to_owned(),
+            Json::from_u64(stale_tmp as u64),
+        ),
         (
             "cache_hits".to_owned(),
             Json::from_u64(runner.cache_hits() as u64),
@@ -489,7 +576,7 @@ fn cmd_soak(args: &[String]) -> Result<ExitCode, String> {
 
     if ok {
         eprintln!(
-            "pv: soak passed — {jobs} jobs answered in {:.3}s, peak RSS {}",
+            "pv: soak passed — {jobs} jobs answered in {:.3}s ({error_lines} error responses), peak RSS {}",
             wall.as_secs_f64(),
             peak_rss.map_or("unknown".to_owned(), |b| format!(
                 "{} MiB",
@@ -499,7 +586,7 @@ fn cmd_soak(args: &[String]) -> Result<ExitCode, String> {
         Ok(ExitCode::SUCCESS)
     } else {
         eprintln!(
-            "pv: soak FAILED — {} of {jobs} answered ({dropped} dropped), RSS within limit: {rss_ok}",
+            "pv: soak FAILED — {} of {jobs} answered ({dropped} dropped, {error_lines} errors, {stale_tmp} stale tmp files), RSS within limit: {rss_ok}",
             received.len(),
         );
         Ok(ExitCode::FAILURE)

@@ -34,14 +34,24 @@ use pv_obs::Counter;
 use pipeverify_core::cache::{content_key, ArtifactCache, ArtifactKind, CacheKey};
 use pipeverify_core::json::Json;
 use pipeverify_core::report_io;
-use pipeverify_core::{FlowReport, MachineSpec, VerificationFlow, Verifier};
+use pipeverify_core::{Budget, FlowReport, MachineSpec, VerificationFlow, Verifier};
 use pv_flush::FlushVerifier;
 use pv_netlist::{export, Netlist};
 use pv_proc::family::FamilyConfig;
 use pv_proc::vsm::VsmConfig;
 use pv_proc::{family, vsm};
 
-use crate::protocol::{DesignSpec, FlowKind, FlowResult, JobRequest, JobResponse, PlanSet};
+use crate::protocol::{
+    DesignSpec, FlowKind, FlowResult, JobError, JobRequest, JobResponse, PlanSet,
+};
+
+/// Environment default for [`JobRequest::deadline_ms`] — applied when a job
+/// names no deadline of its own. Unset or unparsable means unlimited.
+pub const PV_DEADLINE_MS: &str = "PV_DEADLINE_MS";
+
+/// Environment default for [`JobRequest::node_budget`]. Unset or unparsable
+/// means unlimited.
+pub const PV_NODE_BUDGET: &str = "PV_NODE_BUDGET";
 
 /// Flow-run cache traffic at the service level — the `JobRunner`'s own
 /// per-instance counters mirrored into the registry, where a profile sees
@@ -85,13 +95,24 @@ impl JobRunner {
     /// flow from the cache or the engine.
     ///
     /// # Errors
-    /// Returns a rendered message when the design parameters are out of
-    /// range, elaboration fails, or a flow rejects the pair (e.g. flushing on
-    /// a design without a stall input). Job errors never panic the worker.
-    pub fn run(&self, job: &JobRequest) -> Result<JobResponse, String> {
-        validate_design(&job.design)?;
-        let (pipelined, unpipelined, spec) = elaborate(&job.design)?;
-        let verifier = Verifier::new(spec).with_threads(1);
+    /// Returns a structured [`JobError`] when the design parameters are out
+    /// of range, elaboration fails, or a flow rejects the pair (e.g. flushing
+    /// on a design without a stall input) — all `invalid`. A budget trip that
+    /// starves *every* plan of the β-relation sweep is reported with its
+    /// budget kind; a partially-starved sweep still answers `ok` with the
+    /// degraded report (per-plan failures inside). Job errors never panic
+    /// the worker; injected faults and genuine panics are caught one layer
+    /// up, in [`crate::sched`].
+    pub fn run(&self, job: &JobRequest) -> Result<JobResponse, JobError> {
+        // Chaos site: a worker exploding mid-job must surface as a
+        // `worker_panicked` error response for this job only.
+        pv_obs::fail::inject_panic("job.run");
+        validate_design(&job.design).map_err(JobError::invalid)?;
+        let (pipelined, unpipelined, spec) = elaborate(&job.design).map_err(JobError::invalid)?;
+        let mut verifier = Verifier::new(spec).with_threads(1);
+        if let Some(budget) = job_budget(job) {
+            verifier = verifier.with_budget(budget);
+        }
         let plans = match &job.plans {
             PlanSet::Default => verifier.default_plans(),
             PlanSet::Explicit(plans) => plans.clone(),
@@ -140,20 +161,39 @@ impl JobRunner {
             let report = match flow {
                 FlowKind::Beta => {
                     let started = std::time::Instant::now();
-                    verifier
+                    let vreport = verifier
                         .verify_plans(&pipelined, &unpipelined, &plans)
-                        .map_err(|e| e.to_string())?
-                        .to_flow_report(started.elapsed())
+                        .map_err(|e| JobError::invalid(e.to_string()))?;
+                    // Graceful degradation: a budget that starved *some*
+                    // plans still answers `ok` with the per-plan failures in
+                    // the report; only a sweep with **nothing** checked
+                    // escalates to a typed job error.
+                    if vreport.plans_checked == 0 && !vreport.complete() {
+                        let first = &vreport.plan_failures[0];
+                        return Err(JobError {
+                            kind: first.kind,
+                            message: format!("no plan completed: {first}"),
+                        });
+                    }
+                    vreport.to_flow_report(started.elapsed())
                 }
                 FlowKind::Flushing => FlushVerifier::from_netlist(&pipelined)
-                    .map_err(|e| e.to_string())?
+                    .map_err(|e| JobError::invalid(e.to_string()))?
                     .with_threads(1)
                     .verify_flow(&pipelined, &unpipelined)
-                    .map_err(|e| e.to_string())?,
+                    .map_err(|e| JobError {
+                        kind: e.kind,
+                        message: e.to_string(),
+                    })?,
             };
-            self.store_artifacts(key, &report, &pipelined, &pipelined_export);
-            if flow == FlowKind::Beta {
-                self.store_netlist(&unpipelined, &unpipelined_export);
+            // A degraded (budget-starved) report is this *job's* answer, not
+            // the design pair's — caching it would poison warm runs that
+            // carry a bigger budget, so only complete reports are stored.
+            if report.unit_failures.is_empty() {
+                self.store_artifacts(key, &report, &pipelined, &pipelined_export);
+                if flow == FlowKind::Beta {
+                    self.store_netlist(&unpipelined, &unpipelined_export);
+                }
             }
             results.push(FlowResult {
                 flow: report.flow,
@@ -168,10 +208,18 @@ impl JobRunner {
     }
 
     fn load_report(&self, key: CacheKey) -> Option<FlowReport> {
-        let text = self.cache.as_ref()?.load(ArtifactKind::Report, key)?;
-        // A corrupt or older-format entry reads as a miss and is rewritten.
-        let json = Json::parse(&text).ok()?;
-        report_io::flow_report_from_json(&json).ok()
+        let cache = self.cache.as_ref()?;
+        let text = cache.load(ArtifactKind::Report, key)?;
+        // A corrupt or older-format entry reads as a miss and is rewritten —
+        // but it ticks `cache.corrupt`, so a soak can prove no entry was
+        // ever torn (a crash-consistency canary, not just a warmth loss).
+        let report = Json::parse(&text)
+            .ok()
+            .and_then(|json| report_io::flow_report_from_json(&json).ok());
+        if report.is_none() {
+            cache.note_corrupt(ArtifactKind::Report, key);
+        }
+        report
     }
 
     fn store_artifacts(
@@ -201,6 +249,27 @@ impl JobRunner {
             cache.store(ArtifactKind::Netlist, key, text).ok();
         }
     }
+}
+
+/// Resolves a job's resource budget: per-job fields first, the
+/// `PV_DEADLINE_MS` / `PV_NODE_BUDGET` environment defaults second, and
+/// `None` (unlimited — governance off, zero overhead) when neither names a
+/// bound.
+fn job_budget(job: &JobRequest) -> Option<Budget> {
+    let env_u64 = |name: &str| std::env::var(name).ok()?.trim().parse::<u64>().ok();
+    let deadline_ms = job.deadline_ms.or_else(|| env_u64(PV_DEADLINE_MS));
+    let node_budget = job.node_budget.or_else(|| env_u64(PV_NODE_BUDGET));
+    if deadline_ms.is_none() && node_budget.is_none() {
+        return None;
+    }
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = deadline_ms {
+        budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(nodes) = node_budget {
+        budget = budget.with_node_limit(nodes as usize);
+    }
+    Some(budget)
 }
 
 /// Checks design parameters up front, so malformed jobs answer with an error
@@ -342,6 +411,8 @@ mod tests {
             design: DesignSpec::Family(config),
             flows: vec![FlowKind::Beta, FlowKind::Flushing],
             plans: PlanSet::Default,
+            deadline_ms: None,
+            node_budget: None,
         }
     }
 
@@ -365,6 +436,8 @@ mod tests {
             },
             flows: vec![FlowKind::Beta],
             plans: PlanSet::Default,
+            deadline_ms: None,
+            node_budget: None,
         };
         assert!(runner.run(&vsm).is_err());
     }

@@ -20,7 +20,7 @@
 
 use pipeverify_core::json::Json;
 use pipeverify_core::report_io;
-use pipeverify_core::{FlowReport, SimulationPlan};
+use pipeverify_core::{FlowErrorKind, FlowReport, SimulationPlan};
 use pv_proc::family::{FamilyBug, FamilyConfig};
 
 /// Which design pair a job verifies.
@@ -78,7 +78,49 @@ pub struct JobRequest {
     pub flows: Vec<FlowKind>,
     /// The β-relation plan set (ignored by the flushing flow).
     pub plans: PlanSet,
+    /// Optional wall-clock deadline for this job's engine work, in
+    /// milliseconds. Falls back to the server's `PV_DEADLINE_MS` default;
+    /// absent in both places means unlimited.
+    pub deadline_ms: Option<u64>,
+    /// Optional ROBDD node budget (total allocations, monotone across GCs)
+    /// per plan manager. Falls back to `PV_NODE_BUDGET`; absent in both
+    /// places means unlimited.
+    pub node_budget: Option<u64>,
 }
+
+/// A structured job-level failure: how ([`FlowErrorKind`]) and why. Rendered
+/// on the wire as `{"id":…, "ok":false, "kind":"…", "error":"…"}` — the
+/// `error` string stays for older readers, `kind` is the machine-readable
+/// classification.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JobError {
+    /// The failure class (drives the service's retry policy).
+    pub kind: FlowErrorKind,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl JobError {
+    /// An [`FlowErrorKind::Invalid`] error — bad parameters, a flow that
+    /// rejects the design, a malformed request.
+    pub fn invalid(message: impl Into<String>) -> Self {
+        JobError {
+            kind: FlowErrorKind::Invalid,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            FlowErrorKind::Invalid => write!(f, "{}", self.message),
+            kind => write!(f, "{kind}: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
 
 /// One flow's result inside a [`JobResponse`].
 #[derive(Clone, Debug)]
@@ -240,11 +282,22 @@ pub fn request_from_json(v: &Json) -> Result<JobRequest, ProtocolError> {
         }
         Some(_) => return fail("`plans` must be \"default\" or an array of plan strings"),
     };
+    let optional_u64 = |field: &str| -> Result<Option<u64>, ProtocolError> {
+        match v.get(field) {
+            None | Some(Json::Null) => Ok(None),
+            Some(value) => value
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| ProtocolError(format!("`{field}` must be a non-negative integer"))),
+        }
+    };
     Ok(JobRequest {
         id,
         design,
         flows,
         plans,
+        deadline_ms: optional_u64("deadline_ms")?,
+        node_budget: optional_u64("node_budget")?,
     })
 }
 
@@ -303,7 +356,7 @@ pub fn request_to_json(job: &JobRequest) -> Json {
                 .collect(),
         ),
     };
-    Json::Obj(vec![
+    let mut fields = vec![
         ("id".to_owned(), Json::from_u64(job.id)),
         ("design".to_owned(), design),
         (
@@ -316,7 +369,14 @@ pub fn request_to_json(job: &JobRequest) -> Json {
             ),
         ),
         ("plans".to_owned(), plans),
-    ])
+    ];
+    if let Some(deadline_ms) = job.deadline_ms {
+        fields.push(("deadline_ms".to_owned(), Json::from_u64(deadline_ms)));
+    }
+    if let Some(node_budget) = job.node_budget {
+        fields.push(("node_budget".to_owned(), Json::from_u64(node_budget)));
+    }
+    Json::Obj(fields)
 }
 
 /// Encodes a successful response line.
@@ -347,13 +407,33 @@ pub fn response_to_json(response: &JobResponse) -> Json {
 }
 
 /// Encodes an error response line (job-level failure: bad design parameters,
-/// a flow that rejects the pair, a malformed request).
-pub fn error_to_json(id: Option<u64>, message: &str) -> Json {
+/// a flow that rejects the pair, a malformed request, a resource abort). The
+/// `kind` field carries the structured classification
+/// ([`FlowErrorKind::as_str`] wire names); `error` stays a plain message
+/// string for older readers.
+pub fn error_to_json(id: Option<u64>, kind: FlowErrorKind, message: &str) -> Json {
     Json::Obj(vec![
         ("id".to_owned(), id.map_or(Json::Null, Json::from_u64)),
         ("ok".to_owned(), Json::Bool(false)),
+        ("kind".to_owned(), Json::Str(kind.as_str().to_owned())),
         ("error".to_owned(), Json::Str(message.to_owned())),
     ])
+}
+
+/// Decodes an `ok: false` line into the structured [`JobError`] (a missing
+/// `kind` — older writers — reads as [`FlowErrorKind::Invalid`]).
+pub fn job_error_from_json(v: &Json) -> JobError {
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .and_then(FlowErrorKind::parse)
+        .unwrap_or(FlowErrorKind::Invalid);
+    let message = v
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap_or("malformed response")
+        .to_owned();
+    JobError { kind, message }
 }
 
 /// Decodes a response line (what test clients and `pv batch` readers use).
@@ -409,10 +489,42 @@ mod tests {
             ),
             flows: vec![FlowKind::Beta, FlowKind::Flushing],
             plans: PlanSet::Explicit(vec!["r\n0\n1\n0".parse().unwrap()]),
+            deadline_ms: Some(30_000),
+            node_budget: Some(5_000_000),
         };
         let line = request_to_json(&job).render();
         let back = request_from_json(&Json::parse(&line).unwrap()).unwrap();
         assert_eq!(back, job);
+
+        // Budget fields are optional on the wire and omitted when absent.
+        let unbudgeted = JobRequest {
+            deadline_ms: None,
+            node_budget: None,
+            ..job
+        };
+        let line = request_to_json(&unbudgeted).render();
+        assert!(!line.contains("deadline_ms") && !line.contains("node_budget"));
+        let back = request_from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, unbudgeted);
+    }
+
+    #[test]
+    fn error_lines_carry_a_structured_kind() {
+        let line = error_to_json(
+            Some(9),
+            FlowErrorKind::DeadlineExceeded,
+            "deadline exceeded after 30000 ms",
+        )
+        .render();
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        let err = job_error_from_json(&v);
+        assert_eq!(err.kind, FlowErrorKind::DeadlineExceeded);
+        assert_eq!(err.message, "deadline exceeded after 30000 ms");
+
+        // Older writers (no `kind`) read as Invalid.
+        let legacy = Json::parse(r#"{"id":1,"ok":false,"error":"boom"}"#).unwrap();
+        assert_eq!(job_error_from_json(&legacy).kind, FlowErrorKind::Invalid);
     }
 
     #[test]
@@ -447,6 +559,14 @@ mod tests {
             (
                 r#"{"id":1,"design":{"vsm":{"num_regs":2}},"plans":["r x"]}"#,
                 "bad plan token",
+            ),
+            (
+                r#"{"id":1,"design":{"vsm":{"num_regs":2}},"deadline_ms":"fast"}"#,
+                "non-integer deadline",
+            ),
+            (
+                r#"{"id":1,"design":{"vsm":{"num_regs":2}},"node_budget":-1}"#,
+                "negative node budget",
             ),
         ] {
             let v = Json::parse(line).unwrap();

@@ -13,13 +13,15 @@
 //! [`crate::job`]) — parallelism lives here, across jobs, so a sweep
 //! saturates the workers without oversubscribing the machine.
 
-use std::time::Instant;
+use std::panic::AssertUnwindSafe;
+use std::time::{Duration, Instant};
 
 use pipeverify_core::pool;
-use pv_obs::Histogram;
+use pipeverify_core::FlowErrorKind;
+use pv_obs::{Counter, Histogram};
 
 use crate::job::{cost_estimate, JobRunner};
-use crate::protocol::{JobRequest, JobResponse};
+use crate::protocol::{JobError, JobRequest, JobResponse};
 
 /// Per-job latency decomposition of a wave: time from wave submission to the
 /// worker claiming the job (queue wait — grows when a wave is wider than the
@@ -29,8 +31,48 @@ use crate::protocol::{JobRequest, JobResponse};
 static M_JOB_QUEUE_WAIT: Histogram = Histogram::new("server.job.queue_wait_us");
 static M_JOB_RUN: Histogram = Histogram::new("server.job.run_us");
 
-/// The outcome of one job: a response, or the rendered job-level error.
-pub type JobOutcome = Result<JobResponse, String>;
+/// Jobs re-run after a transient failure (`server.job.retry`). A wave that
+/// finishes with retries but no errors means the retry policy absorbed a
+/// fault; a high rate means something is structurally wrong.
+static M_JOB_RETRY: Counter = Counter::new("server.job.retry");
+
+/// The outcome of one job: a response, or a structured job-level error.
+pub type JobOutcome = Result<JobResponse, JobError>;
+
+/// Total attempts per job: the first run plus up to two retries of
+/// *transient* failures (worker panics). Deterministic errors — invalid
+/// requests, budget exhaustion, cancellation — never retry.
+const MAX_ATTEMPTS: u32 = 3;
+
+/// Base backoff between retry attempts, scaled linearly by attempt number.
+/// Long enough to ride out a momentary glitch, short enough that a wave's
+/// makespan barely notices.
+const RETRY_BACKOFF: Duration = Duration::from_millis(25);
+
+/// Runs one job with panic isolation and bounded retry: a panicking worker
+/// is caught (the wave survives), classified, and — only when the failure is
+/// transient — retried with linear backoff. The last error wins.
+fn run_with_retry(runner: &JobRunner, job: &JobRequest) -> JobOutcome {
+    let mut last = None;
+    for attempt in 1..=MAX_ATTEMPTS {
+        let error = match std::panic::catch_unwind(AssertUnwindSafe(|| runner.run(job))) {
+            Ok(Ok(response)) => return Ok(response),
+            Ok(Err(error)) => error,
+            Err(payload) => {
+                let (kind, message) = FlowErrorKind::classify_panic(&*payload);
+                JobError { kind, message }
+            }
+        };
+        let transient = error.kind.is_transient();
+        last = Some(error);
+        if !transient || attempt == MAX_ATTEMPTS {
+            break;
+        }
+        M_JOB_RETRY.incr();
+        std::thread::sleep(RETRY_BACKOFF * attempt);
+    }
+    Err(last.expect("the attempt loop runs at least once"))
+}
 
 /// Runs `jobs` on `threads` workers in LPT order and returns the outcomes in
 /// **input order** (the wire contract: responses carry ids, but `pv batch`
@@ -58,7 +100,7 @@ where
         M_JOB_QUEUE_WAIT.record(submitted.elapsed().as_micros() as u64);
         let _span = pv_obs::span("server.job");
         let claimed = Instant::now();
-        let outcome = runner.run(&jobs[input_index]);
+        let outcome = run_with_retry(runner, &jobs[input_index]);
         M_JOB_RUN.record(claimed.elapsed().as_micros() as u64);
         on_done(input_index, &outcome);
         (input_index, outcome)
@@ -89,6 +131,8 @@ mod tests {
             design: DesignSpec::Family(FamilyConfig::new(depth, 4, 2, 0).stallable()),
             flows: vec![FlowKind::Beta],
             plans: PlanSet::Explicit(vec!["r\n0".parse().unwrap()]),
+            deadline_ms: None,
+            node_budget: None,
         }
     }
 
@@ -116,6 +160,23 @@ mod tests {
         let outcomes = run_jobs(&runner, &jobs, 2, |_, _| {});
         assert!(outcomes[0].is_ok());
         assert!(outcomes[1].is_err(), "depth 9 is out of range");
+        assert_eq!(
+            outcomes[1].as_ref().unwrap_err().kind,
+            FlowErrorKind::Invalid
+        );
+        assert!(outcomes[2].is_ok());
+    }
+
+    #[test]
+    fn a_starved_job_fails_typed_without_taking_down_its_wave() {
+        let runner = JobRunner::new(None);
+        let mut starved = job(1, 2);
+        starved.node_budget = Some(1); // one BDD node: every plan trips it
+        let jobs = vec![job(0, 2), starved, job(2, 2)];
+        let outcomes = run_jobs(&runner, &jobs, 2, |_, _| {});
+        assert!(outcomes[0].is_ok(), "siblings of a starved job complete");
+        let err = outcomes[1].as_ref().expect_err("no plan fits in one node");
+        assert_eq!(err.kind, FlowErrorKind::NodeBudgetExceeded);
         assert!(outcomes[2].is_ok());
     }
 }

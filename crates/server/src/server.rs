@@ -28,6 +28,7 @@ use std::sync::mpsc;
 use std::time::Duration;
 
 use pipeverify_core::json::Json;
+use pipeverify_core::FlowErrorKind;
 
 use crate::job::JobRunner;
 use crate::protocol::{self, JobRequest};
@@ -183,7 +184,9 @@ where
                     Incoming::Job(job) => jobs.push(job),
                     Incoming::Bad { id, error } => {
                         stats.errors += 1;
-                        writeln!(out, "{}", protocol::error_to_json(id, &error).render())?;
+                        let line =
+                            protocol::error_to_json(id, FlowErrorKind::Invalid, &error).render();
+                        writeln!(out, "{line}")?;
                     }
                 }
             }
@@ -196,7 +199,7 @@ where
                     }
                     Err(error) => {
                         stats.errors += 1;
-                        protocol::error_to_json(Some(job.id), &error).render()
+                        protocol::error_to_json(Some(job.id), error.kind, &error.message).render()
                     }
                 };
                 writeln!(out, "{line}")?;

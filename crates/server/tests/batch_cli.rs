@@ -70,6 +70,116 @@ fn batch_stdout_stays_pure_jsonl_under_invalid_pv_threads() {
 }
 
 #[test]
+fn malformed_and_oversized_lines_answer_in_place_without_sinking_the_batch() {
+    let dir = scratch("sandwich");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let jobs_path = dir.join("jobs.jsonl");
+    // A malformed line and an oversized line sandwiched between valid jobs:
+    // every input line must still be answered, in input order.
+    let oversized = format!(
+        r#"{{"id":9,"design":{{"vsm":{{"num_regs":1}}}},"plans":["r 0"],"pad":"{}"}}"#,
+        "x".repeat(2 << 20)
+    );
+    let jobs = format!(
+        concat!(
+            r#"{{"id":1,"design":{{"vsm":{{"num_regs":1}}}},"plans":["r 0"]}}"#,
+            "\n",
+            "this line is not JSON\n",
+            "{oversized}\n",
+            r#"{{"id":2,"design":{{"vsm":{{"num_regs":1}}}},"plans":["r 0"]}}"#,
+            "\n",
+        ),
+        oversized = oversized
+    );
+    std::fs::write(&jobs_path, jobs).expect("write jobs");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_pv"))
+        .arg("batch")
+        .arg(&jobs_path)
+        .arg("--no-cache")
+        .output()
+        .expect("run pv batch");
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "a batch with failed lines exits nonzero"
+    );
+
+    let stdout = String::from_utf8(output.stdout).expect("stdout is UTF-8");
+    let lines: Vec<Json> = stdout
+        .lines()
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("impure stdout line ({e}): {l}")))
+        .collect();
+    assert_eq!(lines.len(), 4, "every input line is answered:\n{stdout}");
+
+    assert_eq!(lines[0].get("id").and_then(Json::as_u64), Some(1));
+    assert_eq!(lines[0].get("ok").and_then(Json::as_bool), Some(true));
+
+    // The malformed line: a structured invalid error without an id.
+    assert_eq!(lines[1].get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(lines[1].get("kind").and_then(Json::as_str), Some("invalid"));
+
+    // The oversized line is rejected before it ever reaches the JSON parser.
+    assert_eq!(lines[2].get("ok").and_then(Json::as_bool), Some(false));
+    let message = lines[2].get("error").and_then(Json::as_str).unwrap_or("");
+    assert!(
+        message.contains("byte limit") || message.contains("-byte limit"),
+        "the oversized line names the limit: {message}"
+    );
+
+    assert_eq!(lines[3].get("id").and_then(Json::as_u64), Some(2));
+    assert_eq!(lines[3].get("ok").and_then(Json::as_bool), Some(true));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_starved_job_answers_with_a_typed_error_line() {
+    let dir = scratch("starved");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let jobs_path = dir.join("jobs.jsonl");
+    // Job 1 carries an impossible node budget; its siblings must be
+    // unaffected and the error line must carry the budget kind.
+    std::fs::write(
+        &jobs_path,
+        concat!(
+            r#"{"id":1,"design":{"vsm":{"num_regs":1}},"plans":["r 0"],"node_budget":1}"#,
+            "\n",
+            r#"{"id":2,"design":{"vsm":{"num_regs":1}},"plans":["r 0"]}"#,
+            "\n",
+        ),
+    )
+    .expect("write jobs");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_pv"))
+        .arg("batch")
+        .arg(&jobs_path)
+        .arg("--no-cache")
+        .output()
+        .expect("run pv batch");
+    assert_eq!(output.status.code(), Some(1));
+
+    let stdout = String::from_utf8(output.stdout).expect("stdout is UTF-8");
+    let lines: Vec<Json> = stdout
+        .lines()
+        .map(|l| Json::parse(l).expect("JSON line"))
+        .collect();
+    assert_eq!(lines.len(), 2);
+    assert_eq!(lines[0].get("id").and_then(Json::as_u64), Some(1));
+    assert_eq!(lines[0].get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        lines[0].get("kind").and_then(Json::as_str),
+        Some("node_budget_exceeded"),
+        "the starved job fails with the budget kind: {stdout}"
+    );
+    assert_eq!(lines[1].get("ok").and_then(Json::as_bool), Some(true));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn batch_reports_cache_warmth_and_preserves_input_order() {
     let dir = scratch("warmth");
     std::fs::remove_dir_all(&dir).ok();

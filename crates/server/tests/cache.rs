@@ -39,6 +39,8 @@ fn smoke_jobs() -> Vec<JobRequest> {
                 design: DesignSpec::Family(design),
                 flows: vec![FlowKind::Beta, FlowKind::Flushing],
                 plans: PlanSet::Default,
+                deadline_ms: None,
+                node_budget: None,
             });
         }
     }
@@ -85,6 +87,86 @@ fn warm_runs_replay_cold_reports_field_identically() {
         assert!(warm_line.contains("\"cached\":true"));
         assert!(!cold_line.contains("\"cached\":true"));
     }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Crash consistency: entries truncated mid-write (as by a killed process)
+/// must read as **misses** — recomputed and rewritten, never served torn and
+/// never failing the job.
+#[test]
+fn truncated_cache_entries_read_as_misses_and_are_rewritten() {
+    let dir = scratch("truncated");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let jobs = &smoke_jobs()[..2];
+    let cold_runner = JobRunner::new(Some(ArtifactCache::at(&dir)));
+    let cold = run_all(&cold_runner, jobs);
+
+    // Simulate a crash mid-write: truncate every report entry to half, and
+    // garble one to non-JSON entirely.
+    let mut reports: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("cache dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.to_string_lossy().ends_with(".report.json"))
+        .collect();
+    reports.sort();
+    assert!(reports.len() >= 2, "the cold run stored report entries");
+    for (index, path) in reports.iter().enumerate() {
+        if index == 0 {
+            std::fs::write(path, "not json at all").expect("garble");
+        } else {
+            let text = std::fs::read_to_string(path).expect("read entry");
+            std::fs::write(path, &text[..text.len() / 2]).expect("truncate");
+        }
+    }
+
+    let warm_runner = JobRunner::new(Some(ArtifactCache::at(&dir)));
+    let warm = run_all(&warm_runner, jobs);
+    assert_eq!(
+        warm_runner.cache_hits(),
+        0,
+        "every truncated entry reads as a miss"
+    );
+    assert_eq!(warm_runner.cache_misses(), 2 * jobs.len());
+    // Recomputed reports are field-identical up to wall-clock durations
+    // (which are re-measured, unlike a warm replay of the stored bytes).
+    fn scrub_walls(line: &str) -> String {
+        let mut out = String::new();
+        let mut rest = line;
+        while let Some(pos) = rest.find("_ns\":") {
+            out.push_str(&rest[..pos + 5]);
+            let after = &rest[pos + 5..];
+            let skip = if let Some(stripped) = after.strip_prefix('[') {
+                1 + stripped.find(']').map_or(0, |e| e + 1)
+            } else {
+                after
+                    .find(|c: char| !c.is_ascii_digit())
+                    .unwrap_or(after.len())
+            };
+            out.push('0');
+            rest = &after[skip..];
+        }
+        out.push_str(rest);
+        out
+    }
+    for (cold_line, warm_line) in cold.iter().zip(&warm) {
+        assert_eq!(
+            scrub_walls(cold_line),
+            scrub_walls(warm_line),
+            "recomputed reports are field-identical up to wall clocks"
+        );
+    }
+
+    // The recomputation healed the cache: a third run is entirely warm.
+    let healed_runner = JobRunner::new(Some(ArtifactCache::at(&dir)));
+    run_all(&healed_runner, jobs);
+    assert_eq!(
+        healed_runner.cache_misses(),
+        0,
+        "the rewrite healed every entry"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }

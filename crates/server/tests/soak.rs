@@ -112,6 +112,8 @@ fn in_process_round_trip_through_the_wire_types() {
         },
         flows: vec![FlowKind::Beta],
         plans: PlanSet::Default,
+        deadline_ms: None,
+        node_budget: None,
     };
     let input = format!("{}\n", protocol::request_to_json(&job).render());
     let mut output = Vec::new();
