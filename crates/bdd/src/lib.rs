@@ -6,6 +6,11 @@
 //! * a hash-consed [`BddManager`] with a memoized if-then-else (`ite`) core
 //!   operation, from which the usual Boolean connectives are derived
 //!   (Bryant 1986),
+//! * **complemented edges** (Brace–Rudell–Bryant 1990): every [`Bdd`] handle
+//!   carries a complement attribute, the unique table stores only the
+//!   regular-then canonical form, and `ite` normalizes standard triples, so
+//!   negation is a single bit flip with zero allocation and a function
+//!   shares its entire subgraph with its complement,
 //! * restriction (cofactoring), existential/universal quantification (the
 //!   *smoothing* operator of Definition 3.3.1), composition and monotone
 //!   variable replacement,
@@ -53,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod budget;
+mod hash;
 mod manager;
 mod node;
 mod relation;

@@ -1,6 +1,8 @@
 //! The ROBDD manager: node store, hash-consing and the core operations.
 
 use std::collections::{BTreeSet, HashMap};
+
+use crate::hash::FxMap;
 use std::time::Duration;
 
 use pv_obs::{Counter, Gauge};
@@ -24,6 +26,9 @@ static M_GC_COLLECTED: Counter = Counter::new("bdd.gc.collected");
 static M_PEAK_LIVE: Gauge = Gauge::new("bdd.unique.peak_live");
 
 /// Default live-node count above which [`BddManager::maybe_gc`] collects.
+/// This is the *floor*: after each collection the effective trigger is
+/// re-derived as `max(floor, 2 × live)`, so mostly-live workloads wait for
+/// the table to double rather than thrash.
 const DEFAULT_GC_THRESHOLD: usize = 1 << 20;
 
 /// The budget is consulted on the ITE cache-miss path only once per this
@@ -126,8 +131,8 @@ pub struct BddManager {
     /// variable is the subtable index — so one level's nodes can be
     /// enumerated and rewritten in `O(nodes at level)` during an
     /// adjacent-level swap.
-    pub(crate) subtables: Vec<HashMap<(Bdd, Bdd), Bdd>>,
-    pub(crate) ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
+    pub(crate) subtables: Vec<FxMap<(Bdd, Bdd), Bdd>>,
+    pub(crate) ite_cache: FxMap<(Bdd, Bdd, Bdd), Bdd>,
     pub(crate) num_vars: u32,
     /// `var2level[v]` is the current level (0 = topmost) of variable `v`.
     pub(crate) var2level: Vec<u32>,
@@ -143,7 +148,7 @@ pub struct BddManager {
     pub(crate) free_head: u32,
     pub(crate) free_count: usize,
     /// Registered GC roots with reference counts.
-    pub(crate) roots: HashMap<Bdd, usize>,
+    pub(crate) roots: FxMap<Bdd, usize>,
     /// Configured floor for the collection trigger (see
     /// [`set_gc_threshold`](Self::set_gc_threshold)).
     gc_floor: usize,
@@ -199,22 +204,25 @@ impl Default for BddManager {
 }
 
 impl BddManager {
-    /// Creates an empty manager containing only the two terminal nodes.
+    /// Creates an empty manager containing only the terminal node (slot 0,
+    /// constant true; constant false is its complemented edge) and a
+    /// reserved, never-referenced slot keeping the historical "two terminal
+    /// slots" accounting — `live_nodes()` of an empty manager is still 2.
     pub fn new() -> Self {
-        let terminal_false = Node {
+        let terminal = Node {
             var: TERMINAL_VAR,
-            lo: Bdd::FALSE,
-            hi: Bdd::FALSE,
+            lo: Bdd::TRUE,
+            hi: Bdd::TRUE,
         };
-        let terminal_true = Node {
+        let reserved = Node {
             var: TERMINAL_VAR,
             lo: Bdd::TRUE,
             hi: Bdd::TRUE,
         };
         BddManager {
-            nodes: vec![terminal_false, terminal_true],
+            nodes: vec![terminal, reserved],
             subtables: Vec::new(),
-            ite_cache: HashMap::new(),
+            ite_cache: FxMap::default(),
             num_vars: 0,
             var2level: Vec::new(),
             level2var: Vec::new(),
@@ -222,7 +230,7 @@ impl BddManager {
             next_group: 0,
             free_head: FREE_NIL,
             free_count: 0,
-            roots: HashMap::new(),
+            roots: FxMap::default(),
             gc_floor: DEFAULT_GC_THRESHOLD,
             gc_threshold: DEFAULT_GC_THRESHOLD,
             auto_reorder: crate::reorder::AutoReorderPolicy::Off,
@@ -306,7 +314,7 @@ impl BddManager {
         self.level2var.push(self.num_vars);
         self.group_of.push(self.next_group);
         self.next_group += 1;
-        self.subtables.push(HashMap::new());
+        self.subtables.push(FxMap::default());
         self.num_vars += 1;
         v
     }
@@ -475,21 +483,38 @@ impl BddManager {
         }
     }
 
+    /// Hash-conses the decision `(var, lo, hi)`, enforcing the canonical
+    /// complemented-edge form: the stored *then* edge is always regular. A
+    /// complemented `hi` is pushed into both children and the returned handle
+    /// is complemented instead, so `f` and `¬f` share one stored subgraph.
     pub(crate) fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
         if lo == hi {
             return lo;
         }
-        if let Some(&b) = self.subtables[var as usize].get(&(lo, hi)) {
-            return b;
+        let compl = hi.is_compl();
+        let (lo, hi) = if compl {
+            (lo.negate(), hi.negate())
+        } else {
+            (lo, hi)
+        };
+        let handle = if let Some(&b) = self.subtables[var as usize].get(&(lo, hi)) {
+            b
+        } else {
+            self.alloc_node(Node { var, lo, hi })
+        };
+        if compl {
+            handle.negate()
+        } else {
+            handle
         }
-        self.alloc_node(Node { var, lo, hi })
     }
 
-    /// Allocates a table slot for a (not yet hash-consed) node, reusing the
-    /// free list, and enters it into its variable's subtable — the one
-    /// allocation protocol shared by [`mk`](Self::mk) and the reorderer's
-    /// refcounting `mk_ref`.
+    /// Allocates a table slot for a (not yet hash-consed, canonical-form)
+    /// node, reusing the free list, and enters it into its variable's
+    /// subtable — the one allocation protocol shared by [`mk`](Self::mk) and
+    /// the reorderer's refcounting `mk_ref`. Returns the regular handle.
     pub(crate) fn alloc_node(&mut self, node: Node) -> Bdd {
+        debug_assert!(!node.hi.is_compl(), "canonical form: then edge regular");
         let idx = if self.free_head != FREE_NIL {
             let idx = self.free_head;
             self.free_head = self.nodes[idx as usize].lo.0;
@@ -509,16 +534,28 @@ impl BddManager {
         if live > self.peak_live {
             self.peak_live = live;
         }
-        let handle = Bdd(idx);
+        let handle = Bdd(idx << 1);
         self.subtables[node.var as usize].insert((node.lo, node.hi), handle);
         handle
     }
 
+    /// The stored node of `b`'s slot. The caller is responsible for applying
+    /// `b`'s complement attribute to the children (or use
+    /// [`cofactors`](Self::cofactors), which does).
     #[inline]
     pub(crate) fn node(&self, b: Bdd) -> Node {
-        let n = self.nodes[b.0 as usize];
+        let n = self.nodes[b.index()];
         debug_assert!(!n.is_free(), "dangling handle {b}: slot was reclaimed");
         n
+    }
+
+    /// The decision variable and **attribute-adjusted** children of a
+    /// non-constant handle: a complemented edge complements both cofactors.
+    #[inline]
+    pub(crate) fn cofactors(&self, f: Bdd) -> (u32, Bdd, Bdd) {
+        let n = self.node(f);
+        let c = f.0 & 1;
+        (n.var, Bdd(n.lo.0 ^ c), Bdd(n.hi.0 ^ c))
     }
 
     /// Variable decided at the root of `f`, or `None` for a constant.
@@ -530,27 +567,52 @@ impl BddManager {
         }
     }
 
-    /// Low (else) child of a non-constant node.
+    /// Low (else) child of a non-constant node, with the handle's complement
+    /// attribute applied (a complemented edge complements both cofactors).
     ///
     /// # Panics
     /// Panics if `f` is a constant.
     pub fn low(&self, f: Bdd) -> Bdd {
         assert!(!f.is_const(), "constants have no children");
-        self.node(f).lo
+        let (_, lo, _) = self.cofactors(f);
+        lo
     }
 
-    /// High (then) child of a non-constant node.
+    /// High (then) child of a non-constant node, with the handle's complement
+    /// attribute applied.
     ///
     /// # Panics
     /// Panics if `f` is a constant.
     pub fn high(&self, f: Bdd) -> Bdd {
         assert!(!f.is_const(), "constants have no children");
-        self.node(f).hi
+        let (_, _, hi) = self.cofactors(f);
+        hi
     }
 
     // ----------------------------------------------------------------- ITE --
 
+    /// `true` when `a` precedes `b` in the canonical argument order used to
+    /// pick among equivalent ITE triples. Any total order works (the choice
+    /// only decides which of two equivalent triples names the cache entry),
+    /// so the cheapest one wins: the slot index, a pure register compare
+    /// with no node-table loads on the hot path. Both arguments are
+    /// non-constant.
+    #[inline]
+    fn precedes(&self, a: Bdd, b: Bdd) -> bool {
+        a.index() < b.index()
+    }
+
     /// If-then-else: `f·g + ¬f·h`, the core memoized operation.
+    ///
+    /// Arguments are rewritten to the Brace–Rudell–Bryant **standard
+    /// triple** before the memo lookup: trivial and complement patterns are
+    /// resolved without recursion, commutative forms (`∧`, `∨`, `⊕`, `≡`)
+    /// pick one canonical argument order, the first argument is made regular
+    /// (`ite(¬f,g,h) = ite(f,h,g)`) and a complemented second argument is
+    /// extracted as an output complement (`ite(f,g,h) = ¬ite(f,¬g,¬h)`). All
+    /// the equivalent ways of phrasing one Boolean step — `f∧g` vs `¬(¬f∨¬g)`,
+    /// `f⊕g` vs `¬(f≡g)` — therefore share a single cache entry and a single
+    /// stored subgraph.
     pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
         // Terminal cases.
         if f.is_true() {
@@ -562,13 +624,79 @@ impl BddManager {
         if g == h {
             return g;
         }
+        // Arguments equal (or complementary) to the condition collapse.
+        let mut g = g;
+        let mut h = h;
+        if g == f {
+            g = Bdd::TRUE;
+        } else if g == f.negate() {
+            g = Bdd::FALSE;
+        }
+        if h == f {
+            h = Bdd::FALSE;
+        } else if h == f.negate() {
+            h = Bdd::TRUE;
+        }
+        if g == h {
+            return g;
+        }
         if g.is_true() && h.is_false() {
             return f;
+        }
+        if g.is_false() && h.is_true() {
+            return f.negate();
+        }
+        let mut f = f;
+        // Canonical argument order for the commutative forms. In each branch
+        // the other operands are non-constant (the constant combinations all
+        // returned above).
+        if g.is_true() {
+            // f ∨ h == h ∨ f
+            if self.precedes(h, f) {
+                std::mem::swap(&mut f, &mut h);
+            }
+        } else if g.is_false() {
+            // ¬f ∧ h == ¬h ∧ f (as ite(¬h, F, ¬f))
+            if self.precedes(h, f) {
+                let nf = f.negate();
+                f = h.negate();
+                h = nf;
+            }
+        } else if h.is_false() {
+            // f ∧ g == g ∧ f
+            if self.precedes(g, f) {
+                std::mem::swap(&mut f, &mut g);
+            }
+        } else if h.is_true() {
+            // f → g == ¬g → ¬f (as ite(¬g, ¬f, T))
+            if self.precedes(g, f) {
+                let nf = f.negate();
+                f = g.negate();
+                g = nf;
+            }
+        } else if g == h.negate() {
+            // f ≡ g is symmetric: ite(f, g, ¬g) == ite(g, f, ¬f)
+            if self.precedes(g, f) {
+                std::mem::swap(&mut f, &mut g);
+                h = g.negate();
+            }
+        }
+        // Regularize the condition: ite(¬f, g, h) == ite(f, h, g).
+        if f.is_compl() {
+            f = f.negate();
+            std::mem::swap(&mut g, &mut h);
+        }
+        // Extract the output complement: ite(f, ¬g', h) == ¬ite(f, g', ¬h),
+        // so the stored triple always has a regular second argument.
+        let compl = g.is_compl();
+        if compl {
+            g = g.negate();
+            h = h.negate();
         }
         let key = (f, g, h);
         if let Some(&r) = self.ite_cache.get(&key) {
             self.ite_hits += 1;
-            return r;
+            return if compl { r.negate() } else { r };
         }
         self.ite_misses += 1;
         self.check_budget_amortized();
@@ -597,17 +725,23 @@ impl BddManager {
         let hi = self.ite(f1, g1, h1);
         let result = self.mk(top, lo, hi);
         self.ite_cache.insert(key, result);
-        result
+        if compl {
+            result.negate()
+        } else {
+            result
+        }
     }
 
+    /// The two cofactors of `f` with respect to `var`: the attribute-adjusted
+    /// children when `var` is `f`'s root, `f` itself otherwise.
     #[inline]
     fn split(&self, f: Bdd, var: u32) -> (Bdd, Bdd) {
         if f.is_const() {
             return (f, f);
         }
-        let n = self.node(f);
-        if n.var == var {
-            (n.lo, n.hi)
+        let (v, lo, hi) = self.cofactors(f);
+        if v == var {
+            (lo, hi)
         } else {
             (f, f)
         }
@@ -615,9 +749,10 @@ impl BddManager {
 
     // -------------------------------------------------------- connectives --
 
-    /// Logical negation.
+    /// Logical negation: flips the complement attribute. O(1), allocates no
+    /// node and touches no table (see the `negation` tests).
     pub fn not(&mut self, f: Bdd) -> Bdd {
-        self.ite(f, Bdd::FALSE, Bdd::TRUE)
+        f.negate()
     }
 
     /// Logical conjunction.
@@ -632,15 +767,15 @@ impl BddManager {
 
     /// Exclusive or.
     pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let ng = self.not(g);
-        self.ite(f, ng, g)
+        self.ite(f, g.negate(), g)
     }
 
     /// Exclusive nor (equivalence); used by the product-machine construction
-    /// of Section 3.4.
+    /// of Section 3.4. Shares its cache entry (and, complemented, its result
+    /// graph) with [`xor`](Self::xor) of the same operands through the
+    /// standard-triple normalization.
     pub fn xnor(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let ng = self.not(g);
-        self.ite(f, g, ng)
+        self.ite(f, g, g.negate())
     }
 
     /// Implication `f → g`.
@@ -689,20 +824,25 @@ impl BddManager {
     /// This is the cofactoring operation used to constrain the transition
     /// relation to a particular instruction class (Section 5.2).
     pub fn restrict(&mut self, f: Bdd, var: Var, value: bool) -> Bdd {
-        let mut memo = HashMap::new();
+        let mut memo = FxMap::default();
         self.restrict_rec(f, var.0, value, &mut memo)
     }
 
-    fn restrict_rec(&mut self, f: Bdd, var: u32, value: bool, memo: &mut HashMap<Bdd, Bdd>) -> Bdd {
+    /// Restriction commutes with negation, so the recursion strips the
+    /// complement attribute, memoizes on the regular handle only (halving the
+    /// memo) and re-applies the attribute to the result.
+    fn restrict_rec(&mut self, f: Bdd, var: u32, value: bool, memo: &mut FxMap<Bdd, Bdd>) -> Bdd {
         if f.is_const() {
             return f;
         }
+        let compl = f.is_compl();
+        let f = f.regular();
         let n = self.node(f);
         if self.lvl(n.var) > self.lvl(var) {
-            return f;
+            return if compl { f.negate() } else { f };
         }
         if let Some(&r) = memo.get(&f) {
-            return r;
+            return if compl { r.negate() } else { r };
         }
         let result = if n.var == var {
             if value {
@@ -716,7 +856,11 @@ impl BddManager {
             self.mk(n.var, lo, hi)
         };
         memo.insert(f, result);
-        result
+        if compl {
+            result.negate()
+        } else {
+            result
+        }
     }
 
     /// Restriction by a whole cube of literals.
@@ -747,19 +891,29 @@ impl BddManager {
             !care.is_false(),
             "generalized cofactor with an empty care set"
         );
-        let mut memo = HashMap::new();
+        let mut memo = FxMap::default();
         self.constrain_rec(f, care, &mut memo)
     }
 
-    fn constrain_rec(&mut self, f: Bdd, care: Bdd, memo: &mut HashMap<(Bdd, Bdd), Bdd>) -> Bdd {
+    /// The generalized cofactor commutes with negation of `f` (it rebuilds
+    /// `f`'s leaves under `care`'s guidance), so the recursion strips `f`'s
+    /// complement attribute and memoizes on `(regular f, care)`. The care
+    /// argument does **not** commute and keeps its attribute in the key;
+    /// `f == ¬care` short-circuits to false the way `f == care` does to true.
+    fn constrain_rec(&mut self, f: Bdd, care: Bdd, memo: &mut FxMap<(Bdd, Bdd), Bdd>) -> Bdd {
         if care.is_true() || f.is_const() {
             return f;
         }
         if f == care {
             return Bdd::TRUE;
         }
+        if f == care.negate() {
+            return Bdd::FALSE;
+        }
+        let compl = f.is_compl();
+        let f = f.regular();
         if let Some(&r) = memo.get(&(f, care)) {
-            return r;
+            return if compl { r.negate() } else { r };
         }
         let vf = self.node(f).var;
         let vc = self.node(care).var;
@@ -776,14 +930,18 @@ impl BddManager {
             self.mk(top, lo, hi)
         };
         memo.insert((f, care), result);
-        result
+        if compl {
+            result.negate()
+        } else {
+            result
+        }
     }
 
     /// Existential quantification (the *smoothing* operator `S_x f` of
     /// Definition 3.3.1): `∃ vars . f`.
     pub fn exists(&mut self, f: Bdd, vars: &[Var]) -> Bdd {
         let sorted = self.sorted_by_level(vars);
-        let mut memo = HashMap::new();
+        let mut memo = FxMap::default();
         self.exists_rec(f, &sorted, &mut memo)
     }
 
@@ -797,13 +955,16 @@ impl BddManager {
         sorted
     }
 
-    fn exists_rec(&mut self, f: Bdd, vars: &[u32], memo: &mut HashMap<Bdd, Bdd>) -> Bdd {
+    /// Existential quantification does **not** commute with negation
+    /// (`∃x.¬f ≠ ¬∃x.f`), so the memo is keyed on the full attributed handle
+    /// and the recursion descends through attribute-adjusted cofactors.
+    fn exists_rec(&mut self, f: Bdd, vars: &[u32], memo: &mut FxMap<Bdd, Bdd>) -> Bdd {
         if f.is_const() || vars.is_empty() {
             return f;
         }
-        let n = self.node(f);
+        let (var, f0, f1) = self.cofactors(f);
         // Skip quantified variables that are above the root of f.
-        let root_level = self.lvl(n.var);
+        let root_level = self.lvl(var);
         let pos = vars.partition_point(|&v| self.lvl(v) < root_level);
         let vars = &vars[pos..];
         if vars.is_empty() {
@@ -812,14 +973,14 @@ impl BddManager {
         if let Some(&r) = memo.get(&f) {
             return r;
         }
-        let result = if n.var == vars[0] {
-            let lo = self.exists_rec(n.lo, &vars[1..], memo);
-            let hi = self.exists_rec(n.hi, &vars[1..], memo);
+        let result = if var == vars[0] {
+            let lo = self.exists_rec(f0, &vars[1..], memo);
+            let hi = self.exists_rec(f1, &vars[1..], memo);
             self.or(lo, hi)
         } else {
-            let lo = self.exists_rec(n.lo, vars, memo);
-            let hi = self.exists_rec(n.hi, vars, memo);
-            self.mk(n.var, lo, hi)
+            let lo = self.exists_rec(f0, vars, memo);
+            let hi = self.exists_rec(f1, vars, memo);
+            self.mk(var, lo, hi)
         };
         memo.insert(f, result);
         result
@@ -837,7 +998,7 @@ impl BddManager {
     /// image computation of Section 3.3 (Burch et al. 1990).
     pub fn and_exists(&mut self, f: Bdd, g: Bdd, vars: &[Var]) -> Bdd {
         let sorted = self.sorted_by_level(vars);
-        let mut memo = HashMap::new();
+        let mut memo = FxMap::default();
         self.and_exists_rec(f, g, &sorted, &mut memo)
     }
 
@@ -846,7 +1007,7 @@ impl BddManager {
         f: Bdd,
         g: Bdd,
         vars: &[u32],
-        memo: &mut HashMap<(Bdd, Bdd), Bdd>,
+        memo: &mut FxMap<(Bdd, Bdd), Bdd>,
     ) -> Bdd {
         if f.is_false() || g.is_false() {
             return Bdd::FALSE;
@@ -854,9 +1015,16 @@ impl BddManager {
         if f.is_true() && g.is_true() {
             return Bdd::TRUE;
         }
+        if f == g.negate() {
+            // The conjunction is empty whatever is quantified away.
+            return Bdd::FALSE;
+        }
         if vars.is_empty() {
             return self.and(f, g);
         }
+        // Quantification does not commute with negation, so — unlike
+        // restrict/constrain — the key keeps both attributed handles, ordered
+        // for the conjunction's symmetry only.
         let key = if f <= g { (f, g) } else { (g, f) };
         if let Some(&r) = memo.get(&key) {
             return r;
@@ -915,14 +1083,14 @@ impl BddManager {
     /// functional composition per mapped variable, which is slower but
     /// correct for any order.
     pub fn replace(&mut self, f: Bdd, map: &HashMap<Var, Var>) -> Bdd {
-        let raw: HashMap<u32, u32> = map.iter().map(|(k, v)| (k.0, v.0)).collect();
+        let raw: FxMap<u32, u32> = map.iter().map(|(k, v)| (k.0, v.0)).collect();
         // While no reordering pass has ever run, levels are identical to
         // allocation order and the caller-supplied layouts (interleaved
         // present/next pairs) are monotone by construction — skip the
         // support scan on this hot path; `replace_rec` keeps its
         // per-node debug assertion either way.
         if self.reorder_runs == 0 || self.replace_is_monotone(f, &raw) {
-            let mut memo = HashMap::new();
+            let mut memo = FxMap::default();
             return self.replace_rec(f, &raw, &mut memo);
         }
         // General rename: compose out one mapped variable at a time. Correct
@@ -943,7 +1111,7 @@ impl BddManager {
     /// `true` when rewriting `f`'s mapped variables in place cannot violate
     /// the level order: mapped support variables keep their relative order
     /// and no mapped variable moves across an unmapped support variable.
-    fn replace_is_monotone(&self, f: Bdd, map: &HashMap<u32, u32>) -> bool {
+    fn replace_is_monotone(&self, f: Bdd, map: &FxMap<u32, u32>) -> bool {
         let support = self.support(f);
         let mut mapped: Vec<(u32, u32)> = Vec::new(); // (old level, new level)
         let mut unmapped_levels: Vec<u32> = Vec::new();
@@ -968,17 +1136,16 @@ impl BddManager {
         })
     }
 
-    fn replace_rec(
-        &mut self,
-        f: Bdd,
-        map: &HashMap<u32, u32>,
-        memo: &mut HashMap<Bdd, Bdd>,
-    ) -> Bdd {
+    /// Variable renaming commutes with negation, so the recursion strips the
+    /// complement attribute and memoizes on the regular handle.
+    fn replace_rec(&mut self, f: Bdd, map: &FxMap<u32, u32>, memo: &mut FxMap<Bdd, Bdd>) -> Bdd {
         if f.is_const() {
             return f;
         }
+        let compl = f.is_compl();
+        let f = f.regular();
         if let Some(&r) = memo.get(&f) {
-            return r;
+            return if compl { r.negate() } else { r };
         }
         let n = self.node(f);
         let lo = self.replace_rec(n.lo, map, memo);
@@ -994,7 +1161,11 @@ impl BddManager {
         );
         let result = self.mk(new_var, lo, hi);
         memo.insert(f, result);
-        result
+        if compl {
+            result.negate()
+        } else {
+            result
+        }
     }
 
     // -------------------------------------------------- garbage collection --
@@ -1058,37 +1229,40 @@ impl BddManager {
     /// Mark-and-sweep collection: marks everything reachable from the
     /// registered roots and from `extra_roots`, reclaims every other node
     /// into a free list for reuse, drops the reclaimed nodes from the unique
-    /// table, invalidates the operation cache (its entries may name reclaimed
-    /// nodes), and shrinks both tables when they are mostly empty afterwards.
+    /// table, drops the operation-cache entries that name reclaimed nodes
+    /// (entries over surviving nodes stay hot across the collection), and
+    /// shrinks both tables when they are mostly empty afterwards.
     ///
     /// Handles not covered by the roots are invalidated — see the type-level
     /// documentation.
     pub fn gc_with_roots(&mut self, extra_roots: &[Bdd]) -> GcStats {
         let _span = pv_obs::span("gc.pass");
-        // Mark.
+        // Mark. Liveness is a property of slots, not attributes: a handle and
+        // its complement mark the same slot, so the traversal works on slot
+        // indices (the terminal and the reserved slot are always live).
         let mut marked = vec![false; self.nodes.len()];
         marked[0] = true;
         marked[1] = true;
-        let mut stack: Vec<Bdd> = self
+        let mut stack: Vec<usize> = self
             .roots
             .keys()
             .copied()
             .chain(extra_roots.iter().copied())
             .filter(|b| !b.is_const())
+            .map(|b| b.index())
             .collect();
-        while let Some(b) = stack.pop() {
-            let idx = b.0 as usize;
+        while let Some(idx) = stack.pop() {
             if marked[idx] {
                 continue;
             }
             marked[idx] = true;
             let n = self.nodes[idx];
-            debug_assert!(!n.is_free(), "root {b} points at a reclaimed slot");
+            debug_assert!(!n.is_free(), "a root points at reclaimed slot {idx}");
             if !n.lo.is_const() {
-                stack.push(n.lo);
+                stack.push(n.lo.index());
             }
             if !n.hi.is_const() {
-                stack.push(n.hi);
+                stack.push(n.hi.index());
             }
         }
         // Sweep dead slots into the free list. (Indexed because the loop
@@ -1104,14 +1278,19 @@ impl BddManager {
             self.nodes[idx] = Node {
                 var: FREE_VAR,
                 lo: Bdd(self.free_head),
-                hi: Bdd::FALSE,
+                hi: Bdd::TRUE,
             };
             self.free_head = idx as u32;
             self.free_count += 1;
             collected += 1;
         }
-        // The memo table may name reclaimed nodes; invalidate it wholesale.
-        self.ite_cache.clear();
+        // Drop memo entries that name reclaimed nodes; entries whose triple
+        // and result all survived are still verbatim-valid, and keeping them
+        // spares the next cycle from re-expanding (and re-allocating) the
+        // shared subproblems it has in common with this one.
+        let dead = |b: Bdd| !b.is_const() && !marked[b.index()];
+        self.ite_cache
+            .retain(|&(f, g, h), r| !dead(f) && !dead(g) && !dead(h) && !dead(*r));
         // Resize: release table capacity when the live set is a small
         // fraction of it, and keep the operation cache proportionate.
         let live = self.live_nodes();
@@ -1161,17 +1340,17 @@ impl BddManager {
     /// Evaluates `f` under a total assignment given as a predicate on
     /// variables.
     pub fn eval<A: Fn(Var) -> bool>(&self, f: Bdd, assignment: A) -> bool {
-        let mut cur = f;
-        loop {
-            match cur {
-                Bdd::FALSE => return false,
-                Bdd::TRUE => return true,
-                _ => {
-                    let n = self.node(cur);
-                    cur = if assignment(Var(n.var)) { n.hi } else { n.lo };
-                }
-            }
+        // Walk the regular graph, accumulating complement-attribute parity
+        // along the path; the terminal's truth is the parity.
+        let mut parity = f.is_compl();
+        let mut cur = f.regular();
+        while !cur.is_const() {
+            let n = self.node(cur);
+            let next = if assignment(Var(n.var)) { n.hi } else { n.lo };
+            parity ^= next.is_compl();
+            cur = next.regular();
         }
+        !parity
     }
 
     /// `true` iff `f` is satisfiable (constant-time for ROBDDs).
@@ -1193,13 +1372,15 @@ impl BddManager {
         let mut path = Vec::new();
         let mut cur = f;
         while !cur.is_const() {
-            let n = self.node(cur);
-            if n.hi.is_false() {
-                path.push((Var(n.var), false));
-                cur = n.lo;
+            // Attribute-adjusted children: any non-false branch leads to a
+            // model (canonicity: every non-false function is satisfiable).
+            let (var, lo, hi) = self.cofactors(cur);
+            if hi.is_false() {
+                path.push((Var(var), false));
+                cur = lo;
             } else {
-                path.push((Var(n.var), true));
-                cur = n.hi;
+                path.push((Var(var), true));
+                cur = hi;
             }
         }
         Some(path)
@@ -1208,37 +1389,48 @@ impl BddManager {
     /// Number of satisfying assignments of `f` over all allocated variables.
     pub fn sat_count(&self, f: Bdd) -> f64 {
         let nvars = self.num_vars;
-        let mut memo: HashMap<Bdd, f64> = HashMap::new();
+        let mut memo: FxMap<Bdd, f64> = FxMap::default();
         let fraction = self.sat_fraction(f, &mut memo);
         fraction * 2f64.powi(nvars as i32)
     }
 
-    /// Fraction of the full assignment space that satisfies `f`.
-    fn sat_fraction(&self, f: Bdd, memo: &mut HashMap<Bdd, f64>) -> f64 {
+    /// Fraction of the full assignment space that satisfies `f`. Counting
+    /// commutes with negation (`frac(¬f) = 1 − frac(f)`), so the memo is
+    /// keyed on regular handles only.
+    fn sat_fraction(&self, f: Bdd, memo: &mut FxMap<Bdd, f64>) -> f64 {
         match f {
             Bdd::FALSE => 0.0,
             Bdd::TRUE => 1.0,
             _ => {
-                if let Some(&r) = memo.get(&f) {
-                    return r;
+                let compl = f.is_compl();
+                let f = f.regular();
+                let r = if let Some(&r) = memo.get(&f) {
+                    r
+                } else {
+                    let n = self.node(f);
+                    let lo = self.sat_fraction(n.lo, memo);
+                    let hi = self.sat_fraction(n.hi, memo);
+                    let r = 0.5 * lo + 0.5 * hi;
+                    memo.insert(f, r);
+                    r
+                };
+                if compl {
+                    1.0 - r
+                } else {
+                    r
                 }
-                let n = self.node(f);
-                let lo = self.sat_fraction(n.lo, memo);
-                let hi = self.sat_fraction(n.hi, memo);
-                let r = 0.5 * lo + 0.5 * hi;
-                memo.insert(f, r);
-                r
             }
         }
     }
 
-    /// The set of variables that `f` actually depends on.
+    /// The set of variables that `f` actually depends on. Support ignores
+    /// complement attributes, so the walk deduplicates on slots.
     pub fn support(&self, f: Bdd) -> BTreeSet<Var> {
         let mut seen = std::collections::HashSet::new();
         let mut vars = BTreeSet::new();
         let mut stack = vec![f];
         while let Some(b) = stack.pop() {
-            if b.is_const() || !seen.insert(b) {
+            if b.is_const() || !seen.insert(b.index()) {
                 continue;
             }
             let n = self.node(b);
@@ -1249,23 +1441,28 @@ impl BddManager {
         vars
     }
 
-    /// Number of distinct nodes reachable from `f` (including terminals).
+    /// Number of distinct nodes reachable from `f`: 1 for a constant,
+    /// otherwise the shared decision slots plus 2 for the terminal slots —
+    /// the stored cost of the function, which complement edges make identical
+    /// for `f` and `¬f`. (Every non-constant reduced BDD reaches both
+    /// constants, so the figure matches the classical two-terminal count.)
     pub fn node_count(&self, f: Bdd) -> usize {
+        if f.is_const() {
+            return 1;
+        }
         let mut seen = std::collections::HashSet::new();
-        let mut stack = vec![f];
+        let mut stack = vec![f.regular()];
         let mut count = 0usize;
         while let Some(b) = stack.pop() {
-            if !seen.insert(b) {
+            if b.is_const() || !seen.insert(b.index()) {
                 continue;
             }
             count += 1;
-            if !b.is_const() {
-                let n = self.node(b);
-                stack.push(n.lo);
-                stack.push(n.hi);
-            }
+            let n = self.node(b);
+            stack.push(n.lo.regular());
+            stack.push(n.hi);
         }
-        count
+        count + 2
     }
 
     /// Enumerates every satisfying total assignment of `f` over `vars`,
@@ -1314,12 +1511,12 @@ impl BddManager {
         if f.is_const() {
             return f;
         }
-        let n = self.node(f);
-        if n.var == var.0 {
+        let (v, lo, hi) = self.cofactors(f);
+        if v == var.0 {
             if value {
-                n.hi
+                hi
             } else {
-                n.lo
+                lo
             }
         } else {
             f

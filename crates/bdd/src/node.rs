@@ -44,13 +44,22 @@ impl fmt::Display for Var {
     }
 }
 
-/// A handle to an ROBDD node.
+/// A handle to an ROBDD node: a node-table index tagged with a **complement
+/// bit** (an *attributed edge*, Brace–Rudell–Bryant 1990).
+///
+/// The low bit of the word is the complement attribute; the remaining bits
+/// are the slot index. A handle with the bit set denotes the *negation* of
+/// the function stored at the slot, so negation is a single bit flip that
+/// allocates nothing ([`crate::BddManager::not`]), and a function and its
+/// complement share one subgraph. There is a single terminal node (slot 0,
+/// the constant **true**); constant false is its complemented edge.
 ///
 /// Handles are only meaningful together with the [`crate::BddManager`] that
-/// created them. Because the manager hash-conses nodes, two handles are equal
-/// **iff** they denote the same Boolean function — equivalence checking is a
-/// pointer comparison (the canonicity property of Bryant 1986 the thesis
-/// relies on in Section 5.4).
+/// created them. Because the manager hash-conses nodes — and canonical form
+/// requires every stored *then* edge to be regular (uncomplemented) — two
+/// handles are equal **iff** they denote the same Boolean function:
+/// equivalence checking is a word comparison (the canonicity property of
+/// Bryant 1986 the thesis relies on in Section 5.4).
 ///
 /// ```
 /// use pv_bdd::BddManager;
@@ -71,10 +80,10 @@ impl fmt::Display for Var {
 pub struct Bdd(pub(crate) u32);
 
 impl Bdd {
-    /// The constant-false function.
-    pub const FALSE: Bdd = Bdd(0);
-    /// The constant-true function.
-    pub const TRUE: Bdd = Bdd(1);
+    /// The constant-true function: the regular edge to the terminal.
+    pub const TRUE: Bdd = Bdd(0);
+    /// The constant-false function: the complemented edge to the terminal.
+    pub const FALSE: Bdd = Bdd(1);
 
     /// Returns `true` if this handle is the constant-true function.
     pub fn is_true(self) -> bool {
@@ -91,8 +100,37 @@ impl Bdd {
         self.0 <= 1
     }
 
-    /// Raw index into the manager's node table (stable for the life of the
-    /// manager; exposed for diagnostics and deterministic hashing).
+    /// Whether the complement attribute is set: the handle denotes the
+    /// negation of the function stored at its slot. Exposed for diagnostics
+    /// and the persistent store; all Boolean structure is available through
+    /// [`crate::BddManager`] without consulting the bit.
+    pub fn is_compl(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complemented handle: same slot, flipped attribute. `¬f` with zero
+    /// allocation (kept crate-private; the public entry point is
+    /// [`crate::BddManager::not`]).
+    #[inline]
+    pub(crate) fn negate(self) -> Bdd {
+        Bdd(self.0 ^ 1)
+    }
+
+    /// The regular (uncomplemented) handle for this slot.
+    #[inline]
+    pub(crate) fn regular(self) -> Bdd {
+        Bdd(self.0 & !1)
+    }
+
+    /// Slot index into the manager's node table.
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// Raw tagged word — slot index shifted left once, complement attribute
+    /// in the low bit — stable for the life of the manager; exposed for
+    /// diagnostics and deterministic hashing.
     pub fn raw(self) -> u32 {
         self.0
     }
@@ -103,12 +141,17 @@ impl fmt::Display for Bdd {
         match *self {
             Bdd::FALSE => write!(f, "⊥"),
             Bdd::TRUE => write!(f, "⊤"),
-            Bdd(i) => write!(f, "node#{i}"),
+            b if b.is_compl() => write!(f, "!node#{}", b.index()),
+            b => write!(f, "node#{}", b.index()),
         }
     }
 }
 
-/// Internal node: a decision on `var` with else-child `lo` and then-child `hi`.
+/// Internal node: a decision on `var` with else-child `lo` and then-child
+/// `hi`. Canonical form: `hi` is always a **regular** edge — [`Bdd`] handles
+/// carry the complement attribute, and `mk` pushes a complemented then-edge
+/// down into both children while complementing the returned handle, so each
+/// function/negation pair is stored exactly once.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub(crate) struct Node {
     pub(crate) var: u32,
@@ -116,8 +159,9 @@ pub(crate) struct Node {
     pub(crate) hi: Bdd,
 }
 
-/// Variable index used by the two terminal pseudo-nodes; orders after every
-/// real variable so that terminal tests fall out of the ordering comparisons.
+/// Variable index used by the terminal pseudo-node (and the reserved slot
+/// next to it); orders after every real variable so that terminal tests fall
+/// out of the ordering comparisons.
 pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
 
 /// Variable index marking a reclaimed slot in the node table. Free slots are

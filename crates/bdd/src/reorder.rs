@@ -181,6 +181,10 @@ impl BddManager {
         // must not distort the metric (and dead nodes must not be dragged
         // through thousands of swaps).
         self.gc_with_roots(extra_roots);
+        // The collection keeps memo entries over surviving nodes, but swaps
+        // rewrite slots in place and recycle dereferenced ones — no memoized
+        // triple can be trusted after sifting, so drop them all up front.
+        self.ite_cache.clear();
         let nodes_before = self.live_nodes();
         let mut swaps = 0usize;
         if self.num_vars >= 2 && nodes_before > 2 {
@@ -234,26 +238,28 @@ impl BddManager {
     /// store: graph edges plus root registrations. Maintained across swaps so
     /// orphaned nodes are reclaimed the moment their last parent lets go.
     fn build_refs(&self, extra_roots: &[Bdd]) -> Vec<u32> {
+        // Reference counts are per slot: an edge references its target node
+        // whatever its complement attribute.
         let mut refs = vec![0u32; self.nodes.len()];
         for n in self.nodes.iter().skip(2) {
             if n.is_free() {
                 continue;
             }
             if !n.lo.is_const() {
-                refs[n.lo.0 as usize] += 1;
+                refs[n.lo.index()] += 1;
             }
             if !n.hi.is_const() {
-                refs[n.hi.0 as usize] += 1;
+                refs[n.hi.index()] += 1;
             }
         }
         for (&b, &count) in &self.roots {
             if !b.is_const() {
-                refs[b.0 as usize] += count as u32;
+                refs[b.index()] += count as u32;
             }
         }
         for &b in extra_roots {
             if !b.is_const() {
-                refs[b.0 as usize] += 1;
+                refs[b.index()] += 1;
             }
         }
         refs
@@ -435,27 +441,41 @@ impl BddManager {
     fn swap_adjacent(&mut self, level: usize, refs: &mut Vec<u32>) -> usize {
         let a = self.level2var[level];
         let b = self.level2var[level + 1];
+        // Subtable values are regular handles, and the canonical form keeps
+        // every stored then-edge regular: f1 is regular, so its own stored
+        // then-cofactor f11 is too, which makes the rewritten node's then
+        // child g1 = mk(a, f01, f11) regular — the in-place rewrite below
+        // never needs to complement the slot it preserves. The else-side
+        // cofactors may carry attributes; `mk_ref` canonicalizes them.
         let candidates: Vec<Bdd> = self.subtables[a as usize].values().copied().collect();
         let visited = candidates.len();
         for f in candidates {
-            let n = self.nodes[f.0 as usize];
+            let n = self.nodes[f.index()];
             let (f0, f1) = (n.lo, n.hi);
-            let n0 = self.nodes[f0.0 as usize];
-            let n1 = self.nodes[f1.0 as usize];
+            let n0 = self.nodes[f0.index()];
+            let n1 = self.nodes[f1.index()];
             let dep0 = !f0.is_const() && n0.var == b;
             let dep1 = !f1.is_const() && n1.var == b;
             if !dep0 && !dep1 {
                 // f does not depend on b: the node just sinks one level.
                 continue;
             }
-            let (f00, f01) = if dep0 { (n0.lo, n0.hi) } else { (f0, f0) };
+            let (f00, f01) = if dep0 {
+                // Attribute-adjusted cofactors of the (possibly complemented)
+                // else edge.
+                let c = f0.0 & 1;
+                (Bdd(n0.lo.0 ^ c), Bdd(n0.hi.0 ^ c))
+            } else {
+                (f0, f0)
+            };
             let (f10, f11) = if dep1 { (n1.lo, n1.hi) } else { (f1, f1) };
             let g0 = self.mk_ref(a, f00, f10, refs);
             let g1 = self.mk_ref(a, f01, f11, refs);
             // g0 == g1 would mean f never depended on b, contradicting dep0|dep1.
             debug_assert_ne!(g0, g1, "swap degenerated a dependent node");
+            debug_assert!(!g1.is_compl(), "rewritten then edge must stay regular");
             self.subtables[a as usize].remove(&(f0, f1));
-            self.nodes[f.0 as usize] = Node {
+            self.nodes[f.index()] = Node {
                 var: b,
                 lo: g0,
                 hi: g1,
@@ -473,44 +493,57 @@ impl BddManager {
         visited
     }
 
-    /// [`mk`](Self::mk) for the swap loop: hash-conses `(var, lo, hi)` and
-    /// accounts one new parent edge to the returned handle in `refs`
-    /// (child edges of a freshly created node are accounted too).
+    /// [`mk`](Self::mk) for the swap loop: hash-conses `(var, lo, hi)` in
+    /// canonical complemented-edge form (a complemented then edge is pushed
+    /// into the children and the returned handle complemented) and accounts
+    /// one new parent edge to the returned slot in `refs` (child edges of a
+    /// freshly created node are accounted too).
     fn mk_ref(&mut self, var: u32, lo: Bdd, hi: Bdd, refs: &mut Vec<u32>) -> Bdd {
         if lo == hi {
             if !lo.is_const() {
-                refs[lo.0 as usize] += 1;
+                refs[lo.index()] += 1;
             }
             return lo;
         }
-        if let Some(&h) = self.subtables[var as usize].get(&(lo, hi)) {
-            refs[h.0 as usize] += 1;
-            return h;
+        let compl = hi.is_compl();
+        let (lo, hi) = if compl {
+            (lo.negate(), hi.negate())
+        } else {
+            (lo, hi)
+        };
+        let handle = if let Some(&h) = self.subtables[var as usize].get(&(lo, hi)) {
+            refs[h.index()] += 1;
+            h
+        } else {
+            let h = self.alloc_node(Node { var, lo, hi });
+            let idx = h.index();
+            if idx >= refs.len() {
+                refs.resize(idx + 1, 0);
+            }
+            refs[idx] = 1;
+            if !lo.is_const() {
+                refs[lo.index()] += 1;
+            }
+            if !hi.is_const() {
+                refs[hi.index()] += 1;
+            }
+            h
+        };
+        if compl {
+            handle.negate()
+        } else {
+            handle
         }
-        let handle = self.alloc_node(Node { var, lo, hi });
-        let idx = handle.0 as usize;
-        if idx >= refs.len() {
-            refs.resize(idx + 1, 0);
-        }
-        refs[idx] = 1;
-        if !lo.is_const() {
-            refs[lo.0 as usize] += 1;
-        }
-        if !hi.is_const() {
-            refs[hi.0 as usize] += 1;
-        }
-        handle
     }
 
-    /// Drops one reference to `b`; reclaims it (and, transitively, children
-    /// it was the last parent of) when the count reaches zero.
+    /// Drops one reference to `b`'s slot; reclaims it (and, transitively,
+    /// children it was the last parent of) when the count reaches zero.
     fn deref(&mut self, b: Bdd, refs: &mut [u32]) {
         if b.is_const() {
             return;
         }
-        let mut stack = vec![b];
-        while let Some(x) = stack.pop() {
-            let idx = x.0 as usize;
+        let mut stack = vec![b.index()];
+        while let Some(idx) = stack.pop() {
             debug_assert!(refs[idx] > 0, "dereferencing a dead node");
             refs[idx] -= 1;
             if refs[idx] > 0 {
@@ -521,15 +554,15 @@ impl BddManager {
             self.nodes[idx] = Node {
                 var: FREE_VAR,
                 lo: Bdd(self.free_head),
-                hi: Bdd::FALSE,
+                hi: Bdd::TRUE,
             };
-            self.free_head = x.0;
+            self.free_head = idx as u32;
             self.free_count += 1;
             if !n.lo.is_const() {
-                stack.push(n.lo);
+                stack.push(n.lo.index());
             }
             if !n.hi.is_const() {
-                stack.push(n.hi);
+                stack.push(n.hi.index());
             }
         }
     }

@@ -8,21 +8,30 @@
 //! the *functions*, not of the manager they happened to live in.
 //!
 //! ```text
-//! .pvdd 1                     header: format name + version
+//! .pvdd 2                     header: format name + version
 //! .vars 3                     variables the functions range over
 //! .nnodes 2                   internal (non-terminal) node records
-//! 0 1 F T                     id  var  lo  hi      (children: T, F or an id)
+//! 0 1 F T                     id  var  lo  hi      (children: T, F, id or !id)
 //! 1 0 F 0
-//! .root and2 1                named root: T, F or a node id
+//! .root and2 !1               named root: T, F, id or !id
 //! .end
 //! ```
 //!
+//! Version 2 encodes **complemented edges**: a node record stores one entry
+//! per *regular* node of the shared DAG, a reference prefixed with `!` means
+//! the complement of that node's function, and the canonical regular-then
+//! form guarantees a `hi` field is never complemented (and never `F`). Roots
+//! may carry the complement attribute. Version-1 stores (no complement bits)
+//! are **rejected** by [`import`]; producers that cache `.pvdd` artifacts key
+//! them by engine epoch, so pre-complement artifacts surface as cache misses,
+//! never as misread garbage.
+//!
 //! Node records are written children-first (a child id is always smaller than
 //! its parent's id), variables are the **stable variable indices**
-//! ([`Var::index`]) rather than current levels — dynamic reordering therefore
-//! never changes an export — and ids are assigned in depth-first postorder
-//! from the roots in the order given, so the text is a canonical function of
-//! `(roots, functions)`.
+//! ([`Var::index`]) rather than current levels, and ids are assigned in
+//! depth-first postorder from the roots in the order given, so the text is a
+//! canonical function of `(roots, functions)` given the manager's variable
+//! order.
 //!
 //! Round trip:
 //!
@@ -52,7 +61,11 @@ use crate::manager::BddManager;
 use crate::node::{Bdd, Var};
 
 /// Format version written by [`export`] and accepted by [`import`].
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version 2 (complemented edges) is the only version this reader speaks:
+/// version-1 stores predate the attributed-edge engine and are rejected
+/// rather than reinterpreted.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Errors produced by [`import`].
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -90,20 +103,26 @@ pub fn export(manager: &BddManager, roots: &[(String, Bdd)]) -> String {
         );
     }
     // Assign ids in depth-first postorder (lo before hi, children before
-    // parents) over the union of the root graphs. The traversal order — and
-    // therefore the whole file — is a pure function of the root list.
+    // parents) over the union of the root graphs. Only **regular** nodes are
+    // recorded — a function and its complement share one record, and edges
+    // carry the complement attribute in their rendered reference — so the
+    // traversal order, and therefore the whole file, is a pure function of
+    // the root list.
     let mut ids: HashMap<Bdd, usize> = HashMap::new();
     let mut records: Vec<(usize, Bdd, Bdd)> = Vec::new(); // (var, lo, hi) per id
     for &(_, root) in roots {
+        let root = root.regular();
         if root.is_const() || ids.contains_key(&root) {
             continue;
         }
-        // Iterative postorder: (node, children_visited).
+        // Iterative postorder: (regular node, children_visited).
         let mut stack: Vec<(Bdd, bool)> = vec![(root, false)];
         while let Some((node, expanded)) = stack.pop() {
             if node.is_const() || ids.contains_key(&node) {
                 continue;
             }
+            // `node` is regular, so low/high are the stored children: `lo`
+            // possibly complemented, `hi` always regular (canonical form).
             let var = manager
                 .top_var(node)
                 .expect("non-terminal node has a top variable");
@@ -116,7 +135,7 @@ pub fn export(manager: &BddManager, roots: &[(String, Bdd)]) -> String {
                 stack.push((node, true));
                 // Pushed hi first so lo is visited (and numbered) first.
                 stack.push((hi, false));
-                stack.push((lo, false));
+                stack.push((lo.regular(), false));
             }
         }
     }
@@ -124,6 +143,7 @@ pub fn export(manager: &BddManager, roots: &[(String, Bdd)]) -> String {
         match f {
             Bdd::FALSE => "F".to_owned(),
             Bdd::TRUE => "T".to_owned(),
+            other if other.is_compl() => format!("!{}", ids[&other.regular()]),
             other => ids[&other].to_string(),
         }
     };
@@ -200,13 +220,18 @@ pub fn import(manager: &mut BddManager, text: &str) -> Result<Vec<(String, Bdd)>
         match token {
             "T" => Ok(Bdd::TRUE),
             "F" => Ok(Bdd::FALSE),
-            id => {
+            reference => {
+                let (compl, id) = match reference.strip_prefix('!') {
+                    Some(rest) => (true, rest),
+                    None => (false, reference),
+                };
                 let id: usize = id
                     .parse()
                     .map_err(|_| fail(line, format!("bad node reference `{token}`")))?;
-                built.get(id).copied().ok_or_else(|| {
+                let node = built.get(id).copied().ok_or_else(|| {
                     fail(line, format!("node reference {id} is not yet defined (records must be children-first)"))
-                })
+                })?;
+                Ok(if compl { node.negate() } else { node })
             }
         }
     };
@@ -351,22 +376,54 @@ mod tests {
         let mut m = BddManager::new();
         for (text, what) in [
             ("", "empty"),
-            (".pvdd 2\n.vars 0\n.nnodes 0\n.end\n", "bad version"),
-            (".pvdd 1\n.vars 0\n", "truncated header"),
-            (".pvdd 1\n.vars 1\n.nnodes 1\n0 5 F T\n.end\n", "var range"),
+            (".pvdd 3\n.vars 0\n.nnodes 0\n.end\n", "future version"),
             (
-                ".pvdd 1\n.vars 2\n.nnodes 1\n0 0 F 3\n.end\n",
+                ".pvdd 1\n.vars 0\n.nnodes 0\n.end\n",
+                "pre-complement version 1",
+            ),
+            (".pvdd 2\n.vars 0\n", "truncated header"),
+            (".pvdd 2\n.vars 1\n.nnodes 1\n0 5 F T\n.end\n", "var range"),
+            (
+                ".pvdd 2\n.vars 2\n.nnodes 1\n0 0 F 3\n.end\n",
                 "forward ref",
             ),
             (
-                ".pvdd 1\n.vars 2\n.nnodes 2\n1 0 F T\n0 0 F T\n.end\n",
+                ".pvdd 2\n.vars 2\n.nnodes 1\n0 0 F !3\n.end\n",
+                "complemented forward ref",
+            ),
+            (
+                ".pvdd 2\n.vars 2\n.nnodes 1\n0 0 !T T\n.end\n",
+                "complement on a constant token",
+            ),
+            (
+                ".pvdd 2\n.vars 2\n.nnodes 2\n1 0 F T\n0 0 F T\n.end\n",
                 "order",
             ),
-            (".pvdd 1\n.vars 0\n.nnodes 0\n.root x T\n", "missing .end"),
-            (".pvdd 1\n.vars 0\n.nnodes 0\n.root x\n.end\n", "bad root"),
+            (".pvdd 2\n.vars 0\n.nnodes 0\n.root x T\n", "missing .end"),
+            (".pvdd 2\n.vars 0\n.nnodes 0\n.root x\n.end\n", "bad root"),
         ] {
             assert!(import(&mut m, text).is_err(), "must reject {what}");
         }
+    }
+
+    #[test]
+    fn complement_pairs_share_records_and_round_trip() {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(2);
+        let (a, b) = (m.var(vars[0]), m.var(vars[1]));
+        let f = m.and(a, b);
+        let nf = m.not(f);
+        let text = export(&m, &[("f".to_owned(), f), ("nf".to_owned(), nf)]);
+        // The pair shares one record set; the complemented root is a `!` ref.
+        assert!(
+            text.contains(".root nf !"),
+            "complement root must use a ! reference:\n{text}"
+        );
+        let mut fresh = BddManager::new();
+        let roots = import(&mut fresh, &text).expect("round trip");
+        assert_eq!(roots.len(), 2);
+        let rebuilt_nf = fresh.not(roots[0].1);
+        assert_eq!(roots[1].1, rebuilt_nf, "f and nf must stay complements");
     }
 
     #[test]

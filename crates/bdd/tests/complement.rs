@@ -1,0 +1,180 @@
+//! Complemented-edge properties of the engine (`pv_bdd`): negation must be a
+//! zero-allocation attribute flip, a function and its complement must share
+//! one stored subgraph, and standard-triple normalization must send
+//! complementary ITE calls to the **same** computed-table entry so the second
+//! of an `f`/`!f` pair of operations is a pure cache hit.
+
+use proptest::prelude::*;
+use pv_bdd::{Bdd, BddManager, Var};
+
+/// A small random Boolean expression over `n` variables.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr(nvars: usize, depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = (0..nvars).prop_map(Expr::Var);
+    leaf.prop_recursive(depth, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(m: &mut BddManager, vars: &[Var], e: &Expr) -> Bdd {
+    match e {
+        Expr::Var(i) => m.var(vars[*i]),
+        Expr::Not(a) => {
+            let x = build(m, vars, a);
+            m.not(x)
+        }
+        Expr::And(a, b) => {
+            let (x, y) = (build(m, vars, a), build(m, vars, b));
+            m.and(x, y)
+        }
+        Expr::Or(a, b) => {
+            let (x, y) = (build(m, vars, a), build(m, vars, b));
+            m.or(x, y)
+        }
+        Expr::Xor(a, b) => {
+            let (x, y) = (build(m, vars, a), build(m, vars, b));
+            m.xor(x, y)
+        }
+    }
+}
+
+const NVARS: usize = 6;
+
+/// Negation of a concrete function allocates nothing and preserves the node
+/// count: `f` and `!f` are the same stored subgraph under opposite edge
+/// attributes.
+#[test]
+fn negation_is_allocation_free() {
+    let mut m = BddManager::new();
+    let vars = m.new_vars(3);
+    let (a, b, c) = (m.var(vars[0]), m.var(vars[1]), m.var(vars[2]));
+    let ab = m.and(a, b);
+    let f = m.or(ab, c);
+    let before = m.stats();
+    let nf = m.not(f);
+    let after = m.stats();
+    assert_eq!(before.allocated, after.allocated, "not() must not allocate");
+    assert_eq!(before.nodes, after.nodes, "not() must not grow the table");
+    assert_eq!(
+        m.node_count(f),
+        m.node_count(nf),
+        "f and !f must share one subgraph"
+    );
+    assert_eq!(m.not(nf), f, "double negation is handle identity");
+    assert_ne!(f, nf);
+}
+
+/// `xnor` right after `xor` on the same operands is a pure computed-table
+/// hit: standard-triple normalization maps `ite(f, !g, g)` and
+/// `ite(f, g, !g)` to one cache key, so the hit counter rises and the miss
+/// counter stands still.
+#[test]
+fn complementary_ite_calls_share_one_cache_entry() {
+    let mut m = BddManager::new();
+    let vars = m.new_vars(4);
+    let (a, b, c, d) = (
+        m.var(vars[0]),
+        m.var(vars[1]),
+        m.var(vars[2]),
+        m.var(vars[3]),
+    );
+    let f = m.and(a, b);
+    let g = m.or(c, d);
+
+    let x = m.xor(f, g);
+    let hits = m.stats().ite_hits;
+    let misses = m.stats().ite_misses;
+    let xn = m.xnor(f, g);
+    let stats = m.stats();
+    assert_eq!(
+        stats.ite_misses, misses,
+        "xnor after xor must not miss the computed table"
+    );
+    assert!(
+        stats.ite_hits > hits,
+        "xnor after xor must raise the hit counter"
+    );
+    assert_eq!(xn, m.not(x), "xnor must be the complement of xor");
+}
+
+/// De Morgan by construction: `!(a AND b)` and `!a OR !b` converge on the
+/// same handle, and building the second form after the first performs no new
+/// ITE expansion (output-complement extraction shares the cache entry).
+#[test]
+fn de_morgan_shares_the_ite_expansion() {
+    let mut m = BddManager::new();
+    let vars = m.new_vars(4);
+    let (a, b) = (m.var(vars[0]), m.var(vars[1]));
+    let c = m.var(vars[2]);
+    let d = m.var(vars[3]);
+    // Make the operands non-trivial so the ITE actually recurses.
+    let p = m.or(a, c);
+    let q = m.or(b, d);
+
+    let and_pq = m.and(p, q);
+    let lhs = m.not(and_pq);
+    let misses = m.stats().ite_misses;
+    let (np, nq) = (m.not(p), m.not(q));
+    let rhs = m.or(np, nq);
+    assert_eq!(lhs, rhs, "De Morgan must hold by handle equality");
+    assert_eq!(
+        m.stats().ite_misses,
+        misses,
+        "the complemented form must reuse the cached expansion"
+    );
+}
+
+proptest! {
+    /// `not` never allocates, for arbitrary functions: the node table and
+    /// the allocation counter are untouched, and the complement involutes
+    /// back to the original handle.
+    #[test]
+    fn not_is_allocation_free_for_arbitrary_functions(expr in arb_expr(NVARS, 4)) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(NVARS);
+        let f = build(&mut m, &vars, &expr);
+        let before = m.stats();
+        let nf = m.not(f);
+        let after = m.stats();
+        prop_assert_eq!(before.allocated, after.allocated);
+        prop_assert_eq!(before.nodes, after.nodes);
+        prop_assert_eq!(m.node_count(f), m.node_count(nf));
+        prop_assert_eq!(m.not(nf), f);
+    }
+
+    /// `ite(f, !g, !h)` is the complement of `ite(f, g, h)` and, computed
+    /// second, adds **zero** misses: every complementary triple normalizes
+    /// onto the first one's cache entries.
+    #[test]
+    fn complementary_triples_reuse_the_cache(
+        (ef, eg, eh) in (arb_expr(NVARS, 3), arb_expr(NVARS, 3), arb_expr(NVARS, 3))
+    ) {
+        let mut m = BddManager::new();
+        let vars = m.new_vars(NVARS);
+        let f = build(&mut m, &vars, &ef);
+        let g = build(&mut m, &vars, &eg);
+        let h = build(&mut m, &vars, &eh);
+        let r = m.ite(f, g, h);
+        let misses = m.stats().ite_misses;
+        let (ng, nh) = (m.not(g), m.not(h));
+        let rc = m.ite(f, ng, nh);
+        prop_assert_eq!(rc, m.not(r), "ite must commute with complement");
+        prop_assert_eq!(
+            m.stats().ite_misses, misses,
+            "the complementary triple must be served from cache"
+        );
+    }
+}

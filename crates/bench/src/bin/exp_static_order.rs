@@ -1,0 +1,137 @@
+//! A/B experiment: FORCE-derived static instruction-bit order vs plain
+//! declaration order (`pv_netlist::order`, satellite of the complemented-edge
+//! PR). **Report-only** — it prints a comparison table and a verdict and
+//! always exits 0; the perf gates live in `perf_smoke`.
+//!
+//! Two workloads, both β-relation verification flows that allocate per-slot
+//! instruction-word variable blocks:
+//!
+//! * the quickstart VSM pair (`VsmConfig::reduced(2)`), and
+//! * the condensed Alpha0 control-transfer sweep (the `perf_smoke` case-5
+//!   workload).
+//!
+//! For each, the same verifier runs once with
+//! [`Verifier::with_static_order`]`(false)` (declaration order, the
+//! pre-heuristic default) and once with `(true)` (the promoted default), and
+//! the table reports allocated nodes, peak live nodes and wall seconds,
+//! plus the FORCE placement's own span statistics. The heuristic was
+//! promoted to default because it wins where it matters: on the Alpha0
+//! sweep the connectivity-derived order fronts the opcode field (bits 31:26
+//! of the Alpha-style encoding) and cuts total allocation close to 3×.
+
+use std::time::Instant;
+
+use pipeverify_core::{MachineSpec, SimulationPlan, VerificationReport, Verifier};
+use pv_isa::alpha0::Alpha0Config;
+use pv_netlist::{order, Netlist};
+use pv_proc::alpha0::{self, PipelineConfig};
+use pv_proc::vsm::{self, VsmConfig};
+
+struct Arm {
+    allocated: usize,
+    peak_live: usize,
+    wall_s: f64,
+}
+
+fn arm(report: &VerificationReport, wall_s: f64) -> Arm {
+    Arm {
+        allocated: report.bdd_nodes,
+        peak_live: report.bdd_peak_live,
+        wall_s,
+    }
+}
+
+fn run(
+    name: &str,
+    verifier: &Verifier,
+    pipelined: &Netlist,
+    unpipelined: &Netlist,
+    plans: &[SimulationPlan],
+    instr_port: &str,
+) -> bool {
+    let mut ab = Vec::new();
+    for static_order in [false, true] {
+        let start = Instant::now();
+        let report = verifier
+            .clone()
+            .with_static_order(static_order)
+            .with_threads(1)
+            .verify_plans(pipelined, unpipelined, plans)
+            .unwrap_or_else(|e| panic!("{name} verification failed: {e}"));
+        let wall = start.elapsed().as_secs_f64();
+        assert!(report.equivalent(), "{name} must verify in both arms");
+        ab.push(arm(&report, wall));
+    }
+    let (base, force) = (&ab[0], &ab[1]);
+
+    let placement = order::force_order(pipelined);
+    let bit_order = &placement.port_orders[instr_port];
+    println!("== {name} ==");
+    println!(
+        "  placement: span {} -> {} over {} pass(es); `{instr_port}` order {:?}...",
+        placement.span_before,
+        placement.span_after,
+        placement.passes,
+        &bit_order[..bit_order.len().min(8)],
+    );
+    println!(
+        "  declaration order: {:>9} allocated, {:>9} peak live, {:.3} s",
+        base.allocated, base.peak_live, base.wall_s
+    );
+    println!(
+        "  FORCE order      : {:>9} allocated, {:>9} peak live, {:.3} s",
+        force.allocated, force.peak_live, force.wall_s
+    );
+    println!(
+        "  ratio (decl/FORCE): {:.3}x allocated, {:.3}x peak live, {:.3}x wall",
+        base.allocated as f64 / force.allocated.max(1) as f64,
+        base.peak_live as f64 / force.peak_live.max(1) as f64,
+        base.wall_s / force.wall_s.max(1e-9),
+    );
+    force.allocated <= base.allocated
+}
+
+fn main() {
+    // Quickstart VSM: small pair, order matters less but must not regress.
+    let config = VsmConfig::reduced(2);
+    let vsm_pipelined = vsm::pipelined(config).expect("build pipelined VSM");
+    let vsm_unpipelined = vsm::unpipelined(config).expect("build unpipelined VSM");
+    let vsm_spec = MachineSpec::vsm_reduced(2);
+    let vsm_port = vsm_spec.instr_port.clone();
+    let vsm_wins = run(
+        "vsm_reduced2",
+        &Verifier::new(vsm_spec),
+        &vsm_pipelined,
+        &vsm_unpipelined,
+        &[SimulationPlan::all_normal(3)],
+        &vsm_port,
+    );
+
+    // Condensed Alpha0 control-transfer sweep: the workload the heuristic
+    // was promoted on.
+    let isa = Alpha0Config::condensed();
+    let a0_pipelined = alpha0::pipelined(PipelineConfig::condensed(isa)).expect("build pipelined");
+    let a0_unpipelined =
+        alpha0::unpipelined(PipelineConfig::condensed(isa)).expect("build unpipelined");
+    let sweep: Vec<SimulationPlan> = (0..3)
+        .map(|x| SimulationPlan::with_control_at(4, x))
+        .collect();
+    let a0_spec = MachineSpec::alpha0_condensed(isa);
+    let a0_port = a0_spec.instr_port.clone();
+    let a0_wins = run(
+        "alpha0_condensed_sweep",
+        &Verifier::new(a0_spec),
+        &a0_pipelined,
+        &a0_unpipelined,
+        &sweep,
+        &a0_port,
+    );
+
+    println!();
+    match (vsm_wins, a0_wins) {
+        (true, true) => println!("verdict: FORCE order wins both workloads — promotion holds"),
+        (vsm, a0) => {
+            println!("verdict: MIXED (vsm win: {vsm}, alpha0 win: {a0}) — revisit the promotion")
+        }
+    }
+}

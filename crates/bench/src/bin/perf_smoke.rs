@@ -23,7 +23,14 @@
 //!    The two reports must be identical (the deterministic-merge guarantee),
 //!    and on a runner with at least two cores the parallel wall clock must
 //!    beat the sequential twin; on a single-core runner that gate is skipped
-//!    with a notice (there is nothing to win without a second core).
+//!    with a notice (there is nothing to win without a second core). The
+//!    sweep's allocated and peak-live node counts are additionally gated at
+//!    ≥ 1.4× below the committed pre-complement-edge record (kept in the
+//!    JSON as `*_pre_compl` fields): the attributed-edge engine plus the
+//!    FORCE static instruction-bit order must pay for themselves here, while
+//!    the reach12/vsm/flush3 walls must stay within 1.1× of their own
+//!    pre-complement records. The runner's core count and the effective
+//!    `PV_THREADS` resolution are recorded as context fields.
 //! 6. **Flushing of the stallable VSM** (`flush3`) — the cross-flow bridge:
 //!    the term-level pipeline description is derived from the stallable VSM
 //!    netlist (three in-flight latches → flush bound 3) and the Burch–Dill
@@ -94,6 +101,31 @@ const REGRESSION_FACTOR: f64 = 10.0;
 const SEED_REACH12_WALL_S: f64 = 500.0; // lower bound: did not finish
 const SEED_ADDER16_SEQUENTIAL_S: f64 = 0.238;
 const SEED_VSM_ALLOCATED_NODES: f64 = 900_000.0;
+
+/// Pre-complement-edge record of the condensed-Alpha0 sweep, measured at the
+/// commit immediately before attributed edges and the FORCE static order
+/// landed (same machine, same plans, deterministic counts). Kept in the JSON
+/// as `*_pre_compl` fields so the artifact documents the before/after; the
+/// tentpole gate requires the current engine to beat **both** counts by at
+/// least [`PRE_COMPL_REDUCTION_FACTOR`].
+const PRE_COMPL_ALPHA0_ALLOCATED: f64 = 3_329_787.0;
+const PRE_COMPL_ALPHA0_PEAK_LIVE: f64 = 1_327_284.0;
+/// Required reduction of the Alpha0 sweep's allocated and peak-live node
+/// counts over the pre-complement record (acceptance criterion: ≥ 1.4×).
+const PRE_COMPL_REDUCTION_FACTOR: f64 = 1.4;
+/// Pre-complement walls of the cases the edge retrofit must not slow down:
+/// complemented edges touch every ITE, so the non-sweep workloads gate at
+/// ≤ 1.1× their pre-complement record (plus an absolute grace — see
+/// [`PRE_COMPL_WALL_GRACE_S`]).
+const PRE_COMPL_REACH12_WALL_S: f64 = 0.401;
+const PRE_COMPL_VSM_WALL_S: f64 = 0.327;
+const PRE_COMPL_FLUSH3_WALL_S: f64 = 0.0278;
+const PRE_COMPL_WALL_FACTOR: f64 = 1.1;
+/// Absolute grace on the pre-complement wall gates: 10% of a sub-second wall
+/// sits inside scheduler noise on a busy runner, so each gate takes the max
+/// of the relative ceiling and `record + grace` (the same shape as the
+/// traced-overhead gate).
+const PRE_COMPL_WALL_GRACE_S: f64 = 0.05;
 /// Live-node floor for the reorder workload's sifting trigger: low enough
 /// that the blocked 12-bit counter reorders within its first few fixpoint
 /// iterations.
@@ -210,6 +242,14 @@ fn main() {
             "reach12 wall {reach_wall:.3} s exceeds the {REACH12_WALL_LIMIT_S} s hard limit"
         ));
     }
+    if reach_wall
+        > (PRE_COMPL_REACH12_WALL_S * PRE_COMPL_WALL_FACTOR)
+            .max(PRE_COMPL_REACH12_WALL_S + PRE_COMPL_WALL_GRACE_S)
+    {
+        failures.push(format!(
+            "reach12 wall {reach_wall:.3} s exceeds {PRE_COMPL_WALL_FACTOR}x the pre-complement record {PRE_COMPL_REACH12_WALL_S} s — the edge retrofit must not slow reachability"
+        ));
+    }
 
     // 2. 16-bit interleaved adder, median of 100 builds.
     let mut times: Vec<Duration> = (0..100)
@@ -270,6 +310,14 @@ fn main() {
         key: "vsm_ite_hit_rate",
         value: vsm_hit_rate,
     });
+    if vsm_wall
+        > (PRE_COMPL_VSM_WALL_S * PRE_COMPL_WALL_FACTOR)
+            .max(PRE_COMPL_VSM_WALL_S + PRE_COMPL_WALL_GRACE_S)
+    {
+        failures.push(format!(
+            "vsm wall {vsm_wall:.3} s exceeds {PRE_COMPL_WALL_FACTOR}x the pre-complement record {PRE_COMPL_VSM_WALL_S} s — the edge retrofit must not slow the quickstart"
+        ));
+    }
 
     // 4. Reordered vs static counter reachability on the pessimal blocked
     //    variable layout.
@@ -328,7 +376,22 @@ fn main() {
 
     // 5. Parallel Alpha0 control-transfer sweep vs its sequential twin: same
     //    plans, same netlists, one fresh BDD manager per plan either way.
+    //
+    //    The runner's core count and the worker count `PV_THREADS` actually
+    //    resolves to are recorded as context fields: a wall-time comparison
+    //    between two JSON artifacts is meaningless without them, and the
+    //    skip-with-notice messages quote both so a skipped parallel gate is
+    //    attributable from the log alone.
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let effective_threads = pipeverify_core::pool::default_threads();
+    measurements.push(Measurement {
+        key: "cores",
+        value: cores as f64,
+    });
+    measurements.push(Measurement {
+        key: "pv_threads_effective",
+        value: effective_threads as f64,
+    });
     let isa = Alpha0Config::condensed();
     let pipelined = alpha0::pipelined(PipelineConfig::condensed(isa)).expect("build pipelined");
     let unpipelined =
@@ -383,9 +446,37 @@ fn main() {
         value: par_wall,
     });
     measurements.push(Measurement {
+        key: "alpha0_sweep_allocated",
+        value: seq.bdd_nodes as f64,
+    });
+    measurements.push(Measurement {
         key: "alpha0_sweep_peak_live",
         value: seq.bdd_peak_live as f64,
     });
+    // The pre-complement record rides along in the artifact, and the
+    // tentpole's reduction gate is enforced against it: complemented edges
+    // plus the FORCE static order must cut *both* the total allocation and
+    // the peak live set by at least PRE_COMPL_REDUCTION_FACTOR.
+    measurements.push(Measurement {
+        key: "alpha0_sweep_allocated_pre_compl",
+        value: PRE_COMPL_ALPHA0_ALLOCATED,
+    });
+    measurements.push(Measurement {
+        key: "alpha0_sweep_peak_live_pre_compl",
+        value: PRE_COMPL_ALPHA0_PEAK_LIVE,
+    });
+    if (seq.bdd_nodes as f64) * PRE_COMPL_REDUCTION_FACTOR > PRE_COMPL_ALPHA0_ALLOCATED {
+        failures.push(format!(
+            "alpha0_sweep allocated {} nodes — less than a {PRE_COMPL_REDUCTION_FACTOR}x reduction over the pre-complement record {PRE_COMPL_ALPHA0_ALLOCATED}",
+            seq.bdd_nodes
+        ));
+    }
+    if (seq.bdd_peak_live as f64) * PRE_COMPL_REDUCTION_FACTOR > PRE_COMPL_ALPHA0_PEAK_LIVE {
+        failures.push(format!(
+            "alpha0_sweep peak live {} nodes — less than a {PRE_COMPL_REDUCTION_FACTOR}x reduction over the pre-complement record {PRE_COMPL_ALPHA0_PEAK_LIVE}",
+            seq.bdd_peak_live
+        ));
+    }
     measurements.push(Measurement {
         key: "alpha0_sweep_ite_hit_rate",
         value: hit_rate(
@@ -401,7 +492,7 @@ fn main() {
         }
     } else {
         println!(
-            "alpha0_sweep  : NOTICE — single-core runner, skipping the parallel-beats-sequential gate"
+            "alpha0_sweep  : NOTICE — single-core runner ({cores} core(s), effective PV_THREADS {effective_threads}), skipping the parallel-beats-sequential gate"
         );
     }
 
@@ -505,6 +596,14 @@ fn main() {
         key: "flush3_splits",
         value: flush3_seq.splits as f64,
     });
+    if flush3_wall
+        > (PRE_COMPL_FLUSH3_WALL_S * PRE_COMPL_WALL_FACTOR)
+            .max(PRE_COMPL_FLUSH3_WALL_S + PRE_COMPL_WALL_GRACE_S)
+    {
+        failures.push(format!(
+            "flush3 wall {flush3_wall:.4} s exceeds {PRE_COMPL_WALL_FACTOR}x the pre-complement record {PRE_COMPL_FLUSH3_WALL_S} s — the term-level flow must be untouched by the edge retrofit"
+        ));
+    }
 
     // 7. Parallel EUF case split on a deep pipeline: sequential vs 4-worker
     //    twin, with the same >=2-core skip-with-notice rule as case 5.
@@ -549,7 +648,7 @@ fn main() {
         }
     } else {
         println!(
-            "flush_par     : NOTICE — single-core runner, skipping the parallel-beats-sequential gate"
+            "flush_par     : NOTICE — single-core runner ({cores} core(s), effective PV_THREADS {effective_threads}), skipping the parallel-beats-sequential gate"
         );
     }
 
@@ -701,6 +800,12 @@ fn main() {
     match std::fs::read_to_string(baseline_path) {
         Ok(baseline) => {
             for m in &measurements {
+                // `cores` and `pv_threads_effective` describe the runner,
+                // not the engine: comparing them across machines is not a
+                // regression check.
+                if matches!(m.key, "cores" | "pv_threads_effective") {
+                    continue;
+                }
                 match json_number(&baseline, m.key) {
                     Some(base) if base > 0.0 && m.value > base * REGRESSION_FACTOR => {
                         failures.push(format!(

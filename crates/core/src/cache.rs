@@ -73,7 +73,12 @@ static M_CACHE_CORRUPT: Counter = Counter::new("cache.corrupt");
 /// Epoch 2: reports embed a deterministic `metrics` snapshot
 /// ([`crate::FlowReport::metrics`]), changing report bytes for identical
 /// inputs.
-pub const ENGINE_EPOCH: u32 = 2;
+///
+/// Epoch 3: the BDD engine switched to complemented edges and the `.pvdd`
+/// store format moved to version 2 (`pv_bdd::store::FORMAT_VERSION`).
+/// Pre-complement artifacts are unreadable by the new importer, so the epoch
+/// bump retires them as clean cache misses rather than decode errors.
+pub const ENGINE_EPOCH: u32 = 3;
 
 /// Environment variable overriding the default cache directory.
 pub const PV_CACHE_DIR: &str = "PV_CACHE_DIR";

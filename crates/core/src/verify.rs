@@ -406,6 +406,7 @@ impl fmt::Display for VerificationReport {
 pub struct Verifier {
     spec: MachineSpec,
     auto_reorder: bool,
+    static_order: bool,
     threads: Option<usize>,
     budget: Option<Budget>,
 }
@@ -437,6 +438,7 @@ impl Verifier {
         Verifier {
             spec,
             auto_reorder: false,
+            static_order: true,
             threads: None,
             budget: None,
         }
@@ -461,6 +463,27 @@ impl Verifier {
     /// verifier, not global.
     pub fn with_auto_reorder(mut self, enabled: bool) -> Self {
         self.auto_reorder = enabled;
+        self
+    }
+
+    /// Enables or disables the FORCE-derived **static** bit order for the
+    /// per-slot instruction words (see [`pv_netlist::order`]). It is **on by
+    /// default**: the order is computed once per plan from the pipelined
+    /// netlist's connectivity and decides which instruction bits get the
+    /// topmost BDD variables of each slot block. On ISAs that place control
+    /// fields in the high bits (the Alpha-style encodings of `pv-isa` put
+    /// the opcode in bits 31:26), declaration order allocates the decode
+    /// selector bits *last*, and the connectivity-derived order — which
+    /// fronts the high-fanout control bits — shrinks the condensed-Alpha0
+    /// sweep's total allocation by over 2.5×. `false` restores plain
+    /// declaration (LSB-first) order; the `exp_static_order` bin in
+    /// `pv-bench` reports the A/B.
+    ///
+    /// The order never changes *what* is verified, only the variable levels:
+    /// reports are field-by-field identical apart from node counts and wall
+    /// times.
+    pub fn with_static_order(mut self, enabled: bool) -> Self {
+        self.static_order = enabled;
         self
     }
 
@@ -757,13 +780,37 @@ impl Verifier {
         // as an assumption and applied when the sampled formulae are compared.
         // Each slot word is one reorder group: sifting moves whole
         // instruction words past each other instead of scattering their bits.
+        //
+        // Inside a block, the bits follow the FORCE-derived static order
+        // (`pv_netlist::order`) when enabled: `instr_order[k]` is the
+        // instruction bit that receives the block's k-th (topmost-first)
+        // variable, so decode-selector bits branch before operand fields.
+        let instr_order: Option<Vec<usize>> = self
+            .static_order
+            .then(|| {
+                let mut report = pv_netlist::order::force_order(pipelined);
+                report
+                    .port_orders
+                    .remove(&spec.instr_port)
+                    .filter(|order| order.len() == spec.instr_width)
+            })
+            .flatten();
         let slot_vars: Vec<Vec<Var>> = schedule
             .slot_classes
             .iter()
             .map(|_| {
-                let vars = manager.new_vars(spec.instr_width);
-                manager.group_vars(&vars);
-                vars
+                let alloc = manager.new_vars(spec.instr_width);
+                manager.group_vars(&alloc);
+                match &instr_order {
+                    Some(order) => {
+                        let mut vars = alloc.clone();
+                        for (k, &bit) in order.iter().enumerate() {
+                            vars[bit] = alloc[k];
+                        }
+                        vars
+                    }
+                    None => alloc,
+                }
             })
             .collect();
         let mut assumption = Bdd::TRUE;

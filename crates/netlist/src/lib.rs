@@ -48,6 +48,7 @@ mod build;
 mod eval;
 pub mod export;
 mod net;
+pub mod order;
 mod sym;
 
 pub use build::{NetlistBuilder, RegArray, RegWord, Word};

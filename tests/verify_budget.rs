@@ -19,11 +19,15 @@ fn vsm_pair() -> (pipeverify::netlist::Netlist, pipeverify::netlist::Netlist) {
     )
 }
 
+// 3-slot plans: wide enough cost spread between the all-normal and the
+// control-transfer plans for the node-limit calibration below, now that the
+// complemented-edge engine and the FORCE static order have shrunk the small
+// plans to a few thousand nodes each.
 fn sweep() -> Vec<SimulationPlan> {
     vec![
-        SimulationPlan::all_normal(2),
-        SimulationPlan::with_control_at(2, 0),
-        SimulationPlan::with_control_at(2, 1),
+        SimulationPlan::all_normal(3),
+        SimulationPlan::with_control_at(3, 0),
+        SimulationPlan::with_control_at(3, 1),
     ]
 }
 
